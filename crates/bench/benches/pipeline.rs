@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks for the training pipeline: generation,
+//! augmentation, and lemmatization throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dbpal_core::{catalog, Augmenter, GenerationConfig, Generator, TrainingPipeline};
+use dbpal_nlp::Lemmatizer;
+use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
+
+fn bench_schema() -> Schema {
+    SchemaBuilder::new("hospital")
+        .table("patients", |t| {
+            t.synonym("people")
+                .column("name", SqlType::Text)
+                .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                .column_with("disease", SqlType::Text, |c| c.synonym("illness"))
+                .column_with("length_of_stay", SqlType::Integer, |c| {
+                    c.domain(SemanticDomain::Duration)
+                })
+                .column("doctor_id", SqlType::Integer)
+        })
+        .table("doctors", |t| {
+            t.column("id", SqlType::Integer)
+                .column("name", SqlType::Text)
+                .column("specialty", SqlType::Text)
+                .primary_key("id")
+        })
+        .foreign_key("patients", "doctor_id", "doctors", "id")
+        .build()
+        .unwrap()
+}
+
+fn generation(c: &mut Criterion) {
+    let schema = bench_schema();
+    let config = GenerationConfig::small();
+    let templates = catalog();
+    c.bench_function("generator/seed_corpus", |b| {
+        b.iter(|| {
+            let mut g = Generator::new(&schema, &config);
+            std::hint::black_box(g.generate(&templates).len())
+        })
+    });
+}
+
+fn augmentation(c: &mut Criterion) {
+    let schema = bench_schema();
+    let config = GenerationConfig::small();
+    let seed_corpus = {
+        let mut g = Generator::new(&schema, &config);
+        g.generate(&catalog())
+    };
+    c.bench_function("augmenter/full_pass", |b| {
+        b.iter_batched(
+            || seed_corpus.pairs().to_vec(),
+            |pairs| {
+                let corpus = dbpal_core::TrainingCorpus::from_pairs(pairs);
+                let mut aug = Augmenter::new(&schema, &config);
+                std::hint::black_box(aug.augment(&corpus).len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn lemmatization(c: &mut Criterion) {
+    let lem = Lemmatizer::new();
+    let sentence = "What are the names of all patients older than 80 who stayed longest?";
+    c.bench_function("lemmatizer/sentence", |b| {
+        b.iter(|| std::hint::black_box(lem.lemmatize_sentence(sentence).len()))
+    });
+}
+
+fn full_pipeline(c: &mut Criterion) {
+    let schema = bench_schema();
+    let config = GenerationConfig::small();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("generate_small", |b| {
+        b.iter(|| {
+            let pipeline = TrainingPipeline::new(config.clone());
+            std::hint::black_box(pipeline.generate(&schema).len())
+        })
+    });
+    group.finish();
+}
+
+fn parsing(c: &mut Criterion) {
+    let sql = "SELECT disease, COUNT(*) FROM patients WHERE age > @AGE \
+               GROUP BY disease HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 5";
+    c.bench_function("sql/parse", |b| {
+        b.iter(|| std::hint::black_box(dbpal_sql::parse_query(sql).unwrap()))
+    });
+}
+
+criterion_group!(benches, generation, augmentation, lemmatization, full_pipeline, parsing);
+criterion_main!(benches);

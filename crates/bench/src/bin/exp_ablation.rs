@@ -1,0 +1,122 @@
+//! Ablation benches for the design choices called out in DESIGN.md.
+//!
+//! Each ablation disables one mechanism of the pipeline/runtime and
+//! reports the Patients-benchmark accuracy delta against the full DBPal
+//! (Full) configuration:
+//!
+//! * `sampling` — exhaustive-ish, unbalanced instantiation (4× slot
+//!   fills with one class over-boosted 8×) vs balanced sampling (§3.1's
+//!   bias argument).
+//! * `lemmatizer` — training on raw (unlemmatized) NL (§2.2.3).
+//! * `paraphrase_noise` — paraphrase quality floor 0 (all noise) vs the
+//!   tuned floor (§3.2.1).
+//! * `augmentation` — no paraphrasing/dropout at all.
+//!
+//! Usage: `exp_ablation [--quick] [--ablation NAME]` (default: all).
+
+use dbpal_bench::{acc, render_table};
+use dbpal_benchsuite::{Configuration, PatientsExperiment};
+use dbpal_core::{TrainingCorpus, TrainingPipeline};
+use dbpal_model::SketchModel;
+use dbpal_core::TranslationModel;
+
+struct Ablation {
+    name: &'static str,
+    description: &'static str,
+}
+
+const ABLATIONS: &[Ablation] = &[
+    Ablation { name: "sampling", description: "unbalanced instantiation (4x slot fills, one class boosted 8x)" },
+    Ablation { name: "lemmatizer", description: "train on raw NL instead of lemmas" },
+    Ablation { name: "paraphrase_noise", description: "paraphrase quality floor = 0.0" },
+    Ablation { name: "augmentation", description: "no paraphrasing / dropout / comparatives" },
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Option<String> = args
+        .iter()
+        .position(|a| a == "--ablation")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let exp = if quick {
+        PatientsExperiment::quick()
+    } else {
+        PatientsExperiment::full()
+    };
+
+    // Reference: the regular DBPal (Full) configuration.
+    let reference = {
+        let model = exp.train_model(Configuration::DbpalFull);
+        exp.patients.evaluate(&model).1.accuracy()
+    };
+
+    let header: Vec<String> = ["Ablation", "Accuracy", "Delta vs full", "Description"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = vec![vec![
+        "(full system)".to_string(),
+        acc(reference),
+        "-".to_string(),
+        "DBPal (Full), defaults".to_string(),
+    ]];
+
+    for ablation in ABLATIONS {
+        if let Some(w) = &which {
+            if w != ablation.name {
+                continue;
+            }
+        }
+        let accuracy = run_ablation(&exp, ablation.name);
+        rows.push(vec![
+            ablation.name.to_string(),
+            acc(accuracy),
+            format!("{:+.3}", accuracy - reference),
+            ablation.description.to_string(),
+        ]);
+    }
+    println!("Ablation study (Patients benchmark, overall accuracy)\n");
+    println!("{}", render_table(&header, &rows));
+}
+
+fn run_ablation(exp: &PatientsExperiment, name: &str) -> f64 {
+    let mut gen_config = exp.spider.gen_config.clone();
+    gen_config.seed ^= 0xBEEF;
+    let mut lemmatize = true;
+    match name {
+        "sampling" => {
+            gen_config.size_slot_fills *= 4;
+            gen_config.join_boost = 1.0;
+            gen_config.agg_boost = 1.0;
+            gen_config.nest_boost = 8.0; // over-represent one class
+        }
+        "lemmatizer" => lemmatize = false,
+        "paraphrase_noise" => gen_config.paraphrase_min_quality = 0.0,
+        "augmentation" => {
+            gen_config.num_para = 0;
+            gen_config.num_missing = 0;
+            gen_config.rand_drop_p = 0.0;
+        }
+        other => panic!("unknown ablation `{other}`"),
+    }
+
+    // Build the DBPal (Full)-style corpus with the ablated pipeline.
+    let mut corpus = TrainingCorpus::from_pairs(exp.spider.bench.train_pairs.pairs().to_vec());
+    corpus.extend(exp.spider.synthetic_train_corpus());
+    let pipeline = TrainingPipeline::new(gen_config);
+    corpus.extend(pipeline.generate(exp.patients.schema()));
+    if !lemmatize {
+        let mut pairs = corpus.pairs().to_vec();
+        for p in &mut pairs {
+            p.nl_lemmas.clear(); // models fall back to raw lowercase NL
+        }
+        corpus = TrainingCorpus::from_pairs(pairs);
+    }
+    corpus.dedup();
+
+    let mut model = SketchModel::new(vec![exp.patients.schema().clone()]);
+    model.train(&corpus, &exp.spider.train_opts);
+    exp.patients.evaluate(&model).1.accuracy()
+}

@@ -1,0 +1,47 @@
+//! Reproduce **Table 3**: Patients benchmark accuracy by linguistic
+//! category.
+//!
+//! Paper reference values (SIGMOD'20, Table 3):
+//! ```text
+//! Algorithm      Naive  Syntactic  Lexical  Morph.  Semantic  Missing  Mixed  Overall
+//! SyntaxSQLNet   0.281  0.228      0.070    0.175   0.175     0.088    0.140  0.165
+//! DBPal (Train)  0.930  0.333      0.404    0.667   0.228     0.088    0.193  0.409
+//! DBPal (Full)   0.947  0.632      0.544    0.667   0.491     0.158    0.298  0.531
+//! ```
+//! Run with `--quick` for a scaled-down smoke run.
+
+use dbpal_bench::{acc, render_table};
+use dbpal_benchsuite::{Configuration, LinguisticCategory, PatientsExperiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exp = if quick {
+        PatientsExperiment::quick()
+    } else {
+        PatientsExperiment::full()
+    };
+    eprintln!(
+        "[table3] {} Patients queries across {} categories",
+        exp.patients.queries().len(),
+        LinguisticCategory::ALL.len()
+    );
+    let results = exp.run_table3();
+
+    let mut header = vec!["Algorithm".to_string()];
+    header.extend(LinguisticCategory::ALL.iter().map(|c| c.label().to_string()));
+    header.push("Overall".to_string());
+    let rows: Vec<Vec<String>> = Configuration::ALL
+        .iter()
+        .map(|c| {
+            let (per, overall) = &results[c];
+            let mut row = vec![c.label().to_string()];
+            for cat in LinguisticCategory::ALL {
+                row.push(acc(per.get(&cat).map_or(0.0, |o| o.accuracy())));
+            }
+            row.push(acc(overall.accuracy()));
+            row
+        })
+        .collect();
+    println!("Table 3: Patients Benchmark Results (reproduction)\n");
+    println!("{}", render_table(&header, &rows));
+}

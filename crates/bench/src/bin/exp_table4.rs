@@ -1,0 +1,48 @@
+//! Reproduce **Table 4**: Spider accuracy broken down by which training
+//! corpus covers each test query's pattern.
+//!
+//! Paper reference values (SIGMOD'20, Table 4):
+//! ```text
+//! Algorithm      Both   DBPal  Spider  Unseen
+//! SyntaxSQLNet   0.375  0.000  0.244   0.013
+//! DBPal (Train)  0.458  0.000  0.287   0.026
+//! DBPal (Full)   0.462  0.250  0.317   0.040
+//! ```
+//! Run with `--quick` for a scaled-down smoke run.
+
+use dbpal_bench::{acc, render_table};
+use dbpal_benchsuite::{Configuration, CoverageBucket, SpiderExperiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exp = if quick {
+        SpiderExperiment::quick()
+    } else {
+        SpiderExperiment::full()
+    };
+    let results = exp.run_table4();
+
+    let mut header = vec!["Algorithm".to_string()];
+    header.extend(CoverageBucket::ALL.iter().map(|b| b.label().to_string()));
+    let rows: Vec<Vec<String>> = Configuration::ALL
+        .iter()
+        .map(|c| {
+            let report = &results[c];
+            let mut row = vec![c.label().to_string()];
+            for b in CoverageBucket::ALL {
+                row.push(acc(report.get(&b).map_or(0.0, |o| o.accuracy())));
+            }
+            row
+        })
+        .collect();
+    println!("Table 4: Pattern Coverage Breakdown for Spider (reproduction)\n");
+    println!("{}", render_table(&header, &rows));
+    // Bucket sizes, for context.
+    if let Some(report) = results.values().next() {
+        let sizes: Vec<String> = CoverageBucket::ALL
+            .iter()
+            .map(|b| format!("{}={}", b.label(), report.get(b).map_or(0, |o| o.total)))
+            .collect();
+        println!("bucket sizes: {}", sizes.join(", "));
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared output formatting for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+use std::fmt::Write as _;
+
+/// Render an aligned text table: a header row plus data rows.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<width$}", width = widths[i]);
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, header);
+    let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Format an accuracy as the paper prints it (three decimals).
+pub fn acc(a: f64) -> String {
+    format!("{a:.3}")
+}
+
+/// Render a text histogram: one row per bin with `#` bars.
+pub fn render_histogram(bins: &[(f64, usize)], max_width: usize) -> String {
+    let max_count = bins.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (edge, count) in bins {
+        let bar = "#".repeat(count * max_width / max_count);
+        let _ = writeln!(out, "{edge:>6.3} | {bar} {count}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let header = vec!["Algorithm".to_string(), "Overall".to_string()];
+        let rows = vec![
+            vec!["SyntaxSQLNet".to_string(), "0.248".to_string()],
+            vec!["DBPal (Full)".to_string(), "0.317".to_string()],
+        ];
+        let t = render_table(&header, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Algorithm"));
+        assert!(lines[3].contains("0.317"));
+    }
+
+    #[test]
+    fn histogram_renders_counts() {
+        let h = render_histogram(&[(0.4, 2), (0.5, 6)], 12);
+        assert!(h.contains("0.400"));
+        assert!(h.contains("############ 6"));
+    }
+
+    #[test]
+    fn acc_formatting() {
+        assert_eq!(acc(0.2484), "0.248");
+    }
+}

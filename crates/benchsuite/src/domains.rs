@@ -1,0 +1,556 @@
+//! Multi-domain schema blueprints and the schema generator.
+//!
+//! The real Spider benchmark "contains 200 database schemas ... spanning
+//! 138 distinct domains (e.g., automotive, social networking, geography)"
+//! (paper §6.1.1). This module is the offline substitute: a library of
+//! domain blueprints (tables, typed columns with semantic domains and
+//! synonyms, foreign keys) from which [`SchemaGenerator`] derives many
+//! concrete schemas by sampling column subsets.
+
+use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A column blueprint: name, type, semantic domain, synonyms.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnBlueprint {
+    /// SQL identifier.
+    pub name: &'static str,
+    /// Declared type.
+    pub ty: SqlType,
+    /// Semantic domain (drives comparative augmentation).
+    pub domain: SemanticDomain,
+    /// NL synonyms.
+    pub synonyms: &'static [&'static str],
+}
+
+/// A table blueprint.
+#[derive(Debug, Clone, Copy)]
+pub struct TableBlueprint {
+    /// SQL identifier.
+    pub name: &'static str,
+    /// NL synonyms.
+    pub synonyms: &'static [&'static str],
+    /// Columns; the first two are always kept, the rest are sampled.
+    pub columns: &'static [ColumnBlueprint],
+}
+
+/// A domain blueprint: up to two tables plus a foreign key between them.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainBlueprint {
+    /// Domain label (also the schema-name prefix).
+    pub name: &'static str,
+    /// The main table.
+    pub primary: TableBlueprint,
+    /// Optional second table joined to the primary one.
+    pub secondary: Option<TableBlueprint>,
+    /// `(primary column, secondary column)` of the foreign key.
+    pub fk: Option<(&'static str, &'static str)>,
+}
+
+macro_rules! col {
+    ($name:literal, $ty:ident) => {
+        ColumnBlueprint { name: $name, ty: SqlType::$ty, domain: SemanticDomain::Generic, synonyms: &[] }
+    };
+    ($name:literal, $ty:ident, $domain:ident) => {
+        ColumnBlueprint { name: $name, ty: SqlType::$ty, domain: SemanticDomain::$domain, synonyms: &[] }
+    };
+    ($name:literal, $ty:ident, $domain:ident, [$($syn:literal),*]) => {
+        ColumnBlueprint { name: $name, ty: SqlType::$ty, domain: SemanticDomain::$domain, synonyms: &[$($syn),*] }
+    };
+}
+
+/// The built-in domain blueprints.
+pub fn blueprints() -> Vec<DomainBlueprint> {
+    vec![
+        DomainBlueprint {
+            name: "geography",
+            primary: TableBlueprint {
+                name: "cities",
+                synonyms: &["towns", "municipalities"],
+                columns: &[
+                    col!("name", Text),
+                    col!("population", Integer, Population, ["inhabitants", "residents"]),
+                    col!("area", Float, Area, ["size"]),
+                    col!("elevation", Integer, Height, ["altitude"]),
+                    col!("state_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "states",
+                synonyms: &["provinces", "regions"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("capital", Text),
+                    col!("area", Float, Area),
+                ],
+            }),
+            fk: Some(("state_id", "id")),
+        },
+        DomainBlueprint {
+            name: "flights",
+            primary: TableBlueprint {
+                name: "flights",
+                synonyms: &["plane trips"],
+                columns: &[
+                    col!("flight_number", Text, Generic, ["code"]),
+                    col!("duration", Integer, Duration, ["flight time"]),
+                    col!("price", Float, Money, ["fare", "cost"]),
+                    col!("distance", Integer, Length),
+                    col!("airline_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "airlines",
+                synonyms: &["carriers"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("country", Text, Generic, ["nation"]),
+                    col!("fleet_size", Integer, Count_),
+                ],
+            }),
+            fk: Some(("airline_id", "id")),
+        },
+        DomainBlueprint {
+            name: "automotive",
+            primary: TableBlueprint {
+                name: "cars",
+                synonyms: &["vehicles", "automobiles"],
+                columns: &[
+                    col!("model", Text),
+                    col!("horsepower", Integer, Speed, ["power"]),
+                    col!("price", Float, Money, ["cost"]),
+                    col!("weight", Integer, Weight),
+                    col!("year", Integer, Time, ["model year"]),
+                    col!("maker_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "makers",
+                synonyms: &["manufacturers", "brands"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("country", Text),
+                ],
+            }),
+            fk: Some(("maker_id", "id")),
+        },
+        DomainBlueprint {
+            name: "university",
+            primary: TableBlueprint {
+                name: "students",
+                synonyms: &["pupils", "learners"],
+                columns: &[
+                    col!("name", Text),
+                    col!("age", Integer, Age),
+                    col!("gpa", Float, Generic, ["grade average", "grades"]),
+                    col!("major", Text, Generic, ["field of study"]),
+                    col!("advisor_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "professors",
+                synonyms: &["faculty", "instructors"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("department", Text, Generic, ["division"]),
+                    col!("salary", Integer, Money),
+                ],
+            }),
+            fk: Some(("advisor_id", "id")),
+        },
+        DomainBlueprint {
+            name: "retail",
+            primary: TableBlueprint {
+                name: "products",
+                synonyms: &["items", "goods"],
+                columns: &[
+                    col!("name", Text, Generic, ["title"]),
+                    col!("price", Float, Money, ["cost"]),
+                    col!("stock", Integer, Generic, ["inventory", "quantity"]),
+                    col!("weight", Float, Weight),
+                    col!("supplier_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "suppliers",
+                synonyms: &["vendors"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("city", Text, Generic, ["location"]),
+                    col!("rating", Integer),
+                ],
+            }),
+            fk: Some(("supplier_id", "id")),
+        },
+        DomainBlueprint {
+            name: "music",
+            primary: TableBlueprint {
+                name: "songs",
+                synonyms: &["tracks", "tunes"],
+                columns: &[
+                    col!("title", Text, Generic, ["name"]),
+                    col!("duration", Integer, Duration, ["length"]),
+                    col!("plays", Integer, Count_, ["streams", "listens"]),
+                    col!("year", Integer, Time),
+                    col!("artist_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "artists",
+                synonyms: &["musicians", "performers"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("genre", Text, Generic, ["style"]),
+                    col!("age", Integer, Age),
+                ],
+            }),
+            fk: Some(("artist_id", "id")),
+        },
+        DomainBlueprint {
+            name: "sports",
+            primary: TableBlueprint {
+                name: "players",
+                synonyms: &["athletes"],
+                columns: &[
+                    col!("name", Text),
+                    col!("age", Integer, Age),
+                    col!("height", Integer, Height),
+                    col!("goals", Integer, Count_, ["scores"]),
+                    col!("team_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "teams",
+                synonyms: &["clubs", "squads"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("city", Text, Generic, ["home town"]),
+                    col!("wins", Integer, Count_, ["victories"]),
+                ],
+            }),
+            fk: Some(("team_id", "id")),
+        },
+        DomainBlueprint {
+            name: "library",
+            primary: TableBlueprint {
+                name: "books",
+                synonyms: &["volumes", "publications"],
+                columns: &[
+                    col!("title", Text, Generic, ["name"]),
+                    col!("pages", Integer, Length, ["page count"]),
+                    col!("year", Integer, Time, ["publication year"]),
+                    col!("genre", Text, Generic, ["category"]),
+                    col!("author_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "authors",
+                synonyms: &["writers"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("nationality", Text, Generic, ["country"]),
+                    col!("age", Integer, Age),
+                ],
+            }),
+            fk: Some(("author_id", "id")),
+        },
+        DomainBlueprint {
+            name: "hr",
+            primary: TableBlueprint {
+                name: "employees",
+                synonyms: &["workers", "staff"],
+                columns: &[
+                    col!("name", Text),
+                    col!("salary", Integer, Money, ["pay", "wage", "earnings"]),
+                    col!("age", Integer, Age),
+                    col!("tenure", Integer, Duration, ["years of service"]),
+                    col!("department_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "departments",
+                synonyms: &["divisions", "units"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("budget", Integer, Money),
+                    col!("floor", Integer),
+                ],
+            }),
+            fk: Some(("department_id", "id")),
+        },
+        DomainBlueprint {
+            name: "restaurants",
+            primary: TableBlueprint {
+                name: "restaurants",
+                synonyms: &["eateries", "diners"],
+                columns: &[
+                    col!("name", Text),
+                    col!("rating", Float, Generic, ["stars", "score"]),
+                    col!("price_range", Integer, Money, ["cost level"]),
+                    col!("capacity", Integer, Count_, ["seats"]),
+                    col!("city", Text, Generic, ["location"]),
+                ],
+            },
+            secondary: None,
+            fk: None,
+        },
+        DomainBlueprint {
+            name: "realestate",
+            primary: TableBlueprint {
+                name: "houses",
+                synonyms: &["homes", "properties"],
+                columns: &[
+                    col!("address", Text, Generic, ["location"]),
+                    col!("price", Integer, Money, ["cost", "value"]),
+                    col!("area", Float, Area, ["square footage", "size"]),
+                    col!("bedrooms", Integer, Count_, ["rooms"]),
+                    col!("year_built", Integer, Time, ["construction year"]),
+                ],
+            },
+            secondary: None,
+            fk: None,
+        },
+        DomainBlueprint {
+            name: "hospital",
+            primary: TableBlueprint {
+                name: "patients",
+                synonyms: &["people", "cases"],
+                columns: &[
+                    col!("name", Text),
+                    col!("age", Integer, Age, ["years"]),
+                    col!("disease", Text, Generic, ["illness", "condition", "diagnosis"]),
+                    col!("length_of_stay", Integer, Duration, ["stay", "hospital stay"]),
+                    col!("weight", Integer, Weight),
+                    col!("doctor_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "doctors",
+                synonyms: &["physicians"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("specialty", Text, Generic, ["field"]),
+                    col!("salary", Integer, Money, ["pay", "wage"]),
+                ],
+            }),
+            fk: Some(("doctor_id", "id")),
+        },
+    ]
+}
+
+// SemanticDomain has no `Count_` variant; alias the generic counting
+// domain onto `Generic` via a module-local constant trick is not possible
+// with the macro above, so define it as a type alias at the macro level.
+#[allow(non_upper_case_globals)]
+trait CountAlias {
+    const Count_: SemanticDomain = SemanticDomain::Generic;
+}
+impl CountAlias for SemanticDomain {}
+
+/// Generates concrete schemas from the blueprints.
+pub struct SchemaGenerator {
+    rng: StdRng,
+    blueprints: Vec<DomainBlueprint>,
+}
+
+impl SchemaGenerator {
+    /// Create a generator with a seed.
+    pub fn new(seed: u64) -> Self {
+        SchemaGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            blueprints: blueprints(),
+        }
+    }
+
+    /// Number of available domains.
+    pub fn domain_count(&self) -> usize {
+        self.blueprints.len()
+    }
+
+    /// Derive `n` schemas by cycling domains and sampling column subsets.
+    /// Names are suffixed so multiple schemas per domain stay distinct.
+    pub fn generate(&mut self, n: usize) -> Vec<Schema> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let bp = self.blueprints[i % self.blueprints.len()];
+            out.push(self.instantiate(&bp, i));
+        }
+        out
+    }
+
+    fn instantiate(&mut self, bp: &DomainBlueprint, index: usize) -> Schema {
+        let name = format!("{}_{index}", bp.name);
+        let mut builder = SchemaBuilder::new(name);
+        builder = builder.table(bp.primary.name, |mut t| {
+            for syn in bp.primary.synonyms {
+                t = t.synonym(*syn);
+            }
+            for (i, c) in self.sample_columns(bp.primary.columns, bp.fk.map(|(p, _)| p)) {
+                let _ = i;
+                t = t.column_with(c.name, c.ty, |mut cb| {
+                    cb = cb.domain(c.domain);
+                    for syn in c.synonyms {
+                        cb = cb.synonym(*syn);
+                    }
+                    cb
+                });
+            }
+            t
+        });
+        if let Some(sec) = &bp.secondary {
+            builder = builder.table(sec.name, |mut t| {
+                for syn in sec.synonyms {
+                    t = t.synonym(*syn);
+                }
+                for (_, c) in self.sample_columns(sec.columns, bp.fk.map(|(_, s)| s)) {
+                    t = t.column_with(c.name, c.ty, |mut cb| {
+                        cb = cb.domain(c.domain);
+                        for syn in c.synonyms {
+                            cb = cb.synonym(*syn);
+                        }
+                        cb
+                    });
+                }
+                t
+            });
+            if let Some((pc, sc)) = bp.fk {
+                builder = builder.foreign_key(bp.primary.name, pc, sec.name, sc);
+            }
+        }
+        builder.build().expect("blueprint schemas are valid")
+    }
+
+    /// Keep the first two columns and any FK column; sample the rest.
+    fn sample_columns<'b>(
+        &mut self,
+        columns: &'b [ColumnBlueprint],
+        must_keep: Option<&str>,
+    ) -> Vec<(usize, &'b ColumnBlueprint)> {
+        let mut kept: Vec<(usize, &ColumnBlueprint)> = Vec::new();
+        for (i, c) in columns.iter().enumerate() {
+            let mandatory = i < 2 || Some(c.name) == must_keep;
+            if mandatory || self.rng.gen_bool(0.8) {
+                kept.push((i, c));
+            }
+        }
+        kept
+    }
+}
+
+/// Populate a database with deterministic synthetic rows for a schema
+/// produced by [`SchemaGenerator`] (used by result-equivalence checks and
+/// the value index).
+pub fn populate(schema: &Schema, rows_per_table: usize, seed: u64) -> dbpal_engine::Database {
+    use dbpal_schema::Value;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = dbpal_engine::Database::new(schema.clone());
+    const WORDS: &[&str] = &[
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+        "lambda", "sigma", "omega", "nova", "terra", "luna", "vega", "orion", "atlas", "juno",
+    ];
+    for table in schema.tables() {
+        for row_idx in 0..rows_per_table {
+            let row: Vec<Value> = table
+                .columns()
+                .iter()
+                .map(|c| match c.sql_type() {
+                    SqlType::Integer => Value::Int(if c.name() == "id" {
+                        row_idx as i64 + 1
+                    } else {
+                        rng.gen_range(1..120)
+                    }),
+                    SqlType::Float => Value::Float((rng.gen_range(10..9999) as f64) / 10.0),
+                    SqlType::Text => {
+                        let w = WORDS[rng.gen_range(0..WORDS.len())];
+                        Value::Text(format!("{w}{}", rng.gen_range(0..5)))
+                    }
+                    SqlType::Boolean => Value::Bool(rng.gen_bool(0.5)),
+                })
+                .collect();
+            db.insert(table.name(), row).expect("row fits schema");
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blueprints_build_valid_schemas() {
+        let mut g = SchemaGenerator::new(1);
+        let n = g.domain_count();
+        let schemas = g.generate(n);
+        assert_eq!(schemas.len(), n);
+        for s in &schemas {
+            assert!(s.table_count() >= 1);
+            assert!(s.column_count() >= 2);
+        }
+    }
+
+    #[test]
+    fn schema_names_are_distinct() {
+        let mut g = SchemaGenerator::new(2);
+        let schemas = g.generate(24);
+        let names: std::collections::HashSet<&str> =
+            schemas.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn sampling_varies_columns() {
+        let mut g = SchemaGenerator::new(3);
+        let schemas = g.generate(24);
+        // Two instantiations of the same domain should differ in width
+        // at least somewhere across the batch.
+        let widths: Vec<usize> = schemas.iter().map(|s| s.column_count()).collect();
+        let distinct: std::collections::HashSet<usize> = widths.iter().copied().collect();
+        assert!(distinct.len() > 1, "all schemas identical width: {widths:?}");
+    }
+
+    #[test]
+    fn fk_columns_always_kept() {
+        let mut g = SchemaGenerator::new(4);
+        for s in g.generate(36) {
+            if s.table_count() == 2 {
+                assert_eq!(s.foreign_keys().len(), 1, "schema {} lost its FK", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn populate_fills_all_tables() {
+        let mut g = SchemaGenerator::new(5);
+        let schema = g.generate(1).pop().unwrap();
+        let db = populate(&schema, 20, 7);
+        for t in schema.tables() {
+            assert_eq!(db.row_count(t.name()).unwrap(), 20);
+        }
+    }
+
+    #[test]
+    fn populate_is_deterministic() {
+        let mut g = SchemaGenerator::new(5);
+        let schema = g.generate(1).pop().unwrap();
+        let a = populate(&schema, 5, 7);
+        let b = populate(&schema, 5, 7);
+        let q = dbpal_sql::parse_query(&format!(
+            "SELECT * FROM {}",
+            schema.tables()[0].name()
+        ))
+        .unwrap();
+        assert_eq!(a.execute(&q).unwrap().rows(), b.execute(&q).unwrap().rows());
+    }
+}

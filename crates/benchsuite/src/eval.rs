@@ -1,0 +1,211 @@
+//! Evaluation harness: accuracy scoring and breakdowns.
+
+use crate::spider::SpiderExample;
+use dbpal_core::{TrainingCorpus, TranslationModel};
+use dbpal_nlp::Lemmatizer;
+use dbpal_sql::{exact_set_match, Difficulty, QueryPattern};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// A correct/total tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// Correctly translated examples.
+    pub correct: usize,
+    /// Total examples.
+    pub total: usize,
+}
+
+impl EvalOutcome {
+    /// Accuracy in `[0, 1]`; 0 for an empty bucket.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Add one example outcome.
+    pub fn record(&mut self, correct: bool) {
+        self.total += 1;
+        if correct {
+            self.correct += 1;
+        }
+    }
+
+    /// Merge another tally in.
+    pub fn merge(&mut self, other: EvalOutcome) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for EvalOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ({}/{})", self.accuracy(), self.correct, self.total)
+    }
+}
+
+/// Accuracy broken down by Spider difficulty (the rows of Table 2).
+#[derive(Debug, Clone, Default)]
+pub struct DifficultyReport {
+    /// Per-difficulty tallies.
+    pub per_difficulty: BTreeMap<Difficulty, EvalOutcome>,
+    /// Overall tally.
+    pub overall: EvalOutcome,
+}
+
+impl DifficultyReport {
+    /// Accuracy for one tier.
+    pub fn accuracy(&self, d: Difficulty) -> f64 {
+        self.per_difficulty.get(&d).map_or(0.0, EvalOutcome::accuracy)
+    }
+}
+
+/// Evaluate a model on Spider-style examples with exact set match
+/// (§6.1.1), broken down by difficulty.
+pub fn evaluate_spider(
+    model: &dyn TranslationModel,
+    examples: &[SpiderExample],
+) -> DifficultyReport {
+    let lemmatizer = Lemmatizer::new();
+    let mut report = DifficultyReport::default();
+    for ex in examples {
+        let lemmas = lemmatizer.lemmatize_sentence(&ex.nl);
+        let correct = model
+            .translate(&lemmas)
+            .is_some_and(|pred| exact_set_match(&pred, &ex.gold));
+        report
+            .per_difficulty
+            .entry(ex.difficulty)
+            .or_default()
+            .record(correct);
+        report.overall.record(correct);
+    }
+    report
+}
+
+/// Table 4's pattern-coverage buckets: where (if anywhere) a test query's
+/// pattern appears in the training data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CoverageBucket {
+    /// In both the Spider training set and the DBPal-generated data.
+    Both,
+    /// Only in the DBPal-generated data.
+    DbpalOnly,
+    /// Only in the Spider training set.
+    SpiderOnly,
+    /// In neither.
+    Unseen,
+}
+
+impl CoverageBucket {
+    /// All buckets in Table 4's column order.
+    pub const ALL: [CoverageBucket; 4] = [
+        CoverageBucket::Both,
+        CoverageBucket::DbpalOnly,
+        CoverageBucket::SpiderOnly,
+        CoverageBucket::Unseen,
+    ];
+
+    /// Display label matching Table 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoverageBucket::Both => "Both",
+            CoverageBucket::DbpalOnly => "DBPal",
+            CoverageBucket::SpiderOnly => "Spider",
+            CoverageBucket::Unseen => "Unseen",
+        }
+    }
+}
+
+/// The pattern signatures present in a training corpus.
+pub fn pattern_set(corpus: &TrainingCorpus) -> HashSet<String> {
+    corpus
+        .pairs()
+        .iter()
+        .map(|p| QueryPattern::of(&p.sql).signature().to_string())
+        .collect()
+}
+
+/// Assign a test example to its coverage bucket.
+pub fn bucket_of(
+    example: &SpiderExample,
+    spider_patterns: &HashSet<String>,
+    dbpal_patterns: &HashSet<String>,
+) -> CoverageBucket {
+    let sig = QueryPattern::of(&example.gold).signature().to_string();
+    match (spider_patterns.contains(&sig), dbpal_patterns.contains(&sig)) {
+        (true, true) => CoverageBucket::Both,
+        (false, true) => CoverageBucket::DbpalOnly,
+        (true, false) => CoverageBucket::SpiderOnly,
+        (false, false) => CoverageBucket::Unseen,
+    }
+}
+
+/// Evaluate a model with the Table 4 coverage breakdown.
+pub fn evaluate_coverage(
+    model: &dyn TranslationModel,
+    examples: &[SpiderExample],
+    spider_patterns: &HashSet<String>,
+    dbpal_patterns: &HashSet<String>,
+) -> BTreeMap<CoverageBucket, EvalOutcome> {
+    let lemmatizer = Lemmatizer::new();
+    let mut report: BTreeMap<CoverageBucket, EvalOutcome> = BTreeMap::new();
+    for ex in examples {
+        let lemmas = lemmatizer.lemmatize_sentence(&ex.nl);
+        let correct = model
+            .translate(&lemmas)
+            .is_some_and(|pred| exact_set_match(&pred, &ex.gold));
+        report
+            .entry(bucket_of(ex, spider_patterns, dbpal_patterns))
+            .or_default()
+            .record(correct);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpal_sql::parse_query;
+
+    #[test]
+    fn outcome_accuracy() {
+        let mut o = EvalOutcome::default();
+        assert_eq!(o.accuracy(), 0.0);
+        o.record(true);
+        o.record(false);
+        assert!((o.accuracy() - 0.5).abs() < 1e-12);
+        let mut other = EvalOutcome::default();
+        other.record(true);
+        o.merge(other);
+        assert_eq!(o.correct, 2);
+        assert_eq!(o.total, 3);
+    }
+
+    #[test]
+    fn bucket_assignment() {
+        let gold = parse_query("SELECT a FROM t WHERE b = @B").unwrap();
+        let sig = QueryPattern::of(&gold).signature().to_string();
+        let ex = SpiderExample {
+            schema_idx: 0,
+            nl: "x @B".into(),
+            gold,
+            difficulty: Difficulty::Easy,
+        };
+        let with: HashSet<String> = [sig.clone()].into_iter().collect();
+        let without: HashSet<String> = HashSet::new();
+        assert_eq!(bucket_of(&ex, &with, &with), CoverageBucket::Both);
+        assert_eq!(bucket_of(&ex, &without, &with), CoverageBucket::DbpalOnly);
+        assert_eq!(bucket_of(&ex, &with, &without), CoverageBucket::SpiderOnly);
+        assert_eq!(bucket_of(&ex, &without, &without), CoverageBucket::Unseen);
+    }
+
+    #[test]
+    fn bucket_labels_match_table4() {
+        let labels: Vec<&str> = CoverageBucket::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels, vec!["Both", "DBPal", "Spider", "Unseen"]);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Benchmarks and evaluation harness for DBPal.
+//!
+//! This crate builds every workload the paper evaluates on (§6):
+//!
+//! * [`spider`] — a Spider-shaped multi-domain benchmark: many schemas
+//!   with an exclusive train/test split, gold NL–SQL pairs in four
+//!   hardness tiers, and held-out phrasing styles in the test split
+//!   (DESIGN.md substitution #2).
+//! * [`patients`] — the *Patients* linguistic-robustness benchmark
+//!   (ParaphraseBench): 399 queries in seven categories (§6.2).
+//! * [`geoquery`] — the GeoQuery-like tuning workload (280 pairs, §6.3.3).
+//! * [`eval`] — accuracy scoring: exact set match, semantic equivalence
+//!   via result comparison, per-difficulty and pattern-coverage
+//!   breakdowns.
+//! * [`runner`] — the three training configurations of §6.1.2 (baseline,
+//!   DBPal (Train), DBPal (Full)) and entry points that regenerate each
+//!   table/figure.
+
+pub mod crowd;
+pub mod domains;
+pub mod eval;
+pub mod geoquery;
+pub mod patients;
+pub mod runner;
+pub mod spider;
+
+pub use domains::{populate, SchemaGenerator};
+pub use eval::{CoverageBucket, DifficultyReport, EvalOutcome};
+pub use geoquery::GeoQueryBench;
+pub use patients::{LinguisticCategory, PatientsBenchmark};
+pub use runner::{Configuration, GeoTuningExperiment, PatientsExperiment, SpiderExperiment};
+pub use spider::{SpiderBench, SpiderConfig, SpiderExample};

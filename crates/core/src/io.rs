@@ -1,0 +1,248 @@
+//! Corpus import/export.
+//!
+//! Two interchange formats:
+//!
+//! * **JSON** — full-fidelity export of a generated corpus (provenance,
+//!   lemmas, template ids) so external model stacks can train on DBPal's
+//!   output; this is the practical meaning of "fully pluggable" beyond
+//!   this workspace's own models.
+//! * **TSV** (`nl<TAB>sql` per line) — the minimal format for *manually
+//!   curated* pairs, which "can still be used to complement our proposed
+//!   data generation pipeline" (paper §1). Imported pairs get
+//!   [`Provenance::Manual`] and are lemmatized on load.
+
+use crate::{Provenance, TrainingCorpus, TrainingPair};
+use dbpal_nlp::Lemmatizer;
+use dbpal_sql::parse_query;
+use serde::{Deserialize, Serialize};
+
+/// Serialized form of one pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PairRecord {
+    nl: String,
+    nl_lemmas: Vec<String>,
+    sql: String,
+    template_id: String,
+    provenance: String,
+}
+
+/// Errors raised while importing corpora.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusIoError {
+    /// A line/record had the wrong shape.
+    Malformed {
+        /// 1-based line/record number.
+        line: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A SQL side failed to parse.
+    BadSql {
+        /// 1-based line/record number.
+        line: usize,
+        /// Parser error text.
+        detail: String,
+    },
+    /// JSON (de)serialization failed.
+    Json(String),
+}
+
+impl std::fmt::Display for CorpusIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusIoError::Malformed { line, detail } => {
+                write!(f, "malformed record at line {line}: {detail}")
+            }
+            CorpusIoError::BadSql { line, detail } => {
+                write!(f, "unparseable SQL at line {line}: {detail}")
+            }
+            CorpusIoError::Json(e) => write!(f, "JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusIoError {}
+
+fn provenance_label(p: Provenance) -> &'static str {
+    p.label()
+}
+
+fn provenance_from_label(label: &str) -> Provenance {
+    match label {
+        "paraphrased" => Provenance::Paraphrased,
+        "dropped" => Provenance::Dropped,
+        "comparative" => Provenance::Comparative,
+        "manual" => Provenance::Manual,
+        _ => Provenance::Seed,
+    }
+}
+
+/// Export a corpus as pretty JSON.
+pub fn corpus_to_json(corpus: &TrainingCorpus) -> Result<String, CorpusIoError> {
+    let records: Vec<PairRecord> = corpus
+        .pairs()
+        .iter()
+        .map(|p| PairRecord {
+            nl: p.nl.clone(),
+            nl_lemmas: p.nl_lemmas.clone(),
+            sql: p.sql_text(),
+            template_id: p.template_id.clone(),
+            provenance: provenance_label(p.provenance).to_string(),
+        })
+        .collect();
+    serde_json::to_string_pretty(&records).map_err(|e| CorpusIoError::Json(e.to_string()))
+}
+
+/// Import a corpus from JSON produced by [`corpus_to_json`].
+pub fn corpus_from_json(json: &str) -> Result<TrainingCorpus, CorpusIoError> {
+    let records: Vec<PairRecord> =
+        serde_json::from_str(json).map_err(|e| CorpusIoError::Json(e.to_string()))?;
+    let mut pairs = Vec::with_capacity(records.len());
+    for (i, r) in records.into_iter().enumerate() {
+        let sql = parse_query(&r.sql).map_err(|e| CorpusIoError::BadSql {
+            line: i + 1,
+            detail: format!("{e} in `{}`", r.sql),
+        })?;
+        let mut pair = TrainingPair::new(
+            r.nl,
+            sql,
+            r.template_id,
+            provenance_from_label(&r.provenance),
+        );
+        pair.nl_lemmas = r.nl_lemmas;
+        pairs.push(pair);
+    }
+    Ok(TrainingCorpus::from_pairs(pairs))
+}
+
+/// Import manually curated pairs from TSV text (`nl<TAB>sql` per line;
+/// blank lines and `#` comments skipped). Pairs are lemmatized on load
+/// and tagged [`Provenance::Manual`].
+pub fn manual_corpus_from_tsv(tsv: &str) -> Result<TrainingCorpus, CorpusIoError> {
+    let lemmatizer = Lemmatizer::new();
+    let mut pairs = Vec::new();
+    for (i, raw) in tsv.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((nl, sql_text)) = line.split_once('\t') else {
+            return Err(CorpusIoError::Malformed {
+                line: i + 1,
+                detail: "expected `nl<TAB>sql`".to_string(),
+            });
+        };
+        let sql = parse_query(sql_text.trim()).map_err(|e| CorpusIoError::BadSql {
+            line: i + 1,
+            detail: e.to_string(),
+        })?;
+        let mut pair = TrainingPair::new(nl.trim(), sql, "manual", Provenance::Manual);
+        pair.nl_lemmas = lemmatizer.lemmatize_sentence(&pair.nl);
+        pairs.push(pair);
+    }
+    Ok(TrainingCorpus::from_pairs(pairs))
+}
+
+/// Export a corpus as TSV (`nl<TAB>sql`), dropping lemmas/provenance.
+pub fn corpus_to_tsv(corpus: &TrainingCorpus) -> String {
+    let mut out = String::new();
+    for p in corpus.pairs() {
+        out.push_str(&p.nl.replace('\t', " "));
+        out.push('\t');
+        out.push_str(&p.sql_text());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainingCorpus {
+        let mut p = TrainingPair::new(
+            "show the name of patients with age @AGE",
+            parse_query("SELECT name FROM patients WHERE age = @AGE").unwrap(),
+            "select_col_where.Direct.0",
+            Provenance::Seed,
+        );
+        p.nl_lemmas = vec!["show".into(), "the".into(), "name".into()];
+        let q = TrainingPair::new(
+            "display every patient",
+            parse_query("SELECT * FROM patients").unwrap(),
+            "t2",
+            Provenance::Paraphrased,
+        );
+        TrainingCorpus::from_pairs(vec![p, q])
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let corpus = sample();
+        let json = corpus_to_json(&corpus).unwrap();
+        let back = corpus_from_json(&json).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        for (a, b) in corpus.pairs().iter().zip(back.pairs()) {
+            assert_eq!(a.nl, b.nl);
+            assert_eq!(a.nl_lemmas, b.nl_lemmas);
+            assert_eq!(a.sql, b.sql);
+            assert_eq!(a.template_id, b.template_id);
+            assert_eq!(a.provenance, b.provenance);
+        }
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(matches!(
+            corpus_from_json("not json").unwrap_err(),
+            CorpusIoError::Json(_)
+        ));
+    }
+
+    #[test]
+    fn json_with_bad_sql_rejected() {
+        let json = r#"[{"nl":"x","nl_lemmas":[],"sql":"NOT SQL","template_id":"t","provenance":"seed"}]"#;
+        assert!(matches!(
+            corpus_from_json(json).unwrap_err(),
+            CorpusIoError::BadSql { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn tsv_import_lemmatizes_and_tags_manual() {
+        let tsv = "# a comment\n\
+                   How many patients are there?\tSELECT COUNT(*) FROM patients\n\
+                   \n\
+                   Show the oldest patients\tSELECT * FROM patients ORDER BY age DESC LIMIT 1\n";
+        let corpus = manual_corpus_from_tsv(tsv).unwrap();
+        assert_eq!(corpus.len(), 2);
+        for p in corpus.pairs() {
+            assert_eq!(p.provenance, Provenance::Manual);
+            assert!(!p.nl_lemmas.is_empty());
+        }
+    }
+
+    #[test]
+    fn tsv_missing_tab_rejected() {
+        let err = manual_corpus_from_tsv("just one field").unwrap_err();
+        assert!(matches!(err, CorpusIoError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn tsv_bad_sql_rejected() {
+        let err = manual_corpus_from_tsv("q\tDELETE FROM t").unwrap_err();
+        assert!(matches!(err, CorpusIoError::BadSql { line: 1, .. }));
+    }
+
+    #[test]
+    fn tsv_export_round_trips_through_import() {
+        let corpus = sample();
+        let tsv = corpus_to_tsv(&corpus);
+        let back = manual_corpus_from_tsv(&tsv).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        for (a, b) in corpus.pairs().iter().zip(back.pairs()) {
+            assert_eq!(a.nl, b.nl);
+            assert_eq!(a.sql, b.sql);
+        }
+    }
+}

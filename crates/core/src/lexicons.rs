@@ -1,0 +1,131 @@
+//! Slot-fill lexicons: "manually crafted dictionaries of synonymous words
+//! and phrases" used to instantiate NL slots (paper §3.1: *"what is" or
+//! "show me" can be used to instantiate the SelectPhrase*).
+
+use dbpal_sql::AggFunc;
+use rand::Rng;
+
+/// Phrases that open a retrieval question (the `SelectPhrase` slot).
+pub const SELECT_PHRASES: &[&str] = &[
+    "show me",
+    "show",
+    "what is",
+    "what are",
+    "list",
+    "display",
+    "give me",
+    "find",
+    "get",
+    "tell me",
+    "return",
+    "i want to see",
+    "retrieve",
+    "enumerate",
+];
+
+/// Phrases that connect the select list to the table (the `FromPhrase`).
+pub const FROM_PHRASES: &[&str] = &["of", "of all", "for", "for all", "from", "from all"];
+
+/// Phrases that open the filter condition (the `WherePhrase`).
+pub const WHERE_PHRASES: &[&str] = &["with", "whose", "that have", "where", "having"];
+
+/// Verbalizations of equality in filters.
+pub const EQ_PHRASES: &[&str] = &["is", "equal to", "of", "being", "equals"];
+
+/// Verbalizations of inequality (`<>`).
+pub const NEQ_PHRASES: &[&str] = &["is not", "not equal to", "different from", "other than"];
+
+/// Verbalizations of each aggregate function (the `AggPhrase` slot).
+pub fn agg_phrases(func: AggFunc) -> &'static [&'static str] {
+    match func {
+        AggFunc::Count => &["the number of", "how many", "the count of", "the total number of"],
+        AggFunc::Sum => &["the total", "the sum of", "the combined", "the overall"],
+        AggFunc::Avg => &["the average", "the mean", "the typical"],
+        AggFunc::Min => &["the minimum", "the lowest", "the smallest", "the least"],
+        AggFunc::Max => &["the maximum", "the highest", "the largest", "the greatest"],
+    }
+}
+
+/// Phrases introducing a GROUP BY dimension.
+pub const GROUP_PHRASES: &[&str] = &["for each", "per", "grouped by", "by", "for every"];
+
+/// Phrases asking for ordering.
+pub const ORDER_ASC_PHRASES: &[&str] = &["sorted by", "ordered by", "in ascending order of"];
+
+/// Phrases asking for descending ordering.
+pub const ORDER_DESC_PHRASES: &[&str] =
+    &["sorted descending by", "in descending order of", "ranked by decreasing"];
+
+/// Phrases expressing DISTINCT.
+pub const DISTINCT_PHRASES: &[&str] = &["the different", "the distinct", "the unique", "all different"];
+
+/// Phrases expressing existence ("are there ...").
+pub const EXISTS_PHRASES: &[&str] = &["are there any", "is there any", "do any exist"];
+
+/// Phrases expressing LIKE/containment on text attributes.
+pub const LIKE_PHRASES: &[&str] = &["containing", "that contains", "with text like", "matching"];
+
+/// Phrases expressing BETWEEN.
+pub const BETWEEN_PHRASES: &[&str] = &["between", "in the range", "ranging from"];
+
+/// Phrases expressing NULL-ness.
+pub const NULL_PHRASES: &[&str] = &["with no", "without a", "missing the", "lacking a"];
+
+/// Pick a random element of a phrase list.
+pub fn pick<'a, R: Rng + ?Sized>(rng: &mut R, phrases: &[&'a str]) -> &'a str {
+    phrases[rng.gen_range(0..phrases.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_select_phrases_present() {
+        assert!(SELECT_PHRASES.contains(&"what is"));
+        assert!(SELECT_PHRASES.contains(&"show me"));
+    }
+
+    #[test]
+    fn lexicons_are_nonempty_and_lowercase() {
+        let all: Vec<&[&str]> = vec![
+            SELECT_PHRASES,
+            FROM_PHRASES,
+            WHERE_PHRASES,
+            EQ_PHRASES,
+            NEQ_PHRASES,
+            GROUP_PHRASES,
+            ORDER_ASC_PHRASES,
+            ORDER_DESC_PHRASES,
+            DISTINCT_PHRASES,
+            EXISTS_PHRASES,
+            LIKE_PHRASES,
+            BETWEEN_PHRASES,
+            NULL_PHRASES,
+        ];
+        for lex in all {
+            assert!(!lex.is_empty());
+            for p in lex {
+                assert_eq!(*p, p.to_lowercase(), "phrase not lowercase: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_agg_funcs_have_phrases() {
+        for f in AggFunc::ALL {
+            assert!(!agg_phrases(f).is_empty());
+        }
+    }
+
+    #[test]
+    fn pick_is_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = pick(&mut rng, SELECT_PHRASES);
+            assert!(SELECT_PHRASES.contains(&p));
+        }
+    }
+}

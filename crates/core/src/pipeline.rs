@@ -1,0 +1,180 @@
+//! The end-to-end training-data pipeline: generate → augment → lemmatize.
+//!
+//! This is the flow of paper Figure 2 (left side): the Generator
+//! instantiates seed templates against the schema, the Augmentation step
+//! adds linguistic variations, and the Lemmatizer normalizes every NL
+//! side. The output corpus can then be fed to any pluggable
+//! [`crate::TranslationModel`].
+
+use crate::templates::{catalog, SeedTemplate};
+use crate::{Augmenter, GenerationConfig, Generator, TrainingCorpus};
+use dbpal_nlp::Lemmatizer;
+use dbpal_schema::Schema;
+
+/// The DBPal training pipeline.
+#[derive(Debug, Clone)]
+pub struct TrainingPipeline {
+    config: GenerationConfig,
+}
+
+impl TrainingPipeline {
+    /// Create a pipeline with the given configuration.
+    pub fn new(config: GenerationConfig) -> Self {
+        TrainingPipeline { config }
+    }
+
+    /// Create a pipeline with the paper's default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(GenerationConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GenerationConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline on a schema with the complete seed-template
+    /// catalog.
+    pub fn generate(&self, schema: &Schema) -> TrainingCorpus {
+        self.generate_with_templates(schema, &catalog())
+    }
+
+    /// Run the full pipeline with an explicit template set (used by the
+    /// seed-template-fraction experiment of §6.3.2).
+    pub fn generate_with_templates(
+        &self,
+        schema: &Schema,
+        templates: &[SeedTemplate],
+    ) -> TrainingCorpus {
+        // Step 1: instantiation (§3.1).
+        let mut generator = Generator::new(schema, &self.config);
+        let mut corpus = generator.generate(templates);
+
+        // Step 2: augmentation (§3.2).
+        let mut augmenter = Augmenter::new(schema, &self.config);
+        let additions = augmenter.augment(&corpus);
+        for pair in additions {
+            corpus.push(pair);
+        }
+
+        // Step 3: lemmatization (§2.2.3).
+        let lemmatizer = Lemmatizer::new();
+        let mut pairs = Vec::with_capacity(corpus.len());
+        for mut pair in corpus {
+            pair.nl_lemmas = lemmatizer.lemmatize_sentence(&pair.nl);
+            pairs.push(pair);
+        }
+        let mut corpus = TrainingCorpus::from_pairs(pairs);
+        corpus.dedup();
+        corpus
+    }
+
+    /// Generate corpora for several schemas and merge them (the multi-
+    /// schema setting of the Spider experiments, §6.1.2, where DBPal
+    /// synthesizes data for every training — and, in the Full
+    /// configuration, test — schema).
+    pub fn generate_multi(&self, schemas: &[&Schema]) -> TrainingCorpus {
+        let mut merged = TrainingCorpus::new();
+        for (i, schema) in schemas.iter().enumerate() {
+            // Vary the seed per schema so instance sampling differs.
+            let mut config = self.config.clone();
+            config.seed = config.seed.wrapping_add(i as u64);
+            let pipeline = TrainingPipeline::new(config);
+            merged.extend(pipeline.generate(schema));
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Provenance;
+    use dbpal_schema::{SchemaBuilder, SemanticDomain, SqlType};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("hospital")
+            .table("patients", |t| {
+                t.column("name", SqlType::Text)
+                    .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                    .column("disease", SqlType::Text)
+                    .column("doctor_id", SqlType::Integer)
+            })
+            .table("doctors", |t| {
+                t.column("id", SqlType::Integer).column("name", SqlType::Text)
+            })
+            .foreign_key("patients", "doctor_id", "doctors", "id")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_produces_lemmatized_corpus() {
+        let pipeline = TrainingPipeline::new(GenerationConfig::small());
+        let corpus = pipeline.generate(&schema());
+        assert!(corpus.len() > 200, "only {} pairs", corpus.len());
+        for p in corpus.pairs() {
+            assert!(!p.nl_lemmas.is_empty(), "unlemmatized pair: {}", p.nl);
+        }
+        let counts = corpus.provenance_counts();
+        assert!(counts.contains_key(&Provenance::Seed));
+        assert!(counts.contains_key(&Provenance::Paraphrased));
+    }
+
+    #[test]
+    fn corpus_has_no_duplicates() {
+        let pipeline = TrainingPipeline::new(GenerationConfig::small());
+        let mut corpus = pipeline.generate(&schema());
+        assert_eq!(corpus.dedup(), 0, "pipeline output contained duplicates");
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let pipeline = TrainingPipeline::new(GenerationConfig::small());
+        let a: Vec<String> = pipeline.generate(&schema()).pairs().iter().map(|p| p.nl.clone()).collect();
+        let b: Vec<String> = pipeline.generate(&schema()).pairs().iter().map(|p| p.nl.clone()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn template_subset_shrinks_corpus() {
+        let pipeline = TrainingPipeline::new(GenerationConfig::small());
+        let full = pipeline.generate(&schema()).len();
+        let sub = pipeline
+            .generate_with_templates(&schema(), &crate::templates::catalog_subset(0.1, 1))
+            .len();
+        assert!(sub < full / 3, "subset corpus {sub} vs full {full}");
+    }
+
+    #[test]
+    fn multi_schema_merging() {
+        let s1 = schema();
+        let s2 = SchemaBuilder::new("geo")
+            .table("cities", |t| {
+                t.column("name", SqlType::Text)
+                    .column_with("population", SqlType::Integer, |c| {
+                        c.domain(SemanticDomain::Population)
+                    })
+                    .column("state", SqlType::Text)
+            })
+            .build()
+            .unwrap();
+        let pipeline = TrainingPipeline::new(GenerationConfig::small());
+        let merged = pipeline.generate_multi(&[&s1, &s2]);
+        let has_city = merged.pairs().iter().any(|p| p.sql_text().contains("cities"));
+        let has_patients = merged.pairs().iter().any(|p| p.sql_text().contains("patients"));
+        assert!(has_city && has_patients);
+    }
+
+    #[test]
+    fn augmentation_grows_the_corpus() {
+        let mut base_cfg = GenerationConfig::small();
+        base_cfg.num_para = 0;
+        base_cfg.num_missing = 0;
+        let base = TrainingPipeline::new(base_cfg).generate(&schema()).len();
+        let full = TrainingPipeline::new(GenerationConfig::small())
+            .generate(&schema())
+            .len();
+        assert!(full > base, "augmentation added nothing: {full} vs {base}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the training pipeline: invariants that must hold
+//! for every generation configuration.
+
+use dbpal_core::{GenerationConfig, TrainingPipeline};
+use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    SchemaBuilder::new("hospital")
+        .table("patients", |t| {
+            t.synonym("people")
+                .column("name", SqlType::Text)
+                .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                .column_with("disease", SqlType::Text, |c| c.synonym("illness"))
+                .column("doctor_id", SqlType::Integer)
+        })
+        .table("doctors", |t| {
+            t.column("id", SqlType::Integer)
+                .column("name", SqlType::Text)
+                .column("specialty", SqlType::Text)
+        })
+        .foreign_key("patients", "doctor_id", "doctors", "id")
+        .build()
+        .unwrap()
+}
+
+/// Small random configurations (kept tiny so each case is fast).
+fn config() -> impl Strategy<Value = GenerationConfig> {
+    (
+        1usize..6,
+        0.0f64..0.5,
+        0usize..3,
+        0usize..3,
+        0.0f64..0.8,
+        0.0f32..0.9,
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(fills, gbp, num_para, num_missing, drop_p, quality, pos, seed)| GenerationConfig {
+                size_slot_fills: fills,
+                group_by_p: gbp,
+                num_para,
+                num_missing,
+                rand_drop_p: drop_p,
+                paraphrase_min_quality: quality,
+                pos_gated_dropout: pos,
+                seed,
+                ..GenerationConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every configuration yields a corpus whose SQL parses, whose NL has
+    /// no unfilled slots, whose placeholders agree between NL and SQL,
+    /// and whose pairs are lemmatized and deduplicated.
+    #[test]
+    fn corpus_invariants_hold_for_any_config(cfg in config()) {
+        let schema = schema();
+        let pipeline = TrainingPipeline::new(cfg);
+        let mut corpus = pipeline.generate(&schema);
+        prop_assert!(!corpus.is_empty());
+        for pair in corpus.pairs() {
+            // SQL round-trips through the parser.
+            let text = pair.sql_text();
+            let reparsed = dbpal_sql::parse_query(&text)
+                .map_err(|e| TestCaseError::fail(format!("unparseable `{text}`: {e}")))?;
+            prop_assert_eq!(&reparsed, &pair.sql);
+            // NL is fully instantiated and lemmatized.
+            prop_assert!(!pair.nl.contains('{'), "unfilled slot in `{}`", pair.nl);
+            prop_assert!(!pair.nl_lemmas.is_empty());
+            // Placeholder agreement.
+            for ph in pair.sql.placeholders() {
+                prop_assert!(
+                    pair.nl.to_uppercase().contains(&format!("@{ph}")),
+                    "placeholder @{ph} missing from `{}`",
+                    pair.nl
+                );
+            }
+        }
+        prop_assert_eq!(corpus.dedup(), 0, "pipeline output contained duplicates");
+    }
+
+    /// Generation is a pure function of the configuration (same seed →
+    /// same corpus).
+    #[test]
+    fn generation_deterministic(cfg in config()) {
+        let schema = schema();
+        let a: Vec<String> = TrainingPipeline::new(cfg.clone())
+            .generate(&schema)
+            .pairs()
+            .iter()
+            .map(|p| p.nl.clone())
+            .collect();
+        let b: Vec<String> = TrainingPipeline::new(cfg)
+            .generate(&schema)
+            .pairs()
+            .iter()
+            .map(|p| p.nl.clone())
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+}

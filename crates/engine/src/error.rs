@@ -1,0 +1,95 @@
+//! Execution errors.
+
+use std::fmt;
+
+/// Errors raised while loading data or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A referenced table does not exist in the database.
+    UnknownTable(String),
+    /// A referenced column could not be resolved in the query's scope.
+    UnknownColumn(String),
+    /// An unqualified column name matches several tables in scope.
+    AmbiguousColumn(String),
+    /// A row's arity or a value's type does not match the table schema.
+    TypeMismatch {
+        /// The target table.
+        table: String,
+        /// The offending column.
+        column: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An inserted row has the wrong number of values.
+    ArityMismatch {
+        /// The target table.
+        table: String,
+        /// Declared column count.
+        expected: usize,
+        /// Supplied value count.
+        got: usize,
+    },
+    /// The query still contains an `@JOIN` placeholder; the runtime
+    /// post-processor must expand it before execution (paper §5.1).
+    UnexpandedJoinPlaceholder,
+    /// The query still contains a constant placeholder such as `@AGE`;
+    /// the runtime post-processor must substitute constants before
+    /// execution (paper §4.2).
+    UnboundPlaceholder(String),
+    /// A scalar subquery returned more than one row or column.
+    ScalarSubqueryShape {
+        /// Rows returned.
+        rows: usize,
+        /// Columns returned.
+        cols: usize,
+    },
+    /// A subquery used with IN returned more than one column.
+    InSubqueryShape {
+        /// Columns returned.
+        cols: usize,
+    },
+    /// A select item is invalid in a grouped query (not a group key or
+    /// aggregate).
+    InvalidGroupSelect(String),
+    /// ORDER BY references an expression not available in the query.
+    InvalidOrderKey(String),
+    /// Any other semantic error.
+    Invalid(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            EngineError::TypeMismatch { table, column, detail } => {
+                write!(f, "type mismatch for `{table}.{column}`: {detail}")
+            }
+            EngineError::ArityMismatch { table, expected, got } => {
+                write!(f, "row for `{table}` has {got} values, expected {expected}")
+            }
+            EngineError::UnexpandedJoinPlaceholder => {
+                f.write_str("query contains an unexpanded @JOIN placeholder")
+            }
+            EngineError::UnboundPlaceholder(p) => {
+                write!(f, "query contains unbound placeholder @{p}")
+            }
+            EngineError::ScalarSubqueryShape { rows, cols } => write!(
+                f,
+                "scalar subquery must return one row and one column, got {rows}x{cols}"
+            ),
+            EngineError::InSubqueryShape { cols } => {
+                write!(f, "IN subquery must return one column, got {cols}")
+            }
+            EngineError::InvalidGroupSelect(item) => write!(
+                f,
+                "select item `{item}` must be a GROUP BY key or an aggregate"
+            ),
+            EngineError::InvalidOrderKey(k) => write!(f, "invalid ORDER BY key `{k}`"),
+            EngineError::Invalid(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

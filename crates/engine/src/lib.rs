@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! In-memory relational executor backing DBPal's runtime.
+//!
+//! The NLIDB architecture (paper Figure 1) executes the translated SQL
+//! query against a DBMS and returns the result as a tabular visualization.
+//! This crate is that DBMS substrate: a small column-store executor for
+//! the dialect in [`dbpal_sql`], covering selection, projection, implicit
+//! equi-joins, aggregation with `GROUP BY`/`HAVING`, `ORDER BY`/`LIMIT`,
+//! `DISTINCT`, and uncorrelated subqueries (`IN`, `EXISTS`, scalar).
+//!
+//! It also powers the *semantic equivalence* scoring of the Patients
+//! benchmark (§6.2.1): two queries are considered equivalent when they
+//! produce the same result multiset on the benchmark database.
+//!
+//! # Example
+//!
+//! ```
+//! use dbpal_schema::{SchemaBuilder, SqlType, Value};
+//! use dbpal_engine::Database;
+//! use dbpal_sql::parse_query;
+//!
+//! let schema = SchemaBuilder::new("demo")
+//!     .table("patients", |t| {
+//!         t.column("name", SqlType::Text).column("age", SqlType::Integer)
+//!     })
+//!     .build()
+//!     .unwrap();
+//! let mut db = Database::new(schema);
+//! db.insert("patients", vec!["Ann".into(), Value::Int(80)]).unwrap();
+//! db.insert("patients", vec!["Bob".into(), Value::Int(35)]).unwrap();
+//!
+//! let q = parse_query("SELECT name FROM patients WHERE age > 50").unwrap();
+//! let result = db.execute(&q).unwrap();
+//! assert_eq!(result.row_count(), 1);
+//! assert_eq!(result.rows()[0][0], Value::Text("Ann".into()));
+//! ```
+
+mod database;
+mod error;
+mod eval;
+mod exec;
+mod result;
+
+pub use database::Database;
+pub use error::EngineError;
+pub use result::ResultSet;

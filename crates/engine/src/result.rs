@@ -1,0 +1,221 @@
+//! Query results and result-set equivalence.
+
+use dbpal_schema::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A materialized query result: named columns and row-major values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Construct a result set. All rows must have `columns.len()` values.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == columns.len()));
+        ResultSet { columns, rows }
+    }
+
+    /// Column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Rows in result order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Multiset equality of rows, ignoring row order but respecting
+    /// column order. This is the standard "execution match" notion.
+    pub fn rows_equal_unordered(&self, other: &ResultSet) -> bool {
+        if self.column_count() != other.column_count() || self.row_count() != other.row_count() {
+            return false;
+        }
+        multiset(&self.rows) == multiset(&other.rows)
+    }
+
+    /// Semantic result equivalence used by the Patients benchmark
+    /// (paper §6.2.1): multiset row equality, additionally tolerating a
+    /// permutation of columns (e.g. `SELECT a, b` vs `SELECT b, a`).
+    ///
+    /// Column permutations are only explored for results up to 6 columns;
+    /// wider results fall back to exact column order.
+    pub fn semantically_equal(&self, other: &ResultSet) -> bool {
+        if self.row_count() != other.row_count() || self.column_count() != other.column_count() {
+            return false;
+        }
+        if self.rows_equal_unordered(other) {
+            return true;
+        }
+        let n = self.column_count();
+        if n == 0 || n > 6 {
+            return false;
+        }
+        // Try every column permutation of `other`.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mine = multiset(&self.rows);
+        permute(&mut perm, 0, &mut |p| {
+            let remapped: Vec<Vec<Value>> = other
+                .rows
+                .iter()
+                .map(|r| p.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            multiset(&remapped) == mine
+        })
+    }
+
+    /// Render as an aligned text table (the "tabular visualization" of
+    /// paper Figure 1).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" | ");
+            }
+            out.push_str(&format!("{c:<width$}", width = widths[i]));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table_string())
+    }
+}
+
+fn multiset(rows: &[Vec<Value>]) -> HashMap<Vec<Value>, usize> {
+    let mut m = HashMap::with_capacity(rows.len());
+    for r in rows {
+        *m.entry(r.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Heap's-algorithm permutation visitor; returns true as soon as the
+/// visitor accepts a permutation.
+fn permute(perm: &mut Vec<usize>, k: usize, accept: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    if k == perm.len() {
+        return accept(perm);
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        if permute(perm, k + 1, accept) {
+            return true;
+        }
+        perm.swap(k, i);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(cols: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet::new(cols.iter().map(|s| s.to_string()).collect(), rows)
+    }
+
+    #[test]
+    fn unordered_equality_ignores_row_order() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let b = rs(&["x"], vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        assert!(a.rows_equal_unordered(&b));
+    }
+
+    #[test]
+    fn unordered_equality_respects_multiplicity() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(1)]]);
+        let b = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert!(!a.rows_equal_unordered(&b));
+    }
+
+    #[test]
+    fn semantic_equality_tolerates_column_permutation() {
+        let a = rs(
+            &["a", "b"],
+            vec![vec![Value::Int(1), "x".into()], vec![Value::Int(2), "y".into()]],
+        );
+        let b = rs(
+            &["b", "a"],
+            vec![vec!["y".into(), Value::Int(2)], vec!["x".into(), Value::Int(1)]],
+        );
+        assert!(a.semantically_equal(&b));
+        assert!(!a.rows_equal_unordered(&b));
+    }
+
+    #[test]
+    fn semantic_equality_rejects_different_data() {
+        let a = rs(&["a"], vec![vec![Value::Int(1)]]);
+        let b = rs(&["a"], vec![vec![Value::Int(2)]]);
+        assert!(!a.semantically_equal(&b));
+    }
+
+    #[test]
+    fn different_shapes_never_equal() {
+        let a = rs(&["a"], vec![vec![Value::Int(1)]]);
+        let b = rs(&["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]);
+        assert!(!a.semantically_equal(&b));
+        assert!(!a.rows_equal_unordered(&b));
+    }
+
+    #[test]
+    fn empty_results_equal() {
+        let a = rs(&["a"], vec![]);
+        let b = rs(&["a"], vec![]);
+        assert!(a.semantically_equal(&b));
+    }
+
+    #[test]
+    fn table_rendering_contains_headers_and_values() {
+        let a = rs(
+            &["name", "age"],
+            vec![vec!["Ann".into(), Value::Int(80)]],
+        );
+        let s = a.to_table_string();
+        assert!(s.contains("name"));
+        assert!(s.contains("Ann"));
+        assert!(s.contains("80"));
+    }
+}

@@ -1,0 +1,280 @@
+//! A GRU cell with manual backpropagation.
+//!
+//! Forward:
+//! ```text
+//! z  = σ(Wz x + Uz h + bz)
+//! r  = σ(Wr x + Ur h + br)
+//! ĥ  = tanh(Wh x + Uh (r ⊙ h) + bh)
+//! h' = (1 − z) ⊙ h + z ⊙ ĥ
+//! ```
+// Index-based loops mirror the mathematical notation and are clearer
+// than zipped iterators for the backward pass.
+#![allow(clippy::needless_range_loop)]
+
+use crate::math::{matvec, matvec_t_acc, outer_acc, sigmoid, Param};
+use rand::Rng;
+
+/// GRU parameters for one layer.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wz: Param,
+    uz: Param,
+    bz: Param,
+    wr: Param,
+    ur: Param,
+    br: Param,
+    wh: Param,
+    uh: Param,
+    bh: Param,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+/// Per-step activations needed for the backward pass.
+#[derive(Debug, Clone)]
+pub struct GruCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    z: Vec<f32>,
+    r: Vec<f32>,
+    hbar: Vec<f32>,
+    rh: Vec<f32>,
+}
+
+impl GruCell {
+    /// Create a cell with Xavier-initialized weights.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+        GruCell {
+            wz: Param::xavier(hidden_dim, input_dim, rng),
+            uz: Param::xavier(hidden_dim, hidden_dim, rng),
+            bz: Param::zeros(hidden_dim),
+            wr: Param::xavier(hidden_dim, input_dim, rng),
+            ur: Param::xavier(hidden_dim, hidden_dim, rng),
+            br: Param::zeros(hidden_dim),
+            wh: Param::xavier(hidden_dim, input_dim, rng),
+            uh: Param::xavier(hidden_dim, hidden_dim, rng),
+            bh: Param::zeros(hidden_dim),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// One forward step. Returns the next hidden state and the cache for
+    /// backprop.
+    pub fn forward(&self, x: &[f32], h_prev: &[f32]) -> (Vec<f32>, GruCache) {
+        let h = self.hidden_dim;
+        let mut z = vec![0.0; h];
+        let mut r = vec![0.0; h];
+        let mut hbar = vec![0.0; h];
+        let mut tmp = vec![0.0; h];
+
+        matvec(&self.wz.w, h, self.input_dim, x, &mut z);
+        matvec(&self.uz.w, h, h, h_prev, &mut tmp);
+        for i in 0..h {
+            z[i] = sigmoid(z[i] + tmp[i] + self.bz.w[i]);
+        }
+        matvec(&self.wr.w, h, self.input_dim, x, &mut r);
+        matvec(&self.ur.w, h, h, h_prev, &mut tmp);
+        for i in 0..h {
+            r[i] = sigmoid(r[i] + tmp[i] + self.br.w[i]);
+        }
+        let rh: Vec<f32> = (0..h).map(|i| r[i] * h_prev[i]).collect();
+        matvec(&self.wh.w, h, self.input_dim, x, &mut hbar);
+        matvec(&self.uh.w, h, h, &rh, &mut tmp);
+        for i in 0..h {
+            hbar[i] = (hbar[i] + tmp[i] + self.bh.w[i]).tanh();
+        }
+        let h_new: Vec<f32> = (0..h)
+            .map(|i| (1.0 - z[i]) * h_prev[i] + z[i] * hbar[i])
+            .collect();
+        let cache = GruCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            z,
+            r,
+            hbar,
+            rh,
+        };
+        (h_new, cache)
+    }
+
+    /// Backward step: given `dh_new`, accumulate parameter gradients and
+    /// the input gradient into `dx`, returning `dh_prev`.
+    pub fn backward(&mut self, cache: &GruCache, dh_new: &[f32], dx: &mut [f32]) -> Vec<f32> {
+        let h = self.hidden_dim;
+        let mut dh_prev = vec![0.0; h];
+        let mut dz_pre = vec![0.0; h];
+        let mut dr_pre = vec![0.0; h];
+        let mut dhbar_pre = vec![0.0; h];
+
+        for i in 0..h {
+            let dz = dh_new[i] * (cache.hbar[i] - cache.h_prev[i]);
+            let dhbar = dh_new[i] * cache.z[i];
+            dh_prev[i] += dh_new[i] * (1.0 - cache.z[i]);
+            dz_pre[i] = dz * cache.z[i] * (1.0 - cache.z[i]);
+            dhbar_pre[i] = dhbar * (1.0 - cache.hbar[i] * cache.hbar[i]);
+        }
+
+        // ĥ path: Wh x + Uh (r⊙h) + bh.
+        outer_acc(&mut self.wh.g, h, self.input_dim, &dhbar_pre, &cache.x);
+        outer_acc(&mut self.uh.g, h, h, &dhbar_pre, &cache.rh);
+        for i in 0..h {
+            self.bh.g[i] += dhbar_pre[i];
+        }
+        let mut drh = vec![0.0; h];
+        matvec_t_acc(&self.uh.w, h, h, &dhbar_pre, &mut drh);
+        for i in 0..h {
+            let dr = drh[i] * cache.h_prev[i];
+            dh_prev[i] += drh[i] * cache.r[i];
+            dr_pre[i] = dr * cache.r[i] * (1.0 - cache.r[i]);
+        }
+
+        // r path.
+        outer_acc(&mut self.wr.g, h, self.input_dim, &dr_pre, &cache.x);
+        outer_acc(&mut self.ur.g, h, h, &dr_pre, &cache.h_prev);
+        for i in 0..h {
+            self.br.g[i] += dr_pre[i];
+        }
+
+        // z path.
+        outer_acc(&mut self.wz.g, h, self.input_dim, &dz_pre, &cache.x);
+        outer_acc(&mut self.uz.g, h, h, &dz_pre, &cache.h_prev);
+        for i in 0..h {
+            self.bz.g[i] += dz_pre[i];
+        }
+
+        // Input and recurrent gradients through the three gates.
+        matvec_t_acc(&self.wh.w, h, self.input_dim, &dhbar_pre, dx);
+        matvec_t_acc(&self.wr.w, h, self.input_dim, &dr_pre, dx);
+        matvec_t_acc(&self.wz.w, h, self.input_dim, &dz_pre, dx);
+        matvec_t_acc(&self.ur.w, h, h, &dr_pre, &mut dh_prev);
+        matvec_t_acc(&self.uz.w, h, h, &dz_pre, &mut dh_prev);
+
+        dh_prev
+    }
+
+    /// All parameters (for the optimizer).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wz,
+            &mut self.uz,
+            &mut self.bz,
+            &mut self.wr,
+            &mut self.ur,
+            &mut self.br,
+            &mut self.wh,
+            &mut self.uh,
+            &mut self.bh,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check on a scalar loss L = Σ h'.
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (d, h) = (3, 4);
+        let mut cell = GruCell::new(d, h, &mut rng);
+        let x: Vec<f32> = (0..d).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+        let h_prev: Vec<f32> = (0..h).map(|i| 0.05 * (i as f32 - 1.5)).collect();
+
+        // Analytic gradients.
+        let (h_new, cache) = cell.forward(&x, &h_prev);
+        let dh_new = vec![1.0; h];
+        let mut dx = vec![0.0; d];
+        let dh_prev = cell.backward(&cache, &dh_new, &mut dx);
+        let _ = h_new;
+
+        // Numeric check for dx.
+        let eps = 1e-3;
+        for i in 0..d {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let (hp, _) = cell.forward(&xp, &h_prev);
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let (hm, _) = cell.forward(&xm, &h_prev);
+            let num = (hp.iter().sum::<f32>() - hm.iter().sum::<f32>()) / (2.0 * eps);
+            assert!(
+                (num - dx[i]).abs() < 1e-2,
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx[i]
+            );
+        }
+        // Numeric check for dh_prev.
+        for i in 0..h {
+            let mut hp_in = h_prev.clone();
+            hp_in[i] += eps;
+            let (hp, _) = cell.forward(&x, &hp_in);
+            let mut hm_in = h_prev.clone();
+            hm_in[i] -= eps;
+            let (hm, _) = cell.forward(&x, &hm_in);
+            let num = (hp.iter().sum::<f32>() - hm.iter().sum::<f32>()) / (2.0 * eps);
+            assert!(
+                (num - dh_prev[i]).abs() < 1e-2,
+                "dh_prev[{i}]: numeric {num} vs analytic {}",
+                dh_prev[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (d, h) = (2, 3);
+        let mut cell = GruCell::new(d, h, &mut rng);
+        let x = vec![0.3, -0.2];
+        let h_prev = vec![0.1, 0.0, -0.1];
+        let (_, cache) = cell.forward(&x, &h_prev);
+        let dh_new = vec![1.0; h];
+        let mut dx = vec![0.0; d];
+        cell.backward(&cache, &dh_new, &mut dx);
+        let analytic = cell.wh.g.clone();
+
+        let eps = 1e-3;
+        for idx in 0..analytic.len() {
+            let orig = cell.wh.w[idx];
+            cell.wh.w[idx] = orig + eps;
+            let (hp, _) = cell.forward(&x, &h_prev);
+            cell.wh.w[idx] = orig - eps;
+            let (hm, _) = cell.forward(&x, &h_prev);
+            cell.wh.w[idx] = orig;
+            let num = (hp.iter().sum::<f32>() - hm.iter().sum::<f32>()) / (2.0 * eps);
+            assert!(
+                (num - analytic[idx]).abs() < 1e-2,
+                "wh.g[{idx}]: numeric {num} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn hidden_state_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = GruCell::new(4, 8, &mut rng);
+        let mut h = vec![0.0; 8];
+        for step in 0..100 {
+            let x: Vec<f32> = (0..4).map(|i| ((step + i) as f32).sin()).collect();
+            let (h_new, _) = cell.forward(&x, &h);
+            h = h_new;
+        }
+        // GRU hidden state is a convex combination of bounded quantities.
+        assert!(h.iter().all(|v| v.abs() <= 1.0 + 1e-5));
+    }
+}

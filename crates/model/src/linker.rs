@@ -1,0 +1,307 @@
+//! Schema linking: mapping NL tokens onto schema elements.
+//!
+//! The sketch model (a SyntaxSQLNet-style structured model) predicts an
+//! anonymized SQL skeleton and fills its table/column slots by linking
+//! the question's tokens against the schema's annotated surface forms.
+//! Linking operates on *lemmatized* tokens on both sides, so "diseases"
+//! matches the `disease` column and "people" matches a `patients` table
+//! annotated with that synonym.
+
+use dbpal_nlp::{ComparativeDictionary, ComparativeSense, Lemmatizer};
+use dbpal_schema::{ColumnId, Schema, SemanticDomain, SqlType, TableId};
+
+/// A linker for one schema.
+///
+/// Two construction modes exist:
+///
+/// * [`SchemaLinker::new`] — the *oracle* linker: it sees every schema
+///   annotation (readable names and synonyms). Useful as an upper bound
+///   and for the runtime's deterministic tooling.
+/// * [`SchemaLinker::bare`] — identifier-only: it matches just the SQL
+///   identifier's surface form. The sketch model uses this as its prior
+///   and must *learn* synonym vocabulary from training data (mirroring
+///   the paper's models, which learn schema linking; the annotations
+///   reach the model only through the generated corpus).
+#[derive(Debug, Clone)]
+pub struct SchemaLinker {
+    /// Per-column lemmatized phrases.
+    columns: Vec<(ColumnId, Vec<Vec<String>>, SqlType, SemanticDomain)>,
+    /// Per-table lemmatized phrases.
+    tables: Vec<(TableId, Vec<Vec<String>>)>,
+    /// Pre-lemmatized domain-comparative phrases per domain (oracle mode
+    /// only; empty in bare mode).
+    domain_phrases: Vec<(SemanticDomain, Vec<Vec<String>>)>,
+}
+
+impl SchemaLinker {
+    /// Build the oracle linker (annotation-aware).
+    pub fn new(schema: &Schema) -> Self {
+        Self::build(schema, true)
+    }
+
+    /// Build the identifier-only linker.
+    pub fn bare(schema: &Schema) -> Self {
+        Self::build(schema, false)
+    }
+
+    fn build(schema: &Schema, with_annotations: bool) -> Self {
+        let lem = Lemmatizer::new();
+        let mut columns = Vec::new();
+        for cid in schema.all_column_ids() {
+            let col = schema.column(cid);
+            let phrases: Vec<Vec<String>> = if with_annotations {
+                col.nl_phrases()
+                    .iter()
+                    .map(|p| lem.lemmatize_sentence(p))
+                    .collect()
+            } else {
+                vec![lem.lemmatize_sentence(&col.name().replace('_', " "))]
+            };
+            columns.push((cid, phrases, col.sql_type(), col.domain()));
+        }
+        let mut tables = Vec::new();
+        for (tid, table) in schema.tables_with_ids() {
+            let phrases: Vec<Vec<String>> = if with_annotations {
+                table
+                    .nl_phrases()
+                    .iter()
+                    .map(|p| lem.lemmatize_sentence(p))
+                    .collect()
+            } else {
+                vec![lem.lemmatize_sentence(&table.name().replace('_', " "))]
+            };
+            tables.push((tid, phrases));
+        }
+        // Pre-lemmatize the comparative phrases once per linker instead of
+        // per score_column call.
+        let mut domain_phrases = Vec::new();
+        if with_annotations {
+            let dict = ComparativeDictionary::new();
+            for domain in SemanticDomain::ALL {
+                let mut phrases = Vec::new();
+                for sense in ComparativeSense::ALL {
+                    for phrase in dict.domain_phrases(domain, sense) {
+                        phrases.push(lem.lemmatize_sentence(phrase));
+                    }
+                }
+                domain_phrases.push((domain, phrases));
+            }
+        }
+        SchemaLinker {
+            columns,
+            tables,
+            domain_phrases,
+        }
+    }
+
+    /// Phrase-containment score: fraction of the phrase's tokens present
+    /// contiguously (2.0 bonus weight) or anywhere (1.0) in the NL.
+    fn phrase_score(nl: &[String], phrase: &[String]) -> f32 {
+        if phrase.is_empty() {
+            return 0.0;
+        }
+        // Contiguous match?
+        if phrase.len() <= nl.len() {
+            for start in 0..=nl.len() - phrase.len() {
+                if &nl[start..start + phrase.len()] == phrase {
+                    return 1.0 + 0.1 * phrase.len() as f32;
+                }
+            }
+        }
+        let present = phrase.iter().filter(|t| nl.contains(t)).count();
+        0.8 * present as f32 / phrase.len() as f32
+    }
+
+    /// Link score of a column against lemmatized NL tokens, including the
+    /// domain-comparative bonus ("older" implies an age-domain column even
+    /// when "age" is not mentioned — the paper's semantic category).
+    pub fn score_column(&self, nl: &[String], cid: ColumnId) -> f32 {
+        let Some((_, phrases, _, domain)) = self.columns.iter().find(|(c, ..)| *c == cid) else {
+            return 0.0;
+        };
+        let mut best = phrases
+            .iter()
+            .map(|p| Self::phrase_score(nl, p))
+            .fold(0.0f32, f32::max);
+        if *domain != SemanticDomain::Generic {
+            best += self.domain_bonus(nl, *domain);
+        }
+        best
+    }
+
+    fn domain_bonus(&self, nl: &[String], domain: SemanticDomain) -> f32 {
+        let Some((_, phrases)) = self.domain_phrases.iter().find(|(d, _)| *d == domain) else {
+            return 0.0;
+        };
+        let hit = phrases.iter().any(|toks| Self::phrase_score(nl, toks) >= 1.0);
+        if hit {
+            0.6
+        } else {
+            0.0
+        }
+    }
+
+    /// Link score of a table.
+    pub fn score_table(&self, nl: &[String], tid: TableId) -> f32 {
+        let Some((_, phrases)) = self.tables.iter().find(|(t, _)| *t == tid) else {
+            return 0.0;
+        };
+        phrases
+            .iter()
+            .map(|p| Self::phrase_score(nl, p))
+            .fold(0.0f32, f32::max)
+    }
+
+    /// All columns ranked by link score (descending), with their types.
+    pub fn ranked_columns(&self, nl: &[String]) -> Vec<(ColumnId, SqlType, f32)> {
+        let mut scored: Vec<(ColumnId, SqlType, f32)> = self
+            .columns
+            .iter()
+            .map(|(cid, _, ty, _)| (*cid, *ty, self.score_column(nl, *cid)))
+            .collect();
+        scored.sort_by(|a, b| b.2.total_cmp(&a.2));
+        scored
+    }
+
+    /// All tables ranked by link score (descending).
+    pub fn ranked_tables(&self, nl: &[String]) -> Vec<(TableId, f32)> {
+        let mut scored: Vec<(TableId, f32)> = self
+            .tables
+            .iter()
+            .map(|(tid, _)| (*tid, self.score_table(nl, *tid)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored
+    }
+
+    /// Total link strength of a question against this schema; used to
+    /// select the target schema in multi-schema settings.
+    pub fn total_score(&self, nl: &[String]) -> f32 {
+        let col: f32 = self
+            .ranked_columns(nl)
+            .iter()
+            .take(3)
+            .map(|(_, _, s)| s)
+            .sum();
+        let tab: f32 = self.ranked_tables(nl).iter().take(2).map(|(_, s)| s).sum();
+        col + tab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpal_nlp::Lemmatizer;
+    use dbpal_schema::SchemaBuilder;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("hospital")
+            .table("patients", |t| {
+                t.synonym("people")
+                    .column("name", SqlType::Text)
+                    .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                    .column_with("disease", SqlType::Text, |c| c.synonym("illness"))
+                    .column_with("length_of_stay", SqlType::Integer, |c| {
+                        c.domain(SemanticDomain::Duration)
+                    })
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn lemmas(s: &str) -> Vec<String> {
+        Lemmatizer::new().lemmatize_sentence(s)
+    }
+
+    #[test]
+    fn direct_column_mention_scores_high() {
+        let s = schema();
+        let linker = SchemaLinker::new(&s);
+        let nl = lemmas("what is the age of all patients");
+        let age = s.column_id("patients", "age").unwrap();
+        let name = s.column_id("patients", "name").unwrap();
+        assert!(linker.score_column(&nl, age) > linker.score_column(&nl, name));
+    }
+
+    #[test]
+    fn synonym_mention_links() {
+        let s = schema();
+        let linker = SchemaLinker::new(&s);
+        let nl = lemmas("which patients have the illness @DISEASE");
+        let disease = s.column_id("patients", "disease").unwrap();
+        assert!(linker.score_column(&nl, disease) >= 1.0);
+    }
+
+    #[test]
+    fn plural_links_via_lemmatization() {
+        let s = schema();
+        let linker = SchemaLinker::new(&s);
+        let nl = lemmas("list the diseases of the people");
+        let disease = s.column_id("patients", "disease").unwrap();
+        assert!(linker.score_column(&nl, disease) >= 1.0);
+        let patients = s.table_id("patients").unwrap();
+        assert!(linker.score_table(&nl, patients) >= 1.0);
+    }
+
+    #[test]
+    fn domain_comparative_bonus() {
+        // "older than" implies the age column without naming it.
+        let s = schema();
+        let linker = SchemaLinker::new(&s);
+        let nl = lemmas("patients older than @AGE");
+        let age = s.column_id("patients", "age").unwrap();
+        let name = s.column_id("patients", "name").unwrap();
+        assert!(linker.score_column(&nl, age) > linker.score_column(&nl, name));
+    }
+
+    #[test]
+    fn multiword_readable_name_links() {
+        let s = schema();
+        let linker = SchemaLinker::new(&s);
+        let nl = lemmas("what is the average length of stay of patients");
+        let los = s.column_id("patients", "length_of_stay").unwrap();
+        assert!(linker.score_column(&nl, los) >= 1.0);
+    }
+
+    #[test]
+    fn ranked_columns_sorted() {
+        let s = schema();
+        let linker = SchemaLinker::new(&s);
+        let ranked = linker.ranked_columns(&lemmas("age of patients"));
+        for w in ranked.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+
+    #[test]
+    fn bare_linker_ignores_synonyms() {
+        let s = schema();
+        let oracle = SchemaLinker::new(&s);
+        let bare = SchemaLinker::bare(&s);
+        let nl = lemmas("which patients have the illness @DISEASE");
+        let disease = s.column_id("patients", "disease").unwrap();
+        assert!(oracle.score_column(&nl, disease) >= 1.0);
+        assert!(bare.score_column(&nl, disease) < 1.0);
+        // Identifier mentions still link in bare mode.
+        let nl2 = lemmas("what is the length of stay of patients");
+        let los = s.column_id("patients", "length_of_stay").unwrap();
+        assert!(bare.score_column(&nl2, los) >= 1.0);
+    }
+
+    #[test]
+    fn schema_discrimination() {
+        let hospital = schema();
+        let geo = SchemaBuilder::new("geo")
+            .table("cities", |t| {
+                t.column("name", SqlType::Text)
+                    .column("population", SqlType::Integer)
+                    .column("state", SqlType::Text)
+            })
+            .build()
+            .unwrap();
+        let lh = SchemaLinker::new(&hospital);
+        let lg = SchemaLinker::new(&geo);
+        let nl = lemmas("what is the population of the city @NAME");
+        assert!(lg.total_score(&nl) > lh.total_score(&nl));
+    }
+}

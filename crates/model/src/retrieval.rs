@@ -1,0 +1,197 @@
+//! A TF-IDF nearest-neighbour retrieval baseline.
+//!
+//! The weakest pluggable model: it memorizes the training corpus and
+//! answers with the SQL of the most similar training question under
+//! TF-IDF-weighted cosine similarity. It provides a sanity floor for the
+//! learned models and a fast stand-in for tests.
+
+use dbpal_core::{TrainOptions, TrainingCorpus, TranslationModel};
+use dbpal_sql::Query;
+use std::collections::HashMap;
+
+/// TF-IDF nearest-neighbour translator.
+pub struct RetrievalModel {
+    /// Document frequency per token.
+    df: HashMap<String, f32>,
+    /// Stored (tf-idf vector, SQL) pairs.
+    entries: Vec<(HashMap<String, f32>, Query)>,
+    n_docs: f32,
+    /// Minimum cosine similarity to answer at all.
+    pub min_similarity: f32,
+}
+
+impl RetrievalModel {
+    /// Create an untrained retrieval model.
+    pub fn new() -> Self {
+        RetrievalModel {
+            df: HashMap::new(),
+            entries: Vec::new(),
+            n_docs: 0.0,
+            min_similarity: 0.1,
+        }
+    }
+
+    fn vectorize(&self, tokens: &[String]) -> HashMap<String, f32> {
+        let mut tf: HashMap<String, f32> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+        for (tok, w) in tf.iter_mut() {
+            let df = self.df.get(tok).copied().unwrap_or(0.0);
+            let idf = ((self.n_docs + 1.0) / (df + 1.0)).ln() + 1.0;
+            *w *= idf;
+        }
+        tf
+    }
+
+    fn cosine(a: &HashMap<String, f32>, b: &HashMap<String, f32>) -> f32 {
+        let dot: f32 = a
+            .iter()
+            .filter_map(|(t, w)| b.get(t).map(|v| w * v))
+            .sum();
+        let na: f32 = a.values().map(|w| w * w).sum::<f32>().sqrt();
+        let nb: f32 = b.values().map(|w| w * w).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+impl Default for RetrievalModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TranslationModel for RetrievalModel {
+    fn name(&self) -> &'static str {
+        "retrieval-tfidf"
+    }
+
+    fn train(&mut self, corpus: &TrainingCorpus, opts: &TrainOptions) {
+        self.df.clear();
+        self.entries.clear();
+        let mut docs: Vec<(Vec<String>, Query)> = corpus
+            .pairs()
+            .iter()
+            .map(|p| {
+                let toks = if p.nl_lemmas.is_empty() {
+                    p.nl.to_lowercase()
+                        .split_whitespace()
+                        .map(str::to_string)
+                        .collect()
+                } else {
+                    p.nl_lemmas.clone()
+                };
+                (toks, p.sql.clone())
+            })
+            .collect();
+        if let Some(cap) = opts.max_pairs {
+            docs.truncate(cap);
+        }
+        self.n_docs = docs.len() as f32;
+        for (toks, _) in &docs {
+            let mut seen = std::collections::HashSet::new();
+            for t in toks {
+                if seen.insert(t.clone()) {
+                    *self.df.entry(t.clone()).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        for (toks, sql) in docs {
+            let v = self.vectorize(&toks);
+            self.entries.push((v, sql));
+        }
+    }
+
+    fn translate(&self, nl_lemmas: &[String]) -> Option<Query> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let q = self.vectorize(nl_lemmas);
+        let mut best: Option<(f32, &Query)> = None;
+        for (v, sql) in &self.entries {
+            let sim = Self::cosine(&q, v);
+            if best.as_ref().is_none_or(|(b, _)| sim > *b) {
+                best = Some((sim, sql));
+            }
+        }
+        match best {
+            Some((sim, sql)) if sim >= self.min_similarity => Some(sql.clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpal_core::{Provenance, TrainingPair};
+    use dbpal_sql::parse_query;
+
+    fn corpus() -> TrainingCorpus {
+        let mut pairs = Vec::new();
+        for (nl, sql) in [
+            ("show the name of patient", "SELECT name FROM patients"),
+            (
+                "how many patient be there",
+                "SELECT COUNT(*) FROM patients",
+            ),
+            (
+                "what be the average age of patient",
+                "SELECT AVG(age) FROM patients",
+            ),
+        ] {
+            let mut p = TrainingPair::new(nl, parse_query(sql).unwrap(), "t", Provenance::Seed);
+            p.nl_lemmas = nl.split_whitespace().map(str::to_string).collect();
+            pairs.push(p);
+        }
+        TrainingCorpus::from_pairs(pairs)
+    }
+
+    fn lemmas(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn exact_question_retrieves_its_sql() {
+        let mut m = RetrievalModel::new();
+        m.train(&corpus(), &TrainOptions::fast());
+        let q = m.translate(&lemmas("show the name of patient")).unwrap();
+        assert_eq!(q, parse_query("SELECT name FROM patients").unwrap());
+    }
+
+    #[test]
+    fn similar_question_retrieves_nearest() {
+        let mut m = RetrievalModel::new();
+        m.train(&corpus(), &TrainOptions::fast());
+        let q = m.translate(&lemmas("average age of patient")).unwrap();
+        assert!(q.to_string().contains("AVG"));
+    }
+
+    #[test]
+    fn dissimilar_question_returns_none() {
+        let mut m = RetrievalModel::new();
+        m.min_similarity = 0.5;
+        m.train(&corpus(), &TrainOptions::fast());
+        assert!(m.translate(&lemmas("zork frobnicate quux")).is_none());
+    }
+
+    #[test]
+    fn untrained_returns_none() {
+        let m = RetrievalModel::new();
+        assert!(m.translate(&lemmas("anything")).is_none());
+    }
+
+    #[test]
+    fn idf_downweights_common_words() {
+        let mut m = RetrievalModel::new();
+        m.train(&corpus(), &TrainOptions::fast());
+        // "patient" appears in every doc; "average" in one. The distinctive
+        // word must dominate.
+        let q = m.translate(&lemmas("patient average")).unwrap();
+        assert!(q.to_string().contains("AVG"));
+    }
+}

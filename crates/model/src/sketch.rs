@@ -1,0 +1,950 @@
+//! The sketch model: a SyntaxSQLNet-style structured translator.
+//!
+//! SyntaxSQLNet "augments deep learning models with a structured model
+//! that considers the syntax and semantics of SQL" (paper §1). This
+//! implementation factors translation the same way:
+//!
+//! 1. A learned classifier predicts an *anonymized SQL skeleton* — the
+//!    query with table/column names and placeholders replaced by typed
+//!    slots — from hashed bag-of-n-gram features of the lemmatized NL.
+//! 2. Slot filling combines an identifier-only linker prior
+//!    ([`crate::SchemaLinker::bare`]) with a *learned lexicon*: token ↔
+//!    column-name associations estimated from the training corpus. The
+//!    model therefore has to learn synonym vocabulary ("illness" →
+//!    `disease`) from data — schema annotations reach it only through the
+//!    generated corpus, exactly as in the paper. Type hints recovered
+//!    from the skeleton constrain the fill (aggregate arguments must be
+//!    numeric, GROUP BY keys prefer text).
+//!
+//! Skeletons and the lexicon are schema-independent (they key on SQL
+//! identifiers), so patterns learned on one schema transfer to unseen
+//! schemas with overlapping vocabulary — the property the Spider
+//! benchmark tests.
+// Slot assignment indexes several parallel per-slot vectors; index loops
+// are clearer than zipping four iterators.
+#![allow(clippy::needless_range_loop)]
+
+use crate::linker::SchemaLinker;
+use dbpal_core::{TrainOptions, TrainingCorpus, TranslationModel};
+use dbpal_schema::{Schema, SqlType};
+use dbpal_sql::{parse_query, AggArg, AggFunc, Pred, Query, Scalar, Token};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// One token of an anonymized skeleton.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SkelTok {
+    /// Keyword, punctuation, number, or unmatched placeholder.
+    Lit(String),
+    /// Table slot.
+    Table(usize),
+    /// Column slot.
+    Col(usize),
+    /// Constant placeholder bound to a column slot. `qualified` carries
+    /// the table slot for `@TABLE.COLUMN` placeholders; `suffix` keeps
+    /// `_LOW`/`_HIGH`/`_1`/`_2` markers.
+    Ph {
+        col: usize,
+        qualified: Option<usize>,
+        suffix: String,
+    },
+}
+
+/// An anonymized SQL skeleton with slot type hints.
+#[derive(Debug, Clone)]
+pub struct Skeleton {
+    toks: Vec<SkelTok>,
+    n_tables: usize,
+    n_cols: usize,
+    /// Per column slot: requires a numeric column.
+    numeric: Vec<bool>,
+    /// Per column slot: prefers a text column.
+    text: Vec<bool>,
+    /// Column slot → table slot associations from qualified references.
+    assoc: Vec<Option<usize>>,
+    key: String,
+}
+
+impl Skeleton {
+    /// Extract the skeleton of a query.
+    pub fn of(query: &Query) -> Option<Skeleton> {
+        let printed = query.to_string();
+        let tokens = dbpal_sql::tokenize(&printed).ok()?;
+        // FROM tables plus qualifier tables: `FROM @JOIN` queries mention
+        // their tables only as column qualifiers, and those must become
+        // slots too or join skeletons would hardcode schema names.
+        let mut table_names: Vec<String> = query.tables_mentioned();
+        for c in query.columns_mentioned() {
+            if let Some(t) = &c.table {
+                if !table_names.contains(t) {
+                    table_names.push(t.clone());
+                }
+            }
+        }
+        let col_names: Vec<String> = {
+            let mut names = Vec::new();
+            for c in query.columns_mentioned() {
+                if !names.contains(&c.column) {
+                    names.push(c.column.clone());
+                }
+            }
+            names
+        };
+        let (numeric_names, text_names) = collect_type_hints(query);
+
+        let table_slot = |w: &str| table_names.iter().position(|t| t == w);
+        let col_slot = |w: &str| col_names.iter().position(|c| c == w);
+
+        let mut toks = Vec::with_capacity(tokens.len());
+        for tok in &tokens {
+            let skel = match tok {
+                Token::Word(w) => {
+                    let lw = w.to_lowercase();
+                    // Keywords print uppercase; identifiers lowercase.
+                    if w.chars().any(|c| c.is_ascii_uppercase()) {
+                        SkelTok::Lit(w.clone())
+                    } else if let Some(i) = table_slot(&lw) {
+                        SkelTok::Table(i)
+                    } else if let Some(j) = col_slot(&lw) {
+                        SkelTok::Col(j)
+                    } else {
+                        SkelTok::Lit(w.clone())
+                    }
+                }
+                Token::Placeholder(p) => match classify_placeholder(p, &table_names, &col_names) {
+                    Some((col, qualified, suffix)) => SkelTok::Ph {
+                        col,
+                        qualified,
+                        suffix,
+                    },
+                    None => SkelTok::Lit(format!("@{p}")),
+                },
+                other => SkelTok::Lit(other.describe()),
+            };
+            toks.push(skel);
+        }
+
+        // Column ↔ table associations from `Table . Col` sequences and
+        // qualified placeholders.
+        let mut assoc: Vec<Option<usize>> = vec![None; col_names.len()];
+        for w in toks.windows(3) {
+            if let [SkelTok::Table(t), SkelTok::Lit(dot), SkelTok::Col(c)] = w {
+                if dot == "." {
+                    assoc[*c] = Some(*t);
+                }
+            }
+        }
+        for t in &toks {
+            if let SkelTok::Ph {
+                col,
+                qualified: Some(ts),
+                ..
+            } = t
+            {
+                assoc[*col] = Some(*ts);
+            }
+        }
+
+        let numeric = col_names.iter().map(|c| numeric_names.contains(c)).collect();
+        let text = col_names.iter().map(|c| text_names.contains(c)).collect();
+        let key = toks
+            .iter()
+            .map(render_slot_marker)
+            .collect::<Vec<_>>()
+            .join(" ");
+        Some(Skeleton {
+            toks,
+            n_tables: table_names.len(),
+            n_cols: col_names.len(),
+            numeric,
+            text,
+            assoc,
+            key,
+        })
+    }
+
+    /// The canonical key identifying this skeleton class.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Column slots bound to constant placeholders, in occurrence order
+    /// (deduplicated).
+    pub fn ph_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for t in &self.toks {
+            if let SkelTok::Ph { col, .. } = t {
+                if !out.contains(col) {
+                    out.push(*col);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of constant-placeholder slots in the skeleton.
+    pub fn ph_count(&self) -> usize {
+        self.toks
+            .iter()
+            .filter(|t| matches!(t, SkelTok::Ph { .. }) || matches!(t, SkelTok::Lit(s) if s.starts_with('@')))
+            .count()
+    }
+
+    /// Reconstruct concrete SQL from slot assignments.
+    pub fn reconstruct(&self, tables: &[&str], cols: &[&str]) -> Option<Query> {
+        if tables.len() < self.n_tables || cols.len() < self.n_cols {
+            return None;
+        }
+        let rendered: Vec<String> = self
+            .toks
+            .iter()
+            .map(|t| match t {
+                SkelTok::Lit(s) => s.clone(),
+                SkelTok::Table(i) => tables[*i].to_string(),
+                SkelTok::Col(j) => cols[*j].to_string(),
+                SkelTok::Ph {
+                    col,
+                    qualified,
+                    suffix,
+                } => match qualified {
+                    Some(t) => format!(
+                        "@{}.{}{}",
+                        tables[*t].to_uppercase(),
+                        cols[*col].to_uppercase(),
+                        suffix
+                    ),
+                    None => format!("@{}{}", cols[*col].to_uppercase(), suffix),
+                },
+            })
+            .collect();
+        parse_query(&rendered.join(" ")).ok()
+    }
+}
+
+fn render_slot_marker(t: &SkelTok) -> String {
+    match t {
+        SkelTok::Lit(s) => s.clone(),
+        SkelTok::Table(i) => format!("$T{i}"),
+        SkelTok::Col(j) => format!("$C{j}"),
+        SkelTok::Ph {
+            col,
+            qualified,
+            suffix,
+        } => match qualified {
+            Some(t) => format!("@$T{t}.$C{col}{suffix}"),
+            None => format!("@$C{col}{suffix}"),
+        },
+    }
+}
+
+/// Map a placeholder name onto `(col slot, table slot, suffix)`.
+fn classify_placeholder(
+    p: &str,
+    tables: &[String],
+    cols: &[String],
+) -> Option<(usize, Option<usize>, String)> {
+    let (base, qualified) = match p.split_once('.') {
+        Some((t, rest)) => {
+            let tslot = tables.iter().position(|n| n.eq_ignore_ascii_case(t))?;
+            (rest.to_string(), Some(tslot))
+        }
+        None => (p.to_string(), None),
+    };
+    let lower = base.to_lowercase();
+    // Exact column match first, then known suffixes.
+    if let Some(j) = cols.iter().position(|c| *c == lower) {
+        return Some((j, qualified, String::new()));
+    }
+    for suffix in ["_low", "_high", "_1", "_2"] {
+        if let Some(stripped) = lower.strip_suffix(suffix) {
+            if let Some(j) = cols.iter().position(|c| c == stripped) {
+                return Some((j, qualified, suffix.to_uppercase()));
+            }
+        }
+    }
+    None
+}
+
+/// Collect column names that must be numeric / prefer text from the AST.
+fn collect_type_hints(q: &Query) -> (HashSet<String>, HashSet<String>) {
+    let mut numeric = HashSet::new();
+    let mut text = HashSet::new();
+    fn agg_hint(f: AggFunc, arg: &AggArg, numeric: &mut HashSet<String>) {
+        if f != AggFunc::Count {
+            if let AggArg::Column(c) = arg {
+                numeric.insert(c.column.clone());
+            }
+        }
+    }
+    for item in &q.select {
+        if let dbpal_sql::SelectItem::Aggregate(f, arg) = item {
+            agg_hint(*f, arg, &mut numeric);
+        }
+    }
+    for c in &q.group_by {
+        text.insert(c.column.clone());
+    }
+    for (k, _) in &q.order_by {
+        match k {
+            dbpal_sql::OrderKey::Column(c) => {
+                numeric.insert(c.column.clone());
+            }
+            dbpal_sql::OrderKey::Aggregate(f, arg) => agg_hint(*f, arg, &mut numeric),
+        }
+    }
+    fn walk_pred(p: &Pred, numeric: &mut HashSet<String>, text: &mut HashSet<String>) {
+        match p {
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|p| walk_pred(p, numeric, text)),
+            Pred::Not(p) => walk_pred(p, numeric, text),
+            Pred::Compare { left, op, right } => {
+                use dbpal_sql::CmpOp::*;
+                if matches!(op, Lt | LtEq | Gt | GtEq) {
+                    for s in [left, right] {
+                        if let Scalar::Column(c) = s {
+                            numeric.insert(c.column.clone());
+                        }
+                    }
+                }
+                for s in [left, right] {
+                    if let Scalar::Subquery(q) = s {
+                        let (n, t) = collect_type_hints(q);
+                        numeric.extend(n);
+                        text.extend(t);
+                    }
+                }
+            }
+            Pred::Between { col, .. } => {
+                numeric.insert(col.column.clone());
+            }
+            Pred::Like { col, .. } | Pred::IsNull { col, .. } => {
+                text.insert(col.column.clone());
+            }
+            Pred::InSubquery { query, .. } | Pred::Exists { query, .. } => {
+                let (n, t) = collect_type_hints(query);
+                numeric.extend(n);
+                text.extend(t);
+            }
+            Pred::InList { .. } => {}
+        }
+    }
+    if let Some(p) = &q.where_pred {
+        walk_pred(p, &mut numeric, &mut text);
+    }
+    if let Some(p) = &q.having {
+        walk_pred(p, &mut numeric, &mut text);
+    }
+    (numeric, text)
+}
+
+/// Feature-hashing dimensionality of the skeleton classifier.
+const FEATURE_DIM: usize = 4096;
+
+fn hash_token(t: &str) -> usize {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in t.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h as usize) % FEATURE_DIM
+}
+
+/// Hashed unigram + bigram features of lemmatized NL tokens, plus a
+/// feature for the number of anonymized constants (the parameter handler
+/// tells the model how many placeholders the question carries, §4.1).
+fn features(nl: &[String]) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::with_capacity(nl.len() * 2 + 1);
+    for t in nl {
+        out.push(hash_token(t));
+    }
+    for w in nl.windows(2) {
+        out.push(hash_token(&format!("{}_{}", w[0], w[1])));
+    }
+    let ph = nl.iter().filter(|t| t.starts_with('@')).count();
+    out.push(hash_token(&format!("__ph{ph}")));
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Learned token ↔ identifier association table.
+#[derive(Debug, Clone, Default)]
+struct Lexicon {
+    /// identifier → (token → co-occurrence count).
+    cooc: HashMap<String, HashMap<String, f32>>,
+    /// identifier → number of pairs mentioning it.
+    totals: HashMap<String, f32>,
+    /// token → number of pairs containing it.
+    token_totals: HashMap<String, f32>,
+    /// total pairs observed.
+    n_pairs: f32,
+}
+
+impl Lexicon {
+    fn observe(&mut self, tokens: &HashSet<String>, identifiers: &[String]) {
+        self.n_pairs += 1.0;
+        for t in tokens {
+            *self.token_totals.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+        for id in identifiers {
+            *self.totals.entry(id.clone()).or_insert(0.0) += 1.0;
+            let entry = self.cooc.entry(id.clone()).or_default();
+            for t in tokens {
+                *entry.entry(t.clone()).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+
+    /// Excess-probability association: Σ_t max(0, p(t | id) − p(t)).
+    fn score(&self, identifier: &str, tokens: &[String]) -> f32 {
+        let Some(total) = self.totals.get(identifier) else {
+            return 0.0;
+        };
+        let Some(cooc) = self.cooc.get(identifier) else {
+            return 0.0;
+        };
+        if self.n_pairs == 0.0 || *total < 3.0 {
+            return 0.0;
+        }
+        let mut score = 0.0;
+        for t in tokens {
+            if t.starts_with('@') {
+                continue;
+            }
+            let p_given = cooc.get(t).copied().unwrap_or(0.0) / total;
+            let p = self.token_totals.get(t).copied().unwrap_or(0.0) / self.n_pairs;
+            score += (p_given - p).max(0.0);
+        }
+        score
+    }
+}
+
+/// The sketch translation model.
+pub struct SketchModel {
+    schemas: Vec<Schema>,
+    linkers: Vec<SchemaLinker>,
+    classes: Vec<Skeleton>,
+    class_index: HashMap<String, usize>,
+    /// Logistic-regression weights, `classes.len() × FEATURE_DIM`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    /// Learned NL-token ↔ column-name lexicon.
+    col_lexicon: Lexicon,
+    /// Learned NL-token ↔ table-name lexicon.
+    table_lexicon: Lexicon,
+    /// Candidate skeletons tried per translation (beam width).
+    pub beam: usize,
+    /// Weight of the learned lexicon relative to the identifier prior.
+    pub lexicon_weight: f32,
+}
+
+impl SketchModel {
+    /// Create a sketch model targeting the given schemas (the runtime
+    /// target schema, or in cross-schema evaluation every candidate).
+    pub fn new(schemas: Vec<Schema>) -> Self {
+        let linkers = schemas.iter().map(SchemaLinker::bare).collect();
+        SketchModel {
+            schemas,
+            linkers,
+            classes: Vec::new(),
+            class_index: HashMap::new(),
+            weights: Vec::new(),
+            bias: Vec::new(),
+            col_lexicon: Lexicon::default(),
+            table_lexicon: Lexicon::default(),
+            beam: 4,
+            lexicon_weight: 3.0,
+        }
+    }
+
+    /// Number of learned skeleton classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The top-`k` skeleton classes for a question, with scores — an
+    /// introspection hook for debugging translations.
+    pub fn top_classes(&self, nl_lemmas: &[String], k: usize) -> Vec<(String, f32)> {
+        let feats = features(nl_lemmas);
+        let scores = self.scores(&feats);
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        order
+            .into_iter()
+            .take(k)
+            .map(|c| (self.classes[c].key().to_string(), scores[c]))
+            .collect()
+    }
+
+    fn scores(&self, feats: &[usize]) -> Vec<f32> {
+        let k = self.classes.len();
+        let mut scores = self.bias.clone();
+        for &f in feats {
+            for (c, s) in scores.iter_mut().enumerate().take(k) {
+                *s += self.weights[c * FEATURE_DIM + f];
+            }
+        }
+        scores
+    }
+
+    /// Fill a skeleton's slots for a schema; returns the reconstruction.
+    fn fill(&self, skeleton: &Skeleton, schema_idx: usize, nl: &[String]) -> Option<Query> {
+        let schema = &self.schemas[schema_idx];
+        let linker = &self.linkers[schema_idx];
+        // Combine the identifier prior with the learned lexicon.
+        let mut ranked_cols: Vec<(dbpal_schema::ColumnId, SqlType, f32)> = linker
+            .ranked_columns(nl)
+            .into_iter()
+            .map(|(cid, ty, prior)| {
+                let name = schema.column(cid).name();
+                let learned = self.col_lexicon.score(name, nl);
+                (cid, ty, prior + self.lexicon_weight * learned)
+            })
+            .collect();
+        ranked_cols.sort_by(|a, b| b.2.total_cmp(&a.2));
+        let mut ranked_tables: Vec<(dbpal_schema::TableId, f32)> = linker
+            .ranked_tables(nl)
+            .into_iter()
+            .map(|(tid, prior)| {
+                let name = schema.table(tid).name();
+                let learned = self.table_lexicon.score(name, nl);
+                (tid, prior + self.lexicon_weight * learned)
+            })
+            .collect();
+        ranked_tables.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        if skeleton.n_tables > schema.table_count() {
+            return None;
+        }
+
+        // Choose table slots: try the top-ranked tables in order; slots
+        // with associated column evidence are corrected below.
+        let mut tables: Vec<dbpal_schema::TableId> = Vec::with_capacity(skeleton.n_tables);
+        for (tid, _) in ranked_tables.iter() {
+            if tables.len() == skeleton.n_tables {
+                break;
+            }
+            if !tables.contains(tid) {
+                tables.push(*tid);
+            }
+        }
+        if tables.len() < skeleton.n_tables {
+            return None;
+        }
+
+        // Assign column slots.
+        let mut cols: Vec<Option<dbpal_schema::ColumnId>> = vec![None; skeleton.n_cols];
+        let mut used: HashSet<dbpal_schema::ColumnId> = HashSet::new();
+
+        // Placeholder anchoring: the parameter handler derives placeholder
+        // names from column names (§4.1), so an `@AGE` token in the NL
+        // pins its slot to the `age` column directly.
+        let nl_ph_cols: Vec<String> = nl
+            .iter()
+            .filter(|t| t.starts_with('@'))
+            .map(|t| {
+                let mut base = t[1..].to_lowercase();
+                if let Some((_, after_dot)) = base.clone().split_once('.') {
+                    base = after_dot.to_string();
+                }
+                for suffix in ["_low", "_high", "_1", "_2"] {
+                    if let Some(stripped) = base.strip_suffix(suffix) {
+                        base = stripped.to_string();
+                        break;
+                    }
+                }
+                base
+            })
+            .collect();
+        let mut ph_iter = nl_ph_cols.iter();
+        for slot in skeleton.ph_slots() {
+            let Some(ph_col) = ph_iter.next() else { break };
+            let candidate = ranked_cols
+                .iter()
+                .find(|(cid, _, _)| schema.column(*cid).name().eq_ignore_ascii_case(ph_col));
+            if let Some((cid, ty, _)) = candidate {
+                // The anchored column must satisfy the slot's type hint;
+                // a conflict (e.g. a numeric @AGE anchored into a LIKE
+                // pattern slot) means this skeleton cannot be the right
+                // reading — fail the fill so the beam tries the next one.
+                if (skeleton.numeric[slot] && !ty.is_numeric())
+                    || (skeleton.text[slot] && *ty != SqlType::Text)
+                {
+                    return None;
+                }
+                if cols[slot].is_none() && !used.contains(cid) {
+                    cols[slot] = Some(*cid);
+                    used.insert(*cid);
+                }
+            }
+        }
+
+        for slot in 0..skeleton.n_cols {
+            if cols[slot].is_some() {
+                continue;
+            }
+            let want_numeric = skeleton.numeric[slot];
+            let want_text = skeleton.text[slot];
+            let table_constraint = skeleton.assoc[slot].map(|ts| tables[ts]);
+            // Three relaxation levels: full constraints → drop table →
+            // drop type.
+            let mut chosen = None;
+            for relax in 0..3 {
+                for (cid, ty, _) in &ranked_cols {
+                    if used.contains(cid) {
+                        continue;
+                    }
+                    if relax < 2 {
+                        if want_numeric && !ty.is_numeric() {
+                            continue;
+                        }
+                        if want_text && *ty != SqlType::Text {
+                            continue;
+                        }
+                    }
+                    if relax < 1 {
+                        if let Some(tc) = table_constraint {
+                            if cid.table != tc {
+                                continue;
+                            }
+                        } else if skeleton.n_tables == 1 && cid.table != tables[0] {
+                            continue;
+                        }
+                    }
+                    chosen = Some(*cid);
+                    break;
+                }
+                if chosen.is_some() {
+                    break;
+                }
+            }
+            let cid = chosen?;
+            used.insert(cid);
+            cols[slot] = Some(cid);
+        }
+
+        // For single-table skeletons, snap the table to the columns'
+        // majority table so FROM matches the projection.
+        if skeleton.n_tables == 1 && !cols.is_empty() {
+            let mut counts: HashMap<dbpal_schema::TableId, usize> = HashMap::new();
+            for c in cols.iter().flatten() {
+                *counts.entry(c.table).or_insert(0) += 1;
+            }
+            if let Some((&t, _)) = counts.iter().max_by_key(|(_, n)| **n) {
+                tables[0] = t;
+            }
+        }
+        // Snap associated table slots to their columns' tables.
+        for slot in 0..skeleton.n_cols {
+            if let (Some(ts), Some(cid)) = (skeleton.assoc[slot], cols[slot]) {
+                tables[ts] = cid.table;
+            }
+        }
+
+        let table_names: Vec<&str> = tables
+            .iter()
+            .map(|t| schema.table(*t).name())
+            .collect();
+        let col_names: Vec<&str> = cols
+            .iter()
+            .map(|c| schema.column(c.expect("assigned")).name())
+            .collect();
+        skeleton.reconstruct(&table_names, &col_names)
+    }
+}
+
+impl TranslationModel for SketchModel {
+    fn name(&self) -> &'static str {
+        "sketch"
+    }
+
+    fn train(&mut self, corpus: &TrainingCorpus, opts: &TrainOptions) {
+        // Build skeleton classes and training examples.
+        let mut examples: Vec<(Vec<usize>, usize)> = Vec::new();
+        self.classes.clear();
+        self.class_index.clear();
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut pairs: Vec<(String, Query)> = corpus
+            .pairs()
+            .iter()
+            .map(|p| {
+                let nl = if p.nl_lemmas.is_empty() {
+                    p.nl.to_lowercase()
+                } else {
+                    p.nl_lemmas.join(" ")
+                };
+                (nl, p.sql.clone())
+            })
+            .collect();
+        pairs.shuffle(&mut rng);
+        if let Some(cap) = opts.max_pairs {
+            pairs.truncate(cap);
+        }
+        self.col_lexicon = Lexicon::default();
+        self.table_lexicon = Lexicon::default();
+        for (nl, sql) in &pairs {
+            let Some(skeleton) = Skeleton::of(sql) else {
+                continue;
+            };
+            // Learn the token ↔ identifier lexicon from this pair.
+            let token_set: HashSet<String> = nl
+                .split_whitespace()
+                .filter(|t| !t.starts_with('@'))
+                .map(str::to_string)
+                .collect();
+            let mut col_names: Vec<String> = Vec::new();
+            for c in sql.columns_mentioned() {
+                if !col_names.contains(&c.column) {
+                    col_names.push(c.column.clone());
+                }
+            }
+            self.col_lexicon.observe(&token_set, &col_names);
+            self.table_lexicon.observe(&token_set, &sql.tables_mentioned());
+            let class = match self.class_index.get(skeleton.key()) {
+                Some(&c) => c,
+                None => {
+                    let c = self.classes.len();
+                    self.class_index.insert(skeleton.key().to_string(), c);
+                    self.classes.push(skeleton);
+                    c
+                }
+            };
+            let toks: Vec<String> = nl.split_whitespace().map(str::to_string).collect();
+            examples.push((features(&toks), class));
+        }
+
+        let k = self.classes.len();
+        self.weights = vec![0.0; k * FEATURE_DIM];
+        self.bias = vec![0.0; k];
+        if k == 0 {
+            return;
+        }
+
+        // Multinomial logistic regression, per-example SGD.
+        let lr0 = 0.25f32;
+        for epoch in 0..opts.epochs.max(1) {
+            let lr = lr0 / (1.0 + epoch as f32 * 0.5);
+            examples.shuffle(&mut rng);
+            let mut correct = 0usize;
+            for (feats, label) in &examples {
+                let mut scores = self.scores(feats);
+                let pred = crate::math::softmax_inplace(&mut scores);
+                if pred == *label {
+                    correct += 1;
+                }
+                for (c, p) in scores.iter().enumerate() {
+                    let g = p - if c == *label { 1.0 } else { 0.0 };
+                    if g.abs() < 1e-6 {
+                        continue;
+                    }
+                    self.bias[c] -= lr * g;
+                    for &f in feats {
+                        self.weights[c * FEATURE_DIM + f] -= lr * g;
+                    }
+                }
+            }
+            if opts.verbose {
+                eprintln!(
+                    "[sketch] epoch {epoch}: train acc {:.3} over {} classes",
+                    correct as f32 / examples.len().max(1) as f32,
+                    k
+                );
+            }
+        }
+    }
+
+    fn translate(&self, nl_lemmas: &[String]) -> Option<Query> {
+        if self.classes.is_empty() {
+            return None;
+        }
+        // Select the target schema by link strength.
+        let schema_idx = if self.schemas.len() == 1 {
+            0
+        } else {
+            self.linkers
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.total_score(nl_lemmas).total_cmp(&b.total_score(nl_lemmas))
+                })
+                .map(|(i, _)| i)?
+        };
+        let feats = features(nl_lemmas);
+        let mut scores = self.scores(&feats);
+        // Structural re-ranking: the number of anonymized constants in
+        // the question is known exactly (the parameter handler produced
+        // them), so skeletons with a different placeholder arity are
+        // heavily penalized.
+        let nl_ph = nl_lemmas.iter().filter(|t| t.starts_with('@')).count();
+        for (c, s) in scores.iter_mut().enumerate() {
+            let diff = self.classes[c].ph_count().abs_diff(nl_ph);
+            *s -= 2.5 * diff as f32;
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        for &class in order.iter().take(self.beam) {
+            if let Some(q) = self.fill(&self.classes[class], schema_idx, nl_lemmas) {
+                return Some(q);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpal_core::{GenerationConfig, TrainingPipeline};
+    use dbpal_nlp::Lemmatizer;
+    use dbpal_schema::{SchemaBuilder, SemanticDomain};
+
+    fn hospital() -> Schema {
+        SchemaBuilder::new("hospital")
+            .table("patients", |t| {
+                t.synonym("people")
+                    .column("name", SqlType::Text)
+                    .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                    .column_with("disease", SqlType::Text, |c| c.synonym("illness"))
+                    .column("doctor_id", SqlType::Integer)
+            })
+            .table("doctors", |t| {
+                t.column("id", SqlType::Integer)
+                    .column("name", SqlType::Text)
+                    .column("specialty", SqlType::Text)
+                    .primary_key("id")
+            })
+            .foreign_key("patients", "doctor_id", "doctors", "id")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn skeleton_extraction_anonymizes() {
+        let q = parse_query("SELECT name FROM patients WHERE age = @AGE").unwrap();
+        let s = Skeleton::of(&q).unwrap();
+        assert_eq!(s.n_tables, 1);
+        assert_eq!(s.n_cols, 2);
+        assert!(s.key().contains("$T0"));
+        assert!(s.key().contains("$C0"));
+        assert!(s.key().contains("@$C1"));
+        // Same shape on a different schema yields the same key.
+        let q2 = parse_query("SELECT city FROM towns WHERE population = @POPULATION").unwrap();
+        assert_eq!(Skeleton::of(&q2).unwrap().key(), s.key());
+    }
+
+    #[test]
+    fn join_skeletons_are_schema_independent() {
+        let a = parse_query(
+            "SELECT AVG(patients.age) FROM @JOIN WHERE doctors.name = @DOCTORS.NAME",
+        )
+        .unwrap();
+        let b = parse_query(
+            "SELECT AVG(cars.price) FROM @JOIN WHERE makers.country = @MAKERS.COUNTRY",
+        )
+        .unwrap();
+        let sa = Skeleton::of(&a).unwrap();
+        assert_eq!(sa.key(), Skeleton::of(&b).unwrap().key(), "join skeletons must anonymize");
+        assert!(!sa.key().contains("patients"), "table name leaked: {}", sa.key());
+    }
+
+    #[test]
+    fn skeleton_reconstruction_round_trips() {
+        for sql in [
+            "SELECT name FROM patients WHERE age = @AGE",
+            "SELECT COUNT(*) FROM patients",
+            "SELECT disease, COUNT(*) FROM patients GROUP BY disease",
+            "SELECT AVG(patients.age) FROM @JOIN WHERE doctors.name = @DOCTORS.NAME",
+            "SELECT name FROM patients WHERE age BETWEEN @AGE_LOW AND @AGE_HIGH",
+            "SELECT name FROM patients WHERE age = (SELECT MAX(age) FROM patients WHERE disease = @DISEASE)",
+            "SELECT * FROM patients ORDER BY age DESC LIMIT 1",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let s = Skeleton::of(&q).unwrap();
+            let mut tables = q.tables_mentioned();
+            for c in q.columns_mentioned() {
+                if let Some(t) = &c.table {
+                    if !tables.contains(t) {
+                        tables.push(t.clone());
+                    }
+                }
+            }
+            let table_refs: Vec<&str> = tables.iter().map(String::as_str).collect();
+            let mut cols = Vec::new();
+            for c in q.columns_mentioned() {
+                if !cols.contains(&c.column) {
+                    cols.push(c.column.clone());
+                }
+            }
+            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let rebuilt = s.reconstruct(&table_refs, &col_refs).unwrap();
+            assert!(
+                dbpal_sql::exact_set_match(&rebuilt, &q),
+                "reconstruction of `{sql}` changed the query to `{rebuilt}`"
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_hints_detected() {
+        let q = parse_query("SELECT AVG(age) FROM patients WHERE name = @NAME").unwrap();
+        let s = Skeleton::of(&q).unwrap();
+        // Slot for `age` must be numeric; slot for `name` must not be.
+        assert!(s.numeric.iter().any(|&b| b));
+        assert!(s.numeric.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn trained_model_translates_in_domain_questions() {
+        let schema = hospital();
+        // A slightly larger corpus than `small()`: the =/<> skeleton
+        // distinction needs enough negative-phrasing examples.
+        let pipeline = TrainingPipeline::new(GenerationConfig {
+            size_slot_fills: 12,
+            ..GenerationConfig::default()
+        });
+        let corpus = pipeline.generate(&schema);
+        let mut model = SketchModel::new(vec![schema]);
+        model.train(
+            &corpus,
+            &TrainOptions {
+                epochs: 6,
+                seed: 3,
+                max_pairs: None,
+                verbose: false,
+            },
+        );
+        assert!(model.class_count() > 10);
+
+        let lem = Lemmatizer::new();
+        let q = model
+            .translate(&lem.lemmatize_sentence("show the name of all patients with age @AGE"))
+            .expect("translation");
+        let gold = parse_query("SELECT name FROM patients WHERE age = @AGE").unwrap();
+        assert!(
+            dbpal_sql::exact_set_match(&q, &gold),
+            "got {q} instead of {gold}"
+        );
+    }
+
+    #[test]
+    fn untrained_model_returns_none() {
+        let model = SketchModel::new(vec![hospital()]);
+        assert!(model.translate(&["show".into()]).is_none());
+    }
+
+    #[test]
+    fn count_question_maps_to_count() {
+        let schema = hospital();
+        let pipeline = TrainingPipeline::new(GenerationConfig::small());
+        let corpus = pipeline.generate(&schema);
+        let mut model = SketchModel::new(vec![schema]);
+        model.train(&corpus, &TrainOptions { epochs: 6, seed: 3, max_pairs: None, verbose: false });
+        let lem = Lemmatizer::new();
+        let q = model
+            .translate(&lem.lemmatize_sentence("how many patients are there"))
+            .expect("translation");
+        assert!(q.to_string().contains("COUNT"), "got {q}");
+    }
+}

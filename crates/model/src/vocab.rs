@@ -1,0 +1,162 @@
+//! Token vocabularies for the neural models.
+
+use std::collections::HashMap;
+
+/// Reserved token ids.
+#[allow(dead_code)]
+pub const PAD: usize = 0;
+/// Start-of-sequence.
+pub const SOS: usize = 1;
+/// End-of-sequence.
+pub const EOS: usize = 2;
+/// Unknown token.
+pub const UNK: usize = 3;
+
+/// A bidirectional token ↔ id mapping with the four reserved tokens.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    to_id: HashMap<String, usize>,
+    to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Build a vocabulary from an iterator of token sequences.
+    pub fn build<'a, I>(sequences: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut v = Vocab::empty();
+        for seq in sequences {
+            for tok in seq {
+                v.add(tok);
+            }
+        }
+        v
+    }
+
+    /// A vocabulary containing only the reserved tokens.
+    pub fn empty() -> Self {
+        let reserved = ["<pad>", "<sos>", "<eos>", "<unk>"];
+        let to_token: Vec<String> = reserved.iter().map(|s| s.to_string()).collect();
+        let to_id = to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocab { to_id, to_token }
+    }
+
+    /// Insert a token if new; returns its id.
+    pub fn add(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.to_id.get(token) {
+            return id;
+        }
+        let id = self.to_token.len();
+        self.to_token.push(token.to_string());
+        self.to_id.insert(token.to_string(), id);
+        id
+    }
+
+    /// Look up a token, falling back to `<unk>`.
+    pub fn id(&self, token: &str) -> usize {
+        self.to_id.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// The token for an id; `<unk>` for out-of-range ids.
+    pub fn token(&self, id: usize) -> &str {
+        self.to_token
+            .get(id)
+            .map(String::as_str)
+            .unwrap_or("<unk>")
+    }
+
+    /// Vocabulary size including reserved tokens.
+    pub fn len(&self) -> usize {
+        self.to_token.len()
+    }
+
+    /// Whether only reserved tokens exist.
+    pub fn is_empty(&self) -> bool {
+        self.to_token.len() <= 4
+    }
+
+    /// Encode a token sequence, appending `<eos>`.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        let mut out: Vec<usize> = tokens.iter().map(|t| self.id(t)).collect();
+        out.push(EOS);
+        out
+    }
+
+    /// Decode ids into tokens, stopping at `<eos>` and skipping reserved
+    /// tokens.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        let mut out = Vec::new();
+        for &id in ids {
+            if id == EOS {
+                break;
+            }
+            if id <= UNK {
+                continue;
+            }
+            out.push(self.token(id).to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn reserved_tokens_fixed() {
+        let v = Vocab::empty();
+        assert_eq!(v.id("<pad>"), PAD);
+        assert_eq!(v.id("<sos>"), SOS);
+        assert_eq!(v.id("<eos>"), EOS);
+        assert_eq!(v.id("<unk>"), UNK);
+        assert_eq!(v.len(), 4);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let a = toks(&["show", "the", "name"]);
+        let b = toks(&["show", "me"]);
+        let v = Vocab::build([a.as_slice(), b.as_slice()]);
+        assert_eq!(v.len(), 4 + 4); // show, the, name, me
+        assert_eq!(v.token(v.id("show")), "show");
+        assert_eq!(v.id("unseen"), UNK);
+    }
+
+    #[test]
+    fn encode_appends_eos() {
+        let a = toks(&["a", "b"]);
+        let mut v = Vocab::empty();
+        v.add("a");
+        v.add("b");
+        let ids = v.encode(&a);
+        assert_eq!(ids.last(), Some(&EOS));
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let a = toks(&["select", "name", "from", "patients"]);
+        let v = Vocab::build([a.as_slice()]);
+        let ids = v.encode(&a);
+        assert_eq!(v.decode(&ids), a);
+    }
+
+    #[test]
+    fn decode_stops_at_eos() {
+        let a = toks(&["x"]);
+        let v = Vocab::build([a.as_slice()]);
+        let ids = vec![v.id("x"), EOS, v.id("x")];
+        assert_eq!(v.decode(&ids), toks(&["x"]));
+    }
+}

@@ -1,0 +1,186 @@
+//! Domain-specific comparative and superlative dictionaries.
+//!
+//! "One example is the use of available linguistic dictionaries for
+//! comparatives and superlatives. For example, by using these resources,
+//! we can replace the general phrase *greater than* in an input NL query
+//! by *older than* if the domain of the schema attribute is set to age."
+//! (paper §3.2.3)
+
+use dbpal_schema::SemanticDomain;
+
+/// Which comparative sense a phrase expresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComparativeSense {
+    /// `>` — "greater than".
+    Greater,
+    /// `<` — "less than".
+    Less,
+    /// `MAX` — "the highest".
+    Max,
+    /// `MIN` — "the lowest".
+    Min,
+}
+
+impl ComparativeSense {
+    /// All senses.
+    pub const ALL: [ComparativeSense; 4] = [
+        ComparativeSense::Greater,
+        ComparativeSense::Less,
+        ComparativeSense::Max,
+        ComparativeSense::Min,
+    ];
+}
+
+/// Lookup of domain-specific phrases per comparative sense.
+#[derive(Debug, Clone, Default)]
+pub struct ComparativeDictionary;
+
+impl ComparativeDictionary {
+    /// Create the dictionary (stateless; data is static).
+    pub fn new() -> Self {
+        ComparativeDictionary
+    }
+
+    /// The generic phrases for a sense ("greater than", "more than", ...).
+    pub fn generic_phrases(&self, sense: ComparativeSense) -> &'static [&'static str] {
+        match sense {
+            ComparativeSense::Greater => {
+                &["greater than", "more than", "larger than", "above", "over"]
+            }
+            ComparativeSense::Less => {
+                &["less than", "smaller than", "below", "under", "fewer than"]
+            }
+            ComparativeSense::Max => &["the highest", "the largest", "the greatest", "the maximum"],
+            ComparativeSense::Min => &["the lowest", "the smallest", "the least", "the minimum"],
+        }
+    }
+
+    /// Domain-specific phrases for a sense, empty for
+    /// [`SemanticDomain::Generic`].
+    pub fn domain_phrases(
+        &self,
+        domain: SemanticDomain,
+        sense: ComparativeSense,
+    ) -> &'static [&'static str] {
+        use ComparativeSense::*;
+        use SemanticDomain::*;
+        match (domain, sense) {
+            (Age, Greater) => &["older than", "aged over", "above the age of"],
+            (Age, Less) => &["younger than", "aged under", "below the age of"],
+            (Age, Max) => &["the oldest", "the eldest", "the most senior"],
+            (Age, Min) => &["the youngest"],
+            (Height, Greater) => &["taller than", "higher than"],
+            (Height, Less) => &["shorter than", "lower than"],
+            (Height, Max) => &["the tallest", "the highest"],
+            (Height, Min) => &["the shortest", "the lowest"],
+            (Length, Greater) => &["longer than"],
+            (Length, Less) => &["shorter than"],
+            (Length, Max) => &["the longest"],
+            (Length, Min) => &["the shortest", "the briefest"],
+            (Weight, Greater) => &["heavier than"],
+            (Weight, Less) => &["lighter than"],
+            (Weight, Max) => &["the heaviest"],
+            (Weight, Min) => &["the lightest"],
+            (Population, Greater) => &["more populous than", "more crowded than"],
+            (Population, Less) => &["less populous than"],
+            (Population, Max) => &["the most populous", "the most crowded"],
+            (Population, Min) => &["the least populous"],
+            (Money, Greater) => &["more expensive than", "costlier than", "pricier than"],
+            (Money, Less) => &["cheaper than", "less expensive than"],
+            (Money, Max) => &["the most expensive", "the priciest"],
+            (Money, Min) => &["the cheapest", "the least expensive"],
+            (Duration, Greater) => &["longer than", "lasting more than"],
+            (Duration, Less) => &["shorter than", "lasting less than"],
+            (Duration, Max) => &["the longest"],
+            (Duration, Min) => &["the shortest", "the briefest"],
+            (Area, Greater) => &["larger than", "bigger than", "more extensive than"],
+            (Area, Less) => &["smaller than"],
+            (Area, Max) => &["the largest", "the biggest"],
+            (Area, Min) => &["the smallest", "the tiniest"],
+            (Speed, Greater) => &["faster than", "quicker than"],
+            (Speed, Less) => &["slower than"],
+            (Speed, Max) => &["the fastest", "the quickest"],
+            (Speed, Min) => &["the slowest"],
+            (Time, Greater) => &["later than", "after"],
+            (Time, Less) => &["earlier than", "before"],
+            (Time, Max) => &["the latest", "the most recent"],
+            (Time, Min) => &["the earliest", "the first"],
+            (Generic, _) => &[],
+        }
+    }
+
+    /// All phrases (generic plus domain-specific) for a sense on a domain.
+    pub fn all_phrases(
+        &self,
+        domain: SemanticDomain,
+        sense: ComparativeSense,
+    ) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = self.generic_phrases(sense).to_vec();
+        out.extend_from_slice(self.domain_phrases(domain, sense));
+        out
+    }
+
+    /// Identify which sense a (lowercase) phrase expresses, if any.
+    pub fn sense_of(&self, phrase: &str) -> Option<ComparativeSense> {
+        for sense in ComparativeSense::ALL {
+            if self.generic_phrases(sense).contains(&phrase) {
+                return Some(sense);
+            }
+            for domain in SemanticDomain::ALL {
+                if self.domain_phrases(domain, sense).contains(&phrase) {
+                    return Some(sense);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_age_greater() {
+        // §3.2.3: "greater than" → "older than" when the domain is age.
+        let d = ComparativeDictionary::new();
+        assert!(d
+            .domain_phrases(SemanticDomain::Age, ComparativeSense::Greater)
+            .contains(&"older than"));
+    }
+
+    #[test]
+    fn generic_domain_adds_nothing() {
+        let d = ComparativeDictionary::new();
+        for sense in ComparativeSense::ALL {
+            assert!(d.domain_phrases(SemanticDomain::Generic, sense).is_empty());
+        }
+    }
+
+    #[test]
+    fn all_domains_have_greater_phrases() {
+        let d = ComparativeDictionary::new();
+        for domain in SemanticDomain::ALL {
+            assert!(
+                !d.domain_phrases(domain, ComparativeSense::Greater).is_empty(),
+                "{domain} lacks Greater phrases"
+            );
+        }
+    }
+
+    #[test]
+    fn all_phrases_merges() {
+        let d = ComparativeDictionary::new();
+        let all = d.all_phrases(SemanticDomain::Age, ComparativeSense::Greater);
+        assert!(all.contains(&"greater than"));
+        assert!(all.contains(&"older than"));
+    }
+
+    #[test]
+    fn sense_lookup() {
+        let d = ComparativeDictionary::new();
+        assert_eq!(d.sense_of("older than"), Some(ComparativeSense::Greater));
+        assert_eq!(d.sense_of("the cheapest"), Some(ComparativeSense::Min));
+        assert_eq!(d.sense_of("purple"), None);
+    }
+}

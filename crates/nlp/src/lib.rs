@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! NLP substrates for DBPal.
+//!
+//! DBPal's pipeline needs a handful of classic NLP components, all
+//! implemented from scratch here:
+//!
+//! * [`tokenize`] — a whitespace/punctuation word tokenizer that keeps
+//!   `@PLACEHOLDER` tokens intact.
+//! * [`Lemmatizer`] — the rule-based English lemmatizer applied both to
+//!   generated training pairs and to runtime input ("different forms of
+//!   the same word are mapped to the word's root", paper §2.2.3: *is/are/
+//!   am → be*, *cars/car's → car*).
+//! * [`ParaphraseStore`] — the lexical resource behind automatic
+//!   paraphrasing (§3.2.1). The paper uses PPDB; this is a curated
+//!   embedded paraphrase table with PPDB-like quality scores, including
+//!   deliberately low-quality entries so the noise-vs-coverage trade-off
+//!   the paper tunes (`size_para`, `num_para`) is real.
+//! * [`ComparativeDictionary`] — domain-specific comparative/superlative
+//!   phrasings ("greater than" → "older than" for age attributes, §3.2.3).
+//! * [`jaccard_similarity`] and friends — the string similarity used by
+//!   the runtime parameter handler to map user constants onto database
+//!   values ("we currently use the Jaccard index", §4.1).
+//! * [`PosTagger`] — a lexicon+suffix part-of-speech tagger, implementing
+//!   the paper's proposed future-work extension of restricting word
+//!   dropout to certain word classes (§3.2.3).
+
+mod comparatives;
+mod lemmatizer;
+mod postag;
+mod ppdb;
+mod similarity;
+mod tokenizer;
+
+pub use comparatives::{ComparativeDictionary, ComparativeSense};
+pub use lemmatizer::Lemmatizer;
+pub use postag::{PosTag, PosTagger};
+pub use ppdb::{ParaphraseEntry, ParaphraseStore};
+pub use similarity::{char_ngram_jaccard, jaccard_similarity, normalized_edit_distance};
+pub use tokenizer::{detokenize, tokenize};

@@ -1,0 +1,175 @@
+//! A lightweight part-of-speech tagger.
+//!
+//! The paper proposes (§3.2.3, future work) "to use an off-the-shelf
+//! part-of-speech tagger to annotate each word in a given NL query ...
+//! to apply the word removal only for certain classes of words." This
+//! module implements that extension with a closed-class lexicon plus
+//! suffix heuristics, which is accurate enough to gate word dropout on
+//! function words vs content words.
+
+/// Coarse part-of-speech tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Determiners: the, a, an, every ...
+    Determiner,
+    /// Prepositions/conjunctions: of, in, with, and, or ...
+    Function,
+    /// Pronouns: me, their, who ...
+    Pronoun,
+    /// Wh-words: what, which, how ...
+    Wh,
+    /// Auxiliary/copular verbs: is, are, do ...
+    Auxiliary,
+    /// Main verbs (heuristic).
+    Verb,
+    /// Adjectives (heuristic).
+    Adjective,
+    /// Cardinal numbers.
+    Number,
+    /// `@PLACEHOLDER` tokens.
+    Placeholder,
+    /// Everything else — treated as noun-ish content.
+    Noun,
+}
+
+impl PosTag {
+    /// Whether dropping a word of this class usually preserves the query
+    /// intent (function words, determiners, auxiliaries).
+    pub fn is_droppable(self) -> bool {
+        matches!(
+            self,
+            PosTag::Determiner | PosTag::Function | PosTag::Pronoun | PosTag::Auxiliary
+        )
+    }
+}
+
+/// Lexicon + suffix-heuristic tagger.
+#[derive(Debug, Clone, Default)]
+pub struct PosTagger;
+
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "every", "each", "all", "any", "some", "no", "this", "that", "these",
+    "those", "both",
+];
+const FUNCTION: &[&str] = &[
+    "of", "in", "on", "at", "by", "with", "for", "from", "to", "into", "over", "under",
+    "above", "below", "between", "and", "or", "but", "than", "as", "per", "whose", "where",
+    "while", "if", "then", "so",
+];
+const PRONOUNS: &[&str] = &[
+    "i", "me", "my", "you", "your", "he", "she", "it", "its", "we", "us", "our", "they",
+    "them", "their", "who", "whom",
+];
+const WH: &[&str] = &["what", "which", "how", "when", "why"];
+const AUXILIARIES: &[&str] = &[
+    "is", "are", "am", "was", "were", "be", "been", "being", "do", "does", "did", "have",
+    "has", "had", "can", "could", "will", "would", "shall", "should", "may", "might", "must",
+];
+const COMMON_VERBS: &[&str] = &[
+    "show", "list", "display", "give", "find", "get", "tell", "return", "count", "compute",
+    "calculate", "enumerate", "identify", "retrieve", "fetch", "provide", "select", "name",
+    "want", "need", "stay", "treat", "diagnose", "live", "work", "order", "sort", "group",
+    "exceed", "equal",
+];
+
+impl PosTagger {
+    /// Create the tagger.
+    pub fn new() -> Self {
+        PosTagger
+    }
+
+    /// Tag one lowercase token.
+    pub fn tag(&self, word: &str) -> PosTag {
+        if word.starts_with('@') {
+            return PosTag::Placeholder;
+        }
+        if word.chars().all(|c| c.is_ascii_digit()) && !word.is_empty() {
+            return PosTag::Number;
+        }
+        if DETERMINERS.contains(&word) {
+            return PosTag::Determiner;
+        }
+        if FUNCTION.contains(&word) {
+            return PosTag::Function;
+        }
+        if PRONOUNS.contains(&word) {
+            return PosTag::Pronoun;
+        }
+        if WH.contains(&word) {
+            return PosTag::Wh;
+        }
+        if AUXILIARIES.contains(&word) {
+            return PosTag::Auxiliary;
+        }
+        if COMMON_VERBS.contains(&word) {
+            return PosTag::Verb;
+        }
+        // Suffix heuristics.
+        if word.ends_with("est") || word.ends_with("ous") || word.ends_with("ful")
+            || word.ends_with("ive") || word.ends_with("able") || word.ends_with("al")
+        {
+            return PosTag::Adjective;
+        }
+        if word.ends_with("ing") || word.ends_with("ize") || word.ends_with("ise") {
+            return PosTag::Verb;
+        }
+        PosTag::Noun
+    }
+
+    /// Tag a token sequence.
+    pub fn tag_tokens(&self, tokens: &[String]) -> Vec<PosTag> {
+        tokens.iter().map(|t| self.tag(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_classes() {
+        let t = PosTagger::new();
+        assert_eq!(t.tag("the"), PosTag::Determiner);
+        assert_eq!(t.tag("of"), PosTag::Function);
+        assert_eq!(t.tag("me"), PosTag::Pronoun);
+        assert_eq!(t.tag("what"), PosTag::Wh);
+        assert_eq!(t.tag("are"), PosTag::Auxiliary);
+    }
+
+    #[test]
+    fn open_classes() {
+        let t = PosTagger::new();
+        assert_eq!(t.tag("show"), PosTag::Verb);
+        assert_eq!(t.tag("patient"), PosTag::Noun);
+        assert_eq!(t.tag("largest"), PosTag::Adjective);
+        assert_eq!(t.tag("80"), PosTag::Number);
+        assert_eq!(t.tag("@AGE"), PosTag::Placeholder);
+    }
+
+    #[test]
+    fn droppable_classes() {
+        assert!(PosTag::Determiner.is_droppable());
+        assert!(PosTag::Function.is_droppable());
+        assert!(!PosTag::Noun.is_droppable());
+        assert!(!PosTag::Number.is_droppable());
+        assert!(!PosTag::Placeholder.is_droppable());
+    }
+
+    #[test]
+    fn tags_sequences() {
+        let t = PosTagger::new();
+        let tags = t.tag_tokens(&crate::tokenize("show me the patients with age @AGE"));
+        assert_eq!(
+            tags,
+            vec![
+                PosTag::Verb,
+                PosTag::Pronoun,
+                PosTag::Determiner,
+                PosTag::Noun,
+                PosTag::Function,
+                PosTag::Noun,
+                PosTag::Placeholder
+            ]
+        );
+    }
+}

@@ -1,0 +1,593 @@
+//! The paraphrase store: DBPal's PPDB substitute.
+//!
+//! The paper draws paraphrases from PPDB, "an automatically extracted
+//! database containing millions of paraphrases" (§3.2.1), randomly
+//! replacing unigrams and bigrams of each generated NL query. PPDB itself
+//! is a multi-gigabyte external resource, so this crate embeds a curated
+//! paraphrase table with the same shape: phrase → ranked alternatives
+//! with PPDB-style quality scores. Entries below quality 0.5 are
+//! deliberately noisy (wrong register, subtly wrong meaning), modelling
+//! the low-quality paraphrases the paper tunes against: "PPDB also
+//! includes some paraphrases that are of low quality".
+
+use std::collections::HashMap;
+
+/// One paraphrase alternative with its quality score in `(0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParaphraseEntry {
+    /// The replacement phrase (may be multi-word).
+    pub phrase: &'static str,
+    /// PPDB-style quality: higher is more faithful.
+    pub quality: f32,
+}
+
+/// Lookup table from a phrase (unigram or bigram, lowercase) to its
+/// paraphrases.
+#[derive(Debug, Clone)]
+pub struct ParaphraseStore {
+    table: HashMap<&'static str, Vec<ParaphraseEntry>>,
+}
+
+macro_rules! entries {
+    ($($phrase:literal => $quality:literal),* $(,)?) => {
+        vec![$(ParaphraseEntry { phrase: $phrase, quality: $quality }),*]
+    };
+}
+
+impl ParaphraseStore {
+    /// Build the embedded store.
+    pub fn new() -> Self {
+        let mut table: HashMap<&'static str, Vec<ParaphraseEntry>> = HashMap::new();
+
+        // --- Verbs of display / retrieval (the SelectPhrase vocabulary) ---
+        table.insert(
+            "show",
+            entries![
+                "display" => 0.95, "list" => 0.9, "present" => 0.8, "give" => 0.75,
+                "demonstrate" => 0.4, "showcase" => 0.35, "indicate" => 0.3,
+            ],
+        );
+        table.insert(
+            "display",
+            entries!["show" => 0.95, "list" => 0.85, "present" => 0.8, "exhibit" => 0.35],
+        );
+        table.insert(
+            "list",
+            entries!["show" => 0.9, "enumerate" => 0.85, "identify" => 0.7, "itemize" => 0.45],
+        );
+        table.insert(
+            "enumerate",
+            entries!["list" => 0.9, "identify" => 0.7, "count off" => 0.3],
+        );
+        table.insert(
+            "give",
+            entries!["show" => 0.8, "provide" => 0.85, "supply" => 0.6, "hand" => 0.25],
+        );
+        table.insert(
+            "find",
+            entries!["locate" => 0.8, "retrieve" => 0.8, "get" => 0.75, "discover" => 0.5,
+                     "detect" => 0.3],
+        );
+        table.insert(
+            "get",
+            entries!["retrieve" => 0.85, "fetch" => 0.8, "obtain" => 0.7, "acquire" => 0.4],
+        );
+        table.insert(
+            "tell",
+            entries!["show" => 0.7, "inform" => 0.5, "say" => 0.4],
+        );
+        table.insert(
+            "return",
+            entries!["give" => 0.7, "output" => 0.7, "yield" => 0.45],
+        );
+        table.insert(
+            "count",
+            entries!["tally" => 0.7, "number" => 0.6, "total" => 0.55, "sum" => 0.3],
+        );
+        table.insert(
+            "compute",
+            entries!["calculate" => 0.95, "determine" => 0.8, "work out" => 0.6],
+        );
+        table.insert(
+            "calculate",
+            entries!["compute" => 0.95, "determine" => 0.8, "figure out" => 0.55],
+        );
+
+        // --- Question openers ---
+        table.insert(
+            "what is",
+            entries!["what's" => 0.95, "tell me" => 0.8, "give me" => 0.75, "which is" => 0.6],
+        );
+        table.insert(
+            "what are",
+            entries!["which are" => 0.7, "tell me" => 0.75, "give me" => 0.7],
+        );
+        table.insert(
+            "show me",
+            entries!["display" => 0.85, "give me" => 0.85, "list" => 0.8, "i want" => 0.5,
+                     "let me see" => 0.55],
+        );
+        table.insert(
+            "how many",
+            entries!["what number of" => 0.85, "count of" => 0.7, "how much" => 0.35],
+        );
+        table.insert(
+            "how much",
+            entries!["what amount of" => 0.8, "how many" => 0.35],
+        );
+        table.insert(
+            "who are",
+            entries!["which persons are" => 0.6, "what are the names of" => 0.7],
+        );
+        table.insert(
+            "i want",
+            entries!["i need" => 0.9, "i would like" => 0.9, "give me" => 0.8],
+        );
+
+        // --- Relational / filter vocabulary ---
+        table.insert(
+            "with",
+            entries!["having" => 0.85, "that have" => 0.8, "whose" => 0.6, "alongside" => 0.2],
+        );
+        table.insert(
+            "where",
+            entries!["in which" => 0.75, "for which" => 0.75, "whereby" => 0.3],
+        );
+        table.insert(
+            "whose",
+            entries!["with" => 0.6, "that have" => 0.6],
+        );
+        table.insert(
+            "greater than",
+            entries!["more than" => 0.95, "larger than" => 0.9, "above" => 0.85,
+                     "over" => 0.85, "exceeding" => 0.7, "in excess of" => 0.5,
+                     "greater" => 0.3],
+        );
+        table.insert(
+            "less than",
+            entries!["smaller than" => 0.9, "below" => 0.85, "under" => 0.85,
+                     "beneath" => 0.4, "lesser" => 0.25],
+        );
+        table.insert(
+            "more than",
+            entries!["greater than" => 0.95, "over" => 0.85, "above" => 0.8, "upwards of" => 0.5],
+        );
+        table.insert(
+            "at least",
+            entries!["no less than" => 0.85, "a minimum of" => 0.8, "or more" => 0.5],
+        );
+        table.insert(
+            "at most",
+            entries!["no more than" => 0.85, "a maximum of" => 0.8, "or fewer" => 0.5],
+        );
+        table.insert(
+            "equal to",
+            entries!["the same as" => 0.85, "exactly" => 0.75, "equivalent to" => 0.7,
+                     "equal" => 0.4],
+        );
+        table.insert(
+            "is",
+            entries!["equals" => 0.7, "is exactly" => 0.6, "be" => 0.3],
+        );
+        table.insert(
+            "not",
+            entries!["n't" => 0.6, "never" => 0.3],
+        );
+        table.insert(
+            "between",
+            entries!["in the range" => 0.7, "from" => 0.4, "among" => 0.25],
+        );
+
+        // --- Aggregation vocabulary ---
+        table.insert(
+            "average",
+            entries!["mean" => 0.95, "typical" => 0.5, "expected" => 0.3, "avg" => 0.75],
+        );
+        table.insert(
+            "mean",
+            entries!["average" => 0.95, "typical" => 0.45],
+        );
+        table.insert(
+            "maximum",
+            entries!["highest" => 0.9, "largest" => 0.9, "greatest" => 0.85, "top" => 0.7,
+                     "max" => 0.8, "peak" => 0.5, "utmost" => 0.3],
+        );
+        table.insert(
+            "minimum",
+            entries!["lowest" => 0.9, "smallest" => 0.9, "least" => 0.8, "min" => 0.8,
+                     "bottom" => 0.5],
+        );
+        table.insert(
+            "total",
+            entries!["sum" => 0.9, "overall" => 0.8, "combined" => 0.7, "entire" => 0.4],
+        );
+        table.insert(
+            "sum",
+            entries!["total" => 0.9, "sum total" => 0.7, "aggregate" => 0.6, "count" => 0.25],
+        );
+        table.insert(
+            "number",
+            entries!["count" => 0.85, "amount" => 0.7, "quantity" => 0.65, "figure" => 0.3],
+        );
+        table.insert(
+            "number of",
+            entries!["count of" => 0.9, "amount of" => 0.7, "quantity of" => 0.65,
+                     "how many" => 0.6],
+        );
+        table.insert(
+            "per",
+            entries!["for each" => 0.9, "for every" => 0.85, "by" => 0.5],
+        );
+        table.insert(
+            "for each",
+            entries!["per" => 0.9, "for every" => 0.95, "grouped by" => 0.6, "by" => 0.4],
+        );
+        table.insert(
+            "grouped by",
+            entries!["for each" => 0.8, "per" => 0.7, "broken down by" => 0.75,
+                     "split by" => 0.6],
+        );
+
+        // --- Common nouns/adjectives around databases ---
+        table.insert(
+            "all",
+            entries!["every" => 0.85, "each" => 0.7, "the complete set of" => 0.5,
+                     "everything" => 0.3],
+        );
+        table.insert(
+            "every",
+            entries!["all" => 0.85, "each" => 0.85, "any" => 0.3],
+        );
+        table.insert(
+            "name",
+            entries!["title" => 0.5, "label" => 0.4, "designation" => 0.3],
+        );
+        table.insert(
+            "names",
+            entries!["titles" => 0.5, "labels" => 0.4],
+        );
+        table.insert(
+            "different",
+            entries!["distinct" => 0.9, "unique" => 0.8, "various" => 0.5, "separate" => 0.4],
+        );
+        table.insert(
+            "distinct",
+            entries!["different" => 0.85, "unique" => 0.85, "separate" => 0.4],
+        );
+        table.insert(
+            "oldest",
+            entries!["most aged" => 0.45, "eldest" => 0.8, "most senior" => 0.6],
+        );
+        table.insert(
+            "largest",
+            entries!["biggest" => 0.9, "greatest" => 0.8, "top" => 0.5, "grandest" => 0.2],
+        );
+        table.insert(
+            "smallest",
+            entries!["tiniest" => 0.6, "least" => 0.55, "littlest" => 0.3],
+        );
+        table.insert(
+            "highest",
+            entries!["greatest" => 0.85, "largest" => 0.8, "top" => 0.7, "tallest" => 0.4],
+        );
+        table.insert(
+            "lowest",
+            entries!["smallest" => 0.8, "least" => 0.7, "bottom" => 0.6],
+        );
+        table.insert(
+            "sorted by",
+            entries!["ordered by" => 0.95, "ranked by" => 0.8, "arranged by" => 0.7],
+        );
+        table.insert(
+            "ordered by",
+            entries!["sorted by" => 0.95, "ranked by" => 0.8],
+        );
+        table.insert(
+            "ascending",
+            entries!["increasing" => 0.85, "from lowest to highest" => 0.8, "upward" => 0.4],
+        );
+        table.insert(
+            "descending",
+            entries!["decreasing" => 0.85, "from highest to lowest" => 0.8, "downward" => 0.4],
+        );
+        table.insert(
+            "older than",
+            entries!["above the age of" => 0.85, "aged over" => 0.8, "past" => 0.3],
+        );
+        table.insert(
+            "younger than",
+            entries!["below the age of" => 0.85, "aged under" => 0.8],
+        );
+        table.insert(
+            "diagnosed with",
+            entries!["suffering from" => 0.85, "who have" => 0.7, "afflicted with" => 0.6,
+                     "identified with" => 0.3],
+        );
+        table.insert(
+            "treated by",
+            entries!["under the care of" => 0.8, "seen by" => 0.7, "handled by" => 0.4],
+        );
+        table.insert(
+            "stay",
+            entries!["visit" => 0.5, "stop" => 0.2, "remain" => 0.4],
+        );
+        table.insert(
+            "length of",
+            entries!["duration of" => 0.85, "extent of" => 0.5, "span of" => 0.55],
+        );
+        table.insert(
+            "located in",
+            entries!["situated in" => 0.85, "found in" => 0.75, "in" => 0.6, "placed in" => 0.3],
+        );
+        table.insert(
+            "in",
+            entries!["within" => 0.8, "inside" => 0.6, "into" => 0.2],
+        );
+        table.insert(
+            "of",
+            entries!["for" => 0.5, "belonging to" => 0.45],
+        );
+        table.insert(
+            "the",
+            entries!["all the" => 0.4, "that" => 0.2],
+        );
+        table.insert(
+            "patients",
+            entries!["people" => 0.6, "cases" => 0.45, "individuals" => 0.55,
+                     "sufferers" => 0.3],
+        );
+        table.insert(
+            "patient",
+            entries!["person" => 0.55, "case" => 0.45, "individual" => 0.5],
+        );
+        table.insert(
+            "doctor",
+            entries!["physician" => 0.9, "medic" => 0.5, "clinician" => 0.7],
+        );
+        table.insert(
+            "doctors",
+            entries!["physicians" => 0.9, "medics" => 0.5, "clinicians" => 0.7],
+        );
+        table.insert(
+            "disease",
+            entries!["illness" => 0.9, "condition" => 0.75, "sickness" => 0.7,
+                     "ailment" => 0.6, "malady" => 0.3],
+        );
+        table.insert(
+            "diseases",
+            entries!["illnesses" => 0.9, "conditions" => 0.75, "ailments" => 0.6],
+        );
+        table.insert(
+            "age",
+            entries!["years" => 0.5, "age in years" => 0.6],
+        );
+        table.insert(
+            "city",
+            entries!["town" => 0.7, "municipality" => 0.6, "metropolis" => 0.3],
+        );
+        table.insert(
+            "cities",
+            entries!["towns" => 0.7, "municipalities" => 0.6],
+        );
+        table.insert(
+            "state",
+            entries!["province" => 0.4, "region" => 0.4],
+        );
+        table.insert(
+            "population",
+            entries!["number of inhabitants" => 0.8, "number of residents" => 0.75,
+                     "headcount" => 0.4],
+        );
+        table.insert(
+            "river",
+            entries!["waterway" => 0.6, "stream" => 0.5],
+        );
+        table.insert(
+            "mountain",
+            entries!["peak" => 0.7, "summit" => 0.5, "mount" => 0.7],
+        );
+        table.insert(
+            "flight",
+            entries!["plane trip" => 0.6, "air journey" => 0.45],
+        );
+        table.insert(
+            "price",
+            entries!["cost" => 0.9, "rate" => 0.5, "charge" => 0.5, "fee" => 0.55],
+        );
+        table.insert(
+            "salary",
+            entries!["pay" => 0.85, "wage" => 0.8, "earnings" => 0.75, "compensation" => 0.6],
+        );
+        table.insert(
+            "employee",
+            entries!["worker" => 0.85, "staff member" => 0.8, "staffer" => 0.5],
+        );
+        table.insert(
+            "employees",
+            entries!["workers" => 0.85, "staff members" => 0.8, "personnel" => 0.6],
+        );
+        table.insert(
+            "student",
+            entries!["pupil" => 0.8, "learner" => 0.5],
+        );
+        table.insert(
+            "students",
+            entries!["pupils" => 0.8, "learners" => 0.5],
+        );
+        table.insert(
+            "car",
+            entries!["automobile" => 0.85, "vehicle" => 0.8, "motorcar" => 0.4],
+        );
+        table.insert(
+            "cars",
+            entries!["automobiles" => 0.85, "vehicles" => 0.8],
+        );
+        table.insert(
+            "book",
+            entries!["volume" => 0.5, "title" => 0.45, "publication" => 0.5],
+        );
+        table.insert(
+            "song",
+            entries!["track" => 0.8, "tune" => 0.6, "piece" => 0.4],
+        );
+        table.insert(
+            "customer",
+            entries!["client" => 0.85, "buyer" => 0.6, "patron" => 0.5],
+        );
+        table.insert(
+            "customers",
+            entries!["clients" => 0.85, "buyers" => 0.6, "patrons" => 0.5],
+        );
+        table.insert(
+            "order",
+            entries!["purchase" => 0.7, "transaction" => 0.55],
+        );
+        table.insert(
+            "team",
+            entries!["squad" => 0.7, "club" => 0.6, "side" => 0.4],
+        );
+        table.insert(
+            "game",
+            entries!["match" => 0.8, "contest" => 0.5, "fixture" => 0.45],
+        );
+        table.insert(
+            "department",
+            entries!["division" => 0.7, "unit" => 0.5, "section" => 0.5],
+        );
+        table.insert(
+            "country",
+            entries!["nation" => 0.85, "land" => 0.3, "state" => 0.35],
+        );
+        table.insert(
+            "countries",
+            entries!["nations" => 0.85, "lands" => 0.3],
+        );
+        table.insert(
+            "airport",
+            entries!["airfield" => 0.6, "aerodrome" => 0.4],
+        );
+        table.insert(
+            "hospital",
+            entries!["clinic" => 0.6, "medical center" => 0.7, "infirmary" => 0.4],
+        );
+
+        ParaphraseStore { table }
+    }
+
+    /// Paraphrases for a lowercase phrase (unigram or bigram), best first.
+    /// Returns an empty slice for unknown phrases.
+    pub fn paraphrases(&self, phrase: &str) -> &[ParaphraseEntry] {
+        self.table.get(phrase).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The top `n` paraphrases with quality at least `min_quality`.
+    pub fn top(&self, phrase: &str, n: usize, min_quality: f32) -> Vec<&ParaphraseEntry> {
+        let mut all: Vec<&ParaphraseEntry> = self
+            .paraphrases(phrase)
+            .iter()
+            .filter(|e| e.quality >= min_quality)
+            .collect();
+        all.sort_by(|a, b| b.quality.total_cmp(&a.quality));
+        all.truncate(n);
+        all
+    }
+
+    /// Number of distinct source phrases in the store.
+    pub fn phrase_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Total number of (phrase, paraphrase) pairs.
+    pub fn pair_count(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+
+    /// Whether the store has any paraphrase for a phrase.
+    pub fn contains(&self, phrase: &str) -> bool {
+        self.table.contains_key(phrase)
+    }
+}
+
+impl Default for ParaphraseStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_show() {
+        // §3.2.1: paraphrasing "Show" yields display etc.
+        let store = ParaphraseStore::new();
+        let phrases: Vec<&str> = store.paraphrases("show").iter().map(|e| e.phrase).collect();
+        assert!(phrases.contains(&"display"));
+        assert!(phrases.contains(&"demonstrate"));
+    }
+
+    #[test]
+    fn paper_example_enumerate() {
+        // §3.2.1: "enumerate" suggests "list" and "identify".
+        let store = ParaphraseStore::new();
+        let phrases: Vec<&str> = store
+            .paraphrases("enumerate")
+            .iter()
+            .map(|e| e.phrase)
+            .collect();
+        assert!(phrases.contains(&"list"));
+        assert!(phrases.contains(&"identify"));
+    }
+
+    #[test]
+    fn bigram_lookup() {
+        let store = ParaphraseStore::new();
+        assert!(store.contains("greater than"));
+        assert!(store.contains("how many"));
+        assert!(!store.contains("zxqj nonsense"));
+    }
+
+    #[test]
+    fn top_respects_quality_floor() {
+        let store = ParaphraseStore::new();
+        let high = store.top("show", 10, 0.7);
+        assert!(high.iter().all(|e| e.quality >= 0.7));
+        let all = store.top("show", 10, 0.0);
+        assert!(all.len() > high.len(), "low-quality entries exist for noise");
+    }
+
+    #[test]
+    fn top_is_sorted_and_truncated() {
+        let store = ParaphraseStore::new();
+        let top2 = store.top("maximum", 2, 0.0);
+        assert_eq!(top2.len(), 2);
+        assert!(top2[0].quality >= top2[1].quality);
+    }
+
+    #[test]
+    fn store_has_substantial_coverage() {
+        let store = ParaphraseStore::new();
+        assert!(store.phrase_count() >= 80, "got {}", store.phrase_count());
+        assert!(store.pair_count() >= 250, "got {}", store.pair_count());
+    }
+
+    #[test]
+    fn contains_noise_entries() {
+        // The tuning trade-off requires genuinely low-quality entries.
+        let store = ParaphraseStore::new();
+        let noisy = store
+            .table
+            .values()
+            .flatten()
+            .filter(|e| e.quality < 0.5)
+            .count();
+        assert!(noisy >= 30, "only {noisy} noisy entries");
+    }
+
+    #[test]
+    fn unknown_phrase_is_empty() {
+        let store = ParaphraseStore::new();
+        assert!(store.paraphrases("frobnicate").is_empty());
+    }
+}

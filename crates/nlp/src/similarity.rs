@@ -1,0 +1,123 @@
+//! String similarity metrics for the runtime parameter handler.
+//!
+//! "We use a similarity function to replace constants with their most
+//! similar value that is used in the database. ... In our prototype, we
+//! currently use the Jaccard index, but the function can be replaced with
+//! any other similarity metric." (paper §4.1)
+
+use std::collections::HashSet;
+
+/// Token-level Jaccard similarity between two strings (case-insensitive,
+/// whitespace-split). 1.0 for identical token sets, 0.0 for disjoint.
+pub fn jaccard_similarity(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = a.split_whitespace().map(str::to_lowercase).collect();
+    let sb: HashSet<String> = b.split_whitespace().map(str::to_lowercase).collect();
+    jaccard(&sa, &sb)
+}
+
+/// Character n-gram Jaccard similarity (default for short constants where
+/// token overlap is too coarse: "NYC" vs "New York City").
+pub fn char_ngram_jaccard(a: &str, b: &str, n: usize) -> f64 {
+    let ga = ngrams(&a.to_lowercase(), n);
+    let gb = ngrams(&b.to_lowercase(), n);
+    jaccard(&ga, &gb)
+}
+
+fn ngrams(s: &str, n: usize) -> HashSet<String> {
+    let chars: Vec<char> = s.chars().filter(|c| !c.is_whitespace()).collect();
+    if chars.len() < n {
+        // Short strings contribute themselves.
+        return if chars.is_empty() {
+            HashSet::new()
+        } else {
+            [chars.iter().collect::<String>()].into_iter().collect()
+        };
+    }
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
+}
+
+fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Levenshtein distance normalized to `[0, 1]` where 0 is identical
+/// (distance divided by the longer length).
+pub fn normalized_edit_distance(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 && m == 0 {
+        return 0.0;
+    }
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m] as f64 / n.max(m) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_identical() {
+        assert_eq!(jaccard_similarity("new york city", "New York City"), 1.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let s = jaccard_similarity("new york city", "new york");
+        assert!(s > 0.5 && s < 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint() {
+        assert_eq!(jaccard_similarity("boston", "chicago"), 0.0);
+    }
+
+    #[test]
+    fn ngram_jaccard_catches_substrings() {
+        let close = char_ngram_jaccard("influenza", "influenz", 3);
+        let far = char_ngram_jaccard("influenza", "asthma", 3);
+        assert!(close > far);
+        assert!(close > 0.7);
+    }
+
+    #[test]
+    fn ngram_handles_short_strings() {
+        assert_eq!(char_ngram_jaccard("ny", "ny", 3), 1.0);
+        assert_eq!(char_ngram_jaccard("", "", 3), 1.0);
+        assert_eq!(char_ngram_jaccard("a", "b", 3), 0.0);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(normalized_edit_distance("abc", "abc"), 0.0);
+        assert_eq!(normalized_edit_distance("abc", "abd"), 1.0 / 3.0);
+        assert_eq!(normalized_edit_distance("", "abc"), 1.0);
+        assert_eq!(normalized_edit_distance("", ""), 0.0);
+    }
+
+    #[test]
+    fn edit_distance_case_insensitive() {
+        assert_eq!(normalized_edit_distance("Boston", "boston"), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Word tokenization for NL queries.
+
+/// Tokenize a natural-language query into lowercase word tokens.
+///
+/// * `@PLACEHOLDER` and `@TABLE.COLUMN` tokens are kept intact (uppercase
+///   after the `@`), since the parameter handler introduces them before
+///   tokenization (paper §4.1).
+/// * Alphanumeric runs form tokens; `-` and `'` inside a word are kept
+///   (`mother-in-law`, `patient's`), other punctuation is dropped.
+/// * Numbers are kept as their own tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '@' {
+            let start = i;
+            i += 1;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            if i > start + 1 {
+                let name: String = chars[start + 1..i].iter().collect();
+                tokens.push(format!("@{}", name.to_uppercase()));
+            }
+            continue;
+        }
+        if c.is_alphanumeric() {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric()
+                    || ((chars[i] == '-' || chars[i] == '\'')
+                        && i + 1 < chars.len()
+                        && chars[i + 1].is_alphanumeric()))
+            {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            tokens.push(word.to_lowercase());
+            continue;
+        }
+        i += 1;
+    }
+    tokens
+}
+
+/// Join tokens back into a single space-separated string.
+pub fn detokenize(tokens: &[String]) -> String {
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_punctuation() {
+        assert_eq!(
+            tokenize("Show me all cities, in Massachusetts!"),
+            vec!["show", "me", "all", "cities", "in", "massachusetts"]
+        );
+    }
+
+    #[test]
+    fn preserves_placeholders() {
+        assert_eq!(
+            tokenize("patients with age @AGE"),
+            vec!["patients", "with", "age", "@AGE"]
+        );
+        assert_eq!(
+            tokenize("treated by doctor @doctor.name?"),
+            vec!["treated", "by", "doctor", "@DOCTOR.NAME"]
+        );
+    }
+
+    #[test]
+    fn keeps_inner_apostrophes_and_hyphens() {
+        assert_eq!(tokenize("the patient's x-ray"), vec!["the", "patient's", "x-ray"]);
+    }
+
+    #[test]
+    fn drops_trailing_apostrophe() {
+        assert_eq!(tokenize("patients' age"), vec!["patients", "age"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(
+            tokenize("older than 80 years"),
+            vec!["older", "than", "80", "years"]
+        );
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!,.").is_empty());
+    }
+
+    #[test]
+    fn bare_at_ignored() {
+        assert_eq!(tokenize("a @ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn detokenize_round_trip() {
+        let toks = tokenize("show me all patients");
+        assert_eq!(detokenize(&toks), "show me all patients");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the NLP substrates.
+
+use dbpal_nlp::{
+    char_ngram_jaccard, detokenize, jaccard_similarity, normalized_edit_distance, tokenize,
+    Lemmatizer, PosTagger,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tokenization never yields empty tokens, and all non-placeholder
+    /// tokens are lowercase.
+    #[test]
+    fn tokens_nonempty_lowercase(text in ".{0,60}") {
+        for t in tokenize(&text) {
+            prop_assert!(!t.is_empty());
+            if !t.starts_with('@') {
+                prop_assert_eq!(t.clone(), t.to_lowercase());
+            }
+        }
+    }
+
+    /// Tokenizing the detokenized tokens is a fixpoint.
+    #[test]
+    fn tokenize_detokenize_fixpoint(text in "[a-zA-Z0-9 .,!?']{0,60}") {
+        let once = tokenize(&text);
+        let twice = tokenize(&detokenize(&once));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Lemmatization is idempotent: lemma(lemma(w)) == lemma(w).
+    #[test]
+    fn lemma_idempotent(word in "[a-z]{1,12}") {
+        let lem = Lemmatizer::new();
+        let once = lem.lemma(&word);
+        prop_assert_eq!(lem.lemma(&once), once.clone(), "word was {}", word);
+    }
+
+    /// Lemmas are never empty and never longer than input + 1 (the +1
+    /// covers -ied → -y style restorations and e-restoration).
+    #[test]
+    fn lemma_length_bounds(word in "[a-z]{1,12}") {
+        let lem = Lemmatizer::new();
+        let l = lem.lemma(&word);
+        prop_assert!(!l.is_empty());
+        prop_assert!(l.len() <= word.len() + 1, "{word} -> {l}");
+    }
+
+    /// Placeholders are untouched by lemmatization.
+    #[test]
+    fn placeholders_pass_through(name in "[A-Z]{1,8}") {
+        let lem = Lemmatizer::new();
+        let ph = format!("@{name}");
+        prop_assert_eq!(lem.lemma(&ph), ph.clone());
+    }
+
+    /// Jaccard similarity is symmetric and bounded.
+    #[test]
+    fn jaccard_symmetric_bounded(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+        let ab = jaccard_similarity(&a, &b);
+        let ba = jaccard_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// Identity has similarity 1 for both metrics.
+    #[test]
+    fn self_similarity_is_one(a in "[a-z]{1,20}") {
+        prop_assert_eq!(jaccard_similarity(&a, &a), 1.0);
+        prop_assert_eq!(char_ngram_jaccard(&a, &a, 3), 1.0);
+        prop_assert_eq!(normalized_edit_distance(&a, &a), 0.0);
+    }
+
+    /// Edit distance satisfies the bounds 0 ≤ d ≤ 1 and symmetry.
+    #[test]
+    fn edit_distance_bounds(a in "[a-z]{0,15}", b in "[a-z]{0,15}") {
+        let d = normalized_edit_distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - normalized_edit_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    /// The POS tagger is total and deterministic.
+    #[test]
+    fn tagger_total(word in "[a-z0-9@]{1,12}") {
+        let tagger = PosTagger::new();
+        prop_assert_eq!(tagger.tag(&word), tagger.tag(&word));
+    }
+}

@@ -1,0 +1,451 @@
+//! The parameter handler: constant anonymization (paper §4.1).
+//!
+//! "The Parameter Handler is responsible for replacing the constants in
+//! the input NL query with placeholders to make the translation model
+//! independent from the actual database." String constants are matched
+//! against the [`ValueIndex`] (exactly, then by Jaccard similarity);
+//! numeric constants are bound to a column via the surrounding context
+//! (an explicit attribute mention, or a domain-specific comparative such
+//! as "older than" implying an age column).
+
+use crate::ValueIndex;
+use dbpal_nlp::{ComparativeDictionary, ComparativeSense, Lemmatizer};
+use dbpal_schema::{ColumnId, Schema, SemanticDomain, Value};
+
+/// One captured constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// Placeholder name without the leading `@` (e.g. `AGE`, `AGE_LOW`).
+    pub placeholder: String,
+    /// The constant value (canonical database spelling for fuzzy hits).
+    pub value: Value,
+    /// The column the constant was attributed to.
+    pub column: ColumnId,
+}
+
+/// The anonymization result.
+#[derive(Debug, Clone)]
+pub struct Anonymized {
+    /// The NL query with constants replaced by `@PLACEHOLDER` tokens.
+    pub text: String,
+    /// Captured constants in appearance order.
+    pub bindings: Vec<Binding>,
+}
+
+/// The parameter handler for one database.
+pub struct ParameterHandler<'a> {
+    schema: &'a Schema,
+    index: &'a ValueIndex,
+    lemmatizer: Lemmatizer,
+    comparatives: ComparativeDictionary,
+    /// Similarity floor for fuzzy value matching.
+    pub min_similarity: f64,
+}
+
+impl<'a> ParameterHandler<'a> {
+    /// Create a handler over a schema and its value index.
+    pub fn new(schema: &'a Schema, index: &'a ValueIndex) -> Self {
+        ParameterHandler {
+            schema,
+            index,
+            lemmatizer: Lemmatizer::new(),
+            comparatives: ComparativeDictionary::new(),
+            min_similarity: 0.45,
+        }
+    }
+
+    /// Anonymize an input NL query.
+    pub fn anonymize(&self, input: &str) -> Anonymized {
+        // Word tokens with original spelling preserved.
+        let words: Vec<String> = split_words(input);
+        let mut consumed = vec![false; words.len()];
+        let mut replacement: Vec<Option<String>> = vec![None; words.len()];
+        let mut bindings: Vec<Binding> = Vec::new();
+
+        // Pass 1: exact text-value matches, longest n-gram first.
+        for n in (1..=4usize).rev() {
+            if n > words.len() {
+                continue;
+            }
+            for start in 0..=words.len() - n {
+                if consumed[start..start + n].iter().any(|&c| c) {
+                    continue;
+                }
+                let span = words[start..start + n].join(" ");
+                let hits = self.index.lookup_exact(&span);
+                if let Some((cid, canonical)) = hits.first() {
+                    // Skip single lowercase stopword-ish values to avoid
+                    // anonymizing function words that happen to be data.
+                    if n == 1 && span.len() < 3 {
+                        continue;
+                    }
+                    let ph = self.fresh_placeholder(*cid, &bindings);
+                    for c in consumed.iter_mut().skip(start).take(n) {
+                        *c = true;
+                    }
+                    replacement[start] = Some(format!("@{ph}"));
+                    bindings.push(Binding {
+                        placeholder: ph,
+                        value: Value::Text(canonical.clone()),
+                        column: *cid,
+                    });
+                }
+            }
+        }
+
+        // Pass 2: fuzzy matches for capitalized spans not yet consumed.
+        for n in (1..=3usize).rev() {
+            if n > words.len() {
+                continue;
+            }
+            for start in 0..=words.len() - n {
+                if consumed[start..start + n].iter().any(|&c| c) {
+                    continue;
+                }
+                // Require a capitalized span (a likely proper constant),
+                // not at position 0 where capitalization is sentence case.
+                let capitalized = words[start..start + n]
+                    .iter()
+                    .all(|w| w.chars().next().is_some_and(char::is_uppercase));
+                if !capitalized || (start == 0 && n == 1) {
+                    continue;
+                }
+                let span = words[start..start + n].join(" ");
+                if let Some((cid, canonical, _)) =
+                    self.index.lookup_fuzzy(&span, self.min_similarity)
+                {
+                    let ph = self.fresh_placeholder(cid, &bindings);
+                    for c in consumed.iter_mut().skip(start).take(n) {
+                        *c = true;
+                    }
+                    replacement[start] = Some(format!("@{ph}"));
+                    bindings.push(Binding {
+                        placeholder: ph,
+                        value: Value::Text(canonical),
+                        column: cid,
+                    });
+                }
+            }
+        }
+
+        // Pass 3: numbers, with BETWEEN handling.
+        let mut i = 0;
+        while i < words.len() {
+            if consumed[i] || parse_number(&words[i]).is_none() {
+                i += 1;
+                continue;
+            }
+            // "between N1 and N2"?
+            let is_between = i >= 1
+                && words[i - 1].eq_ignore_ascii_case("between")
+                && i + 2 < words.len()
+                && words[i + 1].eq_ignore_ascii_case("and")
+                && parse_number(&words[i + 2]).is_some();
+            let column = self.infer_numeric_column(&words, i);
+            if let Some(cid) = column {
+                if is_between {
+                    let base = self.placeholder_base(cid);
+                    let lo = parse_number(&words[i]).expect("checked");
+                    let hi = parse_number(&words[i + 2]).expect("checked");
+                    consumed[i] = true;
+                    consumed[i + 2] = true;
+                    replacement[i] = Some(format!("@{base}_LOW"));
+                    replacement[i + 2] = Some(format!("@{base}_HIGH"));
+                    bindings.push(Binding {
+                        placeholder: format!("{base}_LOW"),
+                        value: lo,
+                        column: cid,
+                    });
+                    bindings.push(Binding {
+                        placeholder: format!("{base}_HIGH"),
+                        value: hi,
+                        column: cid,
+                    });
+                    i += 3;
+                    continue;
+                }
+                let ph = self.fresh_placeholder(cid, &bindings);
+                let value = parse_number(&words[i]).expect("checked");
+                consumed[i] = true;
+                replacement[i] = Some(format!("@{ph}"));
+                bindings.push(Binding {
+                    placeholder: ph,
+                    value,
+                    column: cid,
+                });
+            }
+            i += 1;
+        }
+
+        // Render the anonymized text.
+        let mut out: Vec<String> = Vec::with_capacity(words.len());
+        for (i, w) in words.iter().enumerate() {
+            match &replacement[i] {
+                Some(ph) => out.push(ph.clone()),
+                None if consumed[i] => {} // swallowed by a multi-word span
+                None => out.push(w.clone()),
+            }
+        }
+        Anonymized {
+            text: out.join(" "),
+            bindings,
+        }
+    }
+
+    /// The placeholder base name for a column (its uppercase name).
+    fn placeholder_base(&self, cid: ColumnId) -> String {
+        self.schema.column(cid).name().to_uppercase()
+    }
+
+    /// A placeholder name unused so far (`AGE`, then `AGE_2`, ...).
+    fn fresh_placeholder(&self, cid: ColumnId, bindings: &[Binding]) -> String {
+        let base = self.placeholder_base(cid);
+        if !bindings.iter().any(|b| b.placeholder == base) {
+            return base;
+        }
+        let mut k = 2;
+        loop {
+            let candidate = format!("{base}_{k}");
+            if !bindings.iter().any(|b| b.placeholder == candidate) {
+                return candidate;
+            }
+            k += 1;
+        }
+    }
+
+    /// Infer the column a number refers to from the left context:
+    /// an explicit attribute mention wins, then a domain comparative
+    /// ("older than 80" → the age-domain column), then the schema's only
+    /// numeric column (if unique), then the first numeric column.
+    fn infer_numeric_column(&self, words: &[String], pos: usize) -> Option<ColumnId> {
+        let window_start = pos.saturating_sub(4);
+        let context: Vec<String> = words[window_start..pos]
+            .iter()
+            .map(|w| self.lemmatizer.lemma(&w.to_lowercase()))
+            .collect();
+
+        let numeric_cols: Vec<ColumnId> = self
+            .schema
+            .all_column_ids()
+            .filter(|c| self.schema.column(*c).sql_type().is_numeric())
+            .collect();
+
+        // Explicit attribute mention (closest to the number wins).
+        let mut best: Option<(usize, ColumnId)> = None;
+        for &cid in &numeric_cols {
+            for phrase in self.schema.column(cid).nl_phrases() {
+                let lemmas: Vec<String> = self
+                    .lemmatizer
+                    .lemmatize_sentence(&phrase)
+                    .into_iter()
+                    .collect();
+                if lemmas.is_empty() || lemmas.len() > context.len() {
+                    continue;
+                }
+                for start in 0..=context.len() - lemmas.len() {
+                    if context[start..start + lemmas.len()] == lemmas[..] {
+                        let dist = context.len() - start;
+                        if best.is_none_or(|(d, _)| dist < d) {
+                            best = Some((dist, cid));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((_, cid)) = best {
+            return Some(cid);
+        }
+
+        // Domain comparative cue.
+        for &cid in &numeric_cols {
+            let domain = self.schema.column(cid).domain();
+            if domain == SemanticDomain::Generic {
+                continue;
+            }
+            for sense in [ComparativeSense::Greater, ComparativeSense::Less] {
+                for phrase in self.comparatives.domain_phrases(domain, sense) {
+                    let first = phrase.split(' ').next().unwrap_or(phrase);
+                    let lemma = self.lemmatizer.lemma(first);
+                    if context.contains(&lemma) {
+                        return Some(cid);
+                    }
+                }
+            }
+        }
+
+        // Unique numeric column, else first.
+        numeric_cols.first().copied()
+    }
+}
+
+/// Split into word tokens preserving original case (digits, letters,
+/// inner hyphens/apostrophes).
+fn split_words(input: &str) -> Vec<String> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut words = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_alphanumeric() {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric()
+                    || ((chars[i] == '-' || chars[i] == '\'')
+                        && i + 1 < chars.len()
+                        && chars[i + 1].is_alphanumeric()))
+            {
+                i += 1;
+            }
+            words.push(chars[start..i].iter().collect());
+        } else {
+            i += 1;
+        }
+    }
+    words
+}
+
+fn parse_number(word: &str) -> Option<Value> {
+    if let Ok(i) = word.parse::<i64>() {
+        return Some(Value::Int(i));
+    }
+    if let Ok(f) = word.parse::<f64>() {
+        return Some(Value::Float(f));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpal_engine::Database;
+    use dbpal_schema::{SchemaBuilder, SqlType};
+
+    fn setup() -> (Database, ValueIndex) {
+        let schema = SchemaBuilder::new("hospital")
+            .table("patients", |t| {
+                t.column("name", SqlType::Text)
+                    .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                    .column("disease", SqlType::Text)
+                    .column("length_of_stay", SqlType::Integer)
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (n, a, d, l) in [
+            ("Ann Smith", 80, "influenza", 10),
+            ("Bob Jones", 35, "asthma", 3),
+        ] {
+            db.insert(
+                "patients",
+                vec![n.into(), Value::Int(a), d.into(), Value::Int(l)],
+            )
+            .unwrap();
+        }
+        let idx = ValueIndex::build(&db);
+        (db, idx)
+    }
+
+    #[test]
+    fn paper_example_age_80() {
+        // §4.1: "Show me the name of all patients with age 80" →
+        // "... with age @AGE".
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("Show me the name of all patients with age 80");
+        assert_eq!(
+            a.text,
+            "Show me the name of all patients with age @AGE"
+        );
+        assert_eq!(a.bindings.len(), 1);
+        assert_eq!(a.bindings[0].placeholder, "AGE");
+        assert_eq!(a.bindings[0].value, Value::Int(80));
+    }
+
+    #[test]
+    fn string_constant_matched_exactly() {
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("Which patients have influenza?");
+        assert!(a.text.contains("@DISEASE"), "got: {}", a.text);
+        assert_eq!(a.bindings[0].value, Value::Text("influenza".into()));
+    }
+
+    #[test]
+    fn multiword_value_consumed_whole() {
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("show the disease of Ann Smith");
+        assert!(a.text.contains("@NAME"), "got: {}", a.text);
+        assert!(!a.text.contains("Ann"));
+        assert!(!a.text.contains("Smith"));
+        assert_eq!(a.bindings[0].value, Value::Text("Ann Smith".into()));
+    }
+
+    #[test]
+    fn fuzzy_match_replaces_misspelling() {
+        // §4.1's similar-constant case.
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("show the disease of Ann Smyth");
+        assert!(a.text.contains("@NAME"), "got: {}", a.text);
+        assert_eq!(a.bindings[0].value, Value::Text("Ann Smith".into()));
+    }
+
+    #[test]
+    fn unknown_constant_left_in_place() {
+        // §4.1: "we use the constant as given by the user and do not
+        // replace it" when similarity is too low.
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("show the disease of Zebulon Xylophone");
+        assert!(a.text.contains("Zebulon"), "got: {}", a.text);
+        assert!(a.bindings.is_empty());
+    }
+
+    #[test]
+    fn domain_comparative_infers_age() {
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("patients older than 70");
+        assert!(a.text.contains("@AGE"), "got: {}", a.text);
+        assert_eq!(a.bindings[0].value, Value::Int(70));
+    }
+
+    #[test]
+    fn explicit_attribute_beats_domain() {
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("patients with length of stay above 5");
+        assert!(a.text.contains("@LENGTH_OF_STAY"), "got: {}", a.text);
+    }
+
+    #[test]
+    fn between_produces_low_high() {
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("patients with age between 30 and 50");
+        assert!(a.text.contains("@AGE_LOW"), "got: {}", a.text);
+        assert!(a.text.contains("@AGE_HIGH"));
+        assert_eq!(a.bindings.len(), 2);
+        assert_eq!(a.bindings[0].value, Value::Int(30));
+        assert_eq!(a.bindings[1].value, Value::Int(50));
+    }
+
+    #[test]
+    fn repeated_column_gets_suffixed_placeholder() {
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("patients with influenza or asthma");
+        assert!(a.text.contains("@DISEASE"), "got: {}", a.text);
+        assert!(a.text.contains("@DISEASE_2"), "got: {}", a.text);
+        assert_eq!(a.bindings.len(), 2);
+    }
+
+    #[test]
+    fn no_constants_is_identity() {
+        let (db, idx) = setup();
+        let handler = ParameterHandler::new(db.schema(), &idx);
+        let a = handler.anonymize("show the name of all patients");
+        assert_eq!(a.text, "show the name of all patients");
+        assert!(a.bindings.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Runtime errors.
+
+use dbpal_engine::EngineError;
+use dbpal_schema::SchemaError;
+use std::fmt;
+
+/// Errors raised while answering an NL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The translation model produced no well-formed SQL.
+    TranslationFailed,
+    /// A placeholder in the translated SQL has no captured constant.
+    UnboundPlaceholder(String),
+    /// The `@JOIN` placeholder could not be expanded (no join path).
+    JoinExpansionFailed(String),
+    /// FROM-clause repair could not resolve a column to any table.
+    RepairFailed(String),
+    /// Execution failed.
+    Execution(EngineError),
+    /// Schema-level failure during post-processing.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TranslationFailed => {
+                f.write_str("the model could not translate the question")
+            }
+            RuntimeError::UnboundPlaceholder(p) => {
+                write!(f, "no constant captured for placeholder @{p}")
+            }
+            RuntimeError::JoinExpansionFailed(msg) => {
+                write!(f, "failed to expand @JOIN: {msg}")
+            }
+            RuntimeError::RepairFailed(msg) => write!(f, "FROM repair failed: {msg}"),
+            RuntimeError::Execution(e) => write!(f, "execution failed: {e}"),
+            RuntimeError::Schema(e) => write!(f, "schema error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<EngineError> for RuntimeError {
+    fn from(e: EngineError) -> Self {
+        RuntimeError::Execution(e)
+    }
+}
+
+impl From<SchemaError> for RuntimeError {
+    fn from(e: SchemaError) -> Self {
+        RuntimeError::Schema(e)
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! The DBPal runtime phase (paper §4): a complete NLIDB on top of a
+//! trained translation model.
+//!
+//! An incoming NL query passes through three stages (Figure 2, right):
+//!
+//! 1. **Pre-processing** — the [`ParameterHandler`] replaces constants
+//!    with placeholders using a [`ValueIndex`] over the database content
+//!    (falling back to Jaccard similarity for inexact constants), and the
+//!    query is lemmatized.
+//! 2. **Translation** — any [`dbpal_core::TranslationModel`] maps the
+//!    anonymized, lemmatized tokens to SQL with placeholders.
+//! 3. **Post-processing** — placeholders are re-substituted with the
+//!    captured constants, the `@JOIN` placeholder is expanded into a
+//!    minimal join path, and FROM clauses that do not match the used
+//!    attributes are repaired (§4.2, §5.1).
+//!
+//! The repaired SQL executes against the in-memory [`dbpal_engine`]
+//! database and the result is returned in tabular form (Figure 1).
+
+mod anonymize;
+mod error;
+mod nlidb;
+mod postprocess;
+mod value_index;
+
+pub use anonymize::{Anonymized, Binding, ParameterHandler};
+pub use error::RuntimeError;
+pub use nlidb::{Nlidb, NlidbResponse};
+pub use postprocess::{
+    bind_constants, expand_join_placeholder, repair_from_clause, requalify_with_bindings,
+    PostProcessor,
+};
+pub use value_index::ValueIndex;

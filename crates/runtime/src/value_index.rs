@@ -1,0 +1,146 @@
+//! The constant-anonymization index.
+//!
+//! "As a temporary solution in the basic version of DBPal, we build an
+//! index on each attribute of the schema that maps constants to possible
+//! attribute names." (paper §4.1)
+
+use dbpal_engine::Database;
+use dbpal_nlp::char_ngram_jaccard;
+use dbpal_schema::{ColumnId, Value};
+use std::collections::HashMap;
+
+/// Index from database text values to the columns containing them.
+#[derive(Debug, Clone, Default)]
+pub struct ValueIndex {
+    /// Lowercased text value → owning columns.
+    by_text: HashMap<String, Vec<(ColumnId, String)>>,
+    /// All distinct (lowercased value, original value, column) triples,
+    /// for fuzzy scans.
+    all_text: Vec<(String, String, ColumnId)>,
+}
+
+impl ValueIndex {
+    /// Build the index over every text column of the database.
+    pub fn build(db: &Database) -> Self {
+        let mut by_text: HashMap<String, Vec<(ColumnId, String)>> = HashMap::new();
+        let mut all_text = Vec::new();
+        let schema = db.schema();
+        for cid in schema.all_column_ids() {
+            let column = schema.column(cid);
+            if !column.sql_type().is_text() {
+                continue;
+            }
+            let table = schema.table(cid.table).name().to_string();
+            let values = db
+                .distinct_values(&table, column.name())
+                .unwrap_or_default();
+            for v in values {
+                if let Value::Text(s) = v {
+                    let key = s.to_lowercase();
+                    by_text
+                        .entry(key.clone())
+                        .or_default()
+                        .push((cid, s.clone()));
+                    all_text.push((key, s, cid));
+                }
+            }
+        }
+        ValueIndex { by_text, all_text }
+    }
+
+    /// Exact (case-insensitive) lookup: the columns containing this value
+    /// and the value's canonical spelling.
+    pub fn lookup_exact(&self, text: &str) -> &[(ColumnId, String)] {
+        self.by_text
+            .get(&text.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Fuzzy lookup via character-bigram Jaccard similarity (§4.1: "the
+    /// user provides 'New York City' instead of 'NYC'"). Returns the best
+    /// match at or above `min_similarity`.
+    pub fn lookup_fuzzy(&self, text: &str, min_similarity: f64) -> Option<(ColumnId, String, f64)> {
+        let mut best: Option<(ColumnId, String, f64)> = None;
+        for (key, original, cid) in &self.all_text {
+            let sim = char_ngram_jaccard(text, key, 2);
+            if sim >= min_similarity && best.as_ref().is_none_or(|(_, _, b)| sim > *b) {
+                best = Some((*cid, original.clone(), sim));
+            }
+        }
+        best
+    }
+
+    /// Number of indexed distinct text values.
+    pub fn len(&self) -> usize {
+        self.all_text.len()
+    }
+
+    /// Whether no values are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.all_text.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpal_schema::{SchemaBuilder, SqlType};
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new("geo")
+            .table("city", |t| {
+                t.column("name", SqlType::Text)
+                    .column("state_name", SqlType::Text)
+                    .column("population", SqlType::Integer)
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (n, s, p) in [
+            ("Boston", "Massachusetts", 650_000),
+            ("Springfield", "Massachusetts", 155_000),
+            ("NYC", "New York", 8_400_000),
+        ] {
+            db.insert("city", vec![n.into(), s.into(), Value::Int(p)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn exact_lookup_case_insensitive() {
+        let idx = ValueIndex::build(&db());
+        let hits = idx.lookup_exact("massachusetts");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, "Massachusetts");
+    }
+
+    #[test]
+    fn exact_miss_is_empty() {
+        let idx = ValueIndex::build(&db());
+        assert!(idx.lookup_exact("atlantis").is_empty());
+    }
+
+    #[test]
+    fn fuzzy_lookup_finds_close_values() {
+        let idx = ValueIndex::build(&db());
+        let (_, value, sim) = idx.lookup_fuzzy("massachusets", 0.5).unwrap();
+        assert_eq!(value, "Massachusetts");
+        assert!(sim > 0.5);
+    }
+
+    #[test]
+    fn fuzzy_lookup_respects_threshold() {
+        let idx = ValueIndex::build(&db());
+        assert!(idx.lookup_fuzzy("zqxwjk", 0.5).is_none());
+    }
+
+    #[test]
+    fn numeric_columns_not_indexed() {
+        let idx = ValueIndex::build(&db());
+        // 5 distinct text values: Boston, Springfield, NYC, Massachusetts,
+        // New York.
+        assert_eq!(idx.len(), 5);
+    }
+}

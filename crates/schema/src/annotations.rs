@@ -1,0 +1,107 @@
+//! Natural-language annotations attached to schema objects.
+//!
+//! DBPal "assume[s] that the database schema provides human-understandable
+//! table and attribute names, but the user can optionally annotate the
+//! schema to provide more readable names if required" (paper §2.2.1).
+//! Annotations carry those readable names plus synonyms; the generator's
+//! slot-fill step draws on them when instantiating `{Table}`/`{Attribute}`
+//! slots, and the runtime's schema linker matches NL tokens against them.
+
+use serde::{Deserialize, Serialize};
+
+/// NL annotations for a single schema object (table or column).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Annotations {
+    /// The preferred readable name; defaults to the SQL identifier with
+    /// underscores replaced by spaces.
+    readable: Option<String>,
+    /// Additional synonymous phrasings ("illness" for `disease`).
+    synonyms: Vec<String>,
+}
+
+impl Annotations {
+    /// Empty annotations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the preferred readable name.
+    pub fn set_readable(&mut self, name: impl Into<String>) {
+        self.readable = Some(name.into());
+    }
+
+    /// Register an additional synonym. Duplicates are ignored.
+    pub fn add_synonym(&mut self, synonym: impl Into<String>) {
+        let synonym = synonym.into();
+        if !self.synonyms.iter().any(|s| s == &synonym) {
+            self.synonyms.push(synonym);
+        }
+    }
+
+    /// The explicitly-set readable name, if any.
+    pub fn readable(&self) -> Option<&str> {
+        self.readable.as_deref()
+    }
+
+    /// All registered synonyms.
+    pub fn synonyms(&self) -> &[String] {
+        &self.synonyms
+    }
+
+    /// Resolve the readable surface form for a SQL identifier: the explicit
+    /// readable name if set, otherwise the identifier with `_` → space.
+    pub fn surface_form(&self, identifier: &str) -> String {
+        match &self.readable {
+            Some(r) => r.clone(),
+            None => identifier.replace('_', " "),
+        }
+    }
+
+    /// Every NL phrase that may denote this object: the surface form plus
+    /// all synonyms, deduplicated, lowercased.
+    pub fn all_phrases(&self, identifier: &str) -> Vec<String> {
+        let mut phrases = vec![self.surface_form(identifier).to_lowercase()];
+        for s in &self.synonyms {
+            let s = s.to_lowercase();
+            if !phrases.contains(&s) {
+                phrases.push(s);
+            }
+        }
+        phrases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_form_defaults_to_identifier() {
+        let a = Annotations::new();
+        assert_eq!(a.surface_form("length_of_stay"), "length of stay");
+    }
+
+    #[test]
+    fn explicit_readable_wins() {
+        let mut a = Annotations::new();
+        a.set_readable("hospital stay");
+        assert_eq!(a.surface_form("length_of_stay"), "hospital stay");
+    }
+
+    #[test]
+    fn synonyms_deduplicate() {
+        let mut a = Annotations::new();
+        a.add_synonym("illness");
+        a.add_synonym("illness");
+        a.add_synonym("sickness");
+        assert_eq!(a.synonyms().len(), 2);
+    }
+
+    #[test]
+    fn all_phrases_includes_surface_and_synonyms() {
+        let mut a = Annotations::new();
+        a.add_synonym("Illness");
+        let phrases = a.all_phrases("disease");
+        assert_eq!(phrases, vec!["disease".to_string(), "illness".to_string()]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Fluent builders for constructing [`Schema`]s in code.
+
+use crate::{
+    Annotations, Column, ForeignKey, Schema, SchemaError, SemanticDomain, SqlType, Table,
+};
+
+/// Builder for a [`Schema`].
+///
+/// See the crate-level example for usage.
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    tables: Vec<TableBuilder>,
+    foreign_keys: Vec<(String, String, String, String)>,
+}
+
+impl SchemaBuilder {
+    /// Start a schema with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaBuilder {
+            name: name.into(),
+            tables: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Add a table, configuring it through the closure.
+    pub fn table(mut self, name: impl Into<String>, f: impl FnOnce(TableBuilder) -> TableBuilder) -> Self {
+        self.tables.push(f(TableBuilder::new(name)));
+        self
+    }
+
+    /// Declare a foreign key `from_table.from_column -> to_table.to_column`.
+    pub fn foreign_key(
+        mut self,
+        from_table: impl Into<String>,
+        from_column: impl Into<String>,
+        to_table: impl Into<String>,
+        to_column: impl Into<String>,
+    ) -> Self {
+        self.foreign_keys.push((
+            from_table.into(),
+            from_column.into(),
+            to_table.into(),
+            to_column.into(),
+        ));
+        self
+    }
+
+    /// Validate and build the schema.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        let mut tables = Vec::with_capacity(self.tables.len());
+        for tb in self.tables {
+            tables.push(tb.finish()?);
+        }
+        // Resolve foreign keys against a temporary schema (no FKs yet).
+        let schema = Schema::from_parts(self.name.clone(), tables, Vec::new())?;
+        let mut fks = Vec::with_capacity(self.foreign_keys.len());
+        for (ft, fc, tt, tc) in &self.foreign_keys {
+            let from = schema.column_id(ft, fc)?;
+            let to = schema.column_id(tt, tc)?;
+            fks.push(ForeignKey { from, to });
+        }
+        Schema::from_parts(self.name, schema.tables().to_vec(), fks)
+    }
+}
+
+/// Builder for a single [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<ColumnBuilder>,
+    primary_key: Option<String>,
+    annotations: Annotations,
+}
+
+impl TableBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+            annotations: Annotations::new(),
+        }
+    }
+
+    /// Add a column with default (generic) domain and no annotations.
+    pub fn column(self, name: impl Into<String>, sql_type: SqlType) -> Self {
+        self.column_with(name, sql_type, |c| c)
+    }
+
+    /// Add a column, configuring annotations/domain through the closure.
+    pub fn column_with(
+        mut self,
+        name: impl Into<String>,
+        sql_type: SqlType,
+        f: impl FnOnce(ColumnBuilder) -> ColumnBuilder,
+    ) -> Self {
+        self.columns.push(f(ColumnBuilder::new(name, sql_type)));
+        self
+    }
+
+    /// Declare the primary key column by name.
+    pub fn primary_key(mut self, column: impl Into<String>) -> Self {
+        self.primary_key = Some(column.into());
+        self
+    }
+
+    /// Set the table's readable NL name.
+    pub fn readable(mut self, name: impl Into<String>) -> Self {
+        self.annotations.set_readable(name);
+        self
+    }
+
+    /// Add a table synonym ("people" for `patients`).
+    pub fn synonym(mut self, synonym: impl Into<String>) -> Self {
+        self.annotations.add_synonym(synonym);
+        self
+    }
+
+    fn finish(self) -> Result<Table, SchemaError> {
+        let mut columns = Vec::with_capacity(self.columns.len());
+        let mut seen = std::collections::HashSet::new();
+        for cb in self.columns {
+            if !seen.insert(cb.name.to_lowercase()) {
+                return Err(SchemaError::DuplicateColumn {
+                    table: self.name.clone(),
+                    column: cb.name,
+                });
+            }
+            columns.push(cb.finish());
+        }
+        let primary_key = match &self.primary_key {
+            Some(pk) => Some(
+                columns
+                    .iter()
+                    .position(|c| c.name().eq_ignore_ascii_case(pk))
+                    .ok_or_else(|| SchemaError::UnknownColumn {
+                        table: self.name.clone(),
+                        column: pk.clone(),
+                    })? as u32,
+            ),
+            None => None,
+        };
+        Ok(Table::new(self.name, columns, primary_key, self.annotations))
+    }
+}
+
+/// Builder for a single [`Column`].
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    name: String,
+    sql_type: SqlType,
+    domain: SemanticDomain,
+    annotations: Annotations,
+}
+
+impl ColumnBuilder {
+    fn new(name: impl Into<String>, sql_type: SqlType) -> Self {
+        ColumnBuilder {
+            name: name.into(),
+            sql_type,
+            domain: SemanticDomain::Generic,
+            annotations: Annotations::new(),
+        }
+    }
+
+    /// Set the semantic domain (drives comparative augmentation).
+    pub fn domain(mut self, domain: SemanticDomain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Set the column's readable NL name.
+    pub fn readable(mut self, name: impl Into<String>) -> Self {
+        self.annotations.set_readable(name);
+        self
+    }
+
+    /// Add a column synonym.
+    pub fn synonym(mut self, synonym: impl Into<String>) -> Self {
+        self.annotations.add_synonym(synonym);
+        self
+    }
+
+    fn finish(self) -> Column {
+        Column::new(self.name, self.sql_type, self.domain, self.annotations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let err = SchemaBuilder::new("s")
+            .table("t", |t| t.column("a", SqlType::Integer))
+            .table("T", |t| t.column("a", SqlType::Integer))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateTable(_)));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = SchemaBuilder::new("s")
+            .table("t", |t| {
+                t.column("a", SqlType::Integer).column("A", SqlType::Text)
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(
+            SchemaBuilder::new("s").build().unwrap_err(),
+            SchemaError::EmptySchema
+        ));
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let err = SchemaBuilder::new("s").table("t", |t| t).build().unwrap_err();
+        assert!(matches!(err, SchemaError::EmptyTable(_)));
+    }
+
+    #[test]
+    fn unknown_primary_key_rejected() {
+        let err = SchemaBuilder::new("s")
+            .table("t", |t| t.column("a", SqlType::Integer).primary_key("b"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn fk_type_mismatch_rejected() {
+        let err = SchemaBuilder::new("s")
+            .table("a", |t| t.column("x", SqlType::Integer))
+            .table("b", |t| t.column("y", SqlType::Text))
+            .foreign_key("a", "x", "b", "y")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::ForeignKeyTypeMismatch { .. }));
+    }
+
+    #[test]
+    fn fk_unknown_column_rejected() {
+        let err = SchemaBuilder::new("s")
+            .table("a", |t| t.column("x", SqlType::Integer))
+            .table("b", |t| t.column("y", SqlType::Integer))
+            .foreign_key("a", "nope", "b", "y")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn annotations_flow_through() {
+        let s = SchemaBuilder::new("s")
+            .table("patients", |t| {
+                t.synonym("people")
+                    .column_with("los", SqlType::Integer, |c| {
+                        c.readable("length of stay").synonym("hospital stay")
+                    })
+            })
+            .build()
+            .unwrap();
+        let t = s.table_by_name("patients").unwrap();
+        assert_eq!(t.nl_phrases(), vec!["patients", "people"]);
+        let (_, c) = t.column_by_name("los").unwrap();
+        assert_eq!(c.surface_form(), "length of stay");
+        assert!(c.nl_phrases().contains(&"hospital stay".to_string()));
+    }
+}

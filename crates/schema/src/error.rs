@@ -1,0 +1,69 @@
+//! Schema construction and lookup errors.
+
+use std::fmt;
+
+/// Errors raised while building or querying a [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A table name was declared twice.
+    DuplicateTable(String),
+    /// A column name was declared twice within one table.
+    DuplicateColumn {
+        /// The owning table.
+        table: String,
+        /// The duplicated column name.
+        column: String,
+    },
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist.
+    UnknownColumn {
+        /// The table that was searched.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// A foreign key joins columns of incompatible types.
+    ForeignKeyTypeMismatch {
+        /// Qualified name of the referencing column.
+        from: String,
+        /// Qualified name of the referenced column.
+        to: String,
+    },
+    /// The schema contains no tables.
+    EmptySchema,
+    /// A table contains no columns.
+    EmptyTable(String),
+    /// No join path connects the requested tables.
+    NoJoinPath {
+        /// Starting table.
+        from: String,
+        /// Unreachable table.
+        to: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateTable(t) => write!(f, "duplicate table `{t}`"),
+            SchemaError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column `{column}` in table `{table}`")
+            }
+            SchemaError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            SchemaError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{table}.{column}`")
+            }
+            SchemaError::ForeignKeyTypeMismatch { from, to } => {
+                write!(f, "foreign key type mismatch between `{from}` and `{to}`")
+            }
+            SchemaError::EmptySchema => f.write_str("schema has no tables"),
+            SchemaError::EmptyTable(t) => write!(f, "table `{t}` has no columns"),
+            SchemaError::NoJoinPath { from, to } => {
+                write!(f, "no join path connects `{from}` and `{to}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! Database schema model for DBPal.
+//!
+//! DBPal's training pipeline requires only a database schema as input
+//! (plus optional human-readable annotations). This crate provides:
+//!
+//! * [`Schema`], [`Table`], and [`Column`] — the relational catalog,
+//!   including primary/foreign keys and per-object natural-language
+//!   annotations (synonyms) used by the generator's slot-fill step.
+//! * [`Value`] and [`SqlType`] — the value/data model shared by the SQL
+//!   layer, the execution engine, and the generator.
+//! * [`JoinGraph`] — the foreign-key graph over tables, with shortest
+//!   join-path search used by the runtime post-processor to expand the
+//!   `@JOIN` placeholder (paper §5.1) and to repair FROM clauses (§4.2).
+//! * [`SemanticDomain`] — coarse semantic typing of columns (age, height,
+//!   population, ...) driving the comparative/superlative augmentation
+//!   (paper §3.2.3: "greater than" → "older than" when the attribute's
+//!   domain is age).
+//!
+//! # Example
+//!
+//! ```
+//! use dbpal_schema::{SchemaBuilder, SqlType, SemanticDomain};
+//!
+//! let schema = SchemaBuilder::new("hospital")
+//!     .table("patients", |t| {
+//!         t.column("name", SqlType::Text)
+//!             .column_with("age", SqlType::Integer, |c| {
+//!                 c.domain(SemanticDomain::Age).synonym("years")
+//!             })
+//!             .column("disease", SqlType::Text)
+//!             .primary_key("name")
+//!     })
+//!     .build()
+//!     .unwrap();
+//!
+//! assert_eq!(schema.table_count(), 1);
+//! let patients = schema.table_by_name("patients").unwrap();
+//! assert_eq!(patients.column_names().count(), 3);
+//! ```
+
+mod annotations;
+mod builder;
+mod error;
+mod join;
+mod schema;
+mod types;
+mod value;
+
+pub use annotations::Annotations;
+pub use builder::{ColumnBuilder, SchemaBuilder, TableBuilder};
+pub use error::SchemaError;
+pub use join::{JoinEdge, JoinGraph, JoinPath};
+pub use schema::{Column, ColumnId, ForeignKey, Schema, Table, TableId};
+pub use types::{SemanticDomain, SqlType};
+pub use value::Value;

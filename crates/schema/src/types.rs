@@ -1,0 +1,165 @@
+//! Column data types and semantic domains.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The SQL data type of a column.
+///
+/// DBPal's generator only needs a coarse type lattice: numeric types admit
+/// range predicates and aggregation, text types admit equality/LIKE
+/// predicates, and booleans admit equality only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SqlType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Boolean,
+}
+
+impl SqlType {
+    /// Whether values of this type support `<`/`>`/`BETWEEN` predicates and
+    /// `SUM`/`AVG` aggregation.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, SqlType::Integer | SqlType::Float)
+    }
+
+    /// Whether values of this type are textual.
+    pub fn is_text(self) -> bool {
+        matches!(self, SqlType::Text)
+    }
+
+    /// The SQL keyword for this type, as printed in DDL.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SqlType::Integer => "INTEGER",
+            SqlType::Float => "FLOAT",
+            SqlType::Text => "TEXT",
+            SqlType::Boolean => "BOOLEAN",
+        }
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Coarse semantic domain of a column, used by the comparative/superlative
+/// augmentation step (paper §3.2.3).
+///
+/// When the augmenter sees a generic comparative phrase such as
+/// *"greater than"* applied to a column whose domain is [`SemanticDomain::Age`],
+/// it may substitute the domain-specific comparative *"older than"*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum SemanticDomain {
+    /// Ages of people or things ("older than", "younger than", "oldest").
+    Age,
+    /// Physical heights ("taller than", "shorter than", "tallest").
+    Height,
+    /// Physical lengths or distances ("longer than", "shortest").
+    Length,
+    /// Weights ("heavier than", "lighter than", "heaviest").
+    Weight,
+    /// Population counts ("more populous than", "most populous").
+    Population,
+    /// Monetary amounts ("more expensive than", "cheapest").
+    Money,
+    /// Durations ("longer than", "briefest").
+    Duration,
+    /// Areas ("larger than", "smallest").
+    Area,
+    /// Speeds ("faster than", "slowest").
+    Speed,
+    /// Calendar time ("later than", "earliest").
+    Time,
+    /// No specific domain; only generic comparatives apply.
+    #[default]
+    Generic,
+}
+
+impl SemanticDomain {
+    /// All non-generic domains, for enumeration in tests and dictionaries.
+    pub const ALL: [SemanticDomain; 10] = [
+        SemanticDomain::Age,
+        SemanticDomain::Height,
+        SemanticDomain::Length,
+        SemanticDomain::Weight,
+        SemanticDomain::Population,
+        SemanticDomain::Money,
+        SemanticDomain::Duration,
+        SemanticDomain::Area,
+        SemanticDomain::Speed,
+        SemanticDomain::Time,
+    ];
+
+    /// A stable lowercase identifier for the domain.
+    pub fn name(self) -> &'static str {
+        match self {
+            SemanticDomain::Age => "age",
+            SemanticDomain::Height => "height",
+            SemanticDomain::Length => "length",
+            SemanticDomain::Weight => "weight",
+            SemanticDomain::Population => "population",
+            SemanticDomain::Money => "money",
+            SemanticDomain::Duration => "duration",
+            SemanticDomain::Area => "area",
+            SemanticDomain::Speed => "speed",
+            SemanticDomain::Time => "time",
+            SemanticDomain::Generic => "generic",
+        }
+    }
+}
+
+
+impl fmt::Display for SemanticDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(SqlType::Integer.is_numeric());
+        assert!(SqlType::Float.is_numeric());
+        assert!(!SqlType::Text.is_numeric());
+        assert!(!SqlType::Boolean.is_numeric());
+    }
+
+    #[test]
+    fn text_classification() {
+        assert!(SqlType::Text.is_text());
+        assert!(!SqlType::Integer.is_text());
+    }
+
+    #[test]
+    fn keywords_round_trip_display() {
+        for ty in [SqlType::Integer, SqlType::Float, SqlType::Text, SqlType::Boolean] {
+            assert_eq!(ty.to_string(), ty.keyword());
+        }
+    }
+
+    #[test]
+    fn domain_names_are_unique() {
+        let mut names: Vec<&str> = SemanticDomain::ALL.iter().map(|d| d.name()).collect();
+        names.push(SemanticDomain::Generic.name());
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn default_domain_is_generic() {
+        assert_eq!(SemanticDomain::default(), SemanticDomain::Generic);
+    }
+}

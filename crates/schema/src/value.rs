@@ -1,0 +1,277 @@
+//! The runtime value model shared by the SQL layer, engine, and generator.
+
+use crate::SqlType;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single SQL value.
+///
+/// `Value` deliberately keeps SQL's three-valued logic out of the type:
+/// comparisons involving [`Value::Null`] are resolved by the engine's
+/// predicate evaluator, while `Value`'s own `Eq`/`Ord` implementations
+/// provide the *total* order needed for sorting and grouping
+/// (`NULL` sorts first, mixed numeric types compare by magnitude).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. NaN is normalized away by constructors in the engine.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The dynamic type of this value, or `None` for NULL.
+    pub fn sql_type(&self) -> Option<SqlType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(SqlType::Integer),
+            Value::Float(_) => Some(SqlType::Float),
+            Value::Text(_) => Some(SqlType::Text),
+            Value::Bool(_) => Some(SqlType::Boolean),
+        }
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, coercing Int to f64; `None` for
+    /// non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view of the value for text operations; `None` otherwise.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-comparison between two values.
+    ///
+    /// Returns `None` when either side is NULL (the comparison is
+    /// "unknown" in SQL's three-valued logic) or when the types are
+    /// incomparable (e.g. text vs integer).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality: NULL = anything is unknown (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Render the value as a SQL literal.
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Value {
+    /// Total order used for sorting/grouping: NULL < booleans < numbers
+    /// < text; numbers compare across Int/Float by magnitude.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+                let a = self.as_f64().expect("numeric");
+                let b = other.as_f64().expect("numeric");
+                a.total_cmp(&b)
+            }
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float hash identically when equal under total_cmp,
+            // so 2 and 2.0 land in the same group bucket.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(3).sql_eq(&Value::Float(3.0)), Some(true));
+    }
+
+    #[test]
+    fn incomparable_types() {
+        assert_eq!(Value::Text("a".into()).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_ranks_types() {
+        let mut values = [Value::Text("a".into()),
+            Value::Int(5),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5)];
+        values.sort();
+        assert!(values[0].is_null());
+        assert!(matches!(values[1], Value::Bool(_)));
+        assert!(matches!(values.last(), Some(Value::Text(_))));
+    }
+
+    #[test]
+    fn int_float_equal_hash_consistent() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(2));
+        assert!(set.contains(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn sql_literal_escapes_quotes() {
+        assert_eq!(
+            Value::Text("O'Brien".into()).to_sql_literal(),
+            "'O''Brien'"
+        );
+        assert_eq!(Value::Int(42).to_sql_literal(), "42");
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Float(2.0).to_sql_literal(), "2.0");
+    }
+}

@@ -1,0 +1,671 @@
+//! The SQL abstract syntax tree.
+
+use dbpal_schema::Value;
+use serde::{Deserialize, Serialize};
+
+/// A (possibly qualified) column reference such as `patients.age` or `age`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Qualifying table name, lowercase, if present.
+    pub table: Option<String>,
+    /// Column name, lowercase.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified column reference.
+    pub fn unqualified(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into().to_lowercase(),
+        }
+    }
+
+    /// A table-qualified column reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into().to_lowercase()),
+            column: column.into().to_lowercase(),
+        }
+    }
+}
+
+/// Aggregate functions supported by the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT`.
+    Count,
+    /// `SUM`.
+    Sum,
+    /// `AVG`.
+    Avg,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+}
+
+impl AggFunc {
+    /// SQL keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// All aggregate functions.
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ];
+}
+
+/// Argument of an aggregate: `*` or a column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AggArg {
+    /// `COUNT(*)`.
+    Star,
+    /// `AGG(column)`.
+    Column(ColumnRef),
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `SELECT *`.
+    Star,
+    /// A plain column.
+    Column(ColumnRef),
+    /// An aggregate expression.
+    Aggregate(AggFunc, AggArg),
+}
+
+impl SelectItem {
+    /// Whether this item is an aggregate.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, SelectItem::Aggregate(..))
+    }
+}
+
+/// The FROM clause: either explicit tables or the `@JOIN` placeholder that
+/// the runtime post-processor expands (paper §5.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FromClause {
+    /// Explicit table list (implicit cross join constrained by WHERE
+    /// equi-join predicates).
+    Tables(Vec<String>),
+    /// The `@JOIN` placeholder.
+    JoinPlaceholder,
+}
+
+impl FromClause {
+    /// A FROM clause with a single table.
+    pub fn table(name: impl Into<String>) -> Self {
+        FromClause::Tables(vec![name.into().to_lowercase()])
+    }
+
+    /// The explicit tables, if any.
+    pub fn tables(&self) -> &[String] {
+        match self {
+            FromClause::Tables(t) => t,
+            FromClause::JoinPlaceholder => &[],
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`.
+    Eq,
+    /// `<>` / `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+}
+
+impl CmpOp {
+    /// SQL rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::NotEq => CmpOp::NotEq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::LtEq => CmpOp::GtEq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::GtEq => CmpOp::LtEq,
+        }
+    }
+
+    /// Logical negation of the operator.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::NotEq,
+            CmpOp::NotEq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::GtEq,
+            CmpOp::LtEq => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::LtEq,
+            CmpOp::GtEq => CmpOp::Lt,
+        }
+    }
+}
+
+/// A scalar expression usable in comparisons.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scalar {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal value.
+    Literal(Value),
+    /// An anonymization placeholder such as `@AGE` or `@DOCTOR.NAME`
+    /// (paper §3.1, §4.1). Stored without the leading `@`, uppercase.
+    Placeholder(String),
+    /// An aggregate expression (only valid in HAVING predicates).
+    Aggregate(AggFunc, AggArg),
+    /// A scalar subquery (must return one column; paper §5.2 restricts to
+    /// aggregating inner queries).
+    Subquery(Box<Query>),
+}
+
+impl Scalar {
+    /// A placeholder scalar, normalizing the name to uppercase without `@`.
+    pub fn placeholder(name: impl AsRef<str>) -> Self {
+        Scalar::Placeholder(name.as_ref().trim_start_matches('@').to_uppercase())
+    }
+}
+
+/// A boolean predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Pred {
+    /// Conjunction of two or more predicates.
+    And(Vec<Pred>),
+    /// Disjunction of two or more predicates.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Binary comparison.
+    Compare {
+        /// Left operand.
+        left: Scalar,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Scalar,
+    },
+    /// `col BETWEEN low AND high`.
+    Between {
+        /// The tested column.
+        col: ColumnRef,
+        /// Lower bound (inclusive).
+        low: Scalar,
+        /// Upper bound (inclusive).
+        high: Scalar,
+    },
+    /// `col [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// The tested column.
+        col: ColumnRef,
+        /// Candidate values.
+        values: Vec<Scalar>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// `col [NOT] IN (subquery)`.
+    InSubquery {
+        /// The tested column.
+        col: ColumnRef,
+        /// The (uncorrelated) inner query.
+        query: Box<Query>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// The (uncorrelated) inner query.
+        query: Box<Query>,
+        /// `NOT EXISTS` when true.
+        negated: bool,
+    },
+    /// `col [NOT] LIKE pattern`.
+    Like {
+        /// The tested column.
+        col: ColumnRef,
+        /// The pattern (`%`/`_` wildcards).
+        pattern: Scalar,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+    /// `col IS [NOT] NULL`.
+    IsNull {
+        /// The tested column.
+        col: ColumnRef,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+}
+
+impl Pred {
+    /// Conjunction helper that flattens nested ANDs.
+    pub fn and(preds: Vec<Pred>) -> Pred {
+        let mut flat = Vec::with_capacity(preds.len());
+        for p in preds {
+            match p {
+                Pred::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("one element")
+        } else {
+            Pred::And(flat)
+        }
+    }
+
+    /// Simple equality predicate between a column and a scalar.
+    pub fn eq(col: ColumnRef, rhs: Scalar) -> Pred {
+        Pred::Compare {
+            left: Scalar::Column(col),
+            op: CmpOp::Eq,
+            right: rhs,
+        }
+    }
+}
+
+/// Sort key of an ORDER BY entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OrderKey {
+    /// Order by a column.
+    Column(ColumnRef),
+    /// Order by an aggregate (for grouped queries).
+    Aggregate(AggFunc, AggArg),
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OrderDir {
+    /// Ascending (the default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A complete SELECT query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Query {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Select list (non-empty).
+    pub select: Vec<SelectItem>,
+    /// FROM clause.
+    pub from: FromClause,
+    /// WHERE predicate.
+    pub where_pred: Option<Pred>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// HAVING predicate (requires GROUP BY).
+    pub having: Option<Pred>,
+    /// ORDER BY keys.
+    pub order_by: Vec<(OrderKey, OrderDir)>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// A minimal `SELECT <items> FROM <table>` query.
+    pub fn simple(select: Vec<SelectItem>, table: impl Into<String>) -> Self {
+        Query {
+            distinct: false,
+            select,
+            from: FromClause::table(table),
+            where_pred: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Whether the query (top level only) contains an aggregate select item.
+    pub fn has_aggregate(&self) -> bool {
+        self.select.iter().any(SelectItem::is_aggregate)
+    }
+
+    /// Whether the query contains any nested subquery.
+    pub fn has_subquery(&self) -> bool {
+        fn pred_has(p: &Pred) -> bool {
+            match p {
+                Pred::And(ps) | Pred::Or(ps) => ps.iter().any(pred_has),
+                Pred::Not(p) => pred_has(p),
+                Pred::Compare { left, right, .. } => {
+                    matches!(left, Scalar::Subquery(_)) || matches!(right, Scalar::Subquery(_))
+                }
+                Pred::Between { low, high, .. } => {
+                    matches!(low, Scalar::Subquery(_)) || matches!(high, Scalar::Subquery(_))
+                }
+                Pred::InSubquery { .. } | Pred::Exists { .. } => true,
+                Pred::InList { .. } | Pred::Like { .. } | Pred::IsNull { .. } => false,
+            }
+        }
+        self.where_pred.as_ref().is_some_and(pred_has)
+            || self.having.as_ref().is_some_and(pred_has)
+    }
+
+    /// All table names mentioned in FROM clauses, including subqueries,
+    /// lowercase, deduplicated, in first-mention order.
+    pub fn tables_mentioned(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        for t in self.from.tables() {
+            if !out.contains(t) {
+                out.push(t.clone());
+            }
+        }
+        let mut visit_pred = |p: &Pred| Self::collect_pred_tables(p, out);
+        if let Some(p) = &self.where_pred {
+            visit_pred(p);
+        }
+        if let Some(p) = &self.having {
+            visit_pred(p);
+        }
+    }
+
+    fn collect_pred_tables(p: &Pred, out: &mut Vec<String>) {
+        match p {
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    Self::collect_pred_tables(p, out);
+                }
+            }
+            Pred::Not(p) => Self::collect_pred_tables(p, out),
+            Pred::Compare { left, right, .. } => {
+                for s in [left, right] {
+                    if let Scalar::Subquery(q) = s {
+                        q.collect_tables(out);
+                    }
+                }
+            }
+            Pred::Between { low, high, .. } => {
+                for s in [low, high] {
+                    if let Scalar::Subquery(q) = s {
+                        q.collect_tables(out);
+                    }
+                }
+            }
+            Pred::InSubquery { query, .. } | Pred::Exists { query, .. } => {
+                query.collect_tables(out);
+            }
+            Pred::InList { .. } | Pred::Like { .. } | Pred::IsNull { .. } => {}
+        }
+    }
+
+    /// All column references in the query (select, where, group by, having,
+    /// order by), including those inside subqueries.
+    pub fn columns_mentioned(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<ColumnRef>) {
+        fn push(out: &mut Vec<ColumnRef>, c: &ColumnRef) {
+            if !out.contains(c) {
+                out.push(c.clone());
+            }
+        }
+        fn scalar(s: &Scalar, out: &mut Vec<ColumnRef>) {
+            match s {
+                Scalar::Column(c) => push(out, c),
+                Scalar::Aggregate(_, AggArg::Column(c)) => push(out, c),
+                Scalar::Subquery(q) => q.collect_columns(out),
+                _ => {}
+            }
+        }
+        fn pred(p: &Pred, out: &mut Vec<ColumnRef>) {
+            match p {
+                Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|p| pred(p, out)),
+                Pred::Not(p) => pred(p, out),
+                Pred::Compare { left, right, .. } => {
+                    scalar(left, out);
+                    scalar(right, out);
+                }
+                Pred::Between { col, low, high } => {
+                    push(out, col);
+                    scalar(low, out);
+                    scalar(high, out);
+                }
+                Pred::InList { col, values, .. } => {
+                    push(out, col);
+                    values.iter().for_each(|v| scalar(v, out));
+                }
+                Pred::InSubquery { col, query, .. } => {
+                    push(out, col);
+                    query.collect_columns(out);
+                }
+                Pred::Exists { query, .. } => query.collect_columns(out),
+                Pred::Like { col, .. } | Pred::IsNull { col, .. } => push(out, col),
+            }
+        }
+        for item in &self.select {
+            match item {
+                SelectItem::Column(c) => push(out, c),
+                SelectItem::Aggregate(_, AggArg::Column(c)) => push(out, c),
+                _ => {}
+            }
+        }
+        if let Some(p) = &self.where_pred {
+            pred(p, out);
+        }
+        for c in &self.group_by {
+            push(out, c);
+        }
+        if let Some(p) = &self.having {
+            pred(p, out);
+        }
+        for (k, _) in &self.order_by {
+            match k {
+                OrderKey::Column(c) => push(out, c),
+                OrderKey::Aggregate(_, AggArg::Column(c)) => push(out, c),
+                _ => {}
+            }
+        }
+    }
+
+    /// All placeholder names (`@X` → `X`) mentioned anywhere in the query.
+    pub fn placeholders(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_placeholders(&mut out);
+        out
+    }
+
+    fn collect_placeholders(&self, out: &mut Vec<String>) {
+        fn push(out: &mut Vec<String>, p: &str) {
+            if !out.iter().any(|x| x == p) {
+                out.push(p.to_string());
+            }
+        }
+        fn scalar(s: &Scalar, out: &mut Vec<String>) {
+            match s {
+                Scalar::Placeholder(p) => push(out, p),
+                Scalar::Subquery(q) => q.collect_placeholders(out),
+                _ => {}
+            }
+        }
+        fn pred(p: &Pred, out: &mut Vec<String>) {
+            match p {
+                Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|p| pred(p, out)),
+                Pred::Not(p) => pred(p, out),
+                Pred::Compare { left, right, .. } => {
+                    scalar(left, out);
+                    scalar(right, out);
+                }
+                Pred::Between { low, high, .. } => {
+                    scalar(low, out);
+                    scalar(high, out);
+                }
+                Pred::InList { values, .. } => values.iter().for_each(|v| scalar(v, out)),
+                Pred::InSubquery { query, .. } | Pred::Exists { query, .. } => {
+                    query.collect_placeholders(out)
+                }
+                Pred::Like { pattern, .. } => scalar(pattern, out),
+                Pred::IsNull { .. } => {}
+            }
+        }
+        if let Some(p) = &self.where_pred {
+            pred(p, out);
+        }
+        if let Some(p) = &self.having {
+            pred(p, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Query {
+        Query {
+            distinct: false,
+            select: vec![SelectItem::Column(ColumnRef::unqualified("name"))],
+            from: FromClause::table("patients"),
+            where_pred: Some(Pred::Compare {
+                left: Scalar::Column(ColumnRef::unqualified("age")),
+                op: CmpOp::Eq,
+                right: Scalar::placeholder("@AGE"),
+            }),
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn cmp_op_flip_negate_are_involutions() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::NotEq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ] {
+            assert_eq!(op.flipped().flipped(), op);
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+
+    #[test]
+    fn and_flattens() {
+        let p = Pred::and(vec![
+            Pred::And(vec![
+                Pred::IsNull {
+                    col: ColumnRef::unqualified("a"),
+                    negated: false,
+                },
+                Pred::IsNull {
+                    col: ColumnRef::unqualified("b"),
+                    negated: false,
+                },
+            ]),
+            Pred::IsNull {
+                col: ColumnRef::unqualified("c"),
+                negated: false,
+            },
+        ]);
+        match p {
+            Pred::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_of_one_unwraps() {
+        let p = Pred::and(vec![Pred::IsNull {
+            col: ColumnRef::unqualified("a"),
+            negated: false,
+        }]);
+        assert!(matches!(p, Pred::IsNull { .. }));
+    }
+
+    #[test]
+    fn placeholder_normalization() {
+        assert_eq!(
+            Scalar::placeholder("@age"),
+            Scalar::Placeholder("AGE".to_string())
+        );
+        assert_eq!(
+            Scalar::placeholder("DOCTOR.NAME"),
+            Scalar::Placeholder("DOCTOR.NAME".to_string())
+        );
+    }
+
+    #[test]
+    fn collects_placeholders_and_tables() {
+        let q = sample_query();
+        assert_eq!(q.placeholders(), vec!["AGE"]);
+        assert_eq!(q.tables_mentioned(), vec!["patients"]);
+    }
+
+    #[test]
+    fn collects_columns() {
+        let q = sample_query();
+        let cols = q.columns_mentioned();
+        assert_eq!(cols.len(), 2);
+        assert!(cols.contains(&ColumnRef::unqualified("name")));
+        assert!(cols.contains(&ColumnRef::unqualified("age")));
+    }
+
+    #[test]
+    fn subquery_detection() {
+        let mut q = sample_query();
+        assert!(!q.has_subquery());
+        q.where_pred = Some(Pred::InSubquery {
+            col: ColumnRef::unqualified("age"),
+            query: Box::new(sample_query()),
+            negated: false,
+        });
+        assert!(q.has_subquery());
+    }
+
+    #[test]
+    fn subquery_tables_collected() {
+        let mut inner = sample_query();
+        inner.from = FromClause::table("doctors");
+        let mut q = sample_query();
+        q.where_pred = Some(Pred::Exists {
+            query: Box::new(inner),
+            negated: false,
+        });
+        assert_eq!(q.tables_mentioned(), vec!["patients", "doctors"]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Canonicalization and exact-set-match equivalence.
+//!
+//! Spider-style evaluation "is measured by computing the number of
+//! correctly translated NL phrases divided by the total number of queries.
+//! A query is deemed to be correctly translated only if it exactly matches
+//! the provided gold standard SQL query" (paper §6.1.1). Like Spider's
+//! official *exact set match*, we compare queries component-wise after
+//! normalizing the order of commutative constructs, so `WHERE a = 1 AND
+//! b = 2` matches `WHERE b = 2 AND a = 1` but genuinely different queries
+//! do not match.
+
+use crate::ast::*;
+
+/// A canonicalized query wrapper whose equality is exact set match.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalForm(Query);
+
+impl CanonicalForm {
+    /// Canonicalize a query.
+    pub fn of(query: &Query) -> Self {
+        CanonicalForm(canonicalize(query))
+    }
+
+    /// The canonical query (normalized AST).
+    pub fn query(&self) -> &Query {
+        &self.0
+    }
+
+    /// Canonical textual rendering, stable across equivalent inputs.
+    pub fn rendered(&self) -> String {
+        self.0.to_string()
+    }
+}
+
+/// Whether two queries are equal under exact set match.
+pub fn exact_set_match(a: &Query, b: &Query) -> bool {
+    CanonicalForm::of(a) == CanonicalForm::of(b)
+}
+
+fn canonicalize(q: &Query) -> Query {
+    let mut select: Vec<SelectItem> = q.select.clone();
+    select.sort();
+    select.dedup();
+    let from = match &q.from {
+        FromClause::Tables(ts) => {
+            let mut ts = ts.clone();
+            ts.sort();
+            ts.dedup();
+            FromClause::Tables(ts)
+        }
+        FromClause::JoinPlaceholder => FromClause::JoinPlaceholder,
+    };
+    let mut group_by = q.group_by.clone();
+    group_by.sort();
+    group_by.dedup();
+    Query {
+        distinct: q.distinct,
+        select,
+        from,
+        where_pred: q.where_pred.as_ref().map(canonical_pred),
+        group_by,
+        having: q.having.as_ref().map(canonical_pred),
+        // ORDER BY order is semantically significant; keys are kept as-is.
+        order_by: q
+            .order_by
+            .iter()
+            .map(|(k, d)| (canonical_order_key(k), *d))
+            .collect(),
+        limit: q.limit,
+    }
+}
+
+fn canonical_order_key(k: &OrderKey) -> OrderKey {
+    k.clone()
+}
+
+fn canonical_scalar(s: &Scalar) -> Scalar {
+    match s {
+        Scalar::Subquery(q) => Scalar::Subquery(Box::new(canonicalize(q))),
+        other => other.clone(),
+    }
+}
+
+fn canonical_pred(p: &Pred) -> Pred {
+    match p {
+        Pred::And(ps) => {
+            let mut flat = Vec::new();
+            flatten_and(ps, &mut flat);
+            let mut flat: Vec<Pred> = flat.into_iter().map(canonical_pred).collect();
+            flat.sort();
+            flat.dedup();
+            if flat.len() == 1 {
+                flat.pop().expect("one")
+            } else {
+                Pred::And(flat)
+            }
+        }
+        Pred::Or(ps) => {
+            let mut flat = Vec::new();
+            flatten_or(ps, &mut flat);
+            let mut flat: Vec<Pred> = flat.into_iter().map(canonical_pred).collect();
+            flat.sort();
+            flat.dedup();
+            if flat.len() == 1 {
+                flat.pop().expect("one")
+            } else {
+                Pred::Or(flat)
+            }
+        }
+        Pred::Not(inner) => Pred::Not(Box::new(canonical_pred(inner))),
+        Pred::Compare { left, op, right } => {
+            let left = canonical_scalar(left);
+            let right = canonical_scalar(right);
+            // Put the column on the left when compared against a
+            // non-column ("age = 80", never "80 = age"). For
+            // column-vs-column comparisons, order lexicographically.
+            let column_rank = |s: &Scalar| matches!(s, Scalar::Column(_));
+            let should_flip = match (&left, &right) {
+                (l, r) if !column_rank(l) && column_rank(r) => true,
+                (Scalar::Column(a), Scalar::Column(b)) => a > b,
+                _ => false,
+            };
+            if should_flip {
+                Pred::Compare {
+                    left: right,
+                    op: op.flipped(),
+                    right: left,
+                }
+            } else {
+                Pred::Compare {
+                    left,
+                    op: *op,
+                    right,
+                }
+            }
+        }
+        Pred::Between { col, low, high } => Pred::Between {
+            col: col.clone(),
+            low: canonical_scalar(low),
+            high: canonical_scalar(high),
+        },
+        Pred::InList {
+            col,
+            values,
+            negated,
+        } => {
+            let mut values: Vec<Scalar> = values.iter().map(canonical_scalar).collect();
+            values.sort();
+            values.dedup();
+            Pred::InList {
+                col: col.clone(),
+                values,
+                negated: *negated,
+            }
+        }
+        Pred::InSubquery {
+            col,
+            query,
+            negated,
+        } => Pred::InSubquery {
+            col: col.clone(),
+            query: Box::new(canonicalize(query)),
+            negated: *negated,
+        },
+        Pred::Exists { query, negated } => Pred::Exists {
+            query: Box::new(canonicalize(query)),
+            negated: *negated,
+        },
+        Pred::Like {
+            col,
+            pattern,
+            negated,
+        } => Pred::Like {
+            col: col.clone(),
+            pattern: canonical_scalar(pattern),
+            negated: *negated,
+        },
+        Pred::IsNull { col, negated } => Pred::IsNull {
+            col: col.clone(),
+            negated: *negated,
+        },
+    }
+}
+
+fn flatten_and<'a>(ps: &'a [Pred], out: &mut Vec<&'a Pred>) {
+    for p in ps {
+        match p {
+            Pred::And(inner) => flatten_and(inner, out),
+            other => out.push(other),
+        }
+    }
+}
+
+fn flatten_or<'a>(ps: &'a [Pred], out: &mut Vec<&'a Pred>) {
+    for p in ps {
+        match p {
+            Pred::Or(inner) => flatten_or(inner, out),
+            other => out.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn matches(a: &str, b: &str) -> bool {
+        exact_set_match(&parse_query(a).unwrap(), &parse_query(b).unwrap())
+    }
+
+    #[test]
+    fn and_order_irrelevant() {
+        assert!(matches(
+            "SELECT a FROM t WHERE a = 1 AND b = 2",
+            "SELECT a FROM t WHERE b = 2 AND a = 1"
+        ));
+    }
+
+    #[test]
+    fn or_order_irrelevant() {
+        assert!(matches(
+            "SELECT a FROM t WHERE a = 1 OR b = 2",
+            "SELECT a FROM t WHERE b = 2 OR a = 1"
+        ));
+    }
+
+    #[test]
+    fn select_order_irrelevant() {
+        assert!(matches("SELECT a, b FROM t", "SELECT b, a FROM t"));
+    }
+
+    #[test]
+    fn flipped_comparison_matches() {
+        assert!(matches(
+            "SELECT a FROM t WHERE age > 80",
+            "SELECT a FROM t WHERE 80 < age"
+        ));
+    }
+
+    #[test]
+    fn in_list_order_irrelevant() {
+        assert!(matches(
+            "SELECT a FROM t WHERE x IN (3, 1, 2)",
+            "SELECT a FROM t WHERE x IN (1, 2, 3)"
+        ));
+    }
+
+    #[test]
+    fn different_literal_no_match() {
+        assert!(!matches(
+            "SELECT a FROM t WHERE age > 80",
+            "SELECT a FROM t WHERE age > 81"
+        ));
+    }
+
+    #[test]
+    fn different_op_no_match() {
+        assert!(!matches(
+            "SELECT a FROM t WHERE age > 80",
+            "SELECT a FROM t WHERE age >= 80"
+        ));
+    }
+
+    #[test]
+    fn agg_vs_plain_no_match() {
+        assert!(!matches("SELECT COUNT(a) FROM t", "SELECT a FROM t"));
+    }
+
+    #[test]
+    fn count_vs_sum_no_match() {
+        // The paper's §3.3 motivating example: count confused with sum.
+        assert!(!matches("SELECT COUNT(area) FROM s", "SELECT SUM(area) FROM s"));
+    }
+
+    #[test]
+    fn order_by_direction_matters() {
+        assert!(!matches(
+            "SELECT a FROM t ORDER BY a DESC",
+            "SELECT a FROM t ORDER BY a"
+        ));
+    }
+
+    #[test]
+    fn order_by_sequence_matters() {
+        assert!(!matches(
+            "SELECT a FROM t ORDER BY a, b",
+            "SELECT a FROM t ORDER BY b, a"
+        ));
+    }
+
+    #[test]
+    fn nested_and_or_flattened() {
+        assert!(matches(
+            "SELECT a FROM t WHERE (a = 1 AND b = 2) AND c = 3",
+            "SELECT a FROM t WHERE c = 3 AND (b = 2 AND a = 1)"
+        ));
+    }
+
+    #[test]
+    fn subquery_canonicalized_recursively() {
+        assert!(matches(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE p = 1 AND q = 2)",
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE q = 2 AND p = 1)"
+        ));
+    }
+
+    #[test]
+    fn from_table_order_irrelevant() {
+        assert!(matches(
+            "SELECT a.x FROM a, b WHERE a.id = b.id",
+            "SELECT a.x FROM b, a WHERE a.id = b.id"
+        ));
+    }
+
+    #[test]
+    fn column_vs_column_comparison_sorted() {
+        assert!(matches(
+            "SELECT x FROM a, b WHERE a.id = b.id",
+            "SELECT x FROM a, b WHERE b.id = a.id"
+        ));
+    }
+
+    #[test]
+    fn distinct_matters() {
+        assert!(!matches(
+            "SELECT DISTINCT a FROM t",
+            "SELECT a FROM t"
+        ));
+    }
+
+    #[test]
+    fn rendered_is_stable() {
+        let a = parse_query("SELECT a FROM t WHERE b = 2 AND a = 1").unwrap();
+        let b = parse_query("SELECT a FROM t WHERE a = 1 AND b = 2").unwrap();
+        assert_eq!(CanonicalForm::of(&a).rendered(), CanonicalForm::of(&b).rendered());
+    }
+}

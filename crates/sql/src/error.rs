@@ -1,0 +1,67 @@
+//! SQL lexing/parsing errors.
+
+use std::fmt;
+
+/// Errors produced by the SQL lexer and parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Unexpected character during lexing.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset in the input.
+        position: usize,
+    },
+    /// Unterminated string literal.
+    UnterminatedString {
+        /// Byte offset where the literal started.
+        position: usize,
+    },
+    /// Unexpected token during parsing.
+    UnexpectedToken {
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// The input ended prematurely.
+    UnexpectedEof {
+        /// What the parser expected.
+        expected: String,
+    },
+    /// Input contained trailing tokens after a complete query.
+    TrailingInput {
+        /// The first trailing token.
+        found: String,
+    },
+    /// A numeric literal could not be parsed.
+    BadNumber(String),
+    /// A semantically invalid construct (e.g. HAVING without GROUP BY).
+    Invalid(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::UnexpectedChar { ch, position } => {
+                write!(f, "unexpected character `{ch}` at byte {position}")
+            }
+            SqlError::UnterminatedString { position } => {
+                write!(f, "unterminated string literal starting at byte {position}")
+            }
+            SqlError::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found `{found}`")
+            }
+            SqlError::UnexpectedEof { expected } => {
+                write!(f, "expected {expected}, found end of input")
+            }
+            SqlError::TrailingInput { found } => {
+                write!(f, "trailing input after query: `{found}`")
+            }
+            SqlError::BadNumber(s) => write!(f, "invalid numeric literal `{s}`"),
+            SqlError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! SQL layer for DBPal: AST, parser, printer, canonicalization, and
+//! structural equivalence.
+//!
+//! The dialect covers exactly the query space DBPal's seed templates span
+//! (paper §3.1, §5): `SELECT`-`FROM`-`WHERE` with conjunctive/disjunctive
+//! predicates, aggregation with `GROUP BY`/`HAVING`, `ORDER BY`/`LIMIT`,
+//! multi-table joins (including the `@JOIN` FROM-clause placeholder of
+//! §5.1), and uncorrelated nested subqueries (`IN`, `EXISTS`, and scalar
+//! comparisons against aggregating subqueries, §5.2). Constants may be
+//! replaced by `@PLACEHOLDER` tokens, which is how both generated training
+//! data (§3.1) and anonymized runtime queries (§4.1) are expressed.
+//!
+//! # Example
+//!
+//! ```
+//! use dbpal_sql::{parse_query, CanonicalForm};
+//!
+//! let a = parse_query("SELECT name FROM patients WHERE age = @AGE").unwrap();
+//! let b = parse_query("select NAME from PATIENTS where AGE = @AGE").unwrap();
+//! assert_eq!(CanonicalForm::of(&a), CanonicalForm::of(&b));
+//! ```
+
+mod ast;
+mod canonical;
+mod error;
+mod parser;
+mod pattern;
+mod printer;
+mod token;
+
+pub use ast::{
+    AggArg, AggFunc, CmpOp, ColumnRef, FromClause, OrderDir, OrderKey, Pred, Query, Scalar,
+    SelectItem,
+};
+pub use canonical::{exact_set_match, CanonicalForm};
+pub use error::SqlError;
+pub use parser::{parse_query, Parser};
+pub use pattern::{Difficulty, QueryPattern};
+pub use token::{tokenize, Token};
+
+/// The FROM-clause placeholder the generator emits for join queries; the
+/// runtime post-processor expands it into a concrete join path (paper §5.1).
+pub const JOIN_PLACEHOLDER: &str = "@JOIN";

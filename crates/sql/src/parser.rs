@@ -1,0 +1,751 @@
+//! Recursive-descent parser for the DBPal SQL dialect.
+
+use crate::ast::*;
+use crate::token::{tokenize, Token};
+use crate::SqlError;
+use dbpal_schema::Value;
+
+/// Parse a single SELECT query from a string.
+///
+/// This is the main entry point; see the crate docs for the dialect.
+pub fn parse_query(input: &str) -> Result<Query, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser::new(tokens);
+    let query = parser.parse_query()?;
+    parser.expect_end()?;
+    Ok(query)
+}
+
+/// Token-stream parser. Use [`parse_query`] unless you need to embed
+/// queries in a larger grammar.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser over a token stream.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw))
+        }
+    }
+
+    fn expect_token(&mut self, t: &Token, describe: &str) -> Result<(), SqlError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.unexpected(describe))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> SqlError {
+        match self.peek() {
+            Some(t) => SqlError::UnexpectedToken {
+                expected: expected.to_string(),
+                found: t.describe(),
+            },
+            None => SqlError::UnexpectedEof {
+                expected: expected.to_string(),
+            },
+        }
+    }
+
+    /// Require that the whole input has been consumed (trailing `;` ok).
+    pub fn expect_end(&mut self) -> Result<(), SqlError> {
+        while self.peek() == Some(&Token::Semicolon) {
+            self.pos += 1;
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(SqlError::TrailingInput { found: t.describe() }),
+        }
+    }
+
+    /// Parse one SELECT query.
+    pub fn parse_query(&mut self) -> Result<Query, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let select = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.parse_from()?;
+        let where_pred = if self.eat_keyword("WHERE") {
+            Some(self.parse_pred()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_column_ref()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            if group_by.is_empty() {
+                return Err(SqlError::Invalid("HAVING requires GROUP BY".into()));
+            }
+            Some(self.parse_pred()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let key = self.parse_order_key()?;
+                let dir = if self.eat_keyword("DESC") {
+                    OrderDir::Desc
+                } else {
+                    self.eat_keyword("ASC");
+                    OrderDir::Asc
+                };
+                order_by.push((key, dir));
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                Some(t) => {
+                    return Err(SqlError::UnexpectedToken {
+                        expected: "non-negative integer".into(),
+                        found: t.describe(),
+                    })
+                }
+                None => {
+                    return Err(SqlError::UnexpectedEof {
+                        expected: "limit count".into(),
+                    })
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_pred,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn eat_token(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat_token(&Token::Star) {
+            return Ok(SelectItem::Star);
+        }
+        if let Some(func) = self.peek_agg_func() {
+            if self.peek2() == Some(&Token::LParen) {
+                self.pos += 2; // consume func and '('
+                let arg = self.parse_agg_arg()?;
+                self.expect_token(&Token::RParen, ")")?;
+                return Ok(SelectItem::Aggregate(func, arg));
+            }
+        }
+        Ok(SelectItem::Column(self.parse_column_ref()?))
+    }
+
+    fn peek_agg_func(&self) -> Option<AggFunc> {
+        if let Some(Token::Word(w)) = self.peek() {
+            for f in AggFunc::ALL {
+                if w.eq_ignore_ascii_case(f.keyword()) {
+                    return Some(f);
+                }
+            }
+        }
+        None
+    }
+
+    fn parse_agg_arg(&mut self) -> Result<AggArg, SqlError> {
+        if self.eat_token(&Token::Star) {
+            Ok(AggArg::Star)
+        } else {
+            // DISTINCT inside aggregates is accepted and ignored: the
+            // dialect treats COUNT(DISTINCT c) as COUNT(c) for simplicity.
+            self.eat_keyword("DISTINCT");
+            Ok(AggArg::Column(self.parse_column_ref()?))
+        }
+    }
+
+    fn parse_column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let first = match self.next() {
+            Some(Token::Word(w)) => w,
+            Some(t) => {
+                return Err(SqlError::UnexpectedToken {
+                    expected: "column name".into(),
+                    found: t.describe(),
+                })
+            }
+            None => {
+                return Err(SqlError::UnexpectedEof {
+                    expected: "column name".into(),
+                })
+            }
+        };
+        if self.eat_token(&Token::Dot) {
+            match self.next() {
+                Some(Token::Word(col)) => Ok(ColumnRef::qualified(first, col)),
+                Some(t) => Err(SqlError::UnexpectedToken {
+                    expected: "column name after `.`".into(),
+                    found: t.describe(),
+                }),
+                None => Err(SqlError::UnexpectedEof {
+                    expected: "column name after `.`".into(),
+                }),
+            }
+        } else {
+            Ok(ColumnRef::unqualified(first))
+        }
+    }
+
+    fn parse_from(&mut self) -> Result<FromClause, SqlError> {
+        if matches!(self.peek(), Some(Token::Placeholder(p)) if p == "JOIN") {
+            self.pos += 1;
+            return Ok(FromClause::JoinPlaceholder);
+        }
+        let mut tables = Vec::new();
+        loop {
+            match self.next() {
+                Some(Token::Word(w)) => tables.push(w.to_lowercase()),
+                Some(t) => {
+                    return Err(SqlError::UnexpectedToken {
+                        expected: "table name".into(),
+                        found: t.describe(),
+                    })
+                }
+                None => {
+                    return Err(SqlError::UnexpectedEof {
+                        expected: "table name".into(),
+                    })
+                }
+            }
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(FromClause::Tables(tables))
+    }
+
+    /// Parse a predicate (lowest precedence: OR).
+    pub fn parse_pred(&mut self) -> Result<Pred, SqlError> {
+        let mut operands = vec![self.parse_and_pred()?];
+        while self.eat_keyword("OR") {
+            operands.push(self.parse_and_pred()?);
+        }
+        Ok(if operands.len() == 1 {
+            operands.pop().expect("one operand")
+        } else {
+            Pred::Or(operands)
+        })
+    }
+
+    fn parse_and_pred(&mut self) -> Result<Pred, SqlError> {
+        let mut operands = vec![self.parse_unary_pred()?];
+        while self.eat_keyword("AND") {
+            operands.push(self.parse_unary_pred()?);
+        }
+        Ok(if operands.len() == 1 {
+            operands.pop().expect("one operand")
+        } else {
+            Pred::And(operands)
+        })
+    }
+
+    fn parse_unary_pred(&mut self) -> Result<Pred, SqlError> {
+        if self.eat_keyword("NOT") {
+            // NOT EXISTS is folded into the Exists node.
+            if self.peek_keyword("EXISTS") {
+                return self.parse_exists(true);
+            }
+            return Ok(Pred::Not(Box::new(self.parse_unary_pred()?)));
+        }
+        if self.peek_keyword("EXISTS") {
+            return self.parse_exists(false);
+        }
+        // '(' could open a grouped predicate or a scalar subquery used in a
+        // comparison; disambiguate by peeking for SELECT.
+        if self.peek() == Some(&Token::LParen) {
+            let is_subquery =
+                matches!(self.peek2(), Some(Token::Word(w)) if w.eq_ignore_ascii_case("SELECT"));
+            if !is_subquery {
+                self.pos += 1;
+                let inner = self.parse_pred()?;
+                self.expect_token(&Token::RParen, ")")?;
+                return Ok(inner);
+            }
+        }
+        self.parse_atom()
+    }
+
+    fn parse_exists(&mut self, negated: bool) -> Result<Pred, SqlError> {
+        self.expect_keyword("EXISTS")?;
+        self.expect_token(&Token::LParen, "(")?;
+        let query = self.parse_query()?;
+        self.expect_token(&Token::RParen, ")")?;
+        Ok(Pred::Exists {
+            query: Box::new(query),
+            negated,
+        })
+    }
+
+    fn parse_atom(&mut self) -> Result<Pred, SqlError> {
+        let left = self.parse_scalar()?;
+        // Comparison?
+        if let Some(op) = self.peek_cmp_op() {
+            self.pos += 1;
+            let right = self.parse_scalar()?;
+            return Ok(Pred::Compare { left, op, right });
+        }
+        // Column-anchored predicates.
+        let col = match left {
+            Scalar::Column(c) => c,
+            other => {
+                return Err(SqlError::Invalid(format!(
+                    "expected comparison operator after scalar expression {other:?}"
+                )))
+            }
+        };
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_scalar()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_scalar()?;
+            let between = Pred::Between { col, low, high };
+            return Ok(if negated {
+                Pred::Not(Box::new(between))
+            } else {
+                between
+            });
+        }
+        if self.eat_keyword("IN") {
+            self.expect_token(&Token::LParen, "(")?;
+            if self.peek_keyword("SELECT") {
+                let query = self.parse_query()?;
+                self.expect_token(&Token::RParen, ")")?;
+                return Ok(Pred::InSubquery {
+                    col,
+                    query: Box::new(query),
+                    negated,
+                });
+            }
+            let mut values = Vec::new();
+            loop {
+                values.push(self.parse_scalar()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen, ")")?;
+            return Ok(Pred::InList {
+                col,
+                values,
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = self.parse_scalar()?;
+            return Ok(Pred::Like {
+                col,
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.unexpected("BETWEEN, IN, or LIKE after NOT"));
+        }
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Pred::IsNull { col, negated });
+        }
+        Err(self.unexpected("comparison operator, BETWEEN, IN, LIKE, or IS"))
+    }
+
+    fn peek_cmp_op(&self) -> Option<CmpOp> {
+        match self.peek() {
+            Some(Token::Eq) => Some(CmpOp::Eq),
+            Some(Token::NotEq) => Some(CmpOp::NotEq),
+            Some(Token::Lt) => Some(CmpOp::Lt),
+            Some(Token::LtEq) => Some(CmpOp::LtEq),
+            Some(Token::Gt) => Some(CmpOp::Gt),
+            Some(Token::GtEq) => Some(CmpOp::GtEq),
+            _ => None,
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Scalar, SqlError> {
+        match self.peek() {
+            Some(Token::Int(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(Scalar::Literal(Value::Int(n)))
+            }
+            Some(Token::Float(f)) => {
+                let f = *f;
+                self.pos += 1;
+                Ok(Scalar::Literal(Value::Float(f)))
+            }
+            Some(Token::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Scalar::Literal(Value::Text(s)))
+            }
+            Some(Token::Placeholder(p)) => {
+                let p = p.clone();
+                self.pos += 1;
+                Ok(Scalar::Placeholder(p))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let query = self.parse_query()?;
+                self.expect_token(&Token::RParen, ")")?;
+                Ok(Scalar::Subquery(Box::new(query)))
+            }
+            Some(Token::Word(w)) => {
+                if w.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Scalar::Literal(Value::Bool(true)));
+                }
+                if w.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Scalar::Literal(Value::Bool(false)));
+                }
+                if w.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Scalar::Literal(Value::Null));
+                }
+                if let Some(func) = self.peek_agg_func() {
+                    if self.peek2() == Some(&Token::LParen) {
+                        self.pos += 2;
+                        let arg = self.parse_agg_arg()?;
+                        self.expect_token(&Token::RParen, ")")?;
+                        return Ok(Scalar::Aggregate(func, arg));
+                    }
+                }
+                Ok(Scalar::Column(self.parse_column_ref()?))
+            }
+            Some(t) => Err(SqlError::UnexpectedToken {
+                expected: "scalar expression".into(),
+                found: t.describe(),
+            }),
+            None => Err(SqlError::UnexpectedEof {
+                expected: "scalar expression".into(),
+            }),
+        }
+    }
+}
+
+impl Parser {
+    fn parse_order_key(&mut self) -> Result<OrderKey, SqlError> {
+        if let Some(func) = self.peek_agg_func() {
+            if self.peek2() == Some(&Token::LParen) {
+                self.pos += 2;
+                let arg = self.parse_agg_arg()?;
+                self.expect_token(&Token::RParen, ")")?;
+                return Ok(OrderKey::Aggregate(func, arg));
+            }
+        }
+        Ok(OrderKey::Column(self.parse_column_ref()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("SELECT name FROM patients").unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.from.tables(), ["patients"]);
+        assert!(q.where_pred.is_none());
+    }
+
+    #[test]
+    fn star_select() {
+        let q = parse_query("SELECT * FROM city WHERE city.state_name = @STATE").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Star]);
+        assert_eq!(q.placeholders(), vec!["STATE"]);
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q =
+            parse_query("SELECT state, AVG(population) FROM cities GROUP BY state").unwrap();
+        assert!(q.has_aggregate());
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse_query("SELECT COUNT(*) FROM patients").unwrap();
+        assert_eq!(
+            q.select,
+            vec![SelectItem::Aggregate(AggFunc::Count, AggArg::Star)]
+        );
+    }
+
+    #[test]
+    fn count_distinct_accepted() {
+        let q = parse_query("SELECT COUNT(DISTINCT name) FROM patients").unwrap();
+        assert!(q.has_aggregate());
+    }
+
+    #[test]
+    fn join_placeholder_from() {
+        let q = parse_query(
+            "SELECT AVG(patient.age) FROM @JOIN WHERE doctor.name = @DOCTOR.NAME",
+        )
+        .unwrap();
+        assert_eq!(q.from, FromClause::JoinPlaceholder);
+        assert_eq!(q.placeholders(), vec!["DOCTOR.NAME"]);
+    }
+
+    #[test]
+    fn multi_table_from() {
+        let q = parse_query(
+            "SELECT patients.name FROM patients, doctors WHERE patients.doctor_id = doctors.id",
+        )
+        .unwrap();
+        assert_eq!(q.from.tables(), ["patients", "doctors"]);
+    }
+
+    #[test]
+    fn nested_scalar_subquery() {
+        let q = parse_query(
+            "SELECT name FROM mountain WHERE height = \
+             (SELECT MAX(height) FROM mountain WHERE state = @STATE.NAME)",
+        )
+        .unwrap();
+        assert!(q.has_subquery());
+    }
+
+    #[test]
+    fn in_subquery() {
+        let q = parse_query(
+            "SELECT name FROM patients WHERE disease IN \
+             (SELECT disease FROM outbreaks WHERE year = 2020)",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.where_pred,
+            Some(Pred::InSubquery { negated: false, .. })
+        ));
+    }
+
+    #[test]
+    fn not_in_list() {
+        let q =
+            parse_query("SELECT name FROM patients WHERE age NOT IN (1, 2, 3)").unwrap();
+        assert!(matches!(
+            q.where_pred,
+            Some(Pred::InList { negated: true, .. })
+        ));
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let q = parse_query(
+            "SELECT name FROM doctors WHERE EXISTS (SELECT * FROM patients WHERE age > 90)",
+        )
+        .unwrap();
+        assert!(matches!(q.where_pred, Some(Pred::Exists { negated: false, .. })));
+        let q = parse_query(
+            "SELECT name FROM doctors WHERE NOT EXISTS (SELECT * FROM patients WHERE age > 90)",
+        )
+        .unwrap();
+        assert!(matches!(q.where_pred, Some(Pred::Exists { negated: true, .. })));
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        let q = parse_query("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3").unwrap();
+        // OR binds loosest: (a AND b) OR c.
+        match q.where_pred.unwrap() {
+            Pred::Or(ops) => {
+                assert_eq!(ops.len(), 2);
+                assert!(matches!(ops[0], Pred::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_pred() {
+        let q = parse_query("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)").unwrap();
+        match q.where_pred.unwrap() {
+            Pred::And(ops) => assert!(matches!(ops[1], Pred::Or(_))),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between() {
+        let q = parse_query("SELECT * FROM t WHERE age BETWEEN 10 AND 20").unwrap();
+        assert!(matches!(q.where_pred, Some(Pred::Between { .. })));
+        let q = parse_query("SELECT * FROM t WHERE age NOT BETWEEN 10 AND 20").unwrap();
+        assert!(matches!(q.where_pred, Some(Pred::Not(_))));
+    }
+
+    #[test]
+    fn like_and_is_null() {
+        let q = parse_query("SELECT * FROM t WHERE name LIKE '%ann%'").unwrap();
+        assert!(matches!(q.where_pred, Some(Pred::Like { negated: false, .. })));
+        let q = parse_query("SELECT * FROM t WHERE name IS NOT NULL").unwrap();
+        assert!(matches!(q.where_pred, Some(Pred::IsNull { negated: true, .. })));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let q = parse_query("SELECT name FROM t ORDER BY age DESC, name LIMIT 5").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert_eq!(q.order_by[0].1, OrderDir::Desc);
+        assert_eq!(q.order_by[1].1, OrderDir::Asc);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn order_by_aggregate() {
+        let q = parse_query(
+            "SELECT state, COUNT(*) FROM cities GROUP BY state ORDER BY COUNT(*) DESC LIMIT 1",
+        )
+        .unwrap();
+        assert!(matches!(q.order_by[0].0, OrderKey::Aggregate(AggFunc::Count, _)));
+    }
+
+    #[test]
+    fn having() {
+        let q = parse_query(
+            "SELECT state FROM cities GROUP BY state HAVING COUNT(*) > 5",
+        )
+        .unwrap();
+        assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn having_without_group_by_rejected() {
+        assert!(matches!(
+            parse_query("SELECT state FROM cities HAVING COUNT(*) > 5").unwrap_err(),
+            SqlError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(matches!(
+            parse_query("SELECT a FROM t garbage garbage").unwrap_err(),
+            SqlError::TrailingInput { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_query("SELECT a FROM t;").is_ok());
+    }
+
+    #[test]
+    fn distinct() {
+        let q = parse_query("SELECT DISTINCT disease FROM patients").unwrap();
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_query("select A from T where B = 1 group by A order by A limit 3").is_ok());
+    }
+
+    #[test]
+    fn null_literal_comparison() {
+        let q = parse_query("SELECT * FROM t WHERE a = NULL").unwrap();
+        assert!(matches!(
+            q.where_pred,
+            Some(Pred::Compare {
+                right: Scalar::Literal(Value::Null),
+                ..
+            })
+        ));
+    }
+
+    fn parse_order_key_roundtrip(s: &str) {
+        assert!(parse_query(s).is_ok(), "failed: {s}");
+    }
+
+    #[test]
+    fn assorted_valid_queries() {
+        for q in [
+            "SELECT * FROM t",
+            "SELECT a, b, c FROM t WHERE a < 1 AND b > 2 AND c <> 'x'",
+            "SELECT MIN(a), MAX(a) FROM t",
+            "SELECT a FROM t WHERE b IN ('x', 'y')",
+            "SELECT a FROM t WHERE t.b >= @B AND t.c <= @C",
+            "SELECT COUNT(*) FROM @JOIN WHERE a.x = b.y",
+        ] {
+            parse_order_key_roundtrip(q);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Query-pattern fingerprints and Spider-style difficulty classification.
+//!
+//! Table 4 of the paper breaks Spider results down "by query patterns in
+//! the test set": whether the pattern of a test query appears in the Spider
+//! training data, in DBPal's generated data, in both, or in neither. A
+//! *pattern* abstracts away schema-specific names and constants, keeping
+//! only the structural shape of the SQL (which clauses appear, which
+//! aggregate functions, how many predicates, nesting, joins).
+//!
+//! The same fingerprint drives the Spider hardness tiers (easy / medium /
+//! hard / very hard), which Spider derives from "the number of SQL
+//! components" (paper §6.1.1).
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Spider-style query difficulty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Difficulty {
+    /// Simple single-clause queries.
+    Easy,
+    /// One aggregate/grouping/ordering component or a couple of filters.
+    Medium,
+    /// Joins or several components combined.
+    Hard,
+    /// Nested subqueries or many combined components.
+    VeryHard,
+}
+
+impl Difficulty {
+    /// All difficulty tiers, in ascending order.
+    pub const ALL: [Difficulty; 4] = [
+        Difficulty::Easy,
+        Difficulty::Medium,
+        Difficulty::Hard,
+        Difficulty::VeryHard,
+    ];
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Difficulty::Easy => "Easy",
+            Difficulty::Medium => "Medium",
+            Difficulty::Hard => "Hard",
+            Difficulty::VeryHard => "Very Hard",
+        }
+    }
+}
+
+impl fmt::Display for Difficulty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A structural fingerprint of a query, independent of schema names and
+/// constants.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryPattern {
+    /// Canonical pattern string, e.g.
+    /// `sel:col,agg:AVG|from:2|where:cmp=,cmp>|group|order:desc|limit`.
+    signature: String,
+    /// Number of SQL components (drives difficulty).
+    component_score: u32,
+}
+
+impl QueryPattern {
+    /// Extract the pattern of a query.
+    pub fn of(query: &Query) -> Self {
+        let mut sig = String::new();
+        let mut score = 0u32;
+
+        // SELECT shape.
+        sig.push_str("sel:");
+        let mut parts: Vec<String> = query
+            .select
+            .iter()
+            .map(|item| match item {
+                SelectItem::Star => "star".to_string(),
+                SelectItem::Column(_) => "col".to_string(),
+                SelectItem::Aggregate(f, AggArg::Star) => format!("agg:{}*", f.keyword()),
+                SelectItem::Aggregate(f, AggArg::Column(_)) => format!("agg:{}", f.keyword()),
+            })
+            .collect();
+        parts.sort();
+        sig.push_str(&parts.join(","));
+        score += query
+            .select
+            .iter()
+            .filter(|i| i.is_aggregate())
+            .count() as u32;
+        if query.select.len() > 2 {
+            score += 1;
+        }
+        if query.distinct {
+            sig.push_str("|distinct");
+            score += 1;
+        }
+
+        // FROM shape.
+        let n_tables = match &query.from {
+            FromClause::Tables(t) => t.len(),
+            // The placeholder stands for a multi-table join path.
+            FromClause::JoinPlaceholder => 2,
+        };
+        sig.push_str(&format!("|from:{n_tables}"));
+        score += (n_tables.saturating_sub(1) as u32) * 2;
+
+        // WHERE shape.
+        if let Some(p) = &query.where_pred {
+            sig.push_str("|where:");
+            let mut atoms = Vec::new();
+            pred_shape(p, &mut atoms, &mut score);
+            atoms.sort();
+            sig.push_str(&atoms.join(","));
+            if atoms.len() > 1 {
+                score += atoms.len() as u32 - 1;
+            }
+        }
+
+        if !query.group_by.is_empty() {
+            sig.push_str("|group");
+            score += 1;
+        }
+        if let Some(h) = &query.having {
+            sig.push_str("|having:");
+            let mut atoms = Vec::new();
+            pred_shape(h, &mut atoms, &mut score);
+            atoms.sort();
+            sig.push_str(&atoms.join(","));
+            score += 1;
+        }
+        if !query.order_by.is_empty() {
+            let dirs: Vec<&str> = query
+                .order_by
+                .iter()
+                .map(|(k, d)| match (k, d) {
+                    (OrderKey::Aggregate(..), OrderDir::Desc) => "aggdesc",
+                    (OrderKey::Aggregate(..), OrderDir::Asc) => "aggasc",
+                    (_, OrderDir::Desc) => "desc",
+                    (_, OrderDir::Asc) => "asc",
+                })
+                .collect();
+            sig.push_str(&format!("|order:{}", dirs.join(",")));
+            score += 1;
+        }
+        if query.limit.is_some() {
+            sig.push_str("|limit");
+            score += 1;
+        }
+
+        QueryPattern {
+            signature: sig,
+            component_score: score,
+        }
+    }
+
+    /// The canonical pattern string.
+    pub fn signature(&self) -> &str {
+        &self.signature
+    }
+
+    /// The component count used for difficulty classification.
+    pub fn component_score(&self) -> u32 {
+        self.component_score
+    }
+
+    /// Spider-style difficulty of queries with this pattern.
+    pub fn difficulty(&self) -> Difficulty {
+        match self.component_score {
+            0..=1 => Difficulty::Easy,
+            2..=3 => Difficulty::Medium,
+            4..=6 => Difficulty::Hard,
+            _ => Difficulty::VeryHard,
+        }
+    }
+}
+
+impl fmt::Display for QueryPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.signature)
+    }
+}
+
+fn pred_shape(p: &Pred, atoms: &mut Vec<String>, score: &mut u32) {
+    match p {
+        Pred::And(ps) => ps.iter().for_each(|p| pred_shape(p, atoms, score)),
+        Pred::Or(ps) => {
+            *score += 1;
+            atoms.push(format!("or{}", ps.len()));
+            ps.iter().for_each(|p| pred_shape(p, atoms, score));
+        }
+        Pred::Not(p) => {
+            *score += 1;
+            atoms.push("not".to_string());
+            pred_shape(p, atoms, score);
+        }
+        Pred::Compare { left, op, right } => {
+            let sub = [left, right]
+                .iter()
+                .any(|s| matches!(s, Scalar::Subquery(_)));
+            if sub {
+                *score += 5;
+                atoms.push(format!("cmpsub{}", op.symbol()));
+                for s in [left, right] {
+                    if let Scalar::Subquery(q) = s {
+                        let inner = QueryPattern::of(q);
+                        atoms.push(format!("[{}]", inner.signature()));
+                        *score += inner.component_score();
+                    }
+                }
+            } else {
+                atoms.push(format!("cmp{}", op.symbol()));
+            }
+        }
+        Pred::Between { .. } => atoms.push("between".to_string()),
+        Pred::InList { negated, .. } => {
+            atoms.push(if *negated { "notinlist" } else { "inlist" }.to_string())
+        }
+        Pred::InSubquery { query, negated, .. } => {
+            *score += 5;
+            let inner = QueryPattern::of(query);
+            atoms.push(format!(
+                "{}[{}]",
+                if *negated { "notinsub" } else { "insub" },
+                inner.signature()
+            ));
+            *score += inner.component_score();
+        }
+        Pred::Exists { query, negated } => {
+            *score += 5;
+            let inner = QueryPattern::of(query);
+            atoms.push(format!(
+                "{}[{}]",
+                if *negated { "notexists" } else { "exists" },
+                inner.signature()
+            ));
+            *score += inner.component_score();
+        }
+        Pred::Like { negated, .. } => {
+            atoms.push(if *negated { "notlike" } else { "like" }.to_string())
+        }
+        Pred::IsNull { negated, .. } => {
+            atoms.push(if *negated { "notnull" } else { "isnull" }.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn pattern(sql: &str) -> QueryPattern {
+        QueryPattern::of(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn schema_names_do_not_affect_pattern() {
+        assert_eq!(
+            pattern("SELECT name FROM patients WHERE age = @AGE"),
+            pattern("SELECT city FROM towns WHERE population = @POP")
+        );
+    }
+
+    #[test]
+    fn constants_do_not_affect_pattern() {
+        assert_eq!(
+            pattern("SELECT a FROM t WHERE b = 1"),
+            pattern("SELECT a FROM t WHERE b = 99")
+        );
+    }
+
+    #[test]
+    fn aggregate_function_affects_pattern() {
+        assert_ne!(
+            pattern("SELECT COUNT(a) FROM t"),
+            pattern("SELECT SUM(a) FROM t")
+        );
+    }
+
+    #[test]
+    fn operator_affects_pattern() {
+        assert_ne!(
+            pattern("SELECT a FROM t WHERE b > 1"),
+            pattern("SELECT a FROM t WHERE b = 1")
+        );
+    }
+
+    #[test]
+    fn simple_query_is_easy() {
+        assert_eq!(pattern("SELECT a FROM t WHERE b = 1").difficulty(), Difficulty::Easy);
+        assert_eq!(pattern("SELECT * FROM t").difficulty(), Difficulty::Easy);
+    }
+
+    #[test]
+    fn agg_group_is_medium() {
+        let p = pattern("SELECT state, AVG(pop) FROM cities GROUP BY state");
+        assert_eq!(p.difficulty(), Difficulty::Medium);
+    }
+
+    #[test]
+    fn join_plus_group_is_hard() {
+        let p = pattern(
+            "SELECT a.x, COUNT(*) FROM a, b WHERE a.id = b.id GROUP BY a.x",
+        );
+        assert!(p.difficulty() >= Difficulty::Hard, "got {:?}", p.difficulty());
+    }
+
+    #[test]
+    fn nested_is_very_hard() {
+        let p = pattern(
+            "SELECT name FROM mountain WHERE height = \
+             (SELECT MAX(height) FROM mountain WHERE state = @S) AND range = @R",
+        );
+        assert_eq!(p.difficulty(), Difficulty::VeryHard);
+    }
+
+    #[test]
+    fn join_placeholder_counts_as_join() {
+        let with_join = pattern("SELECT AVG(a.x) FROM @JOIN WHERE b.y = @V");
+        let without = pattern("SELECT AVG(x) FROM a WHERE y = @V");
+        assert!(with_join.component_score() > without.component_score());
+    }
+
+    #[test]
+    fn difficulty_ordering() {
+        assert!(Difficulty::Easy < Difficulty::Medium);
+        assert!(Difficulty::Hard < Difficulty::VeryHard);
+    }
+
+    #[test]
+    fn nested_pattern_distinguishes_inner_shape() {
+        let a = pattern("SELECT a FROM t WHERE x IN (SELECT y FROM u)");
+        let b = pattern("SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = 1)");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,259 @@
+//! SQL pretty-printer: `Display` implementations producing parseable SQL.
+//!
+//! The printer and [`crate::parse_query`] round-trip: for every query `q`,
+//! `parse_query(&q.to_string()) == Ok(q)` up to `Pred::and` flattening.
+//! This property is exercised by proptest in `tests/` of this crate.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+impl fmt::Display for AggArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggArg::Star => f.write_str("*"),
+            AggArg::Column(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => f.write_str("*"),
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate(func, arg) => write!(f, "{}({arg})", func.keyword()),
+        }
+    }
+}
+
+impl fmt::Display for FromClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromClause::Tables(tables) => f.write_str(&tables.join(", ")),
+            FromClause::JoinPlaceholder => f.write_str(crate::JOIN_PLACEHOLDER),
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Column(c) => write!(f, "{c}"),
+            Scalar::Literal(v) => f.write_str(&v.to_sql_literal()),
+            Scalar::Placeholder(p) => write!(f, "@{p}"),
+            Scalar::Aggregate(func, arg) => write!(f, "{}({arg})", func.keyword()),
+            Scalar::Subquery(q) => write!(f, "({q})"),
+        }
+    }
+}
+
+impl Pred {
+    /// Whether this node needs parentheses when printed as an operand of
+    /// the given parent connective.
+    fn needs_parens_under(&self, parent_is_and: bool) -> bool {
+        match self {
+            // OR under AND must be parenthesized; AND under OR need not be
+            // (AND binds tighter) but we parenthesize for readability only
+            // when required, keeping the round-trip property exact.
+            Pred::Or(_) => parent_is_and,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::And(ps) => {
+                let mut first = true;
+                for p in ps {
+                    if !first {
+                        f.write_str(" AND ")?;
+                    }
+                    first = false;
+                    if p.needs_parens_under(true) {
+                        write!(f, "({p})")?;
+                    } else {
+                        write!(f, "{p}")?;
+                    }
+                }
+                Ok(())
+            }
+            Pred::Or(ps) => {
+                let mut first = true;
+                for p in ps {
+                    if !first {
+                        f.write_str(" OR ")?;
+                    }
+                    first = false;
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Pred::Not(p) => write!(f, "NOT ({p})"),
+            Pred::Compare { left, op, right } => {
+                write!(f, "{left} {} {right}", op.symbol())
+            }
+            Pred::Between { col, low, high } => {
+                write!(f, "{col} BETWEEN {low} AND {high}")
+            }
+            Pred::InList {
+                col,
+                values,
+                negated,
+            } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "{col} {not}IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(")")
+            }
+            Pred::InSubquery {
+                col,
+                query,
+                negated,
+            } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "{col} {not}IN ({query})")
+            }
+            Pred::Exists { query, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "{not}EXISTS ({query})")
+            }
+            Pred::Like {
+                col,
+                pattern,
+                negated,
+            } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "{col} {not}LIKE {pattern}")
+            }
+            Pred::IsNull { col, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "{col} IS {not}NULL")
+            }
+        }
+    }
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderKey::Column(c) => write!(f, "{c}"),
+            OrderKey::Aggregate(func, arg) => write!(f, "{}({arg})", func.keyword()),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        if let Some(p) = &self.where_pred {
+            write!(f, " WHERE {p}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, c) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        if let Some(p) = &self.having {
+            write!(f, " HAVING {p}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, (k, d)) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{k}")?;
+                if *d == OrderDir::Desc {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+
+    fn round_trip(sql: &str) {
+        let q = parse_query(sql).expect("parse original");
+        let printed = q.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("reparse of `{printed}` failed: {e}");
+        });
+        assert_eq!(q, q2, "round trip changed the AST for `{sql}`");
+    }
+
+    #[test]
+    fn round_trips() {
+        for sql in [
+            "SELECT * FROM t",
+            "SELECT name FROM patients WHERE age = @AGE",
+            "SELECT DISTINCT disease FROM patients",
+            "SELECT state, AVG(population) FROM cities GROUP BY state",
+            "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2 OR c = 3",
+            "SELECT a FROM t WHERE a = 1 AND (b = 2 OR c = 3)",
+            "SELECT a FROM t WHERE x BETWEEN 1 AND 10",
+            "SELECT a FROM t WHERE x NOT IN (1, 2, 3)",
+            "SELECT a FROM t WHERE name LIKE '%x%'",
+            "SELECT a FROM t WHERE name IS NOT NULL",
+            "SELECT a FROM t WHERE NOT (a = 1)",
+            "SELECT AVG(patient.age) FROM @JOIN WHERE doctor.name = @DOCTOR.NAME",
+            "SELECT name FROM mountain WHERE height = (SELECT MAX(height) FROM mountain WHERE state = @STATE.NAME)",
+            "SELECT name FROM t WHERE d IN (SELECT d FROM u WHERE y = 2020)",
+            "SELECT name FROM t WHERE EXISTS (SELECT * FROM u WHERE a > 9)",
+            "SELECT state, COUNT(*) FROM cities GROUP BY state HAVING COUNT(*) > 5 ORDER BY COUNT(*) DESC LIMIT 1",
+            "SELECT a FROM t ORDER BY a DESC, b LIMIT 10",
+            "SELECT a FROM t WHERE s = 'O''Brien'",
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn or_under_and_parenthesized() {
+        let q = parse_query("SELECT a FROM t WHERE a = 1 AND (b = 2 OR c = 3)").unwrap();
+        let s = q.to_string();
+        assert!(s.contains("(b = 2 OR c = 3)"), "printed: {s}");
+    }
+
+    #[test]
+    fn float_literals_round_trip() {
+        round_trip("SELECT a FROM t WHERE x = 2.5");
+        round_trip("SELECT a FROM t WHERE x = 2.0");
+    }
+}

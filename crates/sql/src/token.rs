@@ -1,0 +1,347 @@
+//! Hand-written SQL lexer.
+
+use crate::SqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (stored as written; keyword matching is
+    /// case-insensitive in the parser).
+    Word(String),
+    /// `@NAME` or `@TABLE.NAME` placeholder (stored uppercase, no `@`).
+    Placeholder(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (unescaped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+}
+
+impl Token {
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Word(w) => w.clone(),
+            Token::Placeholder(p) => format!("@{p}"),
+            Token::Int(i) => i.to_string(),
+            Token::Float(f) => f.to_string(),
+            Token::Str(s) => format!("'{s}'"),
+            Token::Eq => "=".into(),
+            Token::NotEq => "<>".into(),
+            Token::Lt => "<".into(),
+            Token::LtEq => "<=".into(),
+            Token::Gt => ">".into(),
+            Token::GtEq => ">=".into(),
+            Token::LParen => "(".into(),
+            Token::RParen => ")".into(),
+            Token::Comma => ",".into(),
+            Token::Star => "*".into(),
+            Token::Dot => ".".into(),
+            Token::Semicolon => ";".into(),
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::UnexpectedChar { ch: '!', position: i });
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::UnterminatedString { position: start }),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            // Collect the full UTF-8 character.
+                            let ch_len = utf8_len(b);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '@' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(SqlError::UnexpectedChar {
+                        ch: '@',
+                        position: start - 1,
+                    });
+                }
+                tokens.push(Token::Placeholder(input[start..i].to_uppercase()));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Only treat `.` as a decimal point when followed by a digit,
+                // so `1.` at end-of-clause still lexes as Int + Dot.
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| SqlError::BadNumber(text.to_string()))?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| SqlError::BadNumber(text.to_string()))?;
+                    tokens.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Word(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::UnexpectedChar {
+                    ch: other,
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query_tokens() {
+        let t = tokenize("SELECT name FROM patients WHERE age >= 80").unwrap();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0], Token::Word("SELECT".into()));
+        assert_eq!(t[6], Token::GtEq);
+        assert_eq!(t[7], Token::Int(80));
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("= <> != < <= > >=").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let t = tokenize("'O''Brien'").unwrap();
+        assert_eq!(t, vec![Token::Str("O'Brien".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(
+            tokenize("'open").unwrap_err(),
+            SqlError::UnterminatedString { .. }
+        ));
+    }
+
+    #[test]
+    fn placeholders() {
+        let t = tokenize("@age @DOCTOR.NAME").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Placeholder("AGE".into()),
+                Token::Placeholder("DOCTOR.NAME".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn bare_at_sign_errors() {
+        assert!(matches!(
+            tokenize("@ x").unwrap_err(),
+            SqlError::UnexpectedChar { ch: '@', .. }
+        ));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("42 -7 3.25 -0.5").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.25),
+                Token::Float(-0.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_name_lexes_as_word_dot_word() {
+        let t = tokenize("patients.age").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("patients".into()),
+                Token::Dot,
+                Token::Word("age".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(matches!(
+            tokenize("SELECT #").unwrap_err(),
+            SqlError::UnexpectedChar { ch: '#', .. }
+        ));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let t = tokenize("'héllo wörld'").unwrap();
+        assert_eq!(t, vec![Token::Str("héllo wörld".into())]);
+    }
+}

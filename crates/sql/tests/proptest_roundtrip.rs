@@ -1,0 +1,240 @@
+//! Property tests for the SQL layer: print→parse round-trips and
+//! canonicalization laws over randomly generated query ASTs.
+
+use dbpal_schema::Value;
+use dbpal_sql::{
+    exact_set_match, parse_query, AggArg, AggFunc, CanonicalForm, CmpOp, ColumnRef, FromClause,
+    OrderDir, OrderKey, Pred, Query, Scalar, SelectItem,
+};
+use proptest::prelude::*;
+
+const KEYWORDS: &[&str] = &[
+    "select", "distinct", "from", "where", "group", "by", "having", "order", "limit", "and",
+    "or", "not", "between", "in", "like", "is", "null", "exists", "asc", "desc", "count",
+    "sum", "avg", "min", "max", "true", "false",
+];
+
+fn identifier() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(identifier()), identifier()).prop_map(|(t, c)| ColumnRef {
+        table: t,
+        column: c,
+    })
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+fn agg_arg() -> impl Strategy<Value = AggArg> {
+    prop_oneof![Just(AggArg::Star), column_ref().prop_map(AggArg::Column)]
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1_000_000.0f64..1_000_000.0)
+            .prop_map(|f| Value::Float(if f == 0.0 { 0.0 } else { f })),
+        "[ a-zA-Z0-9_',.!?-]{0,12}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn placeholder() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9_]{0,6}(\\.[A-Z][A-Z0-9_]{0,4})?".prop_map(|s| s)
+}
+
+fn scalar(depth: u32) -> BoxedStrategy<Scalar> {
+    let leaf = prop_oneof![
+        column_ref().prop_map(Scalar::Column),
+        literal().prop_map(Scalar::Literal),
+        placeholder().prop_map(Scalar::Placeholder),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            4 => leaf,
+            1 => query(depth - 1).prop_map(|q| Scalar::Subquery(Box::new(q))),
+        ]
+        .boxed()
+    }
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::NotEq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::LtEq),
+        Just(CmpOp::Gt),
+        Just(CmpOp::GtEq),
+    ]
+}
+
+/// Atomic predicates (no connectives).
+fn atom(depth: u32) -> BoxedStrategy<Pred> {
+    let mut options = vec![
+        (scalar(0), cmp_op(), scalar(0))
+            .prop_map(|(left, op, right)| Pred::Compare { left, op, right })
+            .boxed(),
+        (column_ref(), scalar(0), scalar(0))
+            .prop_map(|(col, low, high)| Pred::Between { col, low, high })
+            .boxed(),
+        (column_ref(), proptest::collection::vec(scalar(0), 1..4), any::<bool>())
+            .prop_map(|(col, values, negated)| Pred::InList {
+                col,
+                values,
+                negated,
+            })
+            .boxed(),
+        (column_ref(), "[a-z%_]{1,8}", any::<bool>())
+            .prop_map(|(col, pattern, negated)| Pred::Like {
+                col,
+                pattern: Scalar::Literal(Value::Text(pattern)),
+                negated,
+            })
+            .boxed(),
+        (column_ref(), any::<bool>())
+            .prop_map(|(col, negated)| Pred::IsNull { col, negated })
+            .boxed(),
+    ];
+    if depth > 0 {
+        options.push(
+            (query(depth - 1), any::<bool>())
+                .prop_map(|(q, negated)| Pred::Exists {
+                    query: Box::new(q),
+                    negated,
+                })
+                .boxed(),
+        );
+        options.push(
+            (column_ref(), query(depth - 1), any::<bool>())
+                .prop_map(|(col, q, negated)| Pred::InSubquery {
+                    col,
+                    query: Box::new(q),
+                    negated,
+                })
+                .boxed(),
+        );
+    }
+    proptest::strategy::Union::new(options).boxed()
+}
+
+/// Predicates in the *flattened* form the parser produces: AND/OR nodes
+/// have ≥2 children and no child of the same connective.
+fn pred(depth: u32) -> BoxedStrategy<Pred> {
+    let base = atom(depth);
+    let not = atom(depth).prop_map(|p| Pred::Not(Box::new(p)));
+    let or_of_atoms = proptest::collection::vec(atom(depth), 2..4).prop_map(Pred::Or);
+    let and_children = prop_oneof![
+        3 => atom(depth),
+        1 => proptest::collection::vec(atom(depth), 2..3).prop_map(Pred::Or),
+    ];
+    let and = proptest::collection::vec(and_children, 2..4).prop_map(Pred::And);
+    prop_oneof![3 => base, 1 => not, 1 => or_of_atoms, 1 => and].boxed()
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        Just(SelectItem::Star),
+        column_ref().prop_map(SelectItem::Column),
+        (agg_func(), agg_arg()).prop_map(|(f, a)| SelectItem::Aggregate(f, a)),
+    ]
+}
+
+fn order_key() -> impl Strategy<Value = OrderKey> {
+    prop_oneof![
+        column_ref().prop_map(OrderKey::Column),
+        (agg_func(), agg_arg()).prop_map(|(f, a)| OrderKey::Aggregate(f, a)),
+    ]
+}
+
+fn query(depth: u32) -> BoxedStrategy<Query> {
+    let from = prop_oneof![
+        4 => proptest::collection::vec(identifier(), 1..3).prop_map(FromClause::Tables),
+        1 => Just(FromClause::JoinPlaceholder),
+    ];
+    (
+        any::<bool>(),
+        proptest::collection::vec(select_item(), 1..4),
+        from,
+        proptest::option::of(pred(depth)),
+        proptest::collection::vec(column_ref(), 0..3),
+        proptest::collection::vec(
+            (order_key(), prop_oneof![Just(OrderDir::Asc), Just(OrderDir::Desc)]),
+            0..3,
+        ),
+        proptest::option::of(0u64..1000),
+        proptest::option::of(pred(0)),
+    )
+        .prop_map(
+            |(distinct, select, from, where_pred, group_by, order_by, limit, having)| Query {
+                distinct,
+                select,
+                from,
+                where_pred,
+                // HAVING requires GROUP BY in the grammar.
+                having: if group_by.is_empty() { None } else { having },
+                group_by,
+                order_by,
+                limit,
+            },
+        )
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The printer and parser are inverse: parse(print(q)) == q.
+    #[test]
+    fn print_parse_round_trip(q in query(1)) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for `{printed}`: {e}"));
+        prop_assert_eq!(&reparsed, &q, "printed form was `{}`", printed);
+    }
+
+    /// Canonicalization is idempotent.
+    #[test]
+    fn canonical_idempotent(q in query(1)) {
+        let c1 = CanonicalForm::of(&q);
+        let c2 = CanonicalForm::of(c1.query());
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// Exact set match is reflexive.
+    #[test]
+    fn exact_match_reflexive(q in query(1)) {
+        prop_assert!(exact_set_match(&q, &q));
+    }
+
+    /// The canonical rendering parses back to the canonical query.
+    #[test]
+    fn canonical_rendering_parses(q in query(1)) {
+        let c = CanonicalForm::of(&q);
+        let reparsed = parse_query(&c.rendered())
+            .unwrap_or_else(|e| panic!("canonical reparse failed for `{}`: {e}", c.rendered()));
+        prop_assert!(exact_set_match(&reparsed, &q));
+    }
+
+    /// Pattern extraction never panics and is constant under
+    /// placeholder-preserving identity.
+    #[test]
+    fn pattern_extraction_total(q in query(1)) {
+        let p1 = dbpal_sql::QueryPattern::of(&q);
+        let p2 = dbpal_sql::QueryPattern::of(&q);
+        prop_assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Cross-domain transfer: the Spider-style experiment in miniature
+//! (paper §6.1).
+//!
+//! Builds the Spider-like benchmark (train/test schema splits over
+//! disjoint domains), trains the three configurations, and prints the
+//! per-difficulty accuracy table — a quick Table 2.
+//!
+//! Run with: `cargo run --release --example cross_domain`
+
+use dbpal::benchsuite::{Configuration, SpiderExperiment};
+use dbpal::sql::Difficulty;
+use dbpal_benchsuite::eval::evaluate_spider;
+
+fn main() {
+    let exp = SpiderExperiment::quick();
+    println!(
+        "Spider-like benchmark: {} train schemas, {} test schemas, {} test questions",
+        exp.bench.train_schemas.len(),
+        exp.bench.test_schemas.len(),
+        exp.bench.test_examples.len()
+    );
+    println!(
+        "train domains: {}",
+        exp.bench
+            .train_schemas
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "test domains:  {}",
+        exp.bench
+            .test_schemas
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    for config in Configuration::ALL {
+        let corpus = exp.corpus_for(config);
+        let model = exp.train_model(config);
+        let report = evaluate_spider(&model, &exp.bench.test_examples);
+        println!(
+            "\n{:<14} trained on {} pairs",
+            config.label(),
+            corpus.len()
+        );
+        for d in Difficulty::ALL {
+            println!("  {:<10} {:.3}", d.label(), report.accuracy(d));
+        }
+        println!("  {:<10} {:.3}", "Overall", report.overall.accuracy());
+    }
+}

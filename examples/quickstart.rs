@@ -1,0 +1,78 @@
+//! Quickstart: bootstrap a natural-language interface over a database
+//! with **zero** hand-written training data.
+//!
+//! The flow mirrors the paper's Figures 1 and 2:
+//! 1. define a schema (with optional NL annotations),
+//! 2. let DBPal's pipeline synthesize a training corpus from it,
+//! 3. train a pluggable translation model,
+//! 4. ask questions in plain English.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dbpal::core::{GenerationConfig, TrainOptions};
+use dbpal::engine::Database;
+use dbpal::model::SketchModel;
+use dbpal::runtime::Nlidb;
+use dbpal::schema::{SchemaBuilder, SemanticDomain, SqlType, Value};
+
+fn main() {
+    // 1. The schema is the only mandatory input (paper §1).
+    let schema = SchemaBuilder::new("hospital")
+        .table("patients", |t| {
+            t.synonym("people")
+                .column("name", SqlType::Text)
+                .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                .column_with("disease", SqlType::Text, |c| c.synonym("illness"))
+                .column_with("length_of_stay", SqlType::Integer, |c| {
+                    c.domain(SemanticDomain::Duration)
+                        .readable("length of stay")
+                        .synonym("stay")
+                })
+        })
+        .build()
+        .expect("schema is valid");
+
+    // Some data to query.
+    let mut db = Database::new(schema.clone());
+    for (name, age, disease, stay) in [
+        ("Ann", 80, "influenza", 12),
+        ("Bob", 35, "asthma", 3),
+        ("Cat", 64, "influenza", 7),
+        ("Dan", 80, "diabetes", 9),
+        ("Eve", 12, "asthma", 2),
+    ] {
+        db.insert(
+            "patients",
+            vec![name.into(), Value::Int(age), disease.into(), Value::Int(stay)],
+        )
+        .expect("row fits schema");
+    }
+
+    // 2 + 3. Bootstrap: generate synthetic training data for this schema
+    // and train the sketch model on it. No manual NL-SQL pairs involved.
+    let mut nlidb = Nlidb::new(db, SketchModel::new(vec![schema]));
+    println!("bootstrapping (generating training data + training the model)...");
+    nlidb.bootstrap(GenerationConfig::default(), &TrainOptions::default());
+
+    // 4. Ask away.
+    for question in [
+        "Show me the name of all patients with age 80",
+        "How many patients have influenza?",
+        "What is the average length of stay of patients?",
+        "Which patient has the highest age?",
+    ] {
+        println!("\nQ: {question}");
+        match nlidb.answer(question) {
+            Ok(resp) => {
+                println!("   anonymized: {}", resp.anonymized_nl);
+                println!("   SQL:        {}", resp.final_sql);
+                print!("{}", indent(&resp.result.to_table_string()));
+            }
+            Err(e) => println!("   error: {e}"),
+        }
+    }
+}
+
+fn indent(table: &str) -> String {
+    table.lines().map(|l| format!("   {l}\n")).collect()
+}

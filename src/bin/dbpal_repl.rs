@@ -1,0 +1,182 @@
+//! Interactive DBPal REPL: the paper's Figure 1 frontend in a terminal.
+//!
+//! Boots a demo hospital database, generates synthetic training data from
+//! its schema, trains the sketch model, and then answers natural-language
+//! questions from stdin.
+//!
+//! ```text
+//! cargo run --release --bin dbpal_repl
+//! dbpal> Show me the name of all patients with age 80
+//! dbpal> :sql SELECT COUNT(*) FROM patients
+//! dbpal> :help
+//! ```
+
+use dbpal::core::{GenerationConfig, TrainOptions};
+use dbpal::engine::Database;
+use dbpal::model::SketchModel;
+use dbpal::runtime::Nlidb;
+use dbpal::schema::{SchemaBuilder, SemanticDomain, SqlType, Value};
+use std::io::{BufRead, Write};
+
+fn demo_database() -> Database {
+    let schema = SchemaBuilder::new("hospital")
+        .table("patients", |t| {
+            t.synonym("people")
+                .column("name", SqlType::Text)
+                .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                .column_with("disease", SqlType::Text, |c| c.synonym("illness"))
+                .column_with("length_of_stay", SqlType::Integer, |c| {
+                    c.domain(SemanticDomain::Duration)
+                        .readable("length of stay")
+                        .synonym("stay")
+                })
+                .column("doctor_id", SqlType::Integer)
+        })
+        .table("doctors", |t| {
+            t.synonym("physicians")
+                .column("id", SqlType::Integer)
+                .column("name", SqlType::Text)
+                .column("specialty", SqlType::Text)
+                .primary_key("id")
+        })
+        .foreign_key("patients", "doctor_id", "doctors", "id")
+        .build()
+        .expect("demo schema is valid");
+
+    let mut db = Database::new(schema);
+    let patients: &[(&str, i64, &str, i64, i64)] = &[
+        ("Ann", 80, "influenza", 12, 1),
+        ("Bob", 35, "asthma", 3, 1),
+        ("Cat", 64, "influenza", 7, 2),
+        ("Dan", 80, "diabetes", 9, 2),
+        ("Eve", 12, "asthma", 2, 1),
+        ("Finn", 47, "migraine", 1, 3),
+        ("Grace", 71, "diabetes", 15, 3),
+        ("Hugo", 29, "influenza", 4, 2),
+    ];
+    for (n, a, d, s, doc) in patients {
+        db.insert(
+            "patients",
+            vec![
+                (*n).into(),
+                Value::Int(*a),
+                (*d).into(),
+                Value::Int(*s),
+                Value::Int(*doc),
+            ],
+        )
+        .expect("row fits");
+    }
+    for (id, n, spec) in [
+        (1, "House", "diagnostics"),
+        (2, "Grey", "surgery"),
+        (3, "Wilson", "oncology"),
+    ] {
+        db.insert("doctors", vec![Value::Int(id), n.into(), spec.into()])
+            .expect("row fits");
+    }
+    db
+}
+
+fn print_help() {
+    println!("Ask a question in plain English, or use a command:");
+    println!("  :sql <query>      run raw SQL against the database");
+    println!("  :explain <query>  show the execution plan for raw SQL");
+    println!("  :schema           show the schema");
+    println!("  :export <path>    write the synthetic training corpus as JSON");
+    println!("  :help             this message");
+    println!("  :quit             exit");
+}
+
+fn main() {
+    println!("DBPal demo — hospital database");
+    println!("bootstrapping (synthesizing training data + training the model)...");
+    let db = demo_database();
+    let schema = db.schema().clone();
+    // Keep the generated corpus around for `:export`.
+    let pipeline = dbpal::core::TrainingPipeline::new(GenerationConfig::default());
+    let corpus = pipeline.generate(&schema);
+    let mut model = SketchModel::new(vec![schema]);
+    dbpal::core::TranslationModel::train(&mut model, &corpus, &TrainOptions::default());
+    let nlidb = Nlidb::new(db, model);
+    println!(
+        "ready ({} training pairs generated). Type :help for commands.\n",
+        corpus.len()
+    );
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("dbpal> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" || line == "exit" {
+            break;
+        }
+        if line == ":help" {
+            print_help();
+            continue;
+        }
+        if line == ":schema" {
+            for table in nlidb.database().schema().tables() {
+                let cols: Vec<String> = table
+                    .columns()
+                    .iter()
+                    .map(|c| format!("{} {}", c.name(), c.sql_type()))
+                    .collect();
+                println!("  {}({})", table.name(), cols.join(", "));
+            }
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix(":explain ") {
+            match dbpal::sql::parse_query(sql) {
+                Ok(q) => match nlidb.database().explain(&q) {
+                    Ok(plan) => print!("{plan}"),
+                    Err(e) => println!("explain error: {e}"),
+                },
+                Err(e) => println!("parse error: {e}"),
+            }
+            continue;
+        }
+        if let Some(path) = line.strip_prefix(":export ") {
+            match dbpal::core::corpus_to_json(&corpus) {
+                Ok(json) => match std::fs::write(path.trim(), json) {
+                    Ok(()) => println!("wrote {} pairs to {}", corpus.len(), path.trim()),
+                    Err(e) => println!("write error: {e}"),
+                },
+                Err(e) => println!("serialization error: {e}"),
+            }
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix(":sql ") {
+            match dbpal::sql::parse_query(sql) {
+                Ok(q) => match nlidb.database().execute(&q) {
+                    Ok(result) => print!("{result}"),
+                    Err(e) => println!("execution error: {e}"),
+                },
+                Err(e) => println!("parse error: {e}"),
+            }
+            continue;
+        }
+        match nlidb.answer(line) {
+            Ok(resp) => {
+                println!("SQL: {}", resp.final_sql);
+                print!("{}", resp.result);
+            }
+            Err(e) => println!("sorry, {e}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,42 @@
+//! # DBPal — a fully pluggable NL2SQL training pipeline
+//!
+//! This crate is the facade over the DBPal workspace, a from-scratch Rust
+//! reproduction of *DBPal: A Fully Pluggable NL2SQL Training Pipeline*
+//! (Weir et al., SIGMOD 2020).
+//!
+//! DBPal synthesizes NL→SQL training data from a database schema alone,
+//! using weak supervision: seed templates are instantiated against the
+//! schema, augmented for linguistic robustness (paraphrasing, word
+//! dropout, domain-specific comparatives), and lemmatized. Any
+//! [`core::TranslationModel`] implementation can then be trained on the
+//! output.
+//!
+//! ## Layout
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`schema`] | `dbpal-schema` | catalog, annotations, join graph |
+//! | [`sql`] | `dbpal-sql` | SQL AST, parser, printer, equivalence |
+//! | [`engine`] | `dbpal-engine` | in-memory relational executor |
+//! | [`nlp`] | `dbpal-nlp` | tokenizer, lemmatizer, paraphrase store |
+//! | [`core`] | `dbpal-core` | templates, generator, augmentation, optimizer |
+//! | [`model`] | `dbpal-model` | pluggable translation models |
+//! | [`runtime`] | `dbpal-runtime` | NLIDB runtime (pre/post-processing) |
+//! | [`benchsuite`] | `dbpal-benchsuite` | Spider-like, Patients, GeoQuery benchmarks |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow: define a schema,
+//! generate a training corpus, train a model, and answer NL questions.
+
+pub use dbpal_benchsuite as benchsuite;
+pub use dbpal_core as core;
+pub use dbpal_engine as engine;
+pub use dbpal_model as model;
+pub use dbpal_nlp as nlp;
+pub use dbpal_runtime as runtime;
+pub use dbpal_schema as schema;
+pub use dbpal_sql as sql;
+
+/// The crate version of this DBPal build.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
