@@ -1,10 +1,14 @@
-//! Criterion microbenchmarks for the training pipeline: generation,
-//! augmentation, and lemmatization throughput.
+//! Microbenchmarks for the training pipeline: generation, augmentation,
+//! and lemmatization throughput (`dbpal_util::bench` harness).
+//!
+//! Run with `cargo bench`; under `cargo test` each benchmark executes a
+//! single smoke iteration. Set `DBPAL_BENCH_JSON=<path>` for a
+//! machine-readable report.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dbpal_core::{catalog, Augmenter, GenerationConfig, Generator, TrainingPipeline};
 use dbpal_nlp::Lemmatizer;
 use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
+use dbpal_util::bench::{black_box, Config, Harness};
 
 fn bench_schema() -> Schema {
     SchemaBuilder::new("hospital")
@@ -29,67 +33,45 @@ fn bench_schema() -> Schema {
         .unwrap()
 }
 
-fn generation(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::with_config("pipeline", Config::from_args());
     let schema = bench_schema();
     let config = GenerationConfig::small();
     let templates = catalog();
-    c.bench_function("generator/seed_corpus", |b| {
-        b.iter(|| {
-            let mut g = Generator::new(&schema, &config);
-            std::hint::black_box(g.generate(&templates).len())
-        })
-    });
-}
 
-fn augmentation(c: &mut Criterion) {
-    let schema = bench_schema();
-    let config = GenerationConfig::small();
+    h.bench("generator/seed_corpus", || {
+        let mut g = Generator::new(&schema, &config);
+        black_box(g.generate(&templates).len())
+    });
+
     let seed_corpus = {
         let mut g = Generator::new(&schema, &config);
-        g.generate(&catalog())
+        g.generate(&templates)
     };
-    c.bench_function("augmenter/full_pass", |b| {
-        b.iter_batched(
-            || seed_corpus.pairs().to_vec(),
-            |pairs| {
-                let corpus = dbpal_core::TrainingCorpus::from_pairs(pairs);
-                let mut aug = Augmenter::new(&schema, &config);
-                std::hint::black_box(aug.augment(&corpus).len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+    h.bench_with_setup(
+        "augmenter/full_pass",
+        || seed_corpus.pairs().to_vec(),
+        |pairs| {
+            let corpus = dbpal_core::TrainingCorpus::from_pairs(pairs);
+            let mut aug = Augmenter::new(&schema, &config);
+            black_box(aug.augment(&corpus).len())
+        },
+    );
 
-fn lemmatization(c: &mut Criterion) {
     let lem = Lemmatizer::new();
     let sentence = "What are the names of all patients older than 80 who stayed longest?";
-    c.bench_function("lemmatizer/sentence", |b| {
-        b.iter(|| std::hint::black_box(lem.lemmatize_sentence(sentence).len()))
+    h.bench("lemmatizer/sentence", || {
+        black_box(lem.lemmatize_sentence(sentence).len())
     });
-}
 
-fn full_pipeline(c: &mut Criterion) {
-    let schema = bench_schema();
-    let config = GenerationConfig::small();
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
-    group.bench_function("generate_small", |b| {
-        b.iter(|| {
-            let pipeline = TrainingPipeline::new(config.clone());
-            std::hint::black_box(pipeline.generate(&schema).len())
-        })
+    h.bench("pipeline/generate_small", || {
+        let pipeline = TrainingPipeline::new(config.clone());
+        black_box(pipeline.generate(&schema).len())
     });
-    group.finish();
-}
 
-fn parsing(c: &mut Criterion) {
     let sql = "SELECT disease, COUNT(*) FROM patients WHERE age > @AGE \
                GROUP BY disease HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 5";
-    c.bench_function("sql/parse", |b| {
-        b.iter(|| std::hint::black_box(dbpal_sql::parse_query(sql).unwrap()))
-    });
-}
+    h.bench("sql/parse", || black_box(dbpal_sql::parse_query(sql).unwrap()));
 
-criterion_group!(benches, generation, augmentation, lemmatization, full_pipeline, parsing);
-criterion_main!(benches);
+    h.finish();
+}

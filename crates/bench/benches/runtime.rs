@@ -1,13 +1,16 @@
-//! Criterion microbenchmarks for the runtime phase: anonymization,
-//! join-path inference, translation, and execution.
+//! Microbenchmarks for the runtime phase: anonymization, join-path
+//! inference, translation, and execution (`dbpal_util::bench` harness).
+//!
+//! Run with `cargo bench`; under `cargo test` each benchmark executes a
+//! single smoke iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dbpal_core::{GenerationConfig, TrainOptions, TrainingPipeline, TranslationModel};
 use dbpal_engine::Database;
 use dbpal_model::SketchModel;
 use dbpal_nlp::Lemmatizer;
 use dbpal_runtime::{ParameterHandler, PostProcessor, ValueIndex};
 use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType, Value};
+use dbpal_util::bench::{black_box, Config, Harness};
 
 fn schema() -> Schema {
     SchemaBuilder::new("hospital")
@@ -48,61 +51,53 @@ fn database() -> Database {
     db
 }
 
-fn anonymization(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::with_config("runtime", Config::from_args());
+
     let db = database();
     let index = ValueIndex::build(&db);
     let handler = ParameterHandler::new(db.schema(), &index);
-    c.bench_function("runtime/anonymize", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                handler.anonymize("show the names of patients with influenza older than 50"),
-            )
-        })
+    h.bench("runtime/anonymize", || {
+        black_box(handler.anonymize("show the names of patients with influenza older than 50"))
     });
-}
 
-fn join_path(c: &mut Criterion) {
     let s = schema();
     let post = PostProcessor::new(&s);
     let q = dbpal_sql::parse_query(
         "SELECT AVG(patients.age) FROM @JOIN WHERE doctors.name = 'doc1'",
     )
     .unwrap();
-    c.bench_function("runtime/expand_join", |b| {
-        b.iter(|| std::hint::black_box(post.process(&q, &[]).unwrap()))
+    h.bench("runtime/expand_join", || {
+        black_box(post.process(&q, &[]).unwrap())
     });
-}
 
-fn translation(c: &mut Criterion) {
-    let s = schema();
     let pipeline = TrainingPipeline::new(GenerationConfig::small());
     let corpus = pipeline.generate(&s);
-    let mut model = SketchModel::new(vec![s]);
-    model.train(&corpus, &TrainOptions { epochs: 3, seed: 1, max_pairs: Some(2000), verbose: false });
+    let mut model = SketchModel::new(vec![s.clone()]);
+    model.train(
+        &corpus,
+        &TrainOptions { epochs: 3, seed: 1, max_pairs: Some(2000), verbose: false },
+    );
     let lem = Lemmatizer::new();
     let lemmas = lem.lemmatize_sentence("show the name of all patients with age @AGE");
-    c.bench_function("runtime/translate_sketch", |b| {
-        b.iter(|| std::hint::black_box(model.translate(&lemmas)))
+    h.bench("runtime/translate_sketch", || {
+        black_box(model.translate(&lemmas))
     });
-}
 
-fn execution(c: &mut Criterion) {
-    let db = database();
-    let q = dbpal_sql::parse_query(
+    let gq = dbpal_sql::parse_query(
         "SELECT disease, AVG(age) FROM patients WHERE age > 30 GROUP BY disease",
     )
     .unwrap();
-    c.bench_function("engine/group_by_500_rows", |b| {
-        b.iter(|| std::hint::black_box(db.execute(&q).unwrap().row_count()))
+    h.bench("engine/group_by_500_rows", || {
+        black_box(db.execute(&gq).unwrap().row_count())
     });
     let join = dbpal_sql::parse_query(
         "SELECT COUNT(*) FROM patients, doctors WHERE patients.doctor_id = doctors.id",
     )
     .unwrap();
-    c.bench_function("engine/hash_join_500x10", |b| {
-        b.iter(|| std::hint::black_box(db.execute(&join).unwrap().row_count()))
+    h.bench("engine/hash_join_500x10", || {
+        black_box(db.execute(&join).unwrap().row_count())
     });
-}
 
-criterion_group!(benches, anonymization, join_path, translation, execution);
-criterion_main!(benches);
+    h.finish();
+}

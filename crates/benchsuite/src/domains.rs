@@ -8,8 +8,7 @@
 //! concrete schemas by sampling column subsets.
 
 use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dbpal_util::Rng;
 
 /// A column blueprint: name, type, semantic domain, synonyms.
 #[derive(Debug, Clone, Copy)]
@@ -360,7 +359,7 @@ impl CountAlias for SemanticDomain {}
 
 /// Generates concrete schemas from the blueprints.
 pub struct SchemaGenerator {
-    rng: StdRng,
+    rng: Rng,
     blueprints: Vec<DomainBlueprint>,
 }
 
@@ -368,7 +367,7 @@ impl SchemaGenerator {
     /// Create a generator with a seed.
     pub fn new(seed: u64) -> Self {
         SchemaGenerator {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             blueprints: blueprints(),
         }
     }
@@ -453,7 +452,7 @@ impl SchemaGenerator {
 /// the value index).
 pub fn populate(schema: &Schema, rows_per_table: usize, seed: u64) -> dbpal_engine::Database {
     use dbpal_schema::Value;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut db = dbpal_engine::Database::new(schema.clone());
     const WORDS: &[&str] = &[
         "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",

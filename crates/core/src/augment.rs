@@ -7,9 +7,7 @@ use dbpal_nlp::{
 };
 use dbpal_schema::{Schema, SemanticDomain};
 use dbpal_sql::{CmpOp, Pred, Scalar};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use dbpal_util::{Rng, SliceRandom};
 
 /// The augmentation engine. Produces additional pairs from a seed corpus;
 /// it never mutates the input pairs.
@@ -19,7 +17,7 @@ pub struct Augmenter<'a> {
     store: ParaphraseStore,
     comparatives: ComparativeDictionary,
     tagger: PosTagger,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl<'a> Augmenter<'a> {
@@ -31,7 +29,7 @@ impl<'a> Augmenter<'a> {
             store: ParaphraseStore::new(),
             comparatives: ComparativeDictionary::new(),
             tagger: PosTagger::new(),
-            rng: StdRng::seed_from_u64(config.seed ^ 0xA0A0_A0A0),
+            rng: Rng::seed_from_u64(config.seed ^ 0xA0A0_A0A0),
         }
     }
 
@@ -472,10 +470,19 @@ mod tests {
             "no domain comparative in {:?}",
             out.iter().map(|p| &p.nl).collect::<Vec<_>>()
         );
-        // Elision variant drops the attribute word.
-        assert!(out
-            .iter()
-            .any(|q| !q.nl.contains("age ") || q.nl.starts_with("age")));
+        // Elision variant drops the attribute word: some output no
+        // longer has "age" immediately before the inserted phrase.
+        assert!(
+            out.iter().any(|q| {
+                let toks = tokenize(&q.nl);
+                toks.windows(2).all(|w| {
+                    !(w[0] == "age"
+                        && ["older", "above", "aged", "over"].contains(&w[1].as_str()))
+                })
+            }),
+            "no elided variant in {:?}",
+            out.iter().map(|p| &p.nl).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Generation-pipeline configuration: the tuning parameters ϕ of Table 1.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use dbpal_util::Rng;
 
 /// All parameters of the data generation procedure (paper Table 1),
 /// split into *data instantiation* and *data augmentation* groups.
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// The defaults are the "empirically determined" values used throughout
 /// the paper's evaluation (§3.2.1); [`GenerationConfig::sample`] draws a
 /// random candidate for the optimization procedure of §3.3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenerationConfig {
     // --- Data instantiation ---
     /// Maximum number of instances created for a NL-SQL template pair
@@ -80,7 +79,7 @@ impl Default for GenerationConfig {
 impl GenerationConfig {
     /// Draw a random candidate configuration for the random-search
     /// optimization procedure (§3.3). Ranges bracket the defaults.
-    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn sample(rng: &mut Rng) -> Self {
         GenerationConfig {
             size_slot_fills: rng.gen_range(5..=80),
             size_tables: rng.gen_range(2..=4),
@@ -95,7 +94,7 @@ impl GenerationConfig {
             paraphrase_min_quality: rng.gen_range(0.0..=0.9),
             pos_gated_dropout: rng.gen_bool(0.5),
             pos_aware_paraphrasing: rng.gen_bool(0.5),
-            seed: rng.gen(),
+            seed: rng.next_u64(),
         }
     }
 
@@ -143,8 +142,6 @@ impl GenerationConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn default_is_valid() {
@@ -158,7 +155,7 @@ mod tests {
 
     #[test]
     fn samples_are_valid() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..200 {
             let c = GenerationConfig::sample(&mut rng);
             assert_eq!(c.validate(), Ok(()), "invalid sample: {c:?}");
@@ -167,7 +164,7 @@ mod tests {
 
     #[test]
     fn sampling_varies() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let a = GenerationConfig::sample(&mut rng);
         let b = GenerationConfig::sample(&mut rng);
         assert_ne!(a, b);

@@ -15,9 +15,7 @@ use dbpal_sql::{
     AggArg, AggFunc, CmpOp, ColumnRef, FromClause, OrderDir, OrderKey, Pred, Query, Scalar,
     SelectItem,
 };
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use dbpal_util::{Rng, SliceRandom};
 use std::collections::{HashMap, HashSet};
 
 /// The template-instantiation engine.
@@ -25,7 +23,7 @@ pub struct Generator<'a> {
     schema: &'a Schema,
     config: &'a GenerationConfig,
     comparatives: ComparativeDictionary,
-    rng: StdRng,
+    rng: Rng,
 }
 
 /// A rendered filter: its SQL predicate and NL phrase.
@@ -41,7 +39,7 @@ impl<'a> Generator<'a> {
             schema,
             config,
             comparatives: ComparativeDictionary::new(),
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
         }
     }
 
@@ -785,7 +783,7 @@ impl<'a> Generator<'a> {
         };
         let (op, nl) = if column.sql_type().is_numeric() {
             // Weighted operator choice: equality is most common.
-            let roll: f64 = self.rng.gen();
+            let roll: f64 = self.rng.next_f64();
             if roll < 0.5 {
                 let eq = lexicons::pick(&mut self.rng, lexicons::EQ_PHRASES);
                 (CmpOp::Eq, format!("{surface} {eq} @{ph}"))

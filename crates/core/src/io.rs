@@ -14,16 +14,63 @@
 use crate::{Provenance, TrainingCorpus, TrainingPair};
 use dbpal_nlp::Lemmatizer;
 use dbpal_sql::parse_query;
-use serde::{Deserialize, Serialize};
+use dbpal_util::Json;
 
 /// Serialized form of one pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct PairRecord {
     nl: String,
     nl_lemmas: Vec<String>,
     sql: String,
     template_id: String,
     provenance: String,
+}
+
+impl PairRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("nl".into(), Json::str(self.nl.clone())),
+            (
+                "nl_lemmas".into(),
+                Json::Arr(self.nl_lemmas.iter().map(Json::str).collect()),
+            ),
+            ("sql".into(), Json::str(self.sql.clone())),
+            ("template_id".into(), Json::str(self.template_id.clone())),
+            ("provenance".into(), Json::str(self.provenance.clone())),
+        ])
+    }
+
+    /// Decode one record; `record` is the 1-based position for errors.
+    fn from_json(v: &Json, record: usize) -> Result<PairRecord, CorpusIoError> {
+        let field_str = |key: &str| -> Result<String, CorpusIoError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    CorpusIoError::Json(format!("record {record}: missing string field `{key}`"))
+                })
+        };
+        let lemmas = v
+            .get("nl_lemmas")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| {
+                CorpusIoError::Json(format!("record {record}: missing array field `nl_lemmas`"))
+            })?
+            .iter()
+            .map(|l| {
+                l.as_str().map(str::to_string).ok_or_else(|| {
+                    CorpusIoError::Json(format!("record {record}: non-string lemma"))
+                })
+            })
+            .collect::<Result<Vec<String>, CorpusIoError>>()?;
+        Ok(PairRecord {
+            nl: field_str("nl")?,
+            nl_lemmas: lemmas,
+            sql: field_str("sql")?,
+            template_id: field_str("template_id")?,
+            provenance: field_str("provenance")?,
+        })
+    }
 }
 
 /// Errors raised while importing corpora.
@@ -77,26 +124,39 @@ fn provenance_from_label(label: &str) -> Provenance {
     }
 }
 
-/// Export a corpus as pretty JSON.
+/// Export a corpus as pretty JSON. Output is deterministic: the same
+/// corpus always serializes to byte-identical text.
 pub fn corpus_to_json(corpus: &TrainingCorpus) -> Result<String, CorpusIoError> {
-    let records: Vec<PairRecord> = corpus
-        .pairs()
-        .iter()
-        .map(|p| PairRecord {
-            nl: p.nl.clone(),
-            nl_lemmas: p.nl_lemmas.clone(),
-            sql: p.sql_text(),
-            template_id: p.template_id.clone(),
-            provenance: provenance_label(p.provenance).to_string(),
-        })
-        .collect();
-    serde_json::to_string_pretty(&records).map_err(|e| CorpusIoError::Json(e.to_string()))
+    let doc = Json::Arr(
+        corpus
+            .pairs()
+            .iter()
+            .map(|p| {
+                PairRecord {
+                    nl: p.nl.clone(),
+                    nl_lemmas: p.nl_lemmas.clone(),
+                    sql: p.sql_text(),
+                    template_id: p.template_id.clone(),
+                    provenance: provenance_label(p.provenance).to_string(),
+                }
+                .to_json()
+            })
+            .collect(),
+    );
+    Ok(doc.pretty())
 }
 
 /// Import a corpus from JSON produced by [`corpus_to_json`].
 pub fn corpus_from_json(json: &str) -> Result<TrainingCorpus, CorpusIoError> {
-    let records: Vec<PairRecord> =
-        serde_json::from_str(json).map_err(|e| CorpusIoError::Json(e.to_string()))?;
+    let doc = Json::parse(json).map_err(|e| CorpusIoError::Json(e.to_string()))?;
+    let items = doc
+        .as_arr()
+        .ok_or_else(|| CorpusIoError::Json("top-level value must be an array".to_string()))?;
+    let records = items
+        .iter()
+        .enumerate()
+        .map(|(i, v)| PairRecord::from_json(v, i + 1))
+        .collect::<Result<Vec<PairRecord>, CorpusIoError>>()?;
     let mut pairs = Vec::with_capacity(records.len());
     for (i, r) in records.into_iter().enumerate() {
         let sql = parse_query(&r.sql).map_err(|e| CorpusIoError::BadSql {
@@ -193,10 +253,23 @@ mod tests {
 
     #[test]
     fn bad_json_rejected() {
-        assert!(matches!(
-            corpus_from_json("not json").unwrap_err(),
-            CorpusIoError::Json(_)
-        ));
+        // Lexically broken, structurally wrong, and schema-violating
+        // inputs all surface as CorpusIoError::Json.
+        for bad in [
+            "not json",
+            "",
+            "[{",
+            "{\"nl\":\"x\"}",                  // object, not array
+            "[42]",                            // record is not an object
+            "[{\"nl\":\"x\"}]",                // missing fields
+            "[{\"nl\":1,\"nl_lemmas\":[],\"sql\":\"SELECT * FROM t\",\"template_id\":\"t\",\"provenance\":\"seed\"}]",
+            "[{\"nl\":\"x\",\"nl_lemmas\":[7],\"sql\":\"SELECT * FROM t\",\"template_id\":\"t\",\"provenance\":\"seed\"}]",
+        ] {
+            assert!(
+                matches!(corpus_from_json(bad), Err(CorpusIoError::Json(_))),
+                "accepted `{bad}`"
+            );
+        }
     }
 
     #[test]

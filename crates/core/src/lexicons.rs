@@ -3,7 +3,7 @@
 //! "show me" can be used to instantiate the SelectPhrase*).
 
 use dbpal_sql::AggFunc;
-use rand::Rng;
+use dbpal_util::Rng;
 
 /// Phrases that open a retrieval question (the `SelectPhrase` slot).
 pub const SELECT_PHRASES: &[&str] = &[
@@ -72,15 +72,13 @@ pub const BETWEEN_PHRASES: &[&str] = &["between", "in the range", "ranging from"
 pub const NULL_PHRASES: &[&str] = &["with no", "without a", "missing the", "lacking a"];
 
 /// Pick a random element of a phrase list.
-pub fn pick<'a, R: Rng + ?Sized>(rng: &mut R, phrases: &[&'a str]) -> &'a str {
+pub fn pick<'a>(rng: &mut Rng, phrases: &[&'a str]) -> &'a str {
     phrases[rng.gen_range(0..phrases.len())]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn paper_select_phrases_present() {
@@ -122,7 +120,7 @@ mod tests {
 
     #[test]
     fn pick_is_in_range() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..50 {
             let p = pick(&mut rng, SELECT_PHRASES);
             assert!(SELECT_PHRASES.contains(&p));

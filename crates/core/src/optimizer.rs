@@ -11,8 +11,7 @@
 //! returns accuracy on the tuning workload T.
 
 use crate::GenerationConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dbpal_util::Rng;
 
 /// One trial of the search: a candidate ϕ and its measured accuracy.
 #[derive(Debug, Clone)]
@@ -42,7 +41,7 @@ impl RandomSearch {
     /// Run the search, invoking `generate` (the paper's
     /// `Generate(D, T, ϕ)`) for every sampled candidate.
     pub fn run(&self, mut generate: impl FnMut(&GenerationConfig) -> f64) -> Vec<TrialResult> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut results = Vec::with_capacity(self.trials);
         for _ in 0..self.trials {
             let config = GenerationConfig::sample(&mut rng);
@@ -61,7 +60,7 @@ impl RandomSearch {
         threads: usize,
         generate: impl Fn(&GenerationConfig) -> f64 + Sync,
     ) -> Vec<TrialResult> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let configs: Vec<GenerationConfig> = (0..self.trials)
             .map(|_| GenerationConfig::sample(&mut rng))
             .collect();

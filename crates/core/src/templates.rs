@@ -16,8 +16,7 @@
 //! paraphrasing" (§3.1).
 
 use dbpal_sql::AggFunc;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use dbpal_util::{Rng, SliceRandom};
 
 /// The SQL query class a template instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -392,7 +391,7 @@ pub fn catalog() -> Vec<SeedTemplate> {
 pub fn catalog_subset(fraction: f64, seed: u64) -> Vec<SeedTemplate> {
     let mut all = catalog();
     let keep = ((all.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     all.shuffle(&mut rng);
     all.truncate(keep);
     all

@@ -1,9 +1,11 @@
 //! Property tests for the training pipeline: invariants that must hold
-//! for every generation configuration.
+//! for every generation configuration (ported from `proptest` to the
+//! seeded `dbpal_util::check` harness; a failing case prints its seed
+//! for `DBPAL_CHECK_REPLAY`).
 
 use dbpal_core::{GenerationConfig, TrainingPipeline};
 use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
-use proptest::prelude::*;
+use dbpal_util::{forall, Rng};
 
 fn schema() -> Schema {
     SchemaBuilder::new("hospital")
@@ -25,69 +27,59 @@ fn schema() -> Schema {
 }
 
 /// Small random configurations (kept tiny so each case is fast).
-fn config() -> impl Strategy<Value = GenerationConfig> {
-    (
-        1usize..6,
-        0.0f64..0.5,
-        0usize..3,
-        0usize..3,
-        0.0f64..0.8,
-        0.0f32..0.9,
-        any::<bool>(),
-        any::<u64>(),
-    )
-        .prop_map(
-            |(fills, gbp, num_para, num_missing, drop_p, quality, pos, seed)| GenerationConfig {
-                size_slot_fills: fills,
-                group_by_p: gbp,
-                num_para,
-                num_missing,
-                rand_drop_p: drop_p,
-                paraphrase_min_quality: quality,
-                pos_gated_dropout: pos,
-                seed,
-                ..GenerationConfig::default()
-            },
-        )
+fn config(rng: &mut Rng) -> GenerationConfig {
+    GenerationConfig {
+        size_slot_fills: rng.gen_range(1usize..6),
+        group_by_p: rng.gen_range(0.0f64..0.5),
+        num_para: rng.gen_range(0usize..3),
+        num_missing: rng.gen_range(0usize..3),
+        rand_drop_p: rng.gen_range(0.0f64..0.8),
+        paraphrase_min_quality: rng.gen_range(0.0f32..0.9),
+        pos_gated_dropout: rng.gen_bool(0.5),
+        seed: rng.next_u64(),
+        ..GenerationConfig::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every configuration yields a corpus whose SQL parses, whose NL has
-    /// no unfilled slots, whose placeholders agree between NL and SQL,
-    /// and whose pairs are lemmatized and deduplicated.
-    #[test]
-    fn corpus_invariants_hold_for_any_config(cfg in config()) {
+/// Every configuration yields a corpus whose SQL parses, whose NL has
+/// no unfilled slots, whose placeholders agree between NL and SQL,
+/// and whose pairs are lemmatized and deduplicated.
+#[test]
+fn corpus_invariants_hold_for_any_config() {
+    forall!(cases = 24, |rng| {
+        let cfg = config(rng);
         let schema = schema();
         let pipeline = TrainingPipeline::new(cfg);
         let mut corpus = pipeline.generate(&schema);
-        prop_assert!(!corpus.is_empty());
+        assert!(!corpus.is_empty());
         for pair in corpus.pairs() {
             // SQL round-trips through the parser.
             let text = pair.sql_text();
             let reparsed = dbpal_sql::parse_query(&text)
-                .map_err(|e| TestCaseError::fail(format!("unparseable `{text}`: {e}")))?;
-            prop_assert_eq!(&reparsed, &pair.sql);
+                .unwrap_or_else(|e| panic!("unparseable `{text}`: {e}"));
+            assert_eq!(&reparsed, &pair.sql);
             // NL is fully instantiated and lemmatized.
-            prop_assert!(!pair.nl.contains('{'), "unfilled slot in `{}`", pair.nl);
-            prop_assert!(!pair.nl_lemmas.is_empty());
+            assert!(!pair.nl.contains('{'), "unfilled slot in `{}`", pair.nl);
+            assert!(!pair.nl_lemmas.is_empty());
             // Placeholder agreement.
             for ph in pair.sql.placeholders() {
-                prop_assert!(
+                assert!(
                     pair.nl.to_uppercase().contains(&format!("@{ph}")),
                     "placeholder @{ph} missing from `{}`",
                     pair.nl
                 );
             }
         }
-        prop_assert_eq!(corpus.dedup(), 0, "pipeline output contained duplicates");
-    }
+        assert_eq!(corpus.dedup(), 0, "pipeline output contained duplicates");
+    });
+}
 
-    /// Generation is a pure function of the configuration (same seed →
-    /// same corpus).
-    #[test]
-    fn generation_deterministic(cfg in config()) {
+/// Generation is a pure function of the configuration (same seed →
+/// same corpus).
+#[test]
+fn generation_deterministic() {
+    forall!(cases = 24, |rng| {
+        let cfg = config(rng);
         let schema = schema();
         let a: Vec<String> = TrainingPipeline::new(cfg.clone())
             .generate(&schema)
@@ -101,6 +93,6 @@ proptest! {
             .iter()
             .map(|p| p.nl.clone())
             .collect();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

@@ -1,10 +1,12 @@
 //! Property tests for the executor: relational invariants over random
-//! data and random (simple) queries.
+//! data and random (simple) queries (ported from `proptest` to the
+//! seeded `dbpal_util::check` harness; a failing case prints its seed
+//! for `DBPAL_CHECK_REPLAY`).
 
 use dbpal_engine::Database;
 use dbpal_schema::{SchemaBuilder, SqlType, Value};
 use dbpal_sql::parse_query;
-use proptest::prelude::*;
+use dbpal_util::{check, forall, Rng};
 
 fn database(rows: &[(i64, String, i64)]) -> Database {
     let schema = SchemaBuilder::new("prop")
@@ -26,65 +28,85 @@ fn database(rows: &[(i64, String, i64)]) -> Database {
     db
 }
 
-fn rows_strategy() -> impl Strategy<Value = Vec<(i64, String, i64)>> {
-    proptest::collection::vec((-50i64..50, "[a-d]{1,2}", -50i64..50), 0..40)
+/// 0..40 rows of `(-50..50, "[a-d]{1,2}", -50..50)`.
+fn gen_rows(rng: &mut Rng) -> Vec<(i64, String, i64)> {
+    check::vec_of(rng, 0..40, |r| {
+        (
+            r.gen_range(-50i64..50),
+            check::string_from(r, &['a', 'b', 'c', 'd'], 1..=2),
+            r.gen_range(-50i64..50),
+        )
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// COUNT(*) equals the number of stored rows.
-    #[test]
-    fn count_star_matches_row_count(rows in rows_strategy()) {
+/// COUNT(*) equals the number of stored rows.
+#[test]
+fn count_star_matches_row_count() {
+    forall!(cases = 128, |rng| {
+        let rows = gen_rows(rng);
         let db = database(&rows);
         let r = db.execute(&parse_query("SELECT COUNT(*) FROM t").unwrap()).unwrap();
-        prop_assert_eq!(&r.rows()[0][0], &Value::Int(rows.len() as i64));
-    }
+        assert_eq!(&r.rows()[0][0], &Value::Int(rows.len() as i64));
+    });
+}
 
-    /// WHERE returns exactly the rows satisfying the predicate.
-    #[test]
-    fn where_filters_exactly(rows in rows_strategy(), threshold in -50i64..50) {
+/// WHERE returns exactly the rows satisfying the predicate.
+#[test]
+fn where_filters_exactly() {
+    forall!(cases = 128, |rng| {
+        let rows = gen_rows(rng);
+        let threshold = rng.gen_range(-50i64..50);
         let db = database(&rows);
         let q = parse_query(&format!("SELECT a FROM t WHERE a > {threshold}")).unwrap();
         let r = db.execute(&q).unwrap();
         let expected = rows.iter().filter(|(a, _, _)| *a > threshold).count();
-        prop_assert_eq!(r.row_count(), expected);
+        assert_eq!(r.row_count(), expected);
         for row in r.rows() {
             match &row[0] {
-                Value::Int(a) => prop_assert!(*a > threshold),
-                other => prop_assert!(false, "unexpected value {other:?}"),
+                Value::Int(a) => assert!(*a > threshold),
+                other => panic!("unexpected value {other:?}"),
             }
         }
-    }
+    });
+}
 
-    /// LIMIT bounds the result size.
-    #[test]
-    fn limit_bounds_results(rows in rows_strategy(), limit in 0u64..10) {
+/// LIMIT bounds the result size.
+#[test]
+fn limit_bounds_results() {
+    forall!(cases = 128, |rng| {
+        let rows = gen_rows(rng);
+        let limit = rng.gen_range(0u64..10);
         let db = database(&rows);
         let q = parse_query(&format!("SELECT a FROM t LIMIT {limit}")).unwrap();
         let r = db.execute(&q).unwrap();
-        prop_assert!(r.row_count() <= limit as usize);
-        prop_assert!(r.row_count() <= rows.len());
-    }
+        assert!(r.row_count() <= limit as usize);
+        assert!(r.row_count() <= rows.len());
+    });
+}
 
-    /// DISTINCT yields no duplicate rows.
-    #[test]
-    fn distinct_removes_duplicates(rows in rows_strategy()) {
+/// DISTINCT yields no duplicate rows.
+#[test]
+fn distinct_removes_duplicates() {
+    forall!(cases = 128, |rng| {
+        let rows = gen_rows(rng);
         let db = database(&rows);
         let q = parse_query("SELECT DISTINCT s FROM t").unwrap();
         let r = db.execute(&q).unwrap();
         let mut seen = std::collections::HashSet::new();
         for row in r.rows() {
-            prop_assert!(seen.insert(row.clone()), "duplicate row {row:?}");
+            assert!(seen.insert(row.clone()), "duplicate row {row:?}");
         }
         let expected: std::collections::HashSet<&String> =
             rows.iter().map(|(_, s, _)| s).collect();
-        prop_assert_eq!(r.row_count(), expected.len());
-    }
+        assert_eq!(r.row_count(), expected.len());
+    });
+}
 
-    /// ORDER BY produces a sorted column.
-    #[test]
-    fn order_by_sorts(rows in rows_strategy()) {
+/// ORDER BY produces a sorted column.
+#[test]
+fn order_by_sorts() {
+    forall!(cases = 128, |rng| {
+        let rows = gen_rows(rng);
         let db = database(&rows);
         let q = parse_query("SELECT a FROM t ORDER BY a").unwrap();
         let r = db.execute(&q).unwrap();
@@ -93,29 +115,37 @@ proptest! {
             _ => unreachable!(),
         }).collect();
         for w in values.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
-    }
+    });
+}
 
-    /// SUM(a) equals the arithmetic sum; AVG(a) the mean.
-    #[test]
-    fn sum_and_avg_match_arithmetic(rows in rows_strategy()) {
-        prop_assume!(!rows.is_empty());
+/// SUM(a) equals the arithmetic sum; AVG(a) the mean.
+#[test]
+fn sum_and_avg_match_arithmetic() {
+    forall!(cases = 128, |rng| {
+        let rows = gen_rows(rng);
+        if rows.is_empty() {
+            return;
+        }
         let db = database(&rows);
         let sum: i64 = rows.iter().map(|(a, _, _)| a).sum();
         let r = db.execute(&parse_query("SELECT SUM(a) FROM t").unwrap()).unwrap();
-        prop_assert_eq!(&r.rows()[0][0], &Value::Int(sum));
+        assert_eq!(&r.rows()[0][0], &Value::Int(sum));
         let r = db.execute(&parse_query("SELECT AVG(a) FROM t").unwrap()).unwrap();
         let avg = sum as f64 / rows.len() as f64;
         match r.rows()[0][0] {
-            Value::Float(f) => prop_assert!((f - avg).abs() < 1e-9),
-            ref other => prop_assert!(false, "AVG returned {other:?}"),
+            Value::Float(f) => assert!((f - avg).abs() < 1e-9),
+            ref other => panic!("AVG returned {other:?}"),
         }
-    }
+    });
+}
 
-    /// GROUP BY partitions the rows: group counts sum to the total.
-    #[test]
-    fn group_by_partitions(rows in rows_strategy()) {
+/// GROUP BY partitions the rows: group counts sum to the total.
+#[test]
+fn group_by_partitions() {
+    forall!(cases = 128, |rng| {
+        let rows = gen_rows(rng);
         let db = database(&rows);
         let q = parse_query("SELECT s, COUNT(*) FROM t GROUP BY s").unwrap();
         let r = db.execute(&q).unwrap();
@@ -123,26 +153,36 @@ proptest! {
             Value::Int(n) => n,
             _ => 0,
         }).sum();
-        prop_assert_eq!(total, rows.len() as i64);
-    }
+        assert_eq!(total, rows.len() as i64);
+    });
+}
 
-    /// MIN/MAX bracket every value.
-    #[test]
-    fn min_max_bracket(rows in rows_strategy()) {
-        prop_assume!(!rows.is_empty());
+/// MIN/MAX bracket every value.
+#[test]
+fn min_max_bracket() {
+    forall!(cases = 128, |rng| {
+        let rows = gen_rows(rng);
+        if rows.is_empty() {
+            return;
+        }
         let db = database(&rows);
         let rmin = db.execute(&parse_query("SELECT MIN(a) FROM t").unwrap()).unwrap();
         let rmax = db.execute(&parse_query("SELECT MAX(a) FROM t").unwrap()).unwrap();
         let min = rows.iter().map(|(a, _, _)| *a).min().unwrap();
         let max = rows.iter().map(|(a, _, _)| *a).max().unwrap();
-        prop_assert_eq!(&rmin.rows()[0][0], &Value::Int(min));
-        prop_assert_eq!(&rmax.rows()[0][0], &Value::Int(max));
-    }
+        assert_eq!(&rmin.rows()[0][0], &Value::Int(min));
+        assert_eq!(&rmax.rows()[0][0], &Value::Int(max));
+    });
+}
 
-    /// A scalar-subquery filter agrees with computing the scalar first.
-    #[test]
-    fn scalar_subquery_consistency(rows in rows_strategy()) {
-        prop_assume!(!rows.is_empty());
+/// A scalar-subquery filter agrees with computing the scalar first.
+#[test]
+fn scalar_subquery_consistency() {
+    forall!(cases = 128, |rng| {
+        let rows = gen_rows(rng);
+        if rows.is_empty() {
+            return;
+        }
         let db = database(&rows);
         let nested = db.execute(&parse_query(
             "SELECT s FROM t WHERE a = (SELECT MAX(a) FROM t)"
@@ -151,6 +191,6 @@ proptest! {
         let direct = db.execute(&parse_query(
             &format!("SELECT s FROM t WHERE a = {max}")
         ).unwrap()).unwrap();
-        prop_assert!(nested.rows_equal_unordered(&direct));
-    }
+        assert!(nested.rows_equal_unordered(&direct));
+    });
 }

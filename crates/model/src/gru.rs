@@ -12,7 +12,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::math::{matvec, matvec_t_acc, outer_acc, sigmoid, Param};
-use rand::Rng;
+use dbpal_util::Rng;
 
 /// GRU parameters for one layer.
 #[derive(Debug, Clone)]
@@ -43,7 +43,7 @@ pub struct GruCache {
 
 impl GruCell {
     /// Create a cell with Xavier-initialized weights.
-    pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut Rng) -> Self {
         GruCell {
             wz: Param::xavier(hidden_dim, input_dim, rng),
             uz: Param::xavier(hidden_dim, hidden_dim, rng),
@@ -182,13 +182,11 @@ impl GruCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Finite-difference gradient check on a scalar loss L = Σ h'.
     #[test]
     fn gradient_check() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let (d, h) = (3, 4);
         let mut cell = GruCell::new(d, h, &mut rng);
         let x: Vec<f32> = (0..d).map(|i| 0.1 * (i as f32 + 1.0)).collect();
@@ -236,7 +234,7 @@ mod tests {
 
     #[test]
     fn weight_gradient_check() {
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Rng::seed_from_u64(17);
         let (d, h) = (2, 3);
         let mut cell = GruCell::new(d, h, &mut rng);
         let x = vec![0.3, -0.2];
@@ -266,7 +264,7 @@ mod tests {
 
     #[test]
     fn hidden_state_is_bounded() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let cell = GruCell::new(4, 8, &mut rng);
         let mut h = vec![0.0; 8];
         for step in 0..100 {

@@ -5,7 +5,7 @@
 //! this module provides them over flat `Vec<f32>` buffers with no
 //! external dependencies.
 
-use rand::Rng;
+use dbpal_util::Rng;
 
 /// A trainable parameter tensor with gradient and Adam state.
 #[derive(Debug, Clone)]
@@ -26,7 +26,7 @@ pub struct Param {
 
 impl Param {
     /// A matrix parameter with Xavier-uniform initialization.
-    pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+    pub fn xavier(rows: usize, cols: usize, rng: &mut Rng) -> Self {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
         let w = (0..rows * cols)
             .map(|_| rng.gen_range(-bound..bound))
@@ -162,8 +162,6 @@ pub fn softmax_inplace(x: &mut [f32]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn matvec_identity() {
@@ -177,7 +175,7 @@ mod tests {
     #[test]
     fn matvec_transpose_consistency() {
         // (Wᵀ y)·x == y·(W x)
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let w = Param::xavier(3, 4, &mut rng);
         let x: Vec<f32> = (0..4).map(|i| i as f32 * 0.3 - 0.5).collect();
         let y: Vec<f32> = (0..3).map(|i| 0.7 - i as f32 * 0.2).collect();

@@ -12,9 +12,7 @@ use crate::math::{dot, matvec, outer_acc, softmax_inplace, Param};
 use crate::vocab::{Vocab, EOS, SOS};
 use dbpal_core::{TrainOptions, TrainingCorpus, TranslationModel};
 use dbpal_sql::{parse_query, Query};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use dbpal_util::{Rng, SliceRandom};
 
 /// Hyperparameters of the seq2seq model.
 #[derive(Debug, Clone)]
@@ -75,7 +73,7 @@ pub struct Seq2SeqModel {
 impl Seq2SeqModel {
     /// Create an untrained model.
     pub fn new(cfg: Seq2SeqConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let (e, h) = (cfg.embed_dim, cfg.hidden_dim);
         Seq2SeqModel {
             src_vocab: Vocab::empty(),
@@ -98,7 +96,7 @@ impl Seq2SeqModel {
     }
 
     fn reset(&mut self, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let (e, h) = (self.cfg.embed_dim, self.cfg.hidden_dim);
         self.src_embed = Param::xavier(self.src_vocab.len(), e, &mut rng);
         self.tgt_embed = Param::xavier(self.tgt_vocab.len(), e, &mut rng);
@@ -421,7 +419,7 @@ impl TranslationModel for Seq2SeqModel {
                 )
             })
             .collect();
-        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut rng = Rng::seed_from_u64(opts.seed);
         pairs.shuffle(&mut rng);
         if let Some(cap) = opts.max_pairs {
             pairs.truncate(cap);

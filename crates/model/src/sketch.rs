@@ -28,9 +28,7 @@ use crate::linker::SchemaLinker;
 use dbpal_core::{TrainOptions, TrainingCorpus, TranslationModel};
 use dbpal_schema::{Schema, SqlType};
 use dbpal_sql::{parse_query, AggArg, AggFunc, Pred, Query, Scalar, Token};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use dbpal_util::{Rng, SliceRandom};
 use std::collections::{HashMap, HashSet};
 
 /// One token of an anonymized skeleton.
@@ -665,7 +663,7 @@ impl TranslationModel for SketchModel {
         let mut examples: Vec<(Vec<usize>, usize)> = Vec::new();
         self.classes.clear();
         self.class_index.clear();
-        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut rng = Rng::seed_from_u64(opts.seed);
         let mut pairs: Vec<(String, Query)> = corpus
             .pairs()
             .iter()
@@ -901,7 +899,7 @@ mod tests {
         // A slightly larger corpus than `small()`: the =/<> skeleton
         // distinction needs enough negative-phrasing examples.
         let pipeline = TrainingPipeline::new(GenerationConfig {
-            size_slot_fills: 12,
+            size_slot_fills: 20,
             ..GenerationConfig::default()
         });
         let corpus = pipeline.generate(&schema);

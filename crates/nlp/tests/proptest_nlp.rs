@@ -1,89 +1,162 @@
-//! Property tests for the NLP substrates.
+//! Property tests for the NLP substrates (ported from `proptest` to the
+//! seeded `dbpal_util::check` harness; a failing case prints its seed
+//! for `DBPAL_CHECK_REPLAY`).
 
 use dbpal_nlp::{
     char_ngram_jaccard, detokenize, jaccard_similarity, normalized_edit_distance, tokenize,
     Lemmatizer, PosTagger,
 };
-use proptest::prelude::*;
+use dbpal_util::{check, forall, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Arbitrary text: ASCII printable plus a sprinkling of multi-byte
+/// characters, standing in for proptest's `.{0,60}`.
+fn arbitrary_text(rng: &mut Rng, max: usize) -> String {
+    const WIDE: &[char] = &[
+        'é', 'ü', 'ß', 'λ', 'Ω', '中', '文', '🙂', '…', '—', '\t',
+    ];
+    let n = rng.gen_range(0..=max);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.1) {
+                WIDE[rng.gen_range(0..WIDE.len())]
+            } else {
+                // Printable ASCII: 0x20..=0x7e.
+                char::from(rng.gen_range(0x20u8..0x7f))
+            }
+        })
+        .collect()
+}
 
-    /// Tokenization never yields empty tokens, and all non-placeholder
-    /// tokens are lowercase.
-    #[test]
-    fn tokens_nonempty_lowercase(text in ".{0,60}") {
+/// `[a-zA-Z0-9 .,!?']{0,60}`
+fn sentence_text(rng: &mut Rng, max: usize) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'g', 'h', 'i', 'n', 'o', 'r', 's', 't', 'w', 'y', 'z', 'A',
+        'B', 'M', 'Z', '0', '1', '7', '9', ' ', '.', ',', '!', '?', '\'',
+    ];
+    check::string_from(rng, ALPHABET, 0..=max)
+}
+
+/// Tokenization never yields empty tokens, and all non-placeholder
+/// tokens are lowercase.
+#[test]
+fn tokens_nonempty_lowercase() {
+    forall!(cases = 256, |rng| {
+        let text = arbitrary_text(rng, 60);
         for t in tokenize(&text) {
-            prop_assert!(!t.is_empty());
+            assert!(!t.is_empty());
             if !t.starts_with('@') {
-                prop_assert_eq!(t.clone(), t.to_lowercase());
+                assert_eq!(t.clone(), t.to_lowercase());
             }
         }
-    }
+    });
+}
 
-    /// Tokenizing the detokenized tokens is a fixpoint.
-    #[test]
-    fn tokenize_detokenize_fixpoint(text in "[a-zA-Z0-9 .,!?']{0,60}") {
+/// Tokenizing the detokenized tokens is a fixpoint.
+#[test]
+fn tokenize_detokenize_fixpoint() {
+    forall!(cases = 256, |rng| {
+        let text = sentence_text(rng, 60);
         let once = tokenize(&text);
         let twice = tokenize(&detokenize(&once));
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    /// Lemmatization is idempotent: lemma(lemma(w)) == lemma(w).
-    #[test]
-    fn lemma_idempotent(word in "[a-z]{1,12}") {
+/// Lemmatization is idempotent: lemma(lemma(w)) == lemma(w).
+#[test]
+fn lemma_idempotent() {
+    forall!(cases = 256, |rng| {
+        let word = check::ascii_lowercase(rng, 1..=12);
         let lem = Lemmatizer::new();
         let once = lem.lemma(&word);
-        prop_assert_eq!(lem.lemma(&once), once.clone(), "word was {}", word);
-    }
+        assert_eq!(lem.lemma(&once), once, "word was {word}");
+    });
+}
 
-    /// Lemmas are never empty and never longer than input + 1 (the +1
-    /// covers -ied → -y style restorations and e-restoration).
-    #[test]
-    fn lemma_length_bounds(word in "[a-z]{1,12}") {
+/// Lemmas are never empty and never longer than input + 1 (the +1
+/// covers -ied → -y style restorations and e-restoration).
+#[test]
+fn lemma_length_bounds() {
+    forall!(cases = 256, |rng| {
+        let word = check::ascii_lowercase(rng, 1..=12);
         let lem = Lemmatizer::new();
         let l = lem.lemma(&word);
-        prop_assert!(!l.is_empty());
-        prop_assert!(l.len() <= word.len() + 1, "{word} -> {l}");
-    }
+        assert!(!l.is_empty());
+        assert!(l.len() <= word.len() + 1, "{word} -> {l}");
+    });
+}
 
-    /// Placeholders are untouched by lemmatization.
-    #[test]
-    fn placeholders_pass_through(name in "[A-Z]{1,8}") {
+/// Placeholders are untouched by lemmatization.
+#[test]
+fn placeholders_pass_through() {
+    const UPPER: &[char] = &[
+        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q',
+        'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z',
+    ];
+    forall!(cases = 256, |rng| {
+        let name = check::string_from(rng, UPPER, 1..=8);
         let lem = Lemmatizer::new();
         let ph = format!("@{name}");
-        prop_assert_eq!(lem.lemma(&ph), ph.clone());
-    }
+        assert_eq!(lem.lemma(&ph), ph);
+    });
+}
 
-    /// Jaccard similarity is symmetric and bounded.
-    #[test]
-    fn jaccard_symmetric_bounded(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+/// `[a-z ]{0,20}` — lowercase words with spaces.
+fn spaced_lowercase(rng: &mut Rng, max: usize) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', ' ',
+    ];
+    check::string_from(rng, ALPHABET, 0..=max)
+}
+
+/// Jaccard similarity is symmetric and bounded.
+#[test]
+fn jaccard_symmetric_bounded() {
+    forall!(cases = 256, |rng| {
+        let a = spaced_lowercase(rng, 20);
+        let b = spaced_lowercase(rng, 20);
         let ab = jaccard_similarity(&a, &b);
         let ba = jaccard_similarity(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&ab));
-    }
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    });
+}
 
-    /// Identity has similarity 1 for both metrics.
-    #[test]
-    fn self_similarity_is_one(a in "[a-z]{1,20}") {
-        prop_assert_eq!(jaccard_similarity(&a, &a), 1.0);
-        prop_assert_eq!(char_ngram_jaccard(&a, &a, 3), 1.0);
-        prop_assert_eq!(normalized_edit_distance(&a, &a), 0.0);
-    }
+/// Identity has similarity 1 for both metrics.
+#[test]
+fn self_similarity_is_one() {
+    forall!(cases = 256, |rng| {
+        let a = check::ascii_lowercase(rng, 1..=20);
+        assert_eq!(jaccard_similarity(&a, &a), 1.0);
+        assert_eq!(char_ngram_jaccard(&a, &a, 3), 1.0);
+        assert_eq!(normalized_edit_distance(&a, &a), 0.0);
+    });
+}
 
-    /// Edit distance satisfies the bounds 0 ≤ d ≤ 1 and symmetry.
-    #[test]
-    fn edit_distance_bounds(a in "[a-z]{0,15}", b in "[a-z]{0,15}") {
+/// Edit distance satisfies the bounds 0 ≤ d ≤ 1 and symmetry.
+#[test]
+fn edit_distance_bounds() {
+    forall!(cases = 256, |rng| {
+        let a = check::ascii_lowercase(rng, 0..=15);
+        let b = check::ascii_lowercase(rng, 0..=15);
         let d = normalized_edit_distance(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&d));
-        prop_assert!((d - normalized_edit_distance(&b, &a)).abs() < 1e-12);
-    }
+        assert!((0.0..=1.0).contains(&d));
+        assert!((d - normalized_edit_distance(&b, &a)).abs() < 1e-12);
+    });
+}
 
-    /// The POS tagger is total and deterministic.
-    #[test]
-    fn tagger_total(word in "[a-z0-9@]{1,12}") {
+/// The POS tagger is total and deterministic.
+#[test]
+fn tagger_total() {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7',
+        '8', '9', '@',
+    ];
+    forall!(cases = 256, |rng| {
+        let word = check::string_from(rng, ALPHABET, 1..=12);
         let tagger = PosTagger::new();
-        prop_assert_eq!(tagger.tag(&word), tagger.tag(&word));
-    }
+        assert_eq!(tagger.tag(&word), tagger.tag(&word));
+    });
 }

@@ -7,10 +7,9 @@
 //! slot-fill step draws on them when instantiating `{Table}`/`{Attribute}`
 //! slots, and the runtime's schema linker matches NL tokens against them.
 
-use serde::{Deserialize, Serialize};
 
 /// NL annotations for a single schema object (table or column).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Annotations {
     /// The preferred readable name; defaults to the SQL identifier with
     /// underscores replaced by spaces.

@@ -1,15 +1,14 @@
 //! The relational catalog: schemas, tables, columns, and keys.
 
 use crate::{Annotations, JoinGraph, SchemaError, SemanticDomain, SqlType};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Index of a table within its [`Schema`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId(pub u32);
 
 /// A column identified by its table and position within that table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnId {
     /// The owning table.
     pub table: TableId,
@@ -25,7 +24,7 @@ impl ColumnId {
 }
 
 /// A column definition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Column {
     name: String,
     sql_type: SqlType,
@@ -80,7 +79,7 @@ impl Column {
 }
 
 /// A table definition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     columns: Vec<Column>,
@@ -154,7 +153,7 @@ impl Table {
 }
 
 /// A foreign-key edge between two columns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ForeignKey {
     /// Referencing column.
     pub from: ColumnId,
@@ -165,12 +164,11 @@ pub struct ForeignKey {
 /// A complete database schema: the sole mandatory input to DBPal's
 /// training pipeline (paper §1: "only the database schema is required as
 /// input to generate a large collection of pairs").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Schema {
     name: String,
     tables: Vec<Table>,
     foreign_keys: Vec<ForeignKey>,
-    #[serde(skip)]
     table_index: HashMap<String, TableId>,
 }
 

@@ -1,6 +1,5 @@
 //! Column data types and semantic domains.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The SQL data type of a column.
@@ -8,7 +7,7 @@ use std::fmt;
 /// DBPal's generator only needs a coarse type lattice: numeric types admit
 /// range predicates and aggregation, text types admit equality/LIKE
 /// predicates, and booleans admit equality only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SqlType {
     /// 64-bit signed integer.
     Integer,
@@ -55,7 +54,7 @@ impl fmt::Display for SqlType {
 /// When the augmenter sees a generic comparative phrase such as
 /// *"greater than"* applied to a column whose domain is [`SemanticDomain::Age`],
 /// it may substitute the domain-specific comparative *"older than"*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[derive(Default)]
 pub enum SemanticDomain {
     /// Ages of people or things ("older than", "younger than", "oldest").

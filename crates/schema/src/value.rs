@@ -1,7 +1,6 @@
 //! The runtime value model shared by the SQL layer, engine, and generator.
 
 use crate::SqlType;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -12,7 +11,7 @@ use std::fmt;
 /// predicate evaluator, while `Value`'s own `Eq`/`Ord` implementations
 /// provide the *total* order needed for sorting and grouping
 /// (`NULL` sorts first, mixed numeric types compare by magnitude).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,

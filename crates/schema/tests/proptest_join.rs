@@ -1,7 +1,9 @@
-//! Property tests for the join graph over random foreign-key topologies.
+//! Property tests for the join graph over random foreign-key topologies
+//! (ported from `proptest` to the seeded `dbpal_util::check` harness; a
+//! failing case prints its seed for `DBPAL_CHECK_REPLAY`).
 
 use dbpal_schema::{Schema, SchemaBuilder, SqlType, TableId};
-use proptest::prelude::*;
+use dbpal_util::{check, forall, Rng};
 
 /// Build a schema with `n` tables and the given FK edges (i, j): an edge
 /// adds `t{i}.ref{j} -> t{j}.id`.
@@ -32,85 +34,85 @@ fn schema_with_edges(n: usize, edges: &[(usize, usize)]) -> Schema {
     b.build().expect("valid")
 }
 
-fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    proptest::collection::vec((0..n, 0..n), 0..12).prop_map(move |pairs| {
-        let mut out = Vec::new();
-        for (a, b) in pairs {
-            if a != b && !out.contains(&(a, b)) {
-                out.push((a, b));
-            }
+/// Up to 12 random (i, j) pairs over `0..n`, deduplicated, self-loops
+/// dropped — the same distribution the proptest strategy produced.
+fn gen_edges(rng: &mut Rng, n: usize) -> Vec<(usize, usize)> {
+    let pairs = check::vec_of(rng, 0..12, |r| (r.gen_range(0..n), r.gen_range(0..n)));
+    let mut out = Vec::new();
+    for (a, b) in pairs {
+        if a != b && !out.contains(&(a, b)) {
+            out.push((a, b));
         }
-        out
-    })
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Whenever `shortest_path` succeeds, the edge chain is connected:
-    /// each edge's left column belongs to a previously reached table and
-    /// the final edge reaches the target.
-    #[test]
-    fn shortest_path_is_connected(
-        edges in edges_strategy(6),
-        from in 0usize..6,
-        to in 0usize..6,
-    ) {
+/// Whenever `shortest_path` succeeds, the edge chain is connected:
+/// each edge's left column belongs to a previously reached table and
+/// the final edge reaches the target.
+#[test]
+fn shortest_path_is_connected() {
+    forall!(cases = 128, |rng| {
+        let edges = gen_edges(rng, 6);
+        let from = rng.gen_range(0usize..6);
+        let to = rng.gen_range(0usize..6);
         let schema = schema_with_edges(6, &edges);
         let graph = schema.join_graph();
         let (from, to) = (TableId(from as u32), TableId(to as u32));
         if let Ok(path) = graph.shortest_path(from, to) {
             let mut reached = vec![from];
             for e in &path {
-                prop_assert!(reached.contains(&e.left.table), "disconnected edge");
+                assert!(reached.contains(&e.left.table), "disconnected edge");
                 if !reached.contains(&e.right.table) {
                     reached.push(e.right.table);
                 }
             }
-            prop_assert!(from == to || reached.contains(&to));
+            assert!(from == to || reached.contains(&to));
         }
-    }
+    });
+}
 
-    /// `connect` covers all required tables and uses exactly
-    /// `tables - 1` edges (a tree).
-    #[test]
-    fn connect_builds_tree(
-        edges in edges_strategy(6),
-        required in proptest::collection::vec(0usize..6, 1..4),
-    ) {
+/// `connect` covers all required tables and uses exactly
+/// `tables - 1` edges (a tree).
+#[test]
+fn connect_builds_tree() {
+    forall!(cases = 128, |rng| {
+        let edges = gen_edges(rng, 6);
+        let required = check::vec_of(rng, 1..4, |r| r.gen_range(0usize..6));
         let schema = schema_with_edges(6, &edges);
         let graph = schema.join_graph();
         let required: Vec<TableId> = required.into_iter().map(|i| TableId(i as u32)).collect();
         if let Ok(path) = graph.connect(&required) {
             for t in &required {
-                prop_assert!(path.tables.contains(t), "required table missing");
+                assert!(path.tables.contains(t), "required table missing");
             }
-            prop_assert_eq!(path.edges.len(), path.tables.len() - 1);
+            assert_eq!(path.edges.len(), path.tables.len() - 1);
             // No duplicate tables.
             let mut seen = std::collections::HashSet::new();
             for t in &path.tables {
-                prop_assert!(seen.insert(*t));
+                assert!(seen.insert(*t));
             }
         }
-    }
+    });
+}
 
-    /// Shortest paths are symmetric in length (the FK graph is
-    /// undirected for joins).
-    #[test]
-    fn shortest_path_symmetric_length(
-        edges in edges_strategy(6),
-        a in 0usize..6,
-        b in 0usize..6,
-    ) {
+/// Shortest paths are symmetric in length (the FK graph is
+/// undirected for joins).
+#[test]
+fn shortest_path_symmetric_length() {
+    forall!(cases = 128, |rng| {
+        let edges = gen_edges(rng, 6);
+        let a = rng.gen_range(0usize..6);
+        let b = rng.gen_range(0usize..6);
         let schema = schema_with_edges(6, &edges);
         let graph = schema.join_graph();
         let (a, b) = (TableId(a as u32), TableId(b as u32));
         let ab = graph.shortest_path(a, b).map(|p| p.len());
         let ba = graph.shortest_path(b, a).map(|p| p.len());
         match (ab, ba) {
-            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Ok(x), Ok(y)) => assert_eq!(x, y),
             (Err(_), Err(_)) => {}
-            (x, y) => prop_assert!(false, "asymmetric reachability: {x:?} vs {y:?}"),
+            (x, y) => panic!("asymmetric reachability: {x:?} vs {y:?}"),
         }
-    }
+    });
 }

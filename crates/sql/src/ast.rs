@@ -1,10 +1,9 @@
 //! The SQL abstract syntax tree.
 
 use dbpal_schema::Value;
-use serde::{Deserialize, Serialize};
 
 /// A (possibly qualified) column reference such as `patients.age` or `age`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnRef {
     /// Qualifying table name, lowercase, if present.
     pub table: Option<String>,
@@ -31,7 +30,7 @@ impl ColumnRef {
 }
 
 /// Aggregate functions supported by the dialect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AggFunc {
     /// `COUNT`.
     Count,
@@ -68,7 +67,7 @@ impl AggFunc {
 }
 
 /// Argument of an aggregate: `*` or a column.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AggArg {
     /// `COUNT(*)`.
     Star,
@@ -77,7 +76,7 @@ pub enum AggArg {
 }
 
 /// One item of the SELECT list.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SelectItem {
     /// `SELECT *`.
     Star,
@@ -96,7 +95,7 @@ impl SelectItem {
 
 /// The FROM clause: either explicit tables or the `@JOIN` placeholder that
 /// the runtime post-processor expands (paper §5.1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FromClause {
     /// Explicit table list (implicit cross join constrained by WHERE
     /// equi-join predicates).
@@ -121,7 +120,7 @@ impl FromClause {
 }
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CmpOp {
     /// `=`.
     Eq,
@@ -176,7 +175,7 @@ impl CmpOp {
 }
 
 /// A scalar expression usable in comparisons.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Scalar {
     /// A column reference.
     Column(ColumnRef),
@@ -200,7 +199,7 @@ impl Scalar {
 }
 
 /// A boolean predicate.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Pred {
     /// Conjunction of two or more predicates.
     And(Vec<Pred>),
@@ -297,7 +296,7 @@ impl Pred {
 }
 
 /// Sort key of an ORDER BY entry.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OrderKey {
     /// Order by a column.
     Column(ColumnRef),
@@ -306,7 +305,7 @@ pub enum OrderKey {
 }
 
 /// Sort direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OrderDir {
     /// Ascending (the default).
     Asc,
@@ -315,7 +314,7 @@ pub enum OrderDir {
 }
 
 /// A complete SELECT query.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Query {
     /// `SELECT DISTINCT`.
     pub distinct: bool,

@@ -12,11 +12,10 @@
 //! components" (paper §6.1.1).
 
 use crate::ast::*;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Spider-style query difficulty.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Difficulty {
     /// Simple single-clause queries.
     Easy,

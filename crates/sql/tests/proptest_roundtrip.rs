@@ -1,12 +1,14 @@
 //! Property tests for the SQL layer: print→parse round-trips and
-//! canonicalization laws over randomly generated query ASTs.
+//! canonicalization laws over randomly generated query ASTs (ported
+//! from `proptest` to the seeded `dbpal_util::check` harness; each
+//! failing case prints its seed for `DBPAL_CHECK_REPLAY`).
 
 use dbpal_schema::Value;
 use dbpal_sql::{
     exact_set_match, parse_query, AggArg, AggFunc, CanonicalForm, CmpOp, ColumnRef, FromClause,
     OrderDir, OrderKey, Pred, Query, Scalar, SelectItem,
 };
-use proptest::prelude::*;
+use dbpal_util::{check, forall, Rng};
 
 const KEYWORDS: &[&str] = &[
     "select", "distinct", "from", "where", "group", "by", "having", "order", "limit", "and",
@@ -14,227 +16,266 @@ const KEYWORDS: &[&str] = &[
     "sum", "avg", "min", "max", "true", "false",
 ];
 
-fn identifier() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
-}
-
-fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (proptest::option::of(identifier()), identifier()).prop_map(|(t, c)| ColumnRef {
-        table: t,
-        column: c,
-    })
-}
-
-fn agg_func() -> impl Strategy<Value = AggFunc> {
-    prop_oneof![
-        Just(AggFunc::Count),
-        Just(AggFunc::Sum),
-        Just(AggFunc::Avg),
-        Just(AggFunc::Min),
-        Just(AggFunc::Max),
-    ]
-}
-
-fn agg_arg() -> impl Strategy<Value = AggArg> {
-    prop_oneof![Just(AggArg::Star), column_ref().prop_map(AggArg::Column)]
-}
-
-fn literal() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
-        (-1_000_000.0f64..1_000_000.0)
-            .prop_map(|f| Value::Float(if f == 0.0 { 0.0 } else { f })),
-        "[ a-zA-Z0-9_',.!?-]{0,12}".prop_map(Value::Text),
-        any::<bool>().prop_map(Value::Bool),
-    ]
-}
-
-fn placeholder() -> impl Strategy<Value = String> {
-    "[A-Z][A-Z0-9_]{0,6}(\\.[A-Z][A-Z0-9_]{0,4})?".prop_map(|s| s)
-}
-
-fn scalar(depth: u32) -> BoxedStrategy<Scalar> {
-    let leaf = prop_oneof![
-        column_ref().prop_map(Scalar::Column),
-        literal().prop_map(Scalar::Literal),
-        placeholder().prop_map(Scalar::Placeholder),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        prop_oneof![
-            4 => leaf,
-            1 => query(depth - 1).prop_map(|q| Scalar::Subquery(Box::new(q))),
-        ]
-        .boxed()
+/// `[a-z][a-z0-9_]{0,6}`, excluding SQL keywords.
+fn identifier(rng: &mut Rng) -> String {
+    loop {
+        let s = check::identifier(rng, 0..7);
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
     }
 }
 
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::NotEq),
-        Just(CmpOp::Lt),
-        Just(CmpOp::LtEq),
-        Just(CmpOp::Gt),
-        Just(CmpOp::GtEq),
-    ]
+fn column_ref(rng: &mut Rng) -> ColumnRef {
+    ColumnRef {
+        table: if rng.gen_bool(0.5) { Some(identifier(rng)) } else { None },
+        column: identifier(rng),
+    }
+}
+
+fn agg_func(rng: &mut Rng) -> AggFunc {
+    match rng.gen_range(0..5) {
+        0 => AggFunc::Count,
+        1 => AggFunc::Sum,
+        2 => AggFunc::Avg,
+        3 => AggFunc::Min,
+        _ => AggFunc::Max,
+    }
+}
+
+fn agg_arg(rng: &mut Rng) -> AggArg {
+    if rng.gen_bool(0.5) {
+        AggArg::Star
+    } else {
+        AggArg::Column(column_ref(rng))
+    }
+}
+
+fn literal(rng: &mut Rng) -> Value {
+    const TEXT: &[char] = &[
+        ' ', 'a', 'b', 'c', 'x', 'y', 'z', 'A', 'B', 'Z', '0', '5', '9', '_', '\'', ',', '.',
+        '!', '?', '-',
+    ];
+    match rng.gen_range(0..5) {
+        0 => Value::Null,
+        1 => Value::Int(rng.gen_range(i64::MIN..=i64::MAX)),
+        2 => {
+            let f = rng.gen_range(-1_000_000.0f64..1_000_000.0);
+            Value::Float(if f == 0.0 { 0.0 } else { f })
+        }
+        3 => Value::Text(check::string_from(rng, TEXT, 0..13)),
+        _ => Value::Bool(rng.gen_bool(0.5)),
+    }
+}
+
+/// `[A-Z][A-Z0-9_]{0,6}(\.[A-Z][A-Z0-9_]{0,4})?`
+fn placeholder(rng: &mut Rng) -> String {
+    const HEAD: &[char] = &[
+        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q',
+        'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z',
+    ];
+    const TAIL: &[char] = &[
+        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q',
+        'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '0', '1', '2', '3', '4', '5', '6', '7',
+        '8', '9', '_',
+    ];
+    let mut s = String::new();
+    s.push(HEAD[rng.gen_range(0..HEAD.len())]);
+    s.push_str(&check::string_from(rng, TAIL, 0..7));
+    if rng.gen_bool(0.5) {
+        s.push('.');
+        s.push(HEAD[rng.gen_range(0..HEAD.len())]);
+        s.push_str(&check::string_from(rng, TAIL, 0..5));
+    }
+    s
+}
+
+fn scalar_leaf(rng: &mut Rng) -> Scalar {
+    match rng.gen_range(0..3) {
+        0 => Scalar::Column(column_ref(rng)),
+        1 => Scalar::Literal(literal(rng)),
+        _ => Scalar::Placeholder(placeholder(rng)),
+    }
+}
+
+fn scalar(rng: &mut Rng, depth: u32) -> Scalar {
+    if depth == 0 {
+        scalar_leaf(rng)
+    } else {
+        // 4:1 leaf vs. subquery, as in the original strategy.
+        match check::weighted_index(rng, &[4, 1]) {
+            0 => scalar_leaf(rng),
+            _ => Scalar::Subquery(Box::new(query(rng, depth - 1))),
+        }
+    }
+}
+
+fn cmp_op(rng: &mut Rng) -> CmpOp {
+    match rng.gen_range(0..6) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::NotEq,
+        2 => CmpOp::Lt,
+        3 => CmpOp::LtEq,
+        4 => CmpOp::Gt,
+        _ => CmpOp::GtEq,
+    }
 }
 
 /// Atomic predicates (no connectives).
-fn atom(depth: u32) -> BoxedStrategy<Pred> {
-    let mut options = vec![
-        (scalar(0), cmp_op(), scalar(0))
-            .prop_map(|(left, op, right)| Pred::Compare { left, op, right })
-            .boxed(),
-        (column_ref(), scalar(0), scalar(0))
-            .prop_map(|(col, low, high)| Pred::Between { col, low, high })
-            .boxed(),
-        (column_ref(), proptest::collection::vec(scalar(0), 1..4), any::<bool>())
-            .prop_map(|(col, values, negated)| Pred::InList {
-                col,
-                values,
-                negated,
-            })
-            .boxed(),
-        (column_ref(), "[a-z%_]{1,8}", any::<bool>())
-            .prop_map(|(col, pattern, negated)| Pred::Like {
-                col,
-                pattern: Scalar::Literal(Value::Text(pattern)),
-                negated,
-            })
-            .boxed(),
-        (column_ref(), any::<bool>())
-            .prop_map(|(col, negated)| Pred::IsNull { col, negated })
-            .boxed(),
-    ];
-    if depth > 0 {
-        options.push(
-            (query(depth - 1), any::<bool>())
-                .prop_map(|(q, negated)| Pred::Exists {
-                    query: Box::new(q),
-                    negated,
-                })
-                .boxed(),
-        );
-        options.push(
-            (column_ref(), query(depth - 1), any::<bool>())
-                .prop_map(|(col, q, negated)| Pred::InSubquery {
-                    col,
-                    query: Box::new(q),
-                    negated,
-                })
-                .boxed(),
-        );
+fn atom(rng: &mut Rng, depth: u32) -> Pred {
+    const LIKE: &[char] = &['a', 'b', 'c', 'x', 'y', 'z', '%', '_'];
+    let arms = if depth > 0 { 7 } else { 5 };
+    match rng.gen_range(0..arms) {
+        0 => Pred::Compare {
+            left: scalar(rng, 0),
+            op: cmp_op(rng),
+            right: scalar(rng, 0),
+        },
+        1 => Pred::Between {
+            col: column_ref(rng),
+            low: scalar(rng, 0),
+            high: scalar(rng, 0),
+        },
+        2 => Pred::InList {
+            col: column_ref(rng),
+            values: check::vec_of(rng, 1..4, |r| scalar(r, 0)),
+            negated: rng.gen_bool(0.5),
+        },
+        3 => Pred::Like {
+            col: column_ref(rng),
+            pattern: Scalar::Literal(Value::Text(check::string_from(rng, LIKE, 1..9))),
+            negated: rng.gen_bool(0.5),
+        },
+        4 => Pred::IsNull {
+            col: column_ref(rng),
+            negated: rng.gen_bool(0.5),
+        },
+        5 => Pred::Exists {
+            query: Box::new(query(rng, depth - 1)),
+            negated: rng.gen_bool(0.5),
+        },
+        _ => Pred::InSubquery {
+            col: column_ref(rng),
+            query: Box::new(query(rng, depth - 1)),
+            negated: rng.gen_bool(0.5),
+        },
     }
-    proptest::strategy::Union::new(options).boxed()
 }
 
 /// Predicates in the *flattened* form the parser produces: AND/OR nodes
 /// have ≥2 children and no child of the same connective.
-fn pred(depth: u32) -> BoxedStrategy<Pred> {
-    let base = atom(depth);
-    let not = atom(depth).prop_map(|p| Pred::Not(Box::new(p)));
-    let or_of_atoms = proptest::collection::vec(atom(depth), 2..4).prop_map(Pred::Or);
-    let and_children = prop_oneof![
-        3 => atom(depth),
-        1 => proptest::collection::vec(atom(depth), 2..3).prop_map(Pred::Or),
-    ];
-    let and = proptest::collection::vec(and_children, 2..4).prop_map(Pred::And);
-    prop_oneof![3 => base, 1 => not, 1 => or_of_atoms, 1 => and].boxed()
+fn pred(rng: &mut Rng, depth: u32) -> Pred {
+    match check::weighted_index(rng, &[3, 1, 1, 1]) {
+        0 => atom(rng, depth),
+        1 => Pred::Not(Box::new(atom(rng, depth))),
+        2 => Pred::Or(check::vec_of(rng, 2..4, |r| atom(r, depth))),
+        _ => Pred::And(check::vec_of(rng, 2..4, |r| {
+            match check::weighted_index(r, &[3, 1]) {
+                0 => atom(r, depth),
+                _ => Pred::Or(check::vec_of(r, 2..3, |rr| atom(rr, depth))),
+            }
+        })),
+    }
 }
 
-fn select_item() -> impl Strategy<Value = SelectItem> {
-    prop_oneof![
-        Just(SelectItem::Star),
-        column_ref().prop_map(SelectItem::Column),
-        (agg_func(), agg_arg()).prop_map(|(f, a)| SelectItem::Aggregate(f, a)),
-    ]
+fn select_item(rng: &mut Rng) -> SelectItem {
+    match rng.gen_range(0..3) {
+        0 => SelectItem::Star,
+        1 => SelectItem::Column(column_ref(rng)),
+        _ => SelectItem::Aggregate(agg_func(rng), agg_arg(rng)),
+    }
 }
 
-fn order_key() -> impl Strategy<Value = OrderKey> {
-    prop_oneof![
-        column_ref().prop_map(OrderKey::Column),
-        (agg_func(), agg_arg()).prop_map(|(f, a)| OrderKey::Aggregate(f, a)),
-    ]
+fn order_key(rng: &mut Rng) -> OrderKey {
+    if rng.gen_bool(0.5) {
+        OrderKey::Column(column_ref(rng))
+    } else {
+        OrderKey::Aggregate(agg_func(rng), agg_arg(rng))
+    }
 }
 
-fn query(depth: u32) -> BoxedStrategy<Query> {
-    let from = prop_oneof![
-        4 => proptest::collection::vec(identifier(), 1..3).prop_map(FromClause::Tables),
-        1 => Just(FromClause::JoinPlaceholder),
-    ];
-    (
-        any::<bool>(),
-        proptest::collection::vec(select_item(), 1..4),
-        from,
-        proptest::option::of(pred(depth)),
-        proptest::collection::vec(column_ref(), 0..3),
-        proptest::collection::vec(
-            (order_key(), prop_oneof![Just(OrderDir::Asc), Just(OrderDir::Desc)]),
-            0..3,
-        ),
-        proptest::option::of(0u64..1000),
-        proptest::option::of(pred(0)),
-    )
-        .prop_map(
-            |(distinct, select, from, where_pred, group_by, order_by, limit, having)| Query {
-                distinct,
-                select,
-                from,
-                where_pred,
-                // HAVING requires GROUP BY in the grammar.
-                having: if group_by.is_empty() { None } else { having },
-                group_by,
-                order_by,
-                limit,
-            },
+fn query(rng: &mut Rng, depth: u32) -> Query {
+    let from = match check::weighted_index(rng, &[4, 1]) {
+        0 => FromClause::Tables(check::vec_of(rng, 1..3, identifier)),
+        _ => FromClause::JoinPlaceholder,
+    };
+    let distinct = rng.gen_bool(0.5);
+    let select = check::vec_of(rng, 1..4, select_item);
+    let where_pred = if rng.gen_bool(0.5) { Some(pred(rng, depth)) } else { None };
+    let group_by = check::vec_of(rng, 0..3, column_ref);
+    let order_by = check::vec_of(rng, 0..3, |r| {
+        (
+            order_key(r),
+            if r.gen_bool(0.5) { OrderDir::Asc } else { OrderDir::Desc },
         )
-        .boxed()
+    });
+    let limit = if rng.gen_bool(0.5) { Some(rng.gen_range(0u64..1000)) } else { None };
+    let having = if rng.gen_bool(0.5) { Some(pred(rng, 0)) } else { None };
+    Query {
+        distinct,
+        select,
+        from,
+        where_pred,
+        // HAVING requires GROUP BY in the grammar.
+        having: if group_by.is_empty() { None } else { having },
+        group_by,
+        order_by,
+        limit,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The printer and parser are inverse: parse(print(q)) == q.
-    #[test]
-    fn print_parse_round_trip(q in query(1)) {
+/// The printer and parser are inverse: parse(print(q)) == q.
+#[test]
+fn print_parse_round_trip() {
+    forall!(cases = 256, |rng| {
+        let q = query(rng, 1);
         let printed = q.to_string();
         let reparsed = parse_query(&printed)
             .unwrap_or_else(|e| panic!("reparse failed for `{printed}`: {e}"));
-        prop_assert_eq!(&reparsed, &q, "printed form was `{}`", printed);
-    }
+        assert_eq!(&reparsed, &q, "printed form was `{printed}`");
+    });
+}
 
-    /// Canonicalization is idempotent.
-    #[test]
-    fn canonical_idempotent(q in query(1)) {
+/// Canonicalization is idempotent.
+#[test]
+fn canonical_idempotent() {
+    forall!(cases = 256, |rng| {
+        let q = query(rng, 1);
         let c1 = CanonicalForm::of(&q);
         let c2 = CanonicalForm::of(c1.query());
-        prop_assert_eq!(c1, c2);
-    }
+        assert_eq!(c1, c2);
+    });
+}
 
-    /// Exact set match is reflexive.
-    #[test]
-    fn exact_match_reflexive(q in query(1)) {
-        prop_assert!(exact_set_match(&q, &q));
-    }
+/// Exact set match is reflexive.
+#[test]
+fn exact_match_reflexive() {
+    forall!(cases = 256, |rng| {
+        let q = query(rng, 1);
+        assert!(exact_set_match(&q, &q));
+    });
+}
 
-    /// The canonical rendering parses back to the canonical query.
-    #[test]
-    fn canonical_rendering_parses(q in query(1)) {
+/// The canonical rendering parses back to the canonical query.
+#[test]
+fn canonical_rendering_parses() {
+    forall!(cases = 256, |rng| {
+        let q = query(rng, 1);
         let c = CanonicalForm::of(&q);
         let reparsed = parse_query(&c.rendered())
             .unwrap_or_else(|e| panic!("canonical reparse failed for `{}`: {e}", c.rendered()));
-        prop_assert!(exact_set_match(&reparsed, &q));
-    }
+        assert!(exact_set_match(&reparsed, &q));
+    });
+}
 
-    /// Pattern extraction never panics and is constant under
-    /// placeholder-preserving identity.
-    #[test]
-    fn pattern_extraction_total(q in query(1)) {
+/// Pattern extraction never panics and is constant under
+/// placeholder-preserving identity.
+#[test]
+fn pattern_extraction_total() {
+    forall!(cases = 256, |rng| {
+        let q = query(rng, 1);
         let p1 = dbpal_sql::QueryPattern::of(&q);
         let p2 = dbpal_sql::QueryPattern::of(&q);
-        prop_assert_eq!(p1, p2);
-    }
+        assert_eq!(p1, p2);
+    });
 }

@@ -1,0 +1,254 @@
+//! A seeded, shrink-free property-testing harness.
+//!
+//! Each property runs `cases()` times. Case `i` gets its own [`Rng`]
+//! seeded from `base_seed ⊕ splitmix64(i)`, so every case is
+//! independently reproducible: when an assertion fails the harness
+//! prints the property name and the failing case seed, and setting
+//! `DBPAL_CHECK_REPLAY=<seed>` reruns exactly that case.
+//!
+//! Environment knobs:
+//!
+//! | variable | effect | default |
+//! |----------|--------|---------|
+//! | `DBPAL_CHECK_CASES` | cases per property | 64 |
+//! | `DBPAL_CHECK_SEED` | base seed for the run | `0x000D_BA17` |
+//! | `DBPAL_CHECK_REPLAY` | run only this one case seed | unset |
+//!
+//! There is no shrinking: generators here are small and hand-written,
+//! so re-running the failing seed under a debugger is the intended
+//! workflow (the seed is the minimal counterexample handle).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, Rng};
+
+/// Default cases per property when `DBPAL_CHECK_CASES` is unset.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Default base seed when `DBPAL_CHECK_SEED` is unset.
+pub const DEFAULT_SEED: u64 = 0x000D_BA17;
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Cases per property for this run (`DBPAL_CHECK_CASES`, default 64).
+pub fn cases() -> usize {
+    env_u64("DBPAL_CHECK_CASES").map(|n| n as usize).unwrap_or(DEFAULT_CASES)
+}
+
+/// Base seed for this run (`DBPAL_CHECK_SEED`, default [`DEFAULT_SEED`]).
+pub fn base_seed() -> u64 {
+    env_u64("DBPAL_CHECK_SEED").unwrap_or(DEFAULT_SEED)
+}
+
+/// Run `prop` over seeded cases, reporting the failing seed on panic.
+///
+/// Prefer the [`forall!`](crate::forall) macro, which fills in the
+/// property name. `case_count` mirrors the suite's legacy `proptest`
+/// configuration; `DBPAL_CHECK_CASES`, when set, overrides it globally.
+pub fn forall_named(name: &str, case_count: usize, mut prop: impl FnMut(&mut Rng)) {
+    let base = base_seed();
+    if let Some(replay) = env_u64("DBPAL_CHECK_REPLAY") {
+        eprintln!("[dbpal-check] {name}: replaying case seed {replay:#x}");
+        let mut rng = Rng::seed_from_u64(replay);
+        prop(&mut rng);
+        return;
+    }
+    let n = env_u64("DBPAL_CHECK_CASES")
+        .map(|v| v as usize)
+        .unwrap_or(case_count);
+    for i in 0..n {
+        let mut salt = i as u64;
+        let case_seed = base ^ splitmix64(&mut salt);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Rng::seed_from_u64(case_seed);
+            prop(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "[dbpal-check] property `{name}` failed on case {i}/{n} \
+                 (case seed {case_seed:#x}; rerun with DBPAL_CHECK_REPLAY={case_seed})"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Run a property over seeded random cases.
+///
+/// ```
+/// use dbpal_util::{forall, Rng};
+///
+/// forall!(|rng| {
+///     let n = rng.gen_range(0u32..1000);
+///     assert_eq!(n.wrapping_add(1).wrapping_sub(1), n);
+/// });
+///
+/// // With an explicit case count (overrides the default of 64):
+/// forall!(cases = 256, |rng| {
+///     let s = dbpal_util::check::ascii_lowercase(rng, 1..=8);
+///     assert!(!s.is_empty());
+/// });
+/// ```
+#[macro_export]
+macro_rules! forall {
+    (cases = $n:expr, |$rng:ident| $body:expr) => {
+        $crate::check::forall_named(
+            concat!(module_path!(), ":", line!()),
+            $n,
+            |$rng: &mut $crate::Rng| $body,
+        )
+    };
+    (|$rng:ident| $body:expr) => {
+        $crate::forall!(cases = $crate::check::DEFAULT_CASES, |$rng| $body)
+    };
+}
+
+// ----- generator helpers for ported suites ------------------------------
+
+/// A string of `len` characters drawn uniformly from `alphabet`.
+pub fn string_from(rng: &mut Rng, alphabet: &[char], len: impl crate::rng::SampleRange<usize>) -> String {
+    let n = rng.gen_range(len);
+    (0..n)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+/// A `[a-z]{len}` string (uniform per character).
+pub fn ascii_lowercase(rng: &mut Rng, len: impl crate::rng::SampleRange<usize>) -> String {
+    const ALPHA: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+    ];
+    string_from(rng, ALPHA, len)
+}
+
+/// A `[a-z][a-z0-9_]{rest}` identifier-shaped string.
+pub fn identifier(rng: &mut Rng, rest: impl crate::rng::SampleRange<usize>) -> String {
+    const HEAD: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+    ];
+    const TAIL: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7',
+        '8', '9', '_',
+    ];
+    let mut s = String::new();
+    s.push(HEAD[rng.gen_range(0..HEAD.len())]);
+    s.push_str(&string_from(rng, TAIL, rest));
+    s
+}
+
+/// A `Vec` of `len` elements produced by `gen`.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    len: impl crate::rng::SampleRange<usize>,
+    mut gen: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| gen(rng)).collect()
+}
+
+/// One of the listed weights' indices, chosen proportionally — the
+/// moral equivalent of `proptest`'s `prop_oneof![w1 => .., w2 => ..]`.
+pub fn weighted_index(rng: &mut Rng, weights: &[u32]) -> usize {
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    assert!(total > 0, "weighted_index: all weights zero");
+    let mut roll = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if roll < w as u64 {
+            return i;
+        }
+        roll -= w as u64;
+    }
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forall_runs_every_case() {
+        let mut count = 0usize;
+        forall_named("counting", 10, |_rng| count += 1);
+        if std::env::var("DBPAL_CHECK_CASES").is_err() {
+            assert_eq!(count, 10);
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        forall_named("record", 5, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        forall_named("record", 5, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cases_differ_from_each_other() {
+        let mut seen = std::collections::HashSet::new();
+        forall_named("distinct", 16, |rng| {
+            seen.insert(rng.next_u64());
+        });
+        assert!(seen.len() > 1, "all cases drew the same first word");
+    }
+
+    #[test]
+    fn failure_reports_seed_and_propagates() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            forall_named("always-fails", 3, |_rng| panic!("boom"));
+        }));
+        assert!(result.is_err(), "failure must propagate to the test runner");
+    }
+
+    #[test]
+    fn forall_macro_compiles_both_forms() {
+        crate::forall!(|rng| {
+            let v = rng.gen_range(0u8..10);
+            assert!(v < 10);
+        });
+        crate::forall!(cases = 4, |rng| {
+            let _ = rng.gen_bool(0.5);
+        });
+    }
+
+    #[test]
+    fn string_helpers_match_their_classes() {
+        crate::forall!(cases = 32, |rng| {
+            let s = ascii_lowercase(rng, 1..=8);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let id = identifier(rng, 0..7);
+            assert!(id.chars().next().unwrap().is_ascii_lowercase());
+            assert!(id
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        });
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Rng::seed_from_u64(31);
+        let mut counts = [0usize; 3];
+        for _ in 0..9000 {
+            counts[weighted_index(&mut rng, &[1, 8, 1])] += 1;
+        }
+        assert!(counts[1] > counts[0] * 4, "middle arm underdrawn: {counts:?}");
+        assert!(counts[1] > counts[2] * 4, "middle arm underdrawn: {counts:?}");
+        assert!(counts[0] > 0 && counts[2] > 0);
+    }
+
+    #[test]
+    fn vec_of_length_in_range() {
+        crate::forall!(cases = 16, |rng| {
+            let v = vec_of(rng, 0..40, |r| r.gen_range(-50i64..50));
+            assert!(v.len() < 40);
+            assert!(v.iter().all(|x| (-50..50).contains(x)));
+        });
+    }
+}

@@ -1,0 +1,28 @@
+//! # dbpal-util — the hermetic substrate of the DBPal workspace
+//!
+//! Every crate in this workspace needs a little randomness, a little
+//! JSON, a property-test runner, and a stopwatch — and nothing else from
+//! the outside world. DBPal's pipeline is deterministic and
+//! self-contained by design (schema-only input, seeded template
+//! instantiation, paper §3), so the reproduction builds and tests from
+//! this repository alone: `cargo build --release --offline && cargo test
+//! -q --offline` must succeed with an empty registry cache.
+//!
+//! | module | replaces | contents |
+//! |--------|----------|----------|
+//! | [`rng`] | `rand` | splitmix64-seeded xoshiro256** ([`Rng`], [`SliceRandom`]) |
+//! | [`json`] | `serde`/`serde_json` | [`Json`] value model, parser, serializer |
+//! | [`check`] | `proptest` | seeded [`forall!`] property runner |
+//! | [`bench`] | `criterion` | warmup + median-of-N wall-clock harness |
+//!
+//! All randomness is reproducible: the same seed yields the same stream
+//! on every platform, forever — the workspace owns the generator, so no
+//! upstream algorithm change can silently reshuffle a corpus.
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+
+pub use json::{Json, JsonError};
+pub use rng::{Rng, SliceRandom};

@@ -1,0 +1,329 @@
+//! Seeded deterministic pseudo-randomness.
+//!
+//! The generator is xoshiro256\*\* (Blackman & Vigna), seeded through
+//! splitmix64 so that *any* `u64` — including 0 — yields a well-mixed
+//! state. Both algorithms are public-domain reference constructions;
+//! implementing them here (~30 lines) keeps the random streams under
+//! this repository's control: corpora generated with a given seed are
+//! byte-stable across platforms and toolchain upgrades.
+//!
+//! The surface mirrors the subset of `rand` the workspace uses:
+//! [`Rng::gen_range`] over integer and float ranges, [`Rng::gen_bool`],
+//! and the [`SliceRandom`] extension trait (`choose`, `choose_multiple`,
+//! `shuffle`).
+
+/// One round of splitmix64: mixes a 64-bit state into an output word.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded xoshiro256\*\* generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f32` in `[0, 1)` (24 bits of precision).
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniform integer in `[0, n)` without modulo bias
+    /// (Lemire's multiply-shift reduction).
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform value in `range` (`a..b` or `a..=b`, ints or floats).
+    ///
+    /// Panics on an empty range, matching `rand`'s contract.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // Two's-complement subtraction gives the span for both
+                // signed and unsigned types up to 64 bits.
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                (start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty => $unit:ident),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + rng.$unit() * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                start + rng.$unit() * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32 => next_f32, f64 => next_f64);
+
+/// Random selection and permutation over slices, in the method-call
+/// style (`slice.choose(&mut rng)`) the call sites already use.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<'a>(&'a self, rng: &mut Rng) -> Option<&'a Self::Item>;
+
+    /// `amount` distinct elements in random order (all of them when the
+    /// slice is shorter).
+    fn choose_multiple<'a>(
+        &'a self,
+        rng: &mut Rng,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a Self::Item>;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle(&mut self, rng: &mut Rng);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<'a>(&'a self, rng: &mut Rng) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<'a>(&'a self, rng: &mut Rng, amount: usize) -> std::vec::IntoIter<&'a T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over indices: the first `amount` swaps
+        // fix a uniform sample without permuting the rest.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx.truncate(amount);
+        idx.into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn shuffle(&mut self, rng: &mut Rng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // An independently derived first output locks the algorithm: a
+        // change to seeding or the generator would silently reshuffle
+        // every seeded corpus in the repo.
+        let mut sm = 0u64;
+        let _s0 = splitmix64(&mut sm);
+        let s1 = splitmix64(&mut sm);
+        let expected = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let mut rng = Rng::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), expected);
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        let mut rng = Rng::seed_from_u64(0);
+        let words: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(words.iter().any(|&w| w != 0));
+        assert!(words.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn gen_range_int_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let v = rng.gen_range(0usize..1);
+            assert_eq!(v, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_full_u64_domain() {
+        let mut rng = Rng::seed_from_u64(9);
+        // Must not panic or loop; exercises the span == 0 branch.
+        let v = rng.gen_range(0u64..=u64::MAX);
+        let w = rng.gen_range(i64::MIN..=i64::MAX);
+        let _ = (v, w);
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&v));
+            let v = rng.gen_range(0.0f32..=0.9);
+            assert!((0.0..=0.9).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Rng::seed_from_u64(1);
+        let _ = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = Rng::seed_from_u64(13);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn choose_uniformish_and_total() {
+        let mut rng = Rng::seed_from_u64(17);
+        let items = [0usize, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[*items.choose(&mut rng).unwrap()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "skewed: {counts:?}");
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let mut rng = Rng::seed_from_u64(19);
+        let items: Vec<usize> = (0..10).collect();
+        for _ in 0..100 {
+            let picked: Vec<usize> = items.choose_multiple(&mut rng, 4).copied().collect();
+            assert_eq!(picked.len(), 4);
+            let set: std::collections::HashSet<usize> = picked.iter().copied().collect();
+            assert_eq!(set.len(), 4, "duplicates in {picked:?}");
+        }
+        // Oversized request returns everything.
+        let all: Vec<usize> = items.choose_multiple(&mut rng, 99).copied().collect();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle left 50 elements in order");
+    }
+}

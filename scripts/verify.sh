@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the workspace must build and test fully offline.
+# The --offline flags double as a hermeticity check — any registry
+# dependency that sneaks back in fails resolution immediately (see also
+# tests/hermetic.rs, which reports the offending manifest line).
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

@@ -23,6 +23,12 @@
 //! | [`model`] | `dbpal-model` | pluggable translation models |
 //! | [`runtime`] | `dbpal-runtime` | NLIDB runtime (pre/post-processing) |
 //! | [`benchsuite`] | `dbpal-benchsuite` | Spider-like, Patients, GeoQuery benchmarks |
+//! | [`util`] | `dbpal-util` | seeded PRNG, JSON, check + bench harnesses |
+//!
+//! The workspace is hermetic: every dependency is an in-repo `path`
+//! crate, so `cargo build --release --offline && cargo test -q --offline`
+//! works with an empty registry cache (see README, "Hermetic build &
+//! determinism").
 //!
 //! ## Quickstart
 //!
@@ -37,6 +43,7 @@ pub use dbpal_nlp as nlp;
 pub use dbpal_runtime as runtime;
 pub use dbpal_schema as schema;
 pub use dbpal_sql as sql;
+pub use dbpal_util as util;
 
 /// The crate version of this DBPal build.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

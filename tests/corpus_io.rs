@@ -28,6 +28,14 @@ fn generated_corpus_survives_json_round_trip() {
     let json = corpus_to_json(&corpus).unwrap();
     let back = corpus_from_json(&json).unwrap();
     assert_eq!(back.len(), corpus.len());
+    // Full fidelity: every field of every pair survives the trip.
+    for (a, b) in corpus.pairs().iter().zip(back.pairs()) {
+        assert_eq!(a.nl, b.nl);
+        assert_eq!(a.nl_lemmas, b.nl_lemmas);
+        assert_eq!(a.sql, b.sql);
+        assert_eq!(a.template_id, b.template_id);
+        assert_eq!(a.provenance, b.provenance);
+    }
     // Training on the re-imported corpus behaves identically.
     let opts = TrainOptions::fast();
     let mut a = SketchModel::new(vec![schema()]);

@@ -1,0 +1,107 @@
+//! Hermeticity guard: the workspace must never depend on the crates.io
+//! registry (or any git source). Every dependency in every manifest has
+//! to be an in-repo `path` crate — that is what keeps
+//! `cargo build --offline` working from a clean checkout with an empty
+//! registry cache. This test scans each `Cargo.toml` by hand (no TOML
+//! crate, for the same reason) and fails if a registry dependency
+//! silently returns.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All Cargo.toml files in the workspace: the root manifest plus one
+/// per `crates/*` member.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).expect("crates dir") {
+        let dir = entry.expect("dir entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(manifests.len() >= 10, "workspace members went missing");
+    manifests
+}
+
+/// True for section headers that declare dependencies, including
+/// target-specific tables like
+/// `[target.'cfg(unix)'.dependencies]`.
+fn is_dependency_section(header: &str) -> bool {
+    header.ends_with("dependencies]")
+}
+
+/// Check one `name = …` line inside a dependency section. Returns an
+/// error description for anything that is not a pure path dependency.
+fn check_dependency_line(line: &str) -> Result<(), String> {
+    // `foo.workspace = true` inherits from [workspace.dependencies],
+    // which this test also scans — so inheritance itself is fine.
+    if line.contains(".workspace") {
+        return Ok(());
+    }
+    let Some((name, spec)) = line.split_once('=') else {
+        return Err("unparseable dependency line".to_string());
+    };
+    let (name, spec) = (name.trim(), spec.trim());
+    if spec.starts_with('"') {
+        return Err(format!("`{name}` is a registry dependency (bare version string)"));
+    }
+    if spec.starts_with('{') {
+        for banned in ["version", "git", "registry"] {
+            if spec.contains(&format!("{banned} =")) || spec.contains(&format!("{banned}=")) {
+                return Err(format!("`{name}` uses `{banned}` (non-path source)"));
+            }
+        }
+        if !spec.contains("path") {
+            return Err(format!("`{name}` has no `path` key"));
+        }
+        return Ok(());
+    }
+    Err(format!("`{name}` has an unrecognized dependency spec: {spec}"))
+}
+
+#[test]
+fn workspace_has_only_path_dependencies() {
+    let mut violations = Vec::new();
+    for manifest in workspace_manifests() {
+        let text = fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let mut in_deps = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_deps = is_dependency_section(line);
+                continue;
+            }
+            if in_deps {
+                if let Err(why) = check_dependency_line(line) {
+                    violations.push(format!(
+                        "{}:{}: {why}",
+                        manifest.display(),
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-path dependencies found — the workspace must stay hermetic \
+         (build and test offline with an empty registry cache):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn guard_rejects_registry_specs() {
+    // The guard itself must flag the shapes a registry dep can take.
+    assert!(check_dependency_line(r#"rand = "0.8""#).is_err());
+    assert!(check_dependency_line(r#"serde = { version = "1", features = ["derive"] }"#).is_err());
+    assert!(check_dependency_line(r#"x = { git = "https://example.com/x" }"#).is_err());
+    assert!(check_dependency_line(r#"dbpal-util = { path = "crates/util" }"#).is_ok());
+    assert!(check_dependency_line("dbpal-util.workspace = true").is_ok());
+}
