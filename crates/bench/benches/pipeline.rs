@@ -40,12 +40,12 @@ fn main() {
     let templates = catalog();
 
     h.bench("generator/seed_corpus", || {
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         black_box(g.generate(&templates).len())
     });
 
     let seed_corpus = {
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         g.generate(&templates)
     };
     h.bench_with_setup(
@@ -53,7 +53,7 @@ fn main() {
         || seed_corpus.pairs().to_vec(),
         |pairs| {
             let corpus = dbpal_core::TrainingCorpus::from_pairs(pairs);
-            let mut aug = Augmenter::new(&schema, &config);
+            let aug = Augmenter::new(&schema, &config);
             black_box(aug.augment(&corpus).len())
         },
     );
@@ -68,6 +68,24 @@ fn main() {
         let pipeline = TrainingPipeline::new(config.clone());
         black_box(pipeline.generate(&schema).len())
     });
+
+    // Threads-scaling pair: identical full-size work at 1 vs 4 workers.
+    // The corpora are byte-identical (the determinism contract); only
+    // wall-clock time may differ, and on multi-core hardware the
+    // 4-thread run should win.
+    let full = GenerationConfig::default();
+    h.bench("pipeline/generate_threads1", || {
+        let cfg = GenerationConfig { threads: 1, ..full.clone() };
+        black_box(TrainingPipeline::new(cfg).generate(&schema).len())
+    });
+    h.bench("pipeline/generate_threads4", || {
+        let cfg = GenerationConfig { threads: 4, ..full.clone() };
+        black_box(TrainingPipeline::new(cfg).generate(&schema).len())
+    });
+
+    // One instrumented run: surface the per-stage timing report.
+    let (_, report) = TrainingPipeline::new(full).generate_with_report(&schema);
+    println!("{}", report.render());
 
     let sql = "SELECT disease, COUNT(*) FROM patients WHERE age > @AGE \
                GROUP BY disease HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 5";

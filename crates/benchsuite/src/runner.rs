@@ -106,6 +106,13 @@ impl SpiderExperiment {
         }
     }
 
+    /// Set the pipeline worker-thread count (0 = all available). Never
+    /// changes the generated corpora, only wall-clock time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.gen_config.threads = threads;
+        self
+    }
+
     /// Synthetic corpus for the training schemas.
     pub fn synthetic_train_corpus(&self) -> TrainingCorpus {
         let pipeline = TrainingPipeline::new(self.gen_config.clone());
@@ -212,6 +219,13 @@ impl PatientsExperiment {
             spider: SpiderExperiment::quick(),
             patients: PatientsBenchmark::new(),
         }
+    }
+
+    /// Set the pipeline worker-thread count (0 = all available). Never
+    /// changes the generated corpora, only wall-clock time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.spider.gen_config.threads = threads;
+        self
     }
 
     /// Synthetic corpus for the Patients schema, optionally restricted to
@@ -333,7 +347,11 @@ impl GeoTuningExperiment {
 
     /// One trial: generate with ϕ, train, return accuracy on T.
     pub fn generate(&self, config: &GenerationConfig) -> f64 {
-        let pipeline = TrainingPipeline::new(config.clone());
+        // The outer random search already saturates the cores when run
+        // through `run_parallel`, so each trial's pipeline runs
+        // single-threaded to avoid oversubscription.
+        let config = GenerationConfig { threads: 1, ..config.clone() };
+        let pipeline = TrainingPipeline::new(config);
         let corpus = pipeline.generate(self.geo.schema());
         let mut model = SketchModel::new(vec![self.geo.schema().clone()]);
         model.train(&corpus, &self.train_opts);

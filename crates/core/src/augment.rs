@@ -7,7 +7,7 @@ use dbpal_nlp::{
 };
 use dbpal_schema::{Schema, SemanticDomain};
 use dbpal_sql::{CmpOp, Pred, Scalar};
-use dbpal_util::{Rng, SliceRandom};
+use dbpal_util::{par_map_indexed, Rng, SliceRandom};
 
 /// The augmentation engine. Produces additional pairs from a seed corpus;
 /// it never mutates the input pairs.
@@ -34,19 +34,39 @@ impl<'a> Augmenter<'a> {
     }
 
     /// Run all augmentation steps over a corpus, returning the additions.
-    pub fn augment(&mut self, corpus: &TrainingCorpus) -> Vec<TrainingPair> {
-        let mut additions = Vec::new();
-        for pair in corpus.pairs() {
-            additions.extend(self.paraphrase(pair));
-            additions.extend(self.drop_words(pair));
-            additions.extend(self.comparative_variants(pair));
-        }
-        additions
+    ///
+    /// Pairs are fanned out across `config.threads` workers in fixed-size
+    /// chunks; every pair draws from its own RNG stream keyed by its
+    /// stable corpus position, and chunk results concatenate in input
+    /// order, so the output is byte-identical for a given seed regardless
+    /// of the worker count.
+    pub fn augment(&self, corpus: &TrainingCorpus) -> Vec<TrainingPair> {
+        const CHUNK: usize = 32;
+        let chunks: Vec<&[TrainingPair]> = corpus.pairs().chunks(CHUNK).collect();
+        let shards = par_map_indexed(&chunks, self.config.effective_threads(), |ci, chunk| {
+            let mut additions = Vec::new();
+            for (j, pair) in chunk.iter().enumerate() {
+                let mut rng =
+                    Rng::for_stream(self.config.seed ^ 0xA0A0_A0A0, (ci * CHUNK + j) as u64);
+                additions.extend(self.paraphrase_with(pair, &mut rng));
+                additions.extend(self.drop_words_with(pair, &mut rng));
+                additions.extend(self.comparative_variants_with(pair, &mut rng));
+            }
+            additions
+        });
+        shards.into_iter().flatten().collect()
     }
 
     /// Automatic paraphrasing (§3.2.1): replace random subclauses of size
     /// up to `size_para` with up to `num_para` paraphrases from the store.
     pub fn paraphrase(&mut self, pair: &TrainingPair) -> Vec<TrainingPair> {
+        let mut rng = self.rng.clone();
+        let out = self.paraphrase_with(pair, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    fn paraphrase_with(&self, pair: &TrainingPair, rng: &mut Rng) -> Vec<TrainingPair> {
         if self.config.num_para == 0 {
             return Vec::new();
         }
@@ -68,7 +88,7 @@ impl<'a> Augmenter<'a> {
                 }
             }
         }
-        spans.shuffle(&mut self.rng);
+        spans.shuffle(rng);
         for (start, n) in spans {
             let phrase = tokens[start..start + n].join(" ");
             let mut alternatives =
@@ -107,7 +127,14 @@ impl<'a> Augmenter<'a> {
     /// `pos_gated_dropout` is set only function-word classes are eligible
     /// (the §3.2.3 extension).
     pub fn drop_words(&mut self, pair: &TrainingPair) -> Vec<TrainingPair> {
-        if self.config.num_missing == 0 || !self.rng.gen_bool(self.config.rand_drop_p) {
+        let mut rng = self.rng.clone();
+        let out = self.drop_words_with(pair, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    fn drop_words_with(&self, pair: &TrainingPair, rng: &mut Rng) -> Vec<TrainingPair> {
+        if self.config.num_missing == 0 || !rng.gen_bool(self.config.rand_drop_p) {
             return Vec::new();
         }
         let tokens = tokenize(&pair.nl);
@@ -128,13 +155,13 @@ impl<'a> Augmenter<'a> {
         }
         let mut out = Vec::new();
         for _ in 0..self.config.num_missing {
-            let n_drop = if eligible.len() > 3 && self.rng.gen_bool(0.3) {
+            let n_drop = if eligible.len() > 3 && rng.gen_bool(0.3) {
                 2
             } else {
                 1
             };
             let mut drop: Vec<usize> = eligible
-                .choose_multiple(&mut self.rng, n_drop)
+                .choose_multiple(rng, n_drop)
                 .copied()
                 .collect();
             drop.sort_unstable();
@@ -163,6 +190,13 @@ impl<'a> Augmenter<'a> {
     /// name before a domain phrase ("age older than @AGE" → "older than
     /// @AGE"), modelling implicit attribute references.
     pub fn comparative_variants(&mut self, pair: &TrainingPair) -> Vec<TrainingPair> {
+        let mut rng = self.rng.clone();
+        let out = self.comparative_variants_with(pair, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    fn comparative_variants_with(&self, pair: &TrainingPair, rng: &mut Rng) -> Vec<TrainingPair> {
         let Some(domain) = self.single_comparison_domain(pair) else {
             return Vec::new();
         };
@@ -197,7 +231,7 @@ impl<'a> Augmenter<'a> {
                     continue;
                 }
                 let domain_phrases = self.comparatives.domain_phrases(domain, sense);
-                if let Some(dp) = domain_phrases.choose(&mut self.rng) {
+                if let Some(dp) = domain_phrases.choose(rng) {
                     let swapped = nl.replacen(generic, dp, 1);
                     out.push(TrainingPair::new(
                         swapped.clone(),
@@ -506,7 +540,7 @@ mod tests {
     fn full_augment_marks_provenance() {
         let schema = schema();
         let config = GenerationConfig { rand_drop_p: 1.0, ..Default::default() };
-        let mut aug = Augmenter::new(&schema, &config);
+        let aug = Augmenter::new(&schema, &config);
         let corpus = TrainingCorpus::from_pairs(vec![pair(
             "show the name of all patients with age greater than @AGE",
             "SELECT name FROM patients WHERE age > @AGE",

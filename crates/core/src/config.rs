@@ -53,6 +53,13 @@ pub struct GenerationConfig {
     pub pos_aware_paraphrasing: bool,
     /// RNG seed for reproducible corpus generation.
     pub seed: u64,
+    /// Worker threads for the parallel pipeline stages (template
+    /// instantiation, augmentation, lemmatization). `0` means "use all
+    /// available parallelism". The corpus is byte-identical for a given
+    /// `seed` regardless of this value — every work unit draws from its
+    /// own [`dbpal_util::stream_seed`]-derived stream and shards merge
+    /// in input order — so `threads` only changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for GenerationConfig {
@@ -72,6 +79,7 @@ impl Default for GenerationConfig {
             pos_gated_dropout: false,
             pos_aware_paraphrasing: false,
             seed: 0x0DBA1,
+            threads: 0,
         }
     }
 }
@@ -95,6 +103,19 @@ impl GenerationConfig {
             pos_gated_dropout: rng.gen_bool(0.5),
             pos_aware_paraphrasing: rng.gen_bool(0.5),
             seed: rng.next_u64(),
+            // Not a generation parameter: threads never changes the
+            // corpus, so the search space excludes it.
+            threads: 0,
+        }
+    }
+
+    /// The effective worker count: `threads`, or all available
+    /// parallelism when `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            dbpal_util::auto_threads()
+        } else {
+            self.threads
         }
     }
 
@@ -168,6 +189,14 @@ mod tests {
         let a = GenerationConfig::sample(&mut rng);
         let b = GenerationConfig::sample(&mut rng);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        let auto = GenerationConfig::default();
+        assert!(auto.effective_threads() >= 1);
+        let pinned = GenerationConfig { threads: 3, ..Default::default() };
+        assert_eq!(pinned.effective_threads(), 3);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use dbpal_sql::{
     AggArg, AggFunc, CmpOp, ColumnRef, FromClause, OrderDir, OrderKey, Pred, Query, Scalar,
     SelectItem,
 };
-use dbpal_util::{Rng, SliceRandom};
+use dbpal_util::{par_map_indexed, Rng, SliceRandom};
 use std::collections::{HashMap, HashSet};
 
 /// The template-instantiation engine.
@@ -24,6 +24,48 @@ pub struct Generator<'a> {
     config: &'a GenerationConfig,
     comparatives: ComparativeDictionary,
     rng: Rng,
+}
+
+/// Instantiation counters for one generation run (surfaced through
+/// [`crate::PipelineReport`]): pairs produced against the summed
+/// per-template instance budgets, and where the sampling loop spent its
+/// retries. A non-zero [`GeneratorStats::shortfall`] means some template
+/// ran out of attempts (`budget * 4 + 8`) before filling its budget —
+/// under-production is reported, never silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeneratorStats {
+    /// Pairs emitted, including GROUP BY variants.
+    pub produced: usize,
+    /// Summed per-template instance budgets (GROUP BY variants are a
+    /// bonus on top and do not count against a budget).
+    pub budgeted: usize,
+    /// Draws that could not instantiate because the schema lacked the
+    /// required structure (e.g. no numeric column for an aggregate).
+    pub failed_draws: u64,
+    /// Draws rejected because the exact instance was already produced.
+    pub duplicate_draws: u64,
+    /// Templates whose attempt budget ran out before the instance
+    /// budget was filled.
+    pub exhausted_templates: usize,
+    /// Total instances short of the summed budgets.
+    pub shortfall: usize,
+}
+
+impl GeneratorStats {
+    /// Total retried draws (failed + duplicate).
+    pub fn retries(&self) -> u64 {
+        self.failed_draws + self.duplicate_draws
+    }
+
+    /// Accumulate another shard's counters.
+    fn absorb(&mut self, other: &GeneratorStats) {
+        self.produced += other.produced;
+        self.budgeted += other.budgeted;
+        self.failed_draws += other.failed_draws;
+        self.duplicate_draws += other.duplicate_draws;
+        self.exhausted_templates += other.exhausted_templates;
+        self.shortfall += other.shortfall;
+    }
 }
 
 /// A rendered filter: its SQL predicate and NL phrase.
@@ -48,118 +90,177 @@ impl<'a> Generator<'a> {
     /// Each template receives a per-template instance budget
     /// (`size_slot_fills`, multiplied by the class boosts of Table 1), and
     /// duplicate instances are rejected so no template can dominate.
-    pub fn generate(&mut self, templates: &[SeedTemplate]) -> TrainingCorpus {
+    pub fn generate(&self, templates: &[SeedTemplate]) -> TrainingCorpus {
+        self.generate_with_stats(templates).0
+    }
+
+    /// As [`Generator::generate`], also returning the instantiation
+    /// counters.
+    ///
+    /// Templates fan out across `config.threads` workers; each template
+    /// draws from its own [`dbpal_util::stream_seed`]-derived RNG stream
+    /// keyed by `(config.seed, template index)`, and the per-template
+    /// shards merge in template order — so the corpus is byte-identical
+    /// for a given seed at any thread count.
+    pub fn generate_with_stats(
+        &self,
+        templates: &[SeedTemplate],
+    ) -> (TrainingCorpus, GeneratorStats) {
+        let threads = self.config.effective_threads();
+        let shards = par_map_indexed(templates, threads, |i, t| self.generate_template(i, t));
         let mut corpus = TrainingCorpus::new();
-        for template in templates {
-            let mut budget = self.config.size_slot_fills as f64;
-            if template.class.is_join() {
-                budget *= self.config.join_boost;
+        let mut stats = GeneratorStats::default();
+        for (pairs, shard_stats) in shards {
+            for pair in pairs {
+                corpus.push(pair);
             }
-            if template.class.is_agg() {
-                budget *= self.config.agg_boost;
-            }
-            if template.class.is_nested() {
-                budget *= self.config.nest_boost;
-            }
-            let budget = budget.round().max(1.0) as usize;
-            let mut seen: HashSet<String> = HashSet::new();
-            let mut produced = 0usize;
-            // Sampling may repeat instances on small schemas; cap retries.
-            let mut attempts = budget * 4 + 8;
-            while produced < budget && attempts > 0 {
-                attempts -= 1;
-                let Some((nl, sql)) = self.instantiate(template) else {
-                    // This draw could not be instantiated (e.g. the chosen
-                    // table lacks a numeric column); try another draw
-                    // until the attempt budget runs out.
-                    continue;
-                };
-                if !seen.insert(format!("{nl}\u{1}{sql}")) {
-                    continue;
-                }
-                // Optionally emit a GROUP BY version of aggregate pairs
-                // (the `groupby_p` parameter of Table 1).
-                if matches!(template.class, QueryClass::Agg | QueryClass::AggWhere)
-                    && self.rng.gen_bool(self.config.group_by_p)
-                {
-                    if let Some(pair) = self.groupby_version(&nl, &sql, template) {
-                        corpus.push(pair);
-                    }
-                }
-                corpus.push(TrainingPair::new(
-                    nl,
-                    sql,
-                    template.id.clone(),
-                    Provenance::Seed,
-                ));
-                produced += 1;
-            }
+            stats.absorb(&shard_stats);
         }
-        corpus
+        (corpus, stats)
+    }
+
+    /// Instantiate one template's full instance budget on the template's
+    /// own derived RNG stream.
+    fn generate_template(
+        &self,
+        index: usize,
+        template: &SeedTemplate,
+    ) -> (Vec<TrainingPair>, GeneratorStats) {
+        let mut rng = Rng::for_stream(self.config.seed, index as u64);
+        let mut budget = self.config.size_slot_fills as f64;
+        if template.class.is_join() {
+            budget *= self.config.join_boost;
+        }
+        if template.class.is_agg() {
+            budget *= self.config.agg_boost;
+        }
+        if template.class.is_nested() {
+            budget *= self.config.nest_boost;
+        }
+        let budget = budget.round().max(1.0) as usize;
+        let mut stats = GeneratorStats {
+            budgeted: budget,
+            ..GeneratorStats::default()
+        };
+        let mut pairs = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut produced = 0usize;
+        // Sampling may repeat instances on small schemas; cap retries.
+        let mut attempts = budget * 4 + 8;
+        while produced < budget && attempts > 0 {
+            attempts -= 1;
+            let Some((nl, sql)) = self.instantiate_with(template, &mut rng) else {
+                // This draw could not be instantiated (e.g. the chosen
+                // table lacks a numeric column); try another draw
+                // until the attempt budget runs out.
+                stats.failed_draws += 1;
+                continue;
+            };
+            if !seen.insert(format!("{nl}\u{1}{sql}")) {
+                stats.duplicate_draws += 1;
+                continue;
+            }
+            // Optionally emit a GROUP BY version of aggregate pairs
+            // (the `groupby_p` parameter of Table 1).
+            if matches!(template.class, QueryClass::Agg | QueryClass::AggWhere)
+                && rng.gen_bool(self.config.group_by_p)
+            {
+                if let Some(pair) = self.groupby_version(&mut rng, &nl, &sql, template) {
+                    pairs.push(pair);
+                }
+            }
+            pairs.push(TrainingPair::new(
+                nl,
+                sql,
+                template.id.clone(),
+                Provenance::Seed,
+            ));
+            produced += 1;
+        }
+        if produced < budget {
+            stats.exhausted_templates = 1;
+            stats.shortfall = budget - produced;
+        }
+        stats.produced = pairs.len();
+        (pairs, stats)
     }
 
     /// Instantiate one template; `None` when the schema lacks the
     /// required structure (e.g. no numeric column for an aggregate).
+    /// Draws from the generator's own sequential stream.
     pub fn instantiate(&mut self, template: &SeedTemplate) -> Option<(String, Query)> {
+        let mut rng = self.rng.clone();
+        let out = self.instantiate_with(template, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    /// As [`Generator::instantiate`], drawing randomness from `rng` —
+    /// the re-entrant form the parallel pipeline uses.
+    pub fn instantiate_with(
+        &self,
+        template: &SeedTemplate,
+        rng: &mut Rng,
+    ) -> Option<(String, Query)> {
         let mut b = Bindings::new();
-        let sql = self.build_sql(template.class, &mut b)?;
+        let sql = self.build_sql(rng, template.class, &mut b)?;
         let nl = b.render(template.pattern)?;
         Some((nl, sql))
     }
 
     // ----- SQL construction per class -------------------------------
 
-    fn build_sql(&mut self, class: QueryClass, b: &mut Bindings) -> Option<Query> {
+    fn build_sql(&self, rng: &mut Rng, class: QueryClass, b: &mut Bindings) -> Option<Query> {
         use QueryClass::*;
         match class {
             SelectAll => {
-                let t = self.pick_table(|_| true)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|_| true)?;
+                self.bind_table(rng, b,t);
                 Some(Query::simple(vec![SelectItem::Star], self.table_name(t)))
             }
             SelectAllWhere => {
-                let t = self.pick_table(|t| !t.columns().is_empty())?;
-                self.bind_table(b, t);
-                let f = self.make_filter(t, &mut HashSet::new(), false)?;
+                let t = self.pick_table(rng,|t| !t.columns().is_empty())?;
+                self.bind_table(rng, b,t);
+                let f = self.make_filter(rng,t, &mut HashSet::new(), false)?;
                 b.set("filter", f.nl.clone());
                 let mut q = Query::simple(vec![SelectItem::Star], self.table_name(t));
                 q.where_pred = Some(f.pred);
                 Some(q)
             }
             SelectCol => {
-                let t = self.pick_table(|_| true)?;
-                self.bind_table(b, t);
-                let (att, col) = self.pick_column(t, |_| true, &HashSet::new())?;
-                b.set("att", self.col_surface(col));
+                let t = self.pick_table(rng,|_| true)?;
+                self.bind_table(rng, b,t);
+                let (att, col) = self.pick_column(rng,t, |_| true, &HashSet::new())?;
+                b.set("att", self.col_surface(rng,col));
                 Some(Query::simple(
                     vec![SelectItem::Column(att)],
                     self.table_name(t),
                 ))
             }
             SelectColWhere => {
-                let t = self.pick_table(|t| t.column_count() >= 2)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| t.column_count() >= 2)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                b.set("att", self.col_surface(col));
-                let f = self.make_filter(t, &mut used, false)?;
+                b.set("att", self.col_surface(rng,col));
+                let f = self.make_filter(rng,t, &mut used, false)?;
                 b.set("filter", f.nl.clone());
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
                 q.where_pred = Some(f.pred);
                 Some(q)
             }
             SelectColsWhere => {
-                let t = self.pick_table(|t| t.column_count() >= 3)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| t.column_count() >= 3)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (a1, c1) = self.pick_column(t, |_| true, &used)?;
+                let (a1, c1) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(c1);
-                let (a2, c2) = self.pick_column(t, |_| true, &used)?;
+                let (a2, c2) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(c2);
-                b.set("att", self.col_surface(c1));
-                b.set("att2", self.col_surface(c2));
-                let f = self.make_filter(t, &mut used, false)?;
+                b.set("att", self.col_surface(rng,c1));
+                b.set("att2", self.col_surface(rng,c2));
+                let f = self.make_filter(rng,t, &mut used, false)?;
                 b.set("filter", f.nl.clone());
                 let mut q = Query::simple(
                     vec![SelectItem::Column(a1), SelectItem::Column(a2)],
@@ -169,14 +270,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             SelectColWhere2 => {
-                let t = self.pick_table(|t| t.column_count() >= 3)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| t.column_count() >= 3)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                b.set("att", self.col_surface(col));
-                let f1 = self.make_filter(t, &mut used, false)?;
-                let f2 = self.make_filter(t, &mut used, false)?;
+                b.set("att", self.col_surface(rng,col));
+                let f1 = self.make_filter(rng,t, &mut used, false)?;
+                let f2 = self.make_filter(rng,t, &mut used, false)?;
                 b.set("filter", f1.nl.clone());
                 b.set("filter2", f2.nl.clone());
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
@@ -184,61 +285,61 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Distinct => {
-                let t = self.pick_table(|_| true)?;
-                self.bind_table(b, t);
-                let (att, col) = self.pick_column(t, |_| true, &HashSet::new())?;
-                b.set("att", self.col_surface(col));
-                b.set("distinct", lexicons::pick(&mut self.rng, lexicons::DISTINCT_PHRASES));
+                let t = self.pick_table(rng,|_| true)?;
+                self.bind_table(rng, b,t);
+                let (att, col) = self.pick_column(rng,t, |_| true, &HashSet::new())?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("distinct", lexicons::pick(rng, lexicons::DISTINCT_PHRASES));
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
                 q.distinct = true;
                 Some(q)
             }
             Agg | AggWhere => {
-                let t = self.pick_table(has_numeric)?;
-                self.bind_table(b, t);
-                let func = *class.agg_choices().choose(&mut self.rng)?;
+                let t = self.pick_table(rng,has_numeric)?;
+                self.bind_table(rng, b,t);
+                let func = *class.agg_choices().choose(rng)?;
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |c| c.sql_type().is_numeric(), &used)?;
+                let (att, col) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
                 used.insert(col);
-                b.set("att", self.col_surface(col));
-                b.set("agg", lexicons::pick(&mut self.rng, lexicons::agg_phrases(func)));
+                b.set("att", self.col_surface(rng,col));
+                b.set("agg", lexicons::pick(rng, lexicons::agg_phrases(func)));
                 let mut q = Query::simple(
                     vec![SelectItem::Aggregate(func, agg_col(att))],
                     self.table_name(t),
                 );
                 if class == AggWhere {
-                    let f = self.make_filter(t, &mut used, false)?;
+                    let f = self.make_filter(rng,t, &mut used, false)?;
                     b.set("filter", f.nl.clone());
                     q.where_pred = Some(f.pred);
                 }
                 Some(q)
             }
             CountAll | CountWhere => {
-                let t = self.pick_table(|_| true)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|_| true)?;
+                self.bind_table(rng, b,t);
                 let mut q = Query::simple(
                     vec![SelectItem::Aggregate(AggFunc::Count, AggArg::Star)],
                     self.table_name(t),
                 );
                 if class == CountWhere {
-                    let f = self.make_filter(t, &mut HashSet::new(), false)?;
+                    let f = self.make_filter(rng,t, &mut HashSet::new(), false)?;
                     b.set("filter", f.nl.clone());
                     q.where_pred = Some(f.pred);
                 }
                 Some(q)
             }
             GroupBy => {
-                let t = self.pick_table(|t| has_numeric(t) && has_text(t))?;
-                self.bind_table(b, t);
-                let func = *class.agg_choices().choose(&mut self.rng)?;
+                let t = self.pick_table(rng,|t| has_numeric(t) && has_text(t))?;
+                self.bind_table(rng, b,t);
+                let func = *class.agg_choices().choose(rng)?;
                 let mut used = HashSet::new();
-                let (att, acol) = self.pick_column(t, |c| c.sql_type().is_numeric(), &used)?;
+                let (att, acol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
                 used.insert(acol);
-                let (gatt, gcol) = self.pick_column(t, |c| c.sql_type().is_text(), &used)?;
-                b.set("att", self.col_surface(acol));
-                b.set("group", self.col_surface(gcol));
-                b.set("agg", lexicons::pick(&mut self.rng, lexicons::agg_phrases(func)));
-                b.set("grpphrase", lexicons::pick(&mut self.rng, lexicons::GROUP_PHRASES));
+                let (gatt, gcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &used)?;
+                b.set("att", self.col_surface(rng,acol));
+                b.set("group", self.col_surface(rng,gcol));
+                b.set("agg", lexicons::pick(rng, lexicons::agg_phrases(func)));
+                b.set("grpphrase", lexicons::pick(rng, lexicons::GROUP_PHRASES));
                 let mut q = Query::simple(
                     vec![
                         SelectItem::Column(gatt.clone()),
@@ -250,11 +351,11 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             GroupByCount => {
-                let t = self.pick_table(has_text)?;
-                self.bind_table(b, t);
-                let (gatt, gcol) = self.pick_column(t, |c| c.sql_type().is_text(), &HashSet::new())?;
-                b.set("group", self.col_surface(gcol));
-                b.set("grpphrase", lexicons::pick(&mut self.rng, lexicons::GROUP_PHRASES));
+                let t = self.pick_table(rng,has_text)?;
+                self.bind_table(rng, b,t);
+                let (gatt, gcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &HashSet::new())?;
+                b.set("group", self.col_surface(rng,gcol));
+                b.set("grpphrase", lexicons::pick(rng, lexicons::GROUP_PHRASES));
                 let mut q = Query::simple(
                     vec![
                         SelectItem::Column(gatt.clone()),
@@ -266,10 +367,10 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             GroupByHaving => {
-                let t = self.pick_table(has_text)?;
-                self.bind_table(b, t);
-                let (gatt, gcol) = self.pick_column(t, |c| c.sql_type().is_text(), &HashSet::new())?;
-                b.set("group", self.col_surface(gcol));
+                let t = self.pick_table(rng,has_text)?;
+                self.bind_table(rng, b,t);
+                let (gatt, gcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &HashSet::new())?;
+                b.set("group", self.col_surface(rng,gcol));
                 let mut q = Query::simple(vec![SelectItem::Column(gatt.clone())], self.table_name(t));
                 q.group_by = vec![gatt];
                 q.having = Some(Pred::Compare {
@@ -280,13 +381,13 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             TopOne | BottomOne => {
-                let t = self.pick_table(has_numeric)?;
-                self.bind_table(b, t);
-                let (natt, ncol) = self.pick_column(t, |c| c.sql_type().is_numeric(), &HashSet::new())?;
-                b.set("natt", self.col_surface(ncol));
+                let t = self.pick_table(rng,has_numeric)?;
+                self.bind_table(rng, b,t);
+                let (natt, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &HashSet::new())?;
+                b.set("natt", self.col_surface(rng,ncol));
                 let max = class == TopOne;
                 let sense = if max { ComparativeSense::Max } else { ComparativeSense::Min };
-                let phrase = self.comparative_phrase(ncol, sense);
+                let phrase = self.comparative_phrase(rng,ncol, sense);
                 b.set(if max { "supmax" } else { "supmin" }, phrase);
                 let mut q = Query::simple(vec![SelectItem::Star], self.table_name(t));
                 q.order_by = vec![(
@@ -297,21 +398,21 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             OrderBy { desc } => {
-                let t = self.pick_table(|t| has_numeric(t) && t.column_count() >= 2)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| has_numeric(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                let (natt, ncol) = self.pick_column(t, |c| c.sql_type().is_numeric(), &used)?;
-                b.set("att", self.col_surface(col));
-                b.set("natt", self.col_surface(ncol));
+                let (natt, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("natt", self.col_surface(rng,ncol));
                 b.set(
                     "ordasc",
-                    lexicons::pick(&mut self.rng, lexicons::ORDER_ASC_PHRASES),
+                    lexicons::pick(rng, lexicons::ORDER_ASC_PHRASES),
                 );
                 b.set(
                     "orddesc",
-                    lexicons::pick(&mut self.rng, lexicons::ORDER_DESC_PHRASES),
+                    lexicons::pick(rng, lexicons::ORDER_DESC_PHRASES),
                 );
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
                 q.order_by = vec![(
@@ -321,14 +422,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Between => {
-                let t = self.pick_table(|t| has_numeric(t) && t.column_count() >= 2)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| has_numeric(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                let (ncolref, ncol) = self.pick_column(t, |c| c.sql_type().is_numeric(), &used)?;
-                b.set("att", self.col_surface(col));
-                b.set("natt", self.col_surface(ncol));
+                let (ncolref, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("natt", self.col_surface(rng,ncol));
                 let base = self.placeholder_name(ncol, false);
                 b.set_raw("@LOW", format!("@{base}_LOW"));
                 b.set_raw("@HIGH", format!("@{base}_HIGH"));
@@ -341,14 +442,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             InList => {
-                let t = self.pick_table(|t| t.column_count() >= 2)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| t.column_count() >= 2)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                let (ccolref, ccol) = self.pick_column(t, |_| true, &used)?;
-                b.set("att", self.col_surface(col));
-                b.set("catt", self.col_surface(ccol));
+                let (ccolref, ccol) = self.pick_column(rng,t, |_| true, &used)?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("catt", self.col_surface(rng,ccol));
                 let base = self.placeholder_name(ccol, false);
                 b.set_raw("@V1", format!("@{base}_1"));
                 b.set_raw("@V2", format!("@{base}_2"));
@@ -364,15 +465,15 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Like => {
-                let t = self.pick_table(|t| has_text(t) && t.column_count() >= 2)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| has_text(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                let (tcolref, tcol) = self.pick_column(t, |c| c.sql_type().is_text(), &used)?;
-                b.set("att", self.col_surface(col));
-                b.set("tatt", self.col_surface(tcol));
-                b.set("like", lexicons::pick(&mut self.rng, lexicons::LIKE_PHRASES));
+                let (tcolref, tcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &used)?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("tatt", self.col_surface(rng,tcol));
+                b.set("like", lexicons::pick(rng, lexicons::LIKE_PHRASES));
                 let base = self.placeholder_name(tcol, false);
                 b.set_raw("@PAT", format!("@{base}"));
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
@@ -384,17 +485,17 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             IsNull => {
-                let t = self.pick_table(|t| has_text(t) && t.column_count() >= 2)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| has_text(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                let (tcolref, tcol) = self.pick_column(t, |c| c.sql_type().is_text(), &used)?;
-                b.set("att", self.col_surface(col));
-                b.set("tatt", self.col_surface(tcol));
+                let (tcolref, tcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &used)?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("tatt", self.col_surface(rng,tcol));
                 b.set(
                     "nullphrase",
-                    lexicons::pick(&mut self.rng, lexicons::NULL_PHRASES),
+                    lexicons::pick(rng, lexicons::NULL_PHRASES),
                 );
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
                 q.where_pred = Some(Pred::IsNull {
@@ -404,14 +505,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Neq => {
-                let t = self.pick_table(|t| t.column_count() >= 2)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| t.column_count() >= 2)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                let (ccolref, ccol) = self.pick_column(t, |_| true, &used)?;
-                b.set("att", self.col_surface(col));
-                b.set("catt", self.col_surface(ccol));
+                let (ccolref, ccol) = self.pick_column(rng,t, |_| true, &used)?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("catt", self.col_surface(rng,ccol));
                 let base = self.placeholder_name(ccol, false);
                 b.set_raw("@V1", format!("@{base}"));
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
@@ -423,14 +524,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Disjunction => {
-                let t = self.pick_table(|t| t.column_count() >= 3)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| t.column_count() >= 3)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                b.set("att", self.col_surface(col));
-                let f1 = self.make_filter(t, &mut used, false)?;
-                let f2 = self.make_filter(t, &mut used, false)?;
+                b.set("att", self.col_surface(rng,col));
+                let f1 = self.make_filter(rng,t, &mut used, false)?;
+                let f2 = self.make_filter(rng,t, &mut used, false)?;
                 b.set("filter", f1.nl.clone());
                 b.set("filter2", f2.nl.clone());
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
@@ -438,21 +539,21 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             JoinSelect | JoinAgg => {
-                let (t1, t2) = self.pick_join_pair()?;
-                self.bind_join_tables(b, t1, t2);
+                let (t1, t2) = self.pick_join_pair(rng)?;
+                self.bind_join_tables(rng, b,t1, t2);
                 let numeric_needed = class == JoinAgg;
-                let (att, col) = self.pick_column(
+                let (att, col) = self.pick_column(rng,
                     t1,
                     |c| !numeric_needed || c.sql_type().is_numeric(),
                     &HashSet::new(),
                 )?;
                 let att = qualify(att, self.table_name(t1));
-                b.set("attq", self.col_surface(col));
-                let f2 = self.make_filter(t2, &mut HashSet::new(), true)?;
+                b.set("attq", self.col_surface(rng,col));
+                let f2 = self.make_filter(rng,t2, &mut HashSet::new(), true)?;
                 b.set("filter2q", f2.nl.clone());
                 let select = if class == JoinAgg {
-                    let func = *class.agg_choices().choose(&mut self.rng)?;
-                    b.set("agg", lexicons::pick(&mut self.rng, lexicons::agg_phrases(func)));
+                    let func = *class.agg_choices().choose(rng)?;
+                    b.set("agg", lexicons::pick(rng, lexicons::agg_phrases(func)));
                     vec![SelectItem::Aggregate(func, agg_col(att))]
                 } else {
                     vec![SelectItem::Column(att)]
@@ -469,20 +570,20 @@ impl<'a> Generator<'a> {
                 })
             }
             JoinGroupBy => {
-                let (t1, t2) = self.pick_join_pair()?;
-                self.bind_join_tables(b, t1, t2);
+                let (t1, t2) = self.pick_join_pair(rng)?;
+                self.bind_join_tables(rng, b,t1, t2);
                 if !has_numeric(self.schema.table(t1)) || !has_text(self.schema.table(t2)) {
                     return None;
                 }
-                let func = *class.agg_choices().choose(&mut self.rng)?;
-                let (att, acol) = self.pick_column(t1, |c| c.sql_type().is_numeric(), &HashSet::new())?;
+                let func = *class.agg_choices().choose(rng)?;
+                let (att, acol) = self.pick_column(rng,t1, |c| c.sql_type().is_numeric(), &HashSet::new())?;
                 let att = qualify(att, self.table_name(t1));
-                let (gatt, gcol) = self.pick_column(t2, |c| c.sql_type().is_text(), &HashSet::new())?;
+                let (gatt, gcol) = self.pick_column(rng,t2, |c| c.sql_type().is_text(), &HashSet::new())?;
                 let gatt = qualify(gatt, self.table_name(t2));
-                b.set("attq", self.col_surface(acol));
-                b.set("groupq", self.col_surface(gcol));
-                b.set("agg", lexicons::pick(&mut self.rng, lexicons::agg_phrases(func)));
-                b.set("grpphrase", lexicons::pick(&mut self.rng, lexicons::GROUP_PHRASES));
+                b.set("attq", self.col_surface(rng,acol));
+                b.set("groupq", self.col_surface(rng,gcol));
+                b.set("agg", lexicons::pick(rng, lexicons::agg_phrases(func)));
+                b.set("grpphrase", lexicons::pick(rng, lexicons::GROUP_PHRASES));
                 Some(Query {
                     distinct: false,
                     select: vec![
@@ -498,16 +599,16 @@ impl<'a> Generator<'a> {
                 })
             }
             NestedScalar { max } => {
-                let t = self.pick_table(|t| has_numeric(t) && t.column_count() >= 3)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| has_numeric(t) && t.column_count() >= 3)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                let (natt, ncol) = self.pick_column(t, |c| c.sql_type().is_numeric(), &used)?;
+                let (natt, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
                 used.insert(ncol);
-                b.set("att", self.col_surface(col));
-                b.set("natt", self.col_surface(ncol));
-                let f = self.make_filter(t, &mut used, false)?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("natt", self.col_surface(rng,ncol));
+                let f = self.make_filter(rng,t, &mut used, false)?;
                 b.set("filter", f.nl.clone());
                 let func = if max { AggFunc::Max } else { AggFunc::Min };
                 let mut inner = Query::simple(
@@ -527,10 +628,10 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             NestedIn => {
-                let (t1, c1, t2, c2) = self.pick_compatible_columns()?;
-                self.bind_join_tables(b, t1, t2);
-                b.set("att", self.col_surface(c1));
-                let f2 = self.make_filter(t2, &mut [c2].into_iter().collect(), true)?;
+                let (t1, c1, t2, c2) = self.pick_compatible_columns(rng)?;
+                self.bind_join_tables(rng, b,t1, t2);
+                b.set("att", self.col_surface(rng,c1));
+                let f2 = self.make_filter(rng,t2, &mut [c2].into_iter().collect(), true)?;
                 b.set("filter2q", f2.nl.clone());
                 let inner_col = ColumnRef::unqualified(self.schema.column(c2).name());
                 let mut inner = Query::simple(
@@ -551,15 +652,15 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             NotLike => {
-                let t = self.pick_table(|t| has_text(t) && t.column_count() >= 2)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| has_text(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                let (tcolref, tcol) = self.pick_column(t, |c| c.sql_type().is_text(), &used)?;
-                b.set("att", self.col_surface(col));
-                b.set("tatt", self.col_surface(tcol));
-                b.set("like", lexicons::pick(&mut self.rng, lexicons::LIKE_PHRASES));
+                let (tcolref, tcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &used)?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("tatt", self.col_surface(rng,tcol));
+                b.set("like", lexicons::pick(rng, lexicons::LIKE_PHRASES));
                 let base = self.placeholder_name(tcol, false);
                 b.set_raw("@PAT", format!("@{base}"));
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
@@ -571,13 +672,13 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             CountDistinct => {
-                let t = self.pick_table(|_| true)?;
-                self.bind_table(b, t);
-                let (att, col) = self.pick_column(t, |_| true, &HashSet::new())?;
-                b.set("att", self.col_surface(col));
+                let t = self.pick_table(rng,|_| true)?;
+                self.bind_table(rng, b,t);
+                let (att, col) = self.pick_column(rng,t, |_| true, &HashSet::new())?;
+                b.set("att", self.col_surface(rng,col));
                 b.set(
                     "distinct",
-                    lexicons::pick(&mut self.rng, lexicons::DISTINCT_PHRASES),
+                    lexicons::pick(rng, lexicons::DISTINCT_PHRASES),
                 );
                 let q = Query::simple(
                     vec![SelectItem::Aggregate(AggFunc::Count, agg_col(att))],
@@ -586,12 +687,12 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             TopN { limit } => {
-                let t = self.pick_table(has_numeric)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,has_numeric)?;
+                self.bind_table(rng, b,t);
                 let (natt, ncol) =
-                    self.pick_column(t, |c| c.sql_type().is_numeric(), &HashSet::new())?;
-                b.set("natt", self.col_surface(ncol));
-                b.set("supmax", self.comparative_phrase(ncol, ComparativeSense::Max));
+                    self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &HashSet::new())?;
+                b.set("natt", self.col_surface(rng,ncol));
+                b.set("supmax", self.comparative_phrase(rng,ncol, ComparativeSense::Max));
                 b.set_raw("@N", limit.to_string());
                 let mut q = Query::simple(vec![SelectItem::Star], self.table_name(t));
                 q.order_by = vec![(OrderKey::Column(natt), OrderDir::Desc)];
@@ -599,14 +700,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             NotBetween => {
-                let t = self.pick_table(|t| has_numeric(t) && t.column_count() >= 2)?;
-                self.bind_table(b, t);
+                let t = self.pick_table(rng,|t| has_numeric(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b,t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
                 used.insert(col);
-                let (ncolref, ncol) = self.pick_column(t, |c| c.sql_type().is_numeric(), &used)?;
-                b.set("att", self.col_surface(col));
-                b.set("natt", self.col_surface(ncol));
+                let (ncolref, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
+                b.set("att", self.col_surface(rng,col));
+                b.set("natt", self.col_surface(rng,ncol));
                 let base = self.placeholder_name(ncol, false);
                 b.set_raw("@LOW", format!("@{base}_LOW"));
                 b.set_raw("@HIGH", format!("@{base}_HIGH"));
@@ -622,12 +723,12 @@ impl<'a> Generator<'a> {
                 if self.schema.table_count() < 2 {
                     return None;
                 }
-                let t1 = self.pick_table(|_| true)?;
-                let t2 = self.pick_table_excluding(t1)?;
-                self.bind_join_tables(b, t1, t2);
-                let (att, col) = self.pick_column(t1, |_| true, &HashSet::new())?;
-                b.set("att", self.col_surface(col));
-                let f2 = self.make_filter(t2, &mut HashSet::new(), true)?;
+                let t1 = self.pick_table(rng,|_| true)?;
+                let t2 = self.pick_table_excluding(rng,t1)?;
+                self.bind_join_tables(rng, b,t1, t2);
+                let (att, col) = self.pick_column(rng,t1, |_| true, &HashSet::new())?;
+                b.set("att", self.col_surface(rng,col));
+                let f2 = self.make_filter(rng,t2, &mut HashSet::new(), true)?;
                 b.set("filter2q", f2.nl.clone());
                 let mut inner = Query::simple(vec![SelectItem::Star], self.table_name(t2));
                 inner.where_pred = Some(f2.pred);
@@ -645,7 +746,8 @@ impl<'a> Generator<'a> {
     /// parameter of Table 1). The NL gets a group suffix; the SQL gets a
     /// GROUP BY over a text column.
     fn groupby_version(
-        &mut self,
+        &self,
+        rng: &mut Rng,
         nl: &str,
         sql: &Query,
         template: &SeedTemplate,
@@ -658,10 +760,10 @@ impl<'a> Generator<'a> {
             .iter()
             .filter_map(|c| self.schema.column_id(&table_name, &c.column).ok())
             .collect();
-        let (gatt, gcol) = self.pick_column(tid, |c| c.sql_type().is_text(), &used)?;
+        let (gatt, gcol) = self.pick_column(rng,tid, |c| c.sql_type().is_text(), &used)?;
         let _ = t;
-        let grp = lexicons::pick(&mut self.rng, lexicons::GROUP_PHRASES);
-        let nl = format!("{nl} {grp} {}", self.col_surface(gcol));
+        let grp = lexicons::pick(rng, lexicons::GROUP_PHRASES);
+        let nl = format!("{nl} {grp} {}", self.col_surface(rng,gcol));
         let mut q = sql.clone();
         q.select.insert(0, SelectItem::Column(gatt.clone()));
         q.group_by = vec![gatt];
@@ -679,30 +781,31 @@ impl<'a> Generator<'a> {
         self.schema.table(t).name().to_lowercase()
     }
 
-    fn pick_table(&mut self, accept: impl Fn(&Table) -> bool) -> Option<TableId> {
+    fn pick_table(&self, rng: &mut Rng, accept: impl Fn(&Table) -> bool) -> Option<TableId> {
         let candidates: Vec<TableId> = self
             .schema
             .tables_with_ids()
             .filter(|(_, t)| accept(t))
             .map(|(id, _)| id)
             .collect();
-        candidates.choose(&mut self.rng).copied()
+        candidates.choose(rng).copied()
     }
 
-    fn pick_table_excluding(&mut self, exclude: TableId) -> Option<TableId> {
+    fn pick_table_excluding(&self, rng: &mut Rng, exclude: TableId) -> Option<TableId> {
         let candidates: Vec<TableId> = self
             .schema
             .tables_with_ids()
             .filter(|(id, _)| *id != exclude)
             .map(|(id, _)| id)
             .collect();
-        candidates.choose(&mut self.rng).copied()
+        candidates.choose(rng).copied()
     }
 
     /// Pick a column of `t` satisfying `accept`, excluding `used`.
     /// Returns the (unqualified) AST reference and the column id.
     fn pick_column(
-        &mut self,
+        &self,
+        rng: &mut Rng,
         t: TableId,
         accept: impl Fn(&Column) -> bool,
         used: &HashSet<ColumnId>,
@@ -715,7 +818,7 @@ impl<'a> Generator<'a> {
             .map(|(i, c)| (i as u32, c))
             .filter(|(i, c)| accept(c) && !used.contains(&ColumnId::new(t, *i)))
             .collect();
-        let &(idx, col) = candidates.choose(&mut self.rng)?;
+        let &(idx, col) = candidates.choose(rng)?;
         Some((
             ColumnRef::unqualified(col.name()),
             ColumnId::new(t, idx),
@@ -723,28 +826,28 @@ impl<'a> Generator<'a> {
     }
 
     /// A random NL surface form of a column (readable name or synonym).
-    fn col_surface(&mut self, col: ColumnId) -> String {
+    fn col_surface(&self, rng: &mut Rng, col: ColumnId) -> String {
         let phrases = self.schema.column(col).nl_phrases();
-        phrases[self.rng.gen_range(0..phrases.len())].clone()
+        phrases[rng.gen_range(0..phrases.len())].clone()
     }
 
     /// A random NL surface form of a table.
-    fn table_surface(&mut self, t: TableId) -> String {
+    fn table_surface(&self, rng: &mut Rng, t: TableId) -> String {
         let phrases = self.schema.table(t).nl_phrases();
-        phrases[self.rng.gen_range(0..phrases.len())].clone()
+        phrases[rng.gen_range(0..phrases.len())].clone()
     }
 
-    fn bind_table(&mut self, b: &mut Bindings, t: TableId) {
-        let surface = self.table_surface(t);
+    fn bind_table(&self, rng: &mut Rng, b: &mut Bindings, t: TableId) {
+        let surface = self.table_surface(rng,t);
         b.set("table", surface);
-        b.set("select", lexicons::pick(&mut self.rng, lexicons::SELECT_PHRASES));
-        b.set("from", lexicons::pick(&mut self.rng, lexicons::FROM_PHRASES));
-        b.set("where", lexicons::pick(&mut self.rng, lexicons::WHERE_PHRASES));
+        b.set("select", lexicons::pick(rng, lexicons::SELECT_PHRASES));
+        b.set("from", lexicons::pick(rng, lexicons::FROM_PHRASES));
+        b.set("where", lexicons::pick(rng, lexicons::WHERE_PHRASES));
     }
 
-    fn bind_join_tables(&mut self, b: &mut Bindings, t1: TableId, t2: TableId) {
-        self.bind_table(b, t1);
-        let surface2 = self.table_surface(t2);
+    fn bind_join_tables(&self, rng: &mut Rng, b: &mut Bindings, t1: TableId, t2: TableId) {
+        self.bind_table(rng, b,t1);
+        let surface2 = self.table_surface(rng,t2);
         b.set("table2", surface2);
     }
 
@@ -766,15 +869,16 @@ impl<'a> Generator<'a> {
 
     /// Build a random filter on a column of `t` not in `used`.
     fn make_filter(
-        &mut self,
+        &self,
+        rng: &mut Rng,
         t: TableId,
         used: &mut HashSet<ColumnId>,
         qualified: bool,
     ) -> Option<FilterParts> {
-        let (colref, col) = self.pick_column(t, |_| true, used)?;
+        let (colref, col) = self.pick_column(rng,t, |_| true, used)?;
         used.insert(col);
         let column = self.schema.column(col);
-        let surface = self.col_surface(col);
+        let surface = self.col_surface(rng,col);
         let ph = self.placeholder_name(col, qualified);
         let colref = if qualified {
             qualify(colref, self.table_name(t))
@@ -783,19 +887,19 @@ impl<'a> Generator<'a> {
         };
         let (op, nl) = if column.sql_type().is_numeric() {
             // Weighted operator choice: equality is most common.
-            let roll: f64 = self.rng.next_f64();
+            let roll: f64 = rng.next_f64();
             if roll < 0.5 {
-                let eq = lexicons::pick(&mut self.rng, lexicons::EQ_PHRASES);
+                let eq = lexicons::pick(rng, lexicons::EQ_PHRASES);
                 (CmpOp::Eq, format!("{surface} {eq} @{ph}"))
             } else if roll < 0.75 {
-                let phrase = self.comparative_phrase(col, ComparativeSense::Greater);
+                let phrase = self.comparative_phrase(rng,col, ComparativeSense::Greater);
                 (CmpOp::Gt, format!("{surface} {phrase} @{ph}"))
             } else {
-                let phrase = self.comparative_phrase(col, ComparativeSense::Less);
+                let phrase = self.comparative_phrase(rng,col, ComparativeSense::Less);
                 (CmpOp::Lt, format!("{surface} {phrase} @{ph}"))
             }
         } else {
-            let eq = lexicons::pick(&mut self.rng, lexicons::EQ_PHRASES);
+            let eq = lexicons::pick(rng, lexicons::EQ_PHRASES);
             (CmpOp::Eq, format!("{surface} {eq} @{ph}"))
         };
         Some(FilterParts {
@@ -810,19 +914,19 @@ impl<'a> Generator<'a> {
 
     /// A comparative phrase for a column, preferring a domain-specific
     /// phrase when the column has a non-generic domain (paper §3.2.3).
-    fn comparative_phrase(&mut self, col: ColumnId, sense: ComparativeSense) -> String {
+    fn comparative_phrase(&self, rng: &mut Rng, col: ColumnId, sense: ComparativeSense) -> String {
         let domain = self.schema.column(col).domain();
-        let phrases = if domain != SemanticDomain::Generic && self.rng.gen_bool(0.5) {
+        let phrases = if domain != SemanticDomain::Generic && rng.gen_bool(0.5) {
             self.comparatives.domain_phrases(domain, sense).to_vec()
         } else {
             self.comparatives.generic_phrases(sense).to_vec()
         };
-        let pick = phrases[self.rng.gen_range(0..phrases.len())];
+        let pick = phrases[rng.gen_range(0..phrases.len())];
         pick.to_string()
     }
 
     /// Find two tables with type-compatible columns for NestedIn.
-    fn pick_compatible_columns(&mut self) -> Option<(TableId, ColumnId, TableId, ColumnId)> {
+    fn pick_compatible_columns(&self, rng: &mut Rng) -> Option<(TableId, ColumnId, TableId, ColumnId)> {
         let mut candidates = Vec::new();
         for (t1, table1) in self.schema.tables_with_ids() {
             for (t2, table2) in self.schema.tables_with_ids() {
@@ -846,17 +950,17 @@ impl<'a> Generator<'a> {
                 }
             }
         }
-        candidates.choose(&mut self.rng).copied()
+        candidates.choose(rng).copied()
     }
 
     /// Pick a foreign-key-connected pair of tables (child, parent),
     /// honoring `size_tables >= 2`.
-    fn pick_join_pair(&mut self) -> Option<(TableId, TableId)> {
+    fn pick_join_pair(&self, rng: &mut Rng) -> Option<(TableId, TableId)> {
         if self.config.size_tables < 2 {
             return None;
         }
         let fks = self.schema.foreign_keys();
-        let fk = fks.choose(&mut self.rng)?;
+        let fk = fks.choose(rng)?;
         Some((fk.from.table, fk.to.table))
     }
 }
@@ -957,7 +1061,7 @@ mod tests {
     fn generates_pairs_for_every_class() {
         let schema = hospital_schema();
         let config = GenerationConfig::small();
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         let corpus = g.generate(&catalog());
         let templates_hit: std::collections::HashSet<&str> = corpus
             .pairs()
@@ -989,7 +1093,7 @@ mod tests {
     fn generated_sql_is_parseable_and_printable() {
         let schema = hospital_schema();
         let config = GenerationConfig::small();
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         let corpus = g.generate(&catalog());
         assert!(corpus.len() > 100);
         for p in corpus.pairs() {
@@ -1004,7 +1108,7 @@ mod tests {
     fn nl_side_has_no_unfilled_slots() {
         let schema = hospital_schema();
         let config = GenerationConfig::small();
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         let corpus = g.generate(&catalog());
         for p in corpus.pairs() {
             assert!(
@@ -1020,7 +1124,7 @@ mod tests {
     fn placeholders_match_between_nl_and_sql() {
         let schema = hospital_schema();
         let config = GenerationConfig::small();
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         let corpus = g.generate(&catalog());
         for p in corpus.pairs() {
             for ph in p.sql.placeholders() {
@@ -1046,7 +1150,7 @@ mod tests {
         config.agg_boost = 1.0;
         config.nest_boost = 1.0;
         config.group_by_p = 0.0;
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         let corpus = g.generate(&catalog());
         for (tmpl, count) in corpus.template_counts() {
             assert!(
@@ -1065,7 +1169,7 @@ mod tests {
         let mut high = low.clone();
         high.nest_boost = 3.0;
         let count = |cfg: &GenerationConfig| {
-            let mut g = Generator::new(&schema, cfg);
+            let g = Generator::new(&schema, cfg);
             g.generate(&catalog())
                 .pairs()
                 .iter()
@@ -1080,7 +1184,7 @@ mod tests {
         let schema = hospital_schema();
         let mut config = GenerationConfig::small();
         config.group_by_p = 0.0;
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         let corpus = g.generate(&catalog());
         assert!(corpus
             .pairs()
@@ -1093,7 +1197,7 @@ mod tests {
         let schema = hospital_schema();
         let config = GenerationConfig::small();
         let run = || {
-            let mut g = Generator::new(&schema, &config);
+            let g = Generator::new(&schema, &config);
             g.generate(&catalog())
                 .pairs()
                 .iter()
@@ -1107,7 +1211,7 @@ mod tests {
     fn join_queries_use_join_placeholder() {
         let schema = hospital_schema();
         let config = GenerationConfig::small();
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         let corpus = g.generate(&catalog());
         let join_pairs: Vec<_> = corpus
             .pairs()
@@ -1131,7 +1235,7 @@ mod tests {
             .build()
             .unwrap();
         let config = GenerationConfig::small();
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         let corpus = g.generate(&catalog());
         assert!(corpus.len() > 50);
         assert!(corpus
@@ -1147,7 +1251,7 @@ mod tests {
             size_slot_fills: 60,
             ..GenerationConfig::default()
         };
-        let mut g = Generator::new(&schema, &config);
+        let g = Generator::new(&schema, &config);
         let corpus = g.generate(&catalog());
         let has_domain_phrase = corpus
             .pairs()

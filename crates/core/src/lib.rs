@@ -43,7 +43,7 @@ pub mod templates;
 
 pub use augment::Augmenter;
 pub use config::GenerationConfig;
-pub use generator::Generator;
+pub use generator::{Generator, GeneratorStats};
 pub use io::{
     corpus_from_json, corpus_to_json, corpus_to_tsv, manual_corpus_from_tsv, CorpusIoError,
 };
@@ -57,5 +57,5 @@ pub use optimizer::{
     accuracy_histogram, accuracy_stats, best, GridSearch, RandomSearch, TrialResult,
 };
 pub use pair::{Provenance, TrainingCorpus, TrainingPair};
-pub use pipeline::TrainingPipeline;
+pub use pipeline::{PipelineReport, StageTimings, TrainingPipeline};
 pub use templates::{catalog, catalog_subset, PatternCategory, QueryClass, SeedTemplate};

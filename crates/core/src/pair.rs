@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// How a pair entered the corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Provenance {
     /// Direct instantiation of a seed template (§3.1).
     Seed,

@@ -5,11 +5,150 @@
 //! adds linguistic variations, and the Lemmatizer normalizes every NL
 //! side. The output corpus can then be fed to any pluggable
 //! [`crate::TranslationModel`].
+//!
+//! Every stage fans out across `config.threads` workers (see
+//! DESIGN.md "Parallel pipeline"): each work unit draws from its own
+//! [`dbpal_util::stream_seed`]-derived RNG stream and shards merge in
+//! input order, so the corpus is byte-identical for a given seed at any
+//! thread count. [`TrainingPipeline::generate_with_report`] additionally
+//! returns a [`PipelineReport`] with per-stage wall time and pair
+//! accounting.
 
 use crate::templates::{catalog, SeedTemplate};
-use crate::{Augmenter, GenerationConfig, Generator, TrainingCorpus};
+use crate::{
+    Augmenter, GenerationConfig, Generator, GeneratorStats, Provenance, TrainingCorpus,
+    TrainingPair,
+};
 use dbpal_nlp::Lemmatizer;
 use dbpal_schema::Schema;
+use dbpal_util::{par_map_indexed, stream_seed};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Template instantiation (§3.1).
+    pub generate: Duration,
+    /// Augmentation (§3.2).
+    pub augment: Duration,
+    /// Lemmatization (§2.2.3).
+    pub lemmatize: Duration,
+    /// Duplicate removal.
+    pub dedup: Duration,
+    /// The whole pipeline run.
+    pub total: Duration,
+}
+
+/// Accounting for one pipeline run: how many pairs each stage produced,
+/// how many duplicates were dropped, and where the generator's sampling
+/// loop spent its retries. Built by
+/// [`TrainingPipeline::generate_with_report`].
+///
+/// The counters obey invariants checked by
+/// [`PipelineReport::check_consistency`]:
+/// `seed_pairs + augmented_pairs == pre_dedup_pairs`,
+/// `pre_dedup_pairs - final_pairs == dedup_dropped`, and the
+/// per-provenance counts sum to `final_pairs`.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Worker threads the run used (the resolved value, never 0).
+    pub threads: usize,
+    /// Pairs out of the instantiation stage.
+    pub seed_pairs: usize,
+    /// Pairs added by the augmentation stage.
+    pub augmented_pairs: usize,
+    /// Corpus size entering dedup (seed + augmented).
+    pub pre_dedup_pairs: usize,
+    /// Exact duplicates removed.
+    pub dedup_dropped: usize,
+    /// Pairs in the returned corpus.
+    pub final_pairs: usize,
+    /// Final pair count per provenance.
+    pub provenance: BTreeMap<Provenance, usize>,
+    /// Instantiation counters (retries, exhausted templates, shortfall).
+    pub generator: GeneratorStats,
+    /// Per-stage wall time.
+    pub timings: StageTimings,
+}
+
+impl PipelineReport {
+    /// Verify the internal accounting invariants; returns a description
+    /// of the first violation.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.seed_pairs + self.augmented_pairs != self.pre_dedup_pairs {
+            return Err(format!(
+                "stage outputs do not sum: seed {} + augmented {} != pre-dedup {}",
+                self.seed_pairs, self.augmented_pairs, self.pre_dedup_pairs
+            ));
+        }
+        if self.pre_dedup_pairs < self.final_pairs {
+            return Err(format!(
+                "dedup grew the corpus: {} -> {}",
+                self.pre_dedup_pairs, self.final_pairs
+            ));
+        }
+        if self.pre_dedup_pairs - self.final_pairs != self.dedup_dropped {
+            return Err(format!(
+                "dedup drops mismatch: pre {} - final {} != dropped {}",
+                self.pre_dedup_pairs, self.final_pairs, self.dedup_dropped
+            ));
+        }
+        if self.provenance.values().sum::<usize>() != self.final_pairs {
+            return Err(format!(
+                "provenance counts sum to {}, corpus has {}",
+                self.provenance.values().sum::<usize>(),
+                self.final_pairs
+            ));
+        }
+        if self.generator.produced != self.seed_pairs {
+            return Err(format!(
+                "generator produced {} but seed stage reports {}",
+                self.generator.produced, self.seed_pairs
+            ));
+        }
+        Ok(())
+    }
+
+    /// A multi-line human-readable rendering (printed by the bench
+    /// binaries).
+    pub fn render(&self) -> String {
+        let ms = |d: Duration| format!("{:8.1}ms", d.as_secs_f64() * 1e3);
+        let mut out = format!("pipeline report (threads = {})\n", self.threads);
+        out += &format!(
+            "  generate  {}  {} seed pairs (budgeted {}, retries {}, exhausted {}, shortfall {})\n",
+            ms(self.timings.generate),
+            self.seed_pairs,
+            self.generator.budgeted,
+            self.generator.retries(),
+            self.generator.exhausted_templates,
+            self.generator.shortfall,
+        );
+        out += &format!(
+            "  augment   {}  +{} pairs\n",
+            ms(self.timings.augment),
+            self.augmented_pairs
+        );
+        out += &format!("  lemmatize {}\n", ms(self.timings.lemmatize));
+        out += &format!(
+            "  dedup     {}  -{} duplicates\n",
+            ms(self.timings.dedup),
+            self.dedup_dropped
+        );
+        let provenance = self
+            .provenance
+            .iter()
+            .map(|(p, n)| format!("{} {n}", p.label()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out += &format!(
+            "  total     {}  {} pairs ({provenance})\n",
+            ms(self.timings.total),
+            self.final_pairs
+        );
+        out
+    }
+}
 
 /// The DBPal training pipeline.
 #[derive(Debug, Clone)]
@@ -36,7 +175,13 @@ impl TrainingPipeline {
     /// Run the full pipeline on a schema with the complete seed-template
     /// catalog.
     pub fn generate(&self, schema: &Schema) -> TrainingCorpus {
-        self.generate_with_templates(schema, &catalog())
+        self.generate_with_report(schema).0
+    }
+
+    /// As [`TrainingPipeline::generate`], also returning the per-stage
+    /// [`PipelineReport`].
+    pub fn generate_with_report(&self, schema: &Schema) -> (TrainingCorpus, PipelineReport) {
+        self.generate_with_templates_and_report(schema, &catalog())
     }
 
     /// Run the full pipeline with an explicit template set (used by the
@@ -46,27 +191,84 @@ impl TrainingPipeline {
         schema: &Schema,
         templates: &[SeedTemplate],
     ) -> TrainingCorpus {
+        self.generate_with_templates_and_report(schema, templates).0
+    }
+
+    /// As [`TrainingPipeline::generate_with_templates`], also returning
+    /// the per-stage [`PipelineReport`].
+    pub fn generate_with_templates_and_report(
+        &self,
+        schema: &Schema,
+        templates: &[SeedTemplate],
+    ) -> (TrainingCorpus, PipelineReport) {
+        let threads = self.config.effective_threads();
+        let run_start = Instant::now();
+
         // Step 1: instantiation (§3.1).
-        let mut generator = Generator::new(schema, &self.config);
-        let mut corpus = generator.generate(templates);
+        let stage = Instant::now();
+        let generator = Generator::new(schema, &self.config);
+        let (mut corpus, generator_stats) = generator.generate_with_stats(templates);
+        let generate_time = stage.elapsed();
+        let seed_pairs = corpus.len();
 
         // Step 2: augmentation (§3.2).
-        let mut augmenter = Augmenter::new(schema, &self.config);
+        let stage = Instant::now();
+        let augmenter = Augmenter::new(schema, &self.config);
         let additions = augmenter.augment(&corpus);
+        let augmented_pairs = additions.len();
         for pair in additions {
             corpus.push(pair);
         }
+        let augment_time = stage.elapsed();
 
-        // Step 3: lemmatization (§2.2.3).
+        // Step 3: lemmatization (§2.2.3). The lemmatizer is pure lookup
+        // state, so chunks of pairs lemmatize independently and the
+        // per-chunk results zip back in order.
+        let stage = Instant::now();
         let lemmatizer = Lemmatizer::new();
-        let mut pairs = Vec::with_capacity(corpus.len());
-        for mut pair in corpus {
-            pair.nl_lemmas = lemmatizer.lemmatize_sentence(&pair.nl);
-            pairs.push(pair);
+        let mut pairs: Vec<TrainingPair> = corpus.into_iter().collect();
+        const CHUNK: usize = 64;
+        let lemmas: Vec<Vec<Vec<String>>> = {
+            let chunks: Vec<&[TrainingPair]> = pairs.chunks(CHUNK).collect();
+            par_map_indexed(&chunks, threads, |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|p| lemmatizer.lemmatize_sentence(&p.nl))
+                    .collect()
+            })
+        };
+        for (chunk_lemmas, chunk_pairs) in lemmas.into_iter().zip(pairs.chunks_mut(CHUNK)) {
+            for (nl_lemmas, pair) in chunk_lemmas.into_iter().zip(chunk_pairs.iter_mut()) {
+                pair.nl_lemmas = nl_lemmas;
+            }
         }
         let mut corpus = TrainingCorpus::from_pairs(pairs);
-        corpus.dedup();
-        corpus
+        let lemmatize_time = stage.elapsed();
+
+        // Step 4: duplicate removal.
+        let stage = Instant::now();
+        let pre_dedup_pairs = corpus.len();
+        let dedup_dropped = corpus.dedup();
+        let dedup_time = stage.elapsed();
+
+        let report = PipelineReport {
+            threads,
+            seed_pairs,
+            augmented_pairs,
+            pre_dedup_pairs,
+            dedup_dropped,
+            final_pairs: corpus.len(),
+            provenance: corpus.provenance_counts().into_iter().collect(),
+            generator: generator_stats,
+            timings: StageTimings {
+                generate: generate_time,
+                augment: augment_time,
+                lemmatize: lemmatize_time,
+                dedup: dedup_time,
+                total: run_start.elapsed(),
+            },
+        };
+        (corpus, report)
     }
 
     /// Generate corpora for several schemas and merge them (the multi-
@@ -77,8 +279,12 @@ impl TrainingPipeline {
         let mut merged = TrainingCorpus::new();
         for (i, schema) in schemas.iter().enumerate() {
             // Vary the seed per schema so instance sampling differs.
+            // Re-keying through `stream_seed` (rather than adding the
+            // index) keeps adjacent (seed, schema-index) pairs from
+            // colliding: seed s with schema i+1 must not see the same
+            // stream as seed s+1 with schema i.
             let mut config = self.config.clone();
-            config.seed = config.seed.wrapping_add(i as u64);
+            config.seed = stream_seed(config.seed, i as u64);
             let pipeline = TrainingPipeline::new(config);
             merged.extend(pipeline.generate(schema));
         }
@@ -176,5 +382,76 @@ mod tests {
             .generate(&schema())
             .len();
         assert!(full > base, "augmentation added nothing: {full} vs {base}");
+    }
+
+    #[test]
+    fn report_matches_corpus_and_is_consistent() {
+        let pipeline = TrainingPipeline::new(GenerationConfig::small());
+        let (corpus, report) = pipeline.generate_with_report(&schema());
+        report.check_consistency().expect("inconsistent report");
+        assert_eq!(report.final_pairs, corpus.len());
+        assert_eq!(
+            report.provenance.iter().map(|(p, n)| (*p, *n)).collect::<Vec<_>>(),
+            {
+                let mut v: Vec<_> = corpus.provenance_counts().into_iter().collect();
+                v.sort();
+                v
+            }
+        );
+        assert!(report.threads >= 1);
+        assert!(report.seed_pairs > 0);
+        assert!(report.augmented_pairs > 0);
+        assert!(report.timings.total >= report.timings.generate);
+        let rendered = report.render();
+        assert!(rendered.contains("generate"));
+        assert!(rendered.contains("dedup"));
+        assert!(rendered.contains(&format!("{} pairs", report.final_pairs)));
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts() {
+        let base = GenerationConfig::small();
+        let run = |threads: usize| {
+            let cfg = GenerationConfig { threads, ..base.clone() };
+            TrainingPipeline::new(cfg).generate_with_report(&schema()).1
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.seed_pairs, four.seed_pairs);
+        assert_eq!(one.augmented_pairs, four.augmented_pairs);
+        assert_eq!(one.dedup_dropped, four.dedup_dropped);
+        assert_eq!(one.final_pairs, four.final_pairs);
+        assert_eq!(one.provenance, four.provenance);
+        assert_eq!(one.generator, four.generator);
+    }
+
+    #[test]
+    fn exhaustion_is_reported_not_silent() {
+        // One table with one text column: most classes cannot instantiate
+        // at all (failed draws) and the rest run out of distinct
+        // instances long before a large budget (duplicate draws), so the
+        // attempt cap (budget * 4 + 8) trips and the report must surface
+        // the shortfall.
+        let schema = SchemaBuilder::new("tiny")
+            .table("t", |t| t.column("a", SqlType::Text))
+            .build()
+            .unwrap();
+        let config = GenerationConfig {
+            size_slot_fills: 50,
+            num_para: 0,
+            num_missing: 0,
+            ..GenerationConfig::default()
+        };
+        let (corpus, report) = TrainingPipeline::new(config)
+            .generate_with_report(&schema);
+        report.check_consistency().expect("inconsistent report");
+        assert!(!corpus.is_empty(), "tiny schema produced nothing at all");
+        let g = &report.generator;
+        assert!(g.produced < g.budgeted, "tiny schema filled every budget");
+        assert!(g.shortfall > 0, "shortfall not reported");
+        assert!(g.exhausted_templates > 0, "no template reported exhausted");
+        assert!(g.failed_draws > 0, "expected uninstantiable draws");
+        assert!(g.duplicate_draws > 0, "expected duplicate draws");
+        assert_eq!(g.retries(), g.failed_draws + g.duplicate_draws);
     }
 }

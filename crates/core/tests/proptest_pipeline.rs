@@ -3,9 +3,10 @@
 //! seeded `dbpal_util::check` harness; a failing case prints its seed
 //! for `DBPAL_CHECK_REPLAY`).
 
-use dbpal_core::{GenerationConfig, TrainingPipeline};
+use dbpal_core::{catalog, GenerationConfig, TrainingPipeline};
 use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
-use dbpal_util::{forall, Rng};
+use dbpal_util::{forall, stream_seed, Rng};
+use std::collections::HashSet;
 
 fn schema() -> Schema {
     SchemaBuilder::new("hospital")
@@ -72,6 +73,98 @@ fn corpus_invariants_hold_for_any_config() {
         }
         assert_eq!(corpus.dedup(), 0, "pipeline output contained duplicates");
     });
+}
+
+/// A random one- or two-table schema with random column types; small
+/// enough that some templates fail to instantiate or exhaust their
+/// attempt budgets, which is exactly what the report must account for.
+fn random_small_schema(rng: &mut Rng) -> Schema {
+    const TABLE_NAMES: [&str; 2] = ["t0", "t1"];
+    const COLUMN_NAMES: [&str; 4] = ["c0", "c1", "c2", "c3"];
+    let n_tables = rng.gen_range(1usize..3);
+    let mut builder = SchemaBuilder::new("rand");
+    for table_name in TABLE_NAMES.iter().take(n_tables) {
+        let types: Vec<SqlType> = (0..rng.gen_range(1usize..5))
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    SqlType::Text
+                } else {
+                    SqlType::Integer
+                }
+            })
+            .collect();
+        builder = builder.table(*table_name, |mut t| {
+            for (name, ty) in COLUMN_NAMES.iter().zip(&types) {
+                t = t.column(*name, *ty);
+            }
+            t
+        });
+    }
+    builder.build().unwrap()
+}
+
+/// The [`dbpal_core::PipelineReport`] counters are consistent for any
+/// configuration, schema shape, and thread count: stage outputs sum to
+/// the pre-dedup size, dedup drops equal pre − post, and provenance
+/// counts sum to the final corpus.
+#[test]
+fn report_counters_are_consistent_for_any_config() {
+    forall!(cases = 12, |rng| {
+        let mut cfg = config(rng);
+        cfg.threads = rng.gen_range(1usize..5);
+        let schema = random_small_schema(rng);
+        let (corpus, report) = TrainingPipeline::new(cfg).generate_with_report(&schema);
+        report
+            .check_consistency()
+            .unwrap_or_else(|e| panic!("inconsistent report: {e}\n{}", report.render()));
+        assert_eq!(report.final_pairs, corpus.len());
+        assert_eq!(
+            report.seed_pairs + report.augmented_pairs,
+            report.pre_dedup_pairs
+        );
+        assert_eq!(
+            report.pre_dedup_pairs - report.final_pairs,
+            report.dedup_dropped
+        );
+        assert_eq!(
+            report.provenance.values().sum::<usize>(),
+            report.final_pairs
+        );
+    });
+}
+
+/// The reduced CI profile (`DBPAL_CHECK_CASES=16`, see scripts/verify.sh)
+/// still exercises every query-class family: 16 stream-seeded random
+/// configurations on the full catalog must between them instantiate every
+/// template family. This loop is deliberately independent of
+/// `DBPAL_CHECK_CASES` (which overrides `forall!` counts globally) so the
+/// guarantee holds no matter how far the env knob shrinks the other
+/// properties.
+#[test]
+fn reduced_profile_covers_every_query_class() {
+    let all_families: HashSet<String> = catalog()
+        .iter()
+        .map(|t| t.id.split('.').next().unwrap().to_string())
+        .collect();
+    let schema = schema();
+    let mut hit: HashSet<String> = HashSet::new();
+    for i in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(stream_seed(dbpal_util::check::base_seed(), i));
+        let cfg = config(&mut rng);
+        let corpus = TrainingPipeline::new(cfg).generate(&schema);
+        assert!(!corpus.is_empty(), "case {i} generated an empty corpus");
+        hit.extend(
+            corpus
+                .pairs()
+                .iter()
+                .map(|p| p.template_id.split('.').next().unwrap().to_string()),
+        );
+    }
+    let missed: Vec<&String> = all_families.iter().filter(|f| !hit.contains(*f)).collect();
+    assert!(
+        missed.is_empty(),
+        "reduced profile never exercised families {missed:?}"
+    );
 }
 
 /// Generation is a pure function of the configuration (same seed →

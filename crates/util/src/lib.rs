@@ -10,10 +10,11 @@
 //!
 //! | module | replaces | contents |
 //! |--------|----------|----------|
-//! | [`rng`] | `rand` | splitmix64-seeded xoshiro256** ([`Rng`], [`SliceRandom`]) |
+//! | [`rng`] | `rand` | splitmix64-seeded xoshiro256** ([`Rng`], [`SliceRandom`], [`stream_seed`]) |
 //! | [`json`] | `serde`/`serde_json` | [`Json`] value model, parser, serializer |
 //! | [`check`] | `proptest` | seeded [`forall!`] property runner |
 //! | [`bench`] | `criterion` | warmup + median-of-N wall-clock harness |
+//! | [`par`] | `rayon` | order-preserving scoped-pool map ([`par_map_indexed`]) |
 //!
 //! All randomness is reproducible: the same seed yields the same stream
 //! on every platform, forever — the workspace owns the generator, so no
@@ -22,7 +23,9 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod par;
 pub mod rng;
 
 pub use json::{Json, JsonError};
-pub use rng::{Rng, SliceRandom};
+pub use par::{auto_threads, par_map_indexed};
+pub use rng::{stream_seed, Rng, SliceRandom};

@@ -1,0 +1,109 @@
+//! Deterministic fan-out over a fixed work list.
+//!
+//! [`par_map_indexed`] is the one concurrency primitive the workspace
+//! needs: map a function over a slice on a scoped worker pool and return
+//! the results **in input order**, regardless of how the items were
+//! scheduled. Combined with per-item RNG re-keying
+//! ([`crate::rng::stream_seed`]) this makes every parallel pipeline
+//! stage a pure function of its inputs: the thread count changes only
+//! wall-clock time, never output bytes.
+//!
+//! Workers pull items off a shared atomic cursor (work stealing by
+//! index), so uneven per-item cost — some seed templates produce far
+//! more instances than others — balances automatically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads to use for `threads = 0` ("auto"):
+/// everything the OS will give us.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on `threads` scoped workers, returning results
+/// in input order. `f` receives `(index, &item)` so callers can key
+/// per-item randomness off the stable input position.
+///
+/// `threads` is clamped to `[1, items.len()]`; `threads == 1` (or a
+/// trivial list) runs inline with no thread machinery at all, making
+/// the single-threaded path identical to a plain iterator map.
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let slots: Vec<Mutex<&mut Option<R>>> = out.iter_mut().map(Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                **slots[i].lock().expect("par_map slot lock") = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    out.into_iter()
+        .map(|r| r.expect("par_map worker skipped a slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let out = par_map_indexed(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let items: Vec<u32> = (0..57).collect();
+        let f = |i: usize, x: &u32| format!("{i}:{x}");
+        let one = par_map_indexed(&items, 1, f);
+        let four = par_map_indexed(&items, 4, f);
+        let many = par_map_indexed(&items, 16, f);
+        assert_eq!(one, four);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map_indexed(&empty, 4, |_, x| *x).is_empty());
+        assert_eq!(par_map_indexed(&[9u8], 4, |_, x| *x + 1), vec![10]);
+    }
+
+    #[test]
+    fn oversized_thread_request_is_clamped() {
+        let items = [1u8, 2, 3];
+        assert_eq!(par_map_indexed(&items, 999, |_, x| *x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+}

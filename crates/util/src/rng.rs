@@ -22,6 +22,22 @@ pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derive the seed of an independent child stream from a base seed and a
+/// stream index.
+///
+/// Both words go through full splitmix64 rounds before they are combined,
+/// so — unlike the additive `base + stream` scheme — adjacent pairs such
+/// as `(base, i + 1)` and `(base + 1, i)` land on unrelated streams
+/// instead of colliding. Used to re-key parallel work units (one stream
+/// per seed template, per augmented pair, per schema) so the merged
+/// output is byte-identical no matter how the units are scheduled.
+pub fn stream_seed(base: u64, stream: u64) -> u64 {
+    let mut s = base;
+    let mixed_base = splitmix64(&mut s);
+    let mut t = mixed_base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut t)
+}
+
 /// A seeded xoshiro256\*\* generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {
@@ -29,6 +45,12 @@ pub struct Rng {
 }
 
 impl Rng {
+    /// Create a generator on the child stream `(base, stream)` derived by
+    /// [`stream_seed`] — shorthand for re-keying one parallel work unit.
+    pub fn for_stream(base: u64, stream: u64) -> Self {
+        Rng::seed_from_u64(stream_seed(base, stream))
+    }
+
     /// Create a generator whose stream is fully determined by `seed`.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
@@ -199,6 +221,38 @@ impl<T> SliceRandom for [T] {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_seed_is_deterministic_and_varies() {
+        assert_eq!(stream_seed(1, 2), stream_seed(1, 2));
+        assert_ne!(stream_seed(1, 2), stream_seed(1, 3));
+        assert_ne!(stream_seed(1, 2), stream_seed(2, 2));
+        assert_ne!(stream_seed(0, 0), 0);
+    }
+
+    #[test]
+    fn adjacent_seed_stream_pairs_do_not_collide() {
+        // The additive scheme `base + stream` maps (s, i + 1) and
+        // (s + 1, i) to the same stream; the mixed derivation must not.
+        for base in [0u64, 1, 41, 0x0DBA1, u64::MAX - 1] {
+            for stream in 0u64..8 {
+                assert_ne!(
+                    stream_seed(base, stream + 1),
+                    stream_seed(base + 1, stream),
+                    "collision at base {base}, stream {stream}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_stream_matches_manual_derivation() {
+        let mut a = Rng::for_stream(7, 3);
+        let mut b = Rng::seed_from_u64(stream_seed(7, 3));
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
 
     #[test]
     fn same_seed_same_stream() {

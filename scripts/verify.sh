@@ -6,5 +6,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Fast CI profile: cap property-test cases per property unless the
+# caller pins their own value. A plain `cargo test` (outside this
+# script) keeps the full default of 64 cases; the coverage smoke test
+# in crates/core/tests/proptest_pipeline.rs guards that this reduced
+# profile still exercises every query class.
+DBPAL_CHECK_CASES="${DBPAL_CHECK_CASES:-16}"
+export DBPAL_CHECK_CASES
+
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace

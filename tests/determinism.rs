@@ -25,6 +25,19 @@ fn schema() -> Schema {
         .unwrap()
 }
 
+fn geo_schema() -> Schema {
+    SchemaBuilder::new("geo")
+        .table("cities", |t| {
+            t.column("name", SqlType::Text)
+                .column_with("population", SqlType::Integer, |c| {
+                    c.domain(SemanticDomain::Population)
+                })
+                .column("state", SqlType::Text)
+        })
+        .build()
+        .unwrap()
+}
+
 fn export(seed: u64) -> String {
     let config = GenerationConfig {
         seed,
@@ -49,5 +62,88 @@ fn different_seeds_yield_different_corpora() {
     assert_ne!(
         a, b,
         "different seeds must vary slot fills / augmentation choices"
+    );
+}
+
+/// The parallel-pipeline contract: `threads` changes wall-clock time
+/// only, never output bytes. Every stage re-keys its randomness per
+/// work unit and merges shards in input order, so 1, 2, and 8 workers
+/// must export the identical corpus.
+#[test]
+fn thread_count_never_changes_exported_bytes() {
+    let export_with = |threads: usize| {
+        let config = GenerationConfig {
+            seed: 0xD_E7E_C7,
+            threads,
+            ..GenerationConfig::small()
+        };
+        let corpus = TrainingPipeline::new(config).generate(&schema());
+        corpus_to_json(&corpus).expect("export")
+    };
+    let one = export_with(1);
+    let two = export_with(2);
+    let eight = export_with(8);
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "2 threads diverged from the single-thread corpus");
+    assert_eq!(one, eight, "8 threads diverged from the single-thread corpus");
+}
+
+/// The same contract for the multi-schema merge path.
+#[test]
+fn thread_count_never_changes_multi_schema_bytes() {
+    let s1 = schema();
+    let s2 = geo_schema();
+    let export_with = |threads: usize| {
+        let config = GenerationConfig {
+            seed: 0xD_E7E_C7,
+            threads,
+            ..GenerationConfig::small()
+        };
+        let corpus = TrainingPipeline::new(config).generate_multi(&[&s1, &s2]);
+        corpus_to_json(&corpus).expect("export")
+    };
+    let one = export_with(1);
+    let two = export_with(2);
+    let eight = export_with(8);
+    assert_eq!(one, two, "2 threads diverged on the multi-schema merge");
+    assert_eq!(one, eight, "8 threads diverged on the multi-schema merge");
+}
+
+/// Regression test for per-schema seed derivation. The seed for schema
+/// `i` used to be `base + i`, so base seed `s` at schema index 1
+/// collided with base seed `s + 1` at schema index 0 — two nominally
+/// different runs shared a corpus. Schema seeds now come from
+/// `stream_seed(base, i)`, which keeps adjacent (seed, index) pairs
+/// distinct.
+#[test]
+fn adjacent_seed_schema_index_pairs_differ() {
+    let s1 = schema();
+    let s2 = geo_schema();
+    let base = 0xD_E7E_C7u64;
+
+    let multi = TrainingPipeline::new(GenerationConfig {
+        seed: base,
+        ..GenerationConfig::small()
+    })
+    .generate_multi(&[&s1, &s2]);
+    let geo_portion: Vec<String> = multi
+        .pairs()
+        .iter()
+        .filter(|p| p.sql_text().contains("cities"))
+        .map(|p| p.nl.clone())
+        .collect();
+    assert!(!geo_portion.is_empty());
+
+    let solo = TrainingPipeline::new(GenerationConfig {
+        seed: base + 1,
+        ..GenerationConfig::small()
+    })
+    .generate_multi(&[&s2]);
+    let solo_portion: Vec<String> = solo.pairs().iter().map(|p| p.nl.clone()).collect();
+
+    assert_ne!(
+        geo_portion, solo_portion,
+        "seed {base} at schema index 1 must not reuse seed {} at index 0",
+        base + 1
     );
 }
