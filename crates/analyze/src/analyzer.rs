@@ -1,0 +1,560 @@
+//! The analysis walk: name resolution, type checking, aggregate/grouping
+//! validity, join connectivity, and ORDER BY/LIMIT sanity over one query.
+//!
+//! The analyzer is *total*: it never panics on any [`Query`] the parser
+//! or generator can produce, it only accumulates diagnostics. Checks run
+//! best-effort — an unresolved column suppresses the type checks that
+//! would have needed its type, but every other check still fires, so one
+//! mutation yields its own code rather than a cascade.
+
+use crate::connectivity::check_connectivity;
+use crate::diagnostic::{Clause, Code, Diagnostic, Span};
+use crate::scope::Scope;
+use dbpal_schema::{JoinGraph, Schema, SqlType, Value};
+use dbpal_sql::{
+    AggArg, AggFunc, CmpOp, ColumnRef, OrderKey, Pred, Query, Scalar, SelectItem,
+};
+
+/// Schema-aware static analyzer. Construction builds the FK join graph
+/// once; `analyze` can then be called on any number of queries.
+pub struct Analyzer<'a> {
+    schema: &'a Schema,
+    graph: JoinGraph,
+}
+
+/// Which predicate position a walk is inside, for position-sensitive
+/// rules (aggregates in WHERE, grouping in HAVING).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PredPos {
+    Where,
+    Having,
+}
+
+/// Per-query-level context threaded through the walk.
+struct Level<'s, 'a> {
+    scope: Scope<'a>,
+    depth: usize,
+    /// Resolved GROUP BY refs (by original reference, for membership).
+    group_refs: &'s [ColumnRef],
+}
+
+impl<'a> Analyzer<'a> {
+    /// Create an analyzer for a schema.
+    pub fn new(schema: &'a Schema) -> Self {
+        Analyzer {
+            schema,
+            graph: schema.join_graph(),
+        }
+    }
+
+    /// The schema this analyzer checks against.
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// Analyze a query, returning every finding in deterministic
+    /// (walk-order) sequence.
+    pub fn analyze(&self, query: &Query) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.query(query, 0, &mut out);
+        out
+    }
+
+    fn query(&self, q: &Query, depth: usize, out: &mut Vec<Diagnostic>) {
+        let scope = Scope::for_query(self.schema, q, depth, out);
+
+        // GROUP BY columns resolve first; they define the grouping set.
+        for c in &q.group_by {
+            scope.resolve(c, Clause::GroupBy, out);
+        }
+        let aggregate_query = q.has_aggregate() || !q.group_by.is_empty();
+        let level = Level {
+            scope,
+            depth,
+            group_refs: &q.group_by,
+        };
+
+        // Select list.
+        for item in &q.select {
+            match item {
+                SelectItem::Star => {
+                    if !q.group_by.is_empty() {
+                        out.push(Diagnostic::new(
+                            Code::NonGroupedColumn,
+                            Span::new(Clause::Select, depth),
+                            "`SELECT *` in a grouped query selects non-grouped columns",
+                        ));
+                    }
+                }
+                SelectItem::Column(c) => {
+                    level.scope.resolve(c, Clause::Select, out);
+                    if aggregate_query && !in_group(c, level.group_refs) {
+                        out.push(Diagnostic::new(
+                            Code::NonGroupedColumn,
+                            Span::new(Clause::Select, depth),
+                            format!(
+                                "column `{}` is neither aggregated nor in GROUP BY",
+                                display_ref(c)
+                            ),
+                        ));
+                    }
+                }
+                SelectItem::Aggregate(f, arg) => {
+                    self.aggregate_type(*f, arg, &level, Clause::Select, out);
+                }
+            }
+        }
+
+        // WHERE.
+        if let Some(p) = &q.where_pred {
+            self.pred(p, &level, Clause::Where, PredPos::Where, out);
+        }
+
+        // HAVING.
+        if let Some(p) = &q.having {
+            if q.group_by.is_empty() {
+                out.push(Diagnostic::new(
+                    Code::HavingWithoutGroupBy,
+                    Span::new(Clause::Having, depth),
+                    "HAVING requires a GROUP BY clause",
+                ));
+            }
+            self.pred(p, &level, Clause::Having, PredPos::Having, out);
+        }
+
+        // ORDER BY.
+        for (key, _) in &q.order_by {
+            match key {
+                OrderKey::Column(c) => {
+                    level.scope.resolve(c, Clause::OrderBy, out);
+                    if aggregate_query && !in_group(c, level.group_refs) {
+                        out.push(Diagnostic::new(
+                            Code::OrderByNonGroupedColumn,
+                            Span::new(Clause::OrderBy, depth),
+                            format!(
+                                "ORDER BY column `{}` is neither aggregated nor grouped",
+                                display_ref(c)
+                            ),
+                        ));
+                    } else if q.distinct && !in_select(c, &q.select) {
+                        out.push(Diagnostic::new(
+                            Code::DistinctOrderByNotSelected,
+                            Span::new(Clause::OrderBy, depth),
+                            format!(
+                                "ORDER BY column `{}` is not in the SELECT DISTINCT list",
+                                display_ref(c)
+                            ),
+                        ));
+                    }
+                }
+                OrderKey::Aggregate(f, arg) => {
+                    self.aggregate_type(*f, arg, &level, Clause::OrderBy, out);
+                    if !aggregate_query {
+                        out.push(Diagnostic::new(
+                            Code::OrderByAggregateWithoutGrouping,
+                            Span::new(Clause::OrderBy, depth),
+                            format!(
+                                "ORDER BY {}(...) in a query with no grouping or aggregation",
+                                f.keyword()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // LIMIT.
+        if q.limit == Some(0) {
+            out.push(Diagnostic::new(
+                Code::LimitZero,
+                Span::new(Clause::Limit, depth),
+                "LIMIT 0 can never return a row",
+            ));
+        }
+
+        // Join structure of this level's FROM clause.
+        check_connectivity(q, self.schema, &self.graph, depth, out);
+    }
+
+    fn pred(
+        &self,
+        p: &Pred,
+        level: &Level<'_, 'a>,
+        clause: Clause,
+        pos: PredPos,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let span = Span::new(clause, level.depth);
+        match p {
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    self.pred(p, level, clause, pos, out);
+                }
+            }
+            Pred::Not(p) => self.pred(p, level, clause, pos, out),
+            Pred::Compare { left, op, right } => {
+                let lt = self.scalar_type(left, level, clause, pos, out);
+                let rt = self.scalar_type(right, level, clause, pos, out);
+                if is_null_literal(left) || is_null_literal(right) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::NullLiteralCompare,
+                            span,
+                            "comparison against a literal NULL is always unknown",
+                        )
+                        .with_note("use IS NULL / IS NOT NULL"),
+                    );
+                    return;
+                }
+                self.check_compare(lt, rt, *op, span, out);
+            }
+            Pred::Between { col, low, high } => {
+                let ct = self.column_type(col, level, clause, out);
+                if ct == Some(SqlType::Boolean) {
+                    out.push(Diagnostic::new(
+                        Code::UnorderableType,
+                        span,
+                        format!("BETWEEN on boolean column `{}`", display_ref(col)),
+                    ));
+                }
+                self.having_group_check(col, level, pos, span, out);
+                for bound in [low, high] {
+                    let bt = self.scalar_type(bound, level, clause, pos, out);
+                    if ct != Some(SqlType::Boolean) {
+                        self.check_compare(ct, bt, CmpOp::LtEq, span, out);
+                    }
+                }
+            }
+            Pred::InList {
+                col,
+                values,
+                negated: _,
+            } => {
+                let ct = self.column_type(col, level, clause, out);
+                self.having_group_check(col, level, pos, span, out);
+                for v in values {
+                    let vt = self.scalar_type(v, level, clause, pos, out);
+                    if is_null_literal(v) {
+                        out.push(Diagnostic::new(
+                            Code::NullLiteralCompare,
+                            span,
+                            "IN list contains a literal NULL",
+                        ));
+                        continue;
+                    }
+                    self.check_compare(ct, vt, CmpOp::Eq, span, out);
+                }
+            }
+            Pred::InSubquery {
+                col,
+                query,
+                negated: _,
+            } => {
+                let ct = self.column_type(col, level, clause, out);
+                self.having_group_check(col, level, pos, span, out);
+                self.query(query, level.depth + 1, out);
+                let qt = self.subquery_output_type(query, level.depth, span, false, out);
+                self.check_compare(ct, qt, CmpOp::Eq, span, out);
+            }
+            Pred::Exists { query, negated: _ } => {
+                // EXISTS imposes no shape constraint on the inner select
+                // list; just analyze the inner query.
+                self.query(query, level.depth + 1, out);
+            }
+            Pred::Like {
+                col,
+                pattern,
+                negated: _,
+            } => {
+                let ct = self.column_type(col, level, clause, out);
+                if ct.is_some_and(|t| !t.is_text()) {
+                    out.push(Diagnostic::new(
+                        Code::LikeOnNonText,
+                        span,
+                        format!("LIKE on non-text column `{}`", display_ref(col)),
+                    ));
+                }
+                self.having_group_check(col, level, pos, span, out);
+                let pt = self.scalar_type(pattern, level, clause, pos, out);
+                if pt.is_some_and(|t| !t.is_text()) {
+                    out.push(Diagnostic::new(
+                        Code::LikeOnNonText,
+                        span,
+                        "LIKE pattern is not text",
+                    ));
+                }
+            }
+            Pred::IsNull { col, negated: _ } => {
+                self.column_type(col, level, clause, out);
+                self.having_group_check(col, level, pos, span, out);
+            }
+        }
+    }
+
+    /// Bare columns in HAVING must be grouping columns.
+    fn having_group_check(
+        &self,
+        col: &ColumnRef,
+        level: &Level<'_, 'a>,
+        pos: PredPos,
+        span: Span,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        if pos == PredPos::Having
+            && !level.group_refs.is_empty()
+            && !in_group(col, level.group_refs)
+        {
+            out.push(Diagnostic::new(
+                Code::NonGroupedColumnInHaving,
+                span,
+                format!(
+                    "HAVING references non-grouped column `{}`",
+                    display_ref(col)
+                ),
+            ));
+        }
+    }
+
+    /// Resolve a bare column reference and return its type.
+    fn column_type(
+        &self,
+        col: &ColumnRef,
+        level: &Level<'_, 'a>,
+        clause: Clause,
+        out: &mut Vec<Diagnostic>,
+    ) -> Option<SqlType> {
+        level
+            .scope
+            .resolve(col, clause, out)
+            .map(|id| self.schema.column(id).sql_type())
+    }
+
+    /// Type a scalar expression, emitting diagnostics for its own
+    /// sub-structure (aggregate argument typing, subquery shape, nested
+    /// query analysis). Returns `None` when the type is unknowable
+    /// (placeholders, unresolved columns), which suppresses comparison
+    /// checks rather than cascading.
+    fn scalar_type(
+        &self,
+        s: &Scalar,
+        level: &Level<'_, 'a>,
+        clause: Clause,
+        pos: PredPos,
+        out: &mut Vec<Diagnostic>,
+    ) -> Option<SqlType> {
+        let span = Span::new(clause, level.depth);
+        match s {
+            Scalar::Column(c) => {
+                self.having_group_check(c, level, pos, span, out);
+                self.column_type(c, level, clause, out)
+            }
+            Scalar::Literal(v) => literal_type(v),
+            Scalar::Placeholder(_) => None,
+            Scalar::Aggregate(f, arg) => {
+                if pos == PredPos::Where {
+                    out.push(Diagnostic::new(
+                        Code::AggregateInWhere,
+                        span,
+                        format!("aggregate {}(...) is not allowed in WHERE", f.keyword()),
+                    ));
+                }
+                self.aggregate_type(*f, arg, level, clause, out)
+            }
+            Scalar::Subquery(q) => {
+                self.query(q, level.depth + 1, out);
+                self.subquery_output_type(q, level.depth, span, true, out)
+            }
+        }
+    }
+
+    /// Shape-check a subquery used as a value producer and return its
+    /// output type. `scalar_position` additionally requires the inner
+    /// query to return at most one row (bare aggregate), per the
+    /// dialect's §5.2 restriction.
+    fn subquery_output_type(
+        &self,
+        q: &Query,
+        outer_depth: usize,
+        span: Span,
+        scalar_position: bool,
+        out: &mut Vec<Diagnostic>,
+    ) -> Option<SqlType> {
+        if q.select.len() != 1 || matches!(q.select[0], SelectItem::Star) {
+            out.push(Diagnostic::new(
+                Code::ScalarSubqueryShape,
+                span,
+                "subquery used as a value must produce exactly one column",
+            ));
+            return None;
+        }
+        // Type the single output column against the *inner* scope; any
+        // resolution problems were already reported when the subquery was
+        // analyzed, so this pass is silent.
+        let mut scratch = Vec::new();
+        let inner_scope = Scope::for_query(self.schema, q, outer_depth + 1, &mut scratch);
+        match &q.select[0] {
+            SelectItem::Star => unreachable!("handled above"),
+            SelectItem::Column(c) => {
+                if scalar_position && q.group_by.is_empty() {
+                    out.push(
+                        Diagnostic::new(
+                            Code::ScalarSubqueryNotAggregated,
+                            span,
+                            "scalar subquery selects a bare column and may return many rows",
+                        )
+                        .with_note("aggregate the inner query (§5.2)"),
+                    );
+                }
+                inner_scope
+                    .resolve(c, span.clause, &mut scratch)
+                    .map(|id| self.schema.column(id).sql_type())
+            }
+            SelectItem::Aggregate(f, arg) => {
+                let inner_level = Level {
+                    scope: inner_scope,
+                    depth: outer_depth + 1,
+                    group_refs: &q.group_by,
+                };
+                let mut silent = Vec::new();
+                self.aggregate_type(*f, arg, &inner_level, span.clause, &mut silent)
+            }
+        }
+    }
+
+    /// Type an aggregate expression, checking argument validity.
+    fn aggregate_type(
+        &self,
+        f: AggFunc,
+        arg: &AggArg,
+        level: &Level<'_, 'a>,
+        clause: Clause,
+        out: &mut Vec<Diagnostic>,
+    ) -> Option<SqlType> {
+        let span = Span::new(clause, level.depth);
+        match arg {
+            AggArg::Star => {
+                if f != AggFunc::Count {
+                    out.push(Diagnostic::new(
+                        Code::NonNumericAggregate,
+                        span,
+                        format!("{}(*) is not defined; only COUNT takes `*`", f.keyword()),
+                    ));
+                    return None;
+                }
+                Some(SqlType::Integer)
+            }
+            AggArg::Column(c) => {
+                let ct = self.column_type(c, level, clause, out);
+                match f {
+                    AggFunc::Count => Some(SqlType::Integer),
+                    AggFunc::Sum | AggFunc::Avg => {
+                        if ct.is_some_and(|t| !t.is_numeric()) {
+                            out.push(Diagnostic::new(
+                                Code::NonNumericAggregate,
+                                span,
+                                format!(
+                                    "{}({}) over a non-numeric column",
+                                    f.keyword(),
+                                    display_ref(c)
+                                ),
+                            ));
+                            return None;
+                        }
+                        match f {
+                            AggFunc::Avg => ct.map(|_| SqlType::Float),
+                            _ => ct,
+                        }
+                    }
+                    AggFunc::Min | AggFunc::Max => ct,
+                }
+            }
+        }
+    }
+
+    /// Type-compatibility of a comparison's two sides. `None` on either
+    /// side (placeholder, unresolved) suppresses the check.
+    fn check_compare(
+        &self,
+        lt: Option<SqlType>,
+        rt: Option<SqlType>,
+        op: CmpOp,
+        span: Span,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let (Some(a), Some(b)) = (lt, rt) else {
+            return;
+        };
+        if a == b {
+            let ordering = !matches!(op, CmpOp::Eq | CmpOp::NotEq);
+            if ordering && a == SqlType::Boolean {
+                out.push(Diagnostic::new(
+                    Code::UnorderableType,
+                    span,
+                    format!("ordering comparison `{}` on boolean operands", op.symbol()),
+                ));
+            }
+            return;
+        }
+        if a.is_numeric() && b.is_numeric() {
+            out.push(
+                Diagnostic::new(
+                    Code::CrossTypeCompare,
+                    span,
+                    format!("implicit comparison between {a} and {b}"),
+                )
+                .with_note("the comparison coerces to FLOAT"),
+            );
+            return;
+        }
+        out.push(Diagnostic::new(
+            Code::TypeMismatchCompare,
+            span,
+            format!("cannot compare {a} with {b}"),
+        ));
+    }
+}
+
+/// Literal types; NULL has no type (handled separately as `W0202`).
+fn literal_type(v: &Value) -> Option<SqlType> {
+    match v {
+        Value::Null => None,
+        Value::Int(_) => Some(SqlType::Integer),
+        Value::Float(_) => Some(SqlType::Float),
+        Value::Text(_) => Some(SqlType::Text),
+        Value::Bool(_) => Some(SqlType::Boolean),
+    }
+}
+
+fn is_null_literal(s: &Scalar) -> bool {
+    matches!(s, Scalar::Literal(Value::Null))
+}
+
+/// Lenient grouping-membership: same column name, and table qualifiers
+/// (when both present) agree. The generator reuses identical `ColumnRef`s
+/// between SELECT and GROUP BY, so this is exact for generated queries
+/// and forgiving for hand-written ones.
+fn in_group(c: &ColumnRef, group: &[ColumnRef]) -> bool {
+    group.iter().any(|g| {
+        g.column == c.column
+            && (g.table.is_none() || c.table.is_none() || g.table == c.table)
+    })
+}
+
+/// Whether a column appears as a plain select item.
+fn in_select(c: &ColumnRef, select: &[SelectItem]) -> bool {
+    select.iter().any(|item| match item {
+        SelectItem::Star => true,
+        SelectItem::Column(s) => {
+            s.column == c.column
+                && (s.table.is_none() || c.table.is_none() || s.table == c.table)
+        }
+        SelectItem::Aggregate(..) => false,
+    })
+}
+
+fn display_ref(c: &ColumnRef) -> String {
+    match &c.table {
+        Some(t) => format!("{t}.{}", c.column),
+        None => c.column.clone(),
+    }
+}

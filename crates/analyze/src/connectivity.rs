@@ -1,0 +1,403 @@
+//! Join-connectivity analysis against the schema's FK join graph.
+//!
+//! This module is the single source of truth for "which tables does this
+//! query need, and can they be joined": the analyzer uses it to flag
+//! disconnected table sets (`E0301`) and implicit cross products
+//! (`W0301`), and the runtime post-processor reuses the same
+//! required-table collection to drive `@JOIN` expansion (paper §5.1) and
+//! FROM repair (§4.2), so the static verdict and the runtime repair can
+//! never drift apart.
+
+use crate::diagnostic::{Clause, Code, Diagnostic, Span};
+use crate::scope::owners_of;
+use dbpal_schema::{JoinGraph, Schema, TableId};
+use dbpal_sql::{ColumnRef, FromClause, Pred, Query, Scalar};
+
+/// Column references of the top-level query only: subqueries carry their
+/// own FROM clauses, so their columns must not pin tables onto the outer
+/// query's join.
+pub fn top_level_columns(q: &Query) -> Vec<ColumnRef> {
+    fn collect_sub(p: &Pred, out: &mut Vec<ColumnRef>) {
+        match p {
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|p| collect_sub(p, out)),
+            Pred::Not(p) => collect_sub(p, out),
+            Pred::Compare { left, right, .. } => {
+                for s in [left, right] {
+                    if let Scalar::Subquery(q) = s {
+                        out.extend(q.columns_mentioned());
+                    }
+                }
+            }
+            Pred::InSubquery { query, .. } | Pred::Exists { query, .. } => {
+                out.extend(query.columns_mentioned());
+            }
+            _ => {}
+        }
+    }
+    let mut sub_cols = Vec::new();
+    if let Some(p) = &q.where_pred {
+        collect_sub(p, &mut sub_cols);
+    }
+    q.columns_mentioned()
+        .into_iter()
+        .filter(|c| !sub_cols.contains(c))
+        .collect()
+}
+
+/// Tables a `FROM @JOIN` query requires: qualifiers of column references
+/// first, then tables pinned by unqualified columns owned by exactly one
+/// table — in first-mention order, deduplicated. This is the anchor set
+/// the runtime's `@JOIN` expansion connects (paper §5.1).
+pub fn join_required_tables(q: &Query, schema: &Schema) -> Vec<TableId> {
+    let mut required: Vec<TableId> = Vec::new();
+    for col in q.columns_mentioned() {
+        if let Some(t) = &col.table {
+            if let Some(tid) = schema.table_id(t) {
+                if !required.contains(&tid) {
+                    required.push(tid);
+                }
+            }
+        }
+    }
+    for col in q.columns_mentioned() {
+        if col.table.is_none() {
+            let owners = owners_of(schema, &col.column);
+            if owners.len() == 1 && !required.contains(&owners[0]) {
+                required.push(owners[0]);
+            }
+        }
+    }
+    required
+}
+
+/// Tables a query with an explicit FROM requires: the FROM tables plus
+/// owners of top-level column references that cannot resolve within FROM
+/// (qualified elsewhere, or unqualified with exactly one owner). This is
+/// the set the runtime's FROM repair (§4.2) connects; when it equals
+/// `from_ids` no repair is needed.
+pub fn from_required_tables(q: &Query, schema: &Schema, from_ids: &[TableId]) -> Vec<TableId> {
+    let mut required = from_ids.to_vec();
+    for col in top_level_columns(q) {
+        let owner = match &col.table {
+            Some(t) => schema.table_id(t),
+            None => {
+                let owners = owners_of(schema, &col.column);
+                if owners.iter().any(|o| from_ids.contains(o)) {
+                    continue;
+                }
+                if owners.len() == 1 {
+                    Some(owners[0])
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(tid) = owner {
+            if !required.contains(&tid) {
+                required.push(tid);
+            }
+        }
+    }
+    required
+}
+
+/// Minimal union-find over a small table set.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = i;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    fn all_connected(&mut self) -> bool {
+        let n = self.parent.len();
+        if n == 0 {
+            return true;
+        }
+        let root = self.find(0);
+        (1..n).all(|i| self.find(i) == root)
+    }
+}
+
+/// Resolve which FROM table a column reference belongs to, if it can be
+/// pinned to exactly one of them.
+fn from_table_of(col: &ColumnRef, schema: &Schema, from_ids: &[TableId]) -> Option<usize> {
+    match &col.table {
+        Some(t) => {
+            let tid = schema.table_id(t)?;
+            from_ids.iter().position(|f| *f == tid)
+        }
+        None => {
+            let mut found = None;
+            for (i, tid) in from_ids.iter().enumerate() {
+                if schema.table(*tid).column_by_name(&col.column).is_some() {
+                    if found.is_some() {
+                        return None;
+                    }
+                    found = Some(i);
+                }
+            }
+            found
+        }
+    }
+}
+
+/// Union FROM tables linked by top-level conjunctive equi-join
+/// predicates (`a.x = b.y` reaching two distinct FROM tables).
+fn union_equi_joins(p: &Pred, schema: &Schema, from_ids: &[TableId], uf: &mut UnionFind) {
+    match p {
+        // Only conjunctions guarantee the join predicate always applies.
+        Pred::And(ps) => ps
+            .iter()
+            .for_each(|p| union_equi_joins(p, schema, from_ids, uf)),
+        Pred::Compare {
+            left: Scalar::Column(a),
+            op: dbpal_sql::CmpOp::Eq,
+            right: Scalar::Column(b),
+        } => {
+            if let (Some(ia), Some(ib)) = (
+                from_table_of(a, schema, from_ids),
+                from_table_of(b, schema, from_ids),
+            ) {
+                uf.union(ia, ib);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Check the join structure of one query level, emitting `E0301`,
+/// `E0302`, or `W0301` into `out`.
+pub fn check_connectivity(
+    q: &Query,
+    schema: &Schema,
+    graph: &JoinGraph,
+    depth: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let span = Span::new(Clause::From, depth);
+    match &q.from {
+        FromClause::JoinPlaceholder => {
+            let required = join_required_tables(q, schema);
+            if required.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        Code::JoinUnderconstrained,
+                        span,
+                        "`@JOIN` has no column reference anchoring any table",
+                    )
+                    .with_note("the runtime cannot choose a join path (§5.1)"),
+                );
+                return;
+            }
+            if let Err(e) = graph.connect(&required) {
+                out.push(
+                    Diagnostic::new(
+                        Code::JoinDisconnected,
+                        span,
+                        format!(
+                            "tables required by `@JOIN` cannot be connected: {}",
+                            names(schema, &required)
+                        ),
+                    )
+                    .with_note(e.to_string()),
+                );
+            }
+        }
+        FromClause::Tables(table_names) => {
+            let mut from_ids: Vec<TableId> = Vec::new();
+            for t in table_names {
+                // Unknown FROM tables already earned an E0102 from scope
+                // construction; skip them here.
+                if let Some(tid) = schema.table_id(t) {
+                    if !from_ids.contains(&tid) {
+                        from_ids.push(tid);
+                    }
+                }
+            }
+            if from_ids.len() < 2 {
+                return;
+            }
+            if let Err(e) = graph.connect(&from_ids) {
+                out.push(
+                    Diagnostic::new(
+                        Code::JoinDisconnected,
+                        span,
+                        format!(
+                            "FROM tables cannot be connected through foreign keys: {}",
+                            names(schema, &from_ids)
+                        ),
+                    )
+                    .with_note(e.to_string()),
+                );
+                return;
+            }
+            // Connectable, but does the WHERE clause actually join them?
+            let mut uf = UnionFind::new(from_ids.len());
+            if let Some(p) = &q.where_pred {
+                union_equi_joins(p, schema, &from_ids, &mut uf);
+            }
+            if !uf.all_connected() {
+                out.push(
+                    Diagnostic::new(
+                        Code::CrossProduct,
+                        span,
+                        format!(
+                            "no equi-join predicate links the FROM tables: {}",
+                            names(schema, &from_ids)
+                        ),
+                    )
+                    .with_note("the result is an implicit cross product"),
+                );
+            }
+        }
+    }
+}
+
+fn names(schema: &Schema, ids: &[TableId]) -> String {
+    ids.iter()
+        .map(|t| schema.table(*t).name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpal_schema::{SchemaBuilder, SqlType};
+    use dbpal_sql::parse_query;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("hospital")
+            .table("patients", |t| {
+                t.column("pname", SqlType::Text)
+                    .column("age", SqlType::Integer)
+                    .column("doctor_id", SqlType::Integer)
+            })
+            .table("doctors", |t| {
+                t.column("id", SqlType::Integer)
+                    .column("dname", SqlType::Text)
+                    .primary_key("id")
+            })
+            .table("rooms", |t| {
+                t.column("number", SqlType::Integer)
+                    .column("floor", SqlType::Integer)
+            })
+            .foreign_key("patients", "doctor_id", "doctors", "id")
+            .build()
+            .unwrap()
+    }
+
+    fn check(sql: &str) -> Vec<Diagnostic> {
+        let s = schema();
+        let g = s.join_graph();
+        let q = parse_query(sql).unwrap();
+        let mut out = Vec::new();
+        check_connectivity(&q, &s, &g, 0, &mut out);
+        out
+    }
+
+    #[test]
+    fn joined_pair_is_clean() {
+        let out = check(
+            "SELECT patients.pname FROM patients, doctors \
+             WHERE patients.doctor_id = doctors.id",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_join_pred_is_cross_product() {
+        let out = check("SELECT patients.pname FROM patients, doctors");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::CrossProduct);
+    }
+
+    #[test]
+    fn unreachable_pair_is_disconnected() {
+        let out = check("SELECT patients.pname FROM patients, rooms");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::JoinDisconnected);
+    }
+
+    #[test]
+    fn join_placeholder_without_anchor_is_underconstrained() {
+        let out = check("SELECT COUNT(*) FROM @JOIN");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::JoinUnderconstrained);
+    }
+
+    #[test]
+    fn join_placeholder_with_disconnected_anchors() {
+        let out = check("SELECT patients.pname FROM @JOIN WHERE rooms.floor > 2");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::JoinDisconnected);
+    }
+
+    #[test]
+    fn join_placeholder_with_connected_anchors_is_clean() {
+        let out = check("SELECT patients.pname FROM @JOIN WHERE doctors.dname = 'House'");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn required_tables_match_runtime_semantics() {
+        let s = schema();
+        let q = parse_query(
+            "SELECT patients.pname FROM @JOIN WHERE doctors.dname = 'x' AND age > 3",
+        )
+        .unwrap();
+        let req = join_required_tables(&q, &s);
+        let names: Vec<&str> = req.iter().map(|t| s.table(*t).name()).collect();
+        // Qualified anchors first (mention order), then single-owner
+        // unqualified (`age` → patients, already present).
+        assert_eq!(names, vec!["patients", "doctors"]);
+    }
+
+    #[test]
+    fn from_required_adds_out_of_scope_owner() {
+        let s = schema();
+        let q = parse_query("SELECT pname FROM patients WHERE doctors.dname = 'x'").unwrap();
+        let from_ids = vec![s.table_id("patients").unwrap()];
+        let req = from_required_tables(&q, &s, &from_ids);
+        assert_eq!(req.len(), 2);
+        assert_eq!(req[1], s.table_id("doctors").unwrap());
+    }
+
+    #[test]
+    fn from_required_ignores_subquery_columns() {
+        let s = schema();
+        let q = parse_query(
+            "SELECT pname FROM patients WHERE age IN (SELECT id FROM doctors WHERE dname = 'x')",
+        )
+        .unwrap();
+        let from_ids = vec![s.table_id("patients").unwrap()];
+        let req = from_required_tables(&q, &s, &from_ids);
+        assert_eq!(req, from_ids);
+    }
+}

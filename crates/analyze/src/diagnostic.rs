@@ -1,0 +1,382 @@
+//! The diagnostic model: stable codes, severities, and structural spans.
+//!
+//! Codes are grouped by the pass that emits them (see DESIGN.md "Static
+//! analysis"): `E01xx`/`W01xx` name resolution, `E02xx`/`W02xx` type
+//! checking, `E03xx`/`W03xx` join connectivity, `E04xx` aggregation and
+//! grouping, `E05xx`/`W05xx` ORDER BY / LIMIT sanity. Tests assert on
+//! [`Code`] values, never on message prose, so messages can improve
+//! without breaking anything.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but executable (`W....` codes).
+    Warning,
+    /// Semantically invalid against the schema (`E....` codes).
+    Error,
+}
+
+/// What the training pipeline does with analyzer findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AnalyzerPolicy {
+    /// Skip the analyze stage entirely.
+    Off,
+    /// Analyze and count every finding, but keep every pair.
+    Warn,
+    /// Drop pairs carrying at least one error-severity diagnostic; the
+    /// default, so every generated pair is gated before it can train a
+    /// model. Drops are counted per provenance in the pipeline report,
+    /// never silent.
+    #[default]
+    Reject,
+}
+
+impl AnalyzerPolicy {
+    /// Lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnalyzerPolicy::Off => "off",
+            AnalyzerPolicy::Warn => "warn",
+            AnalyzerPolicy::Reject => "reject",
+        }
+    }
+}
+
+/// The clause a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Clause {
+    /// The select list.
+    Select,
+    /// The FROM clause.
+    From,
+    /// The WHERE predicate.
+    Where,
+    /// The GROUP BY column list.
+    GroupBy,
+    /// The HAVING predicate.
+    Having,
+    /// The ORDER BY key list.
+    OrderBy,
+    /// The LIMIT clause.
+    Limit,
+}
+
+impl Clause {
+    /// SQL-ish clause name for rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            Clause::Select => "SELECT",
+            Clause::From => "FROM",
+            Clause::Where => "WHERE",
+            Clause::GroupBy => "GROUP BY",
+            Clause::Having => "HAVING",
+            Clause::OrderBy => "ORDER BY",
+            Clause::Limit => "LIMIT",
+        }
+    }
+}
+
+/// Location of a finding. The dialect's ASTs carry no source offsets
+/// (queries are built programmatically by the generator), so spans are
+/// structural: which clause, at which subquery nesting depth (0 = the
+/// top-level query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// The clause containing the finding.
+    pub clause: Clause,
+    /// Subquery nesting depth; 0 is the outermost query.
+    pub depth: usize,
+}
+
+impl Span {
+    /// A span at a clause of the query at `depth`.
+    pub fn new(clause: Clause, depth: usize) -> Self {
+        Span { clause, depth }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.depth == 0 {
+            write!(f, "{}", self.clause.name())
+        } else {
+            write!(f, "{} (subquery depth {})", self.clause.name(), self.depth)
+        }
+    }
+}
+
+/// Stable diagnostic codes. The numeric identifier (`E0101`, `W0201`,
+/// ...) never changes meaning once released; new findings get new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    // --- E01xx / W01xx: name resolution ---
+    /// A column reference no table in scope can supply.
+    UnresolvedColumn,
+    /// A FROM clause (or column qualifier) naming a table the schema
+    /// does not define.
+    UnknownTable,
+    /// An unqualified column owned by two or more tables in scope.
+    AmbiguousColumn,
+    /// A qualified reference whose table exists but is absent from the
+    /// FROM clause.
+    TableNotInScope,
+    /// An identifier that resolved only through a schema annotation
+    /// synonym, not its canonical name.
+    IdentifierViaSynonym,
+
+    // --- E02xx / W02xx: type checking ---
+    /// Comparison between irreconcilable types (text vs numeric, ...).
+    TypeMismatchCompare,
+    /// Comparison between distinct numeric types (integer vs float).
+    CrossTypeCompare,
+    /// Equality comparison against a literal NULL (always unknown;
+    /// IS NULL was meant).
+    NullLiteralCompare,
+    /// SUM/AVG over a non-numeric argument, or a `*` argument to an
+    /// aggregate other than COUNT.
+    NonNumericAggregate,
+    /// LIKE applied to a non-text column or pattern.
+    LikeOnNonText,
+    /// Ordering comparison (or BETWEEN) on an unorderable boolean.
+    UnorderableType,
+    /// A subquery in scalar/IN position that does not produce exactly
+    /// one output column.
+    ScalarSubqueryShape,
+    /// A scalar subquery that is not a bare aggregate, so it may return
+    /// more than one row (paper §5.2 restricts to aggregating inners).
+    ScalarSubqueryNotAggregated,
+
+    // --- E03xx / W03xx: join connectivity ---
+    /// Tables that cannot be connected through the FK join graph.
+    JoinDisconnected,
+    /// A `@JOIN` placeholder with no column reference anchoring any
+    /// table, leaving the expansion underconstrained.
+    JoinUnderconstrained,
+    /// A multi-table FROM whose WHERE clause joins no path between the
+    /// tables: an implicit cross product.
+    CrossProduct,
+
+    // --- E04xx: aggregation and grouping ---
+    /// A bare (non-aggregated, non-grouped) select column in an
+    /// aggregate or grouped query.
+    NonGroupedColumn,
+    /// An aggregate inside the WHERE clause.
+    AggregateInWhere,
+    /// A HAVING clause without GROUP BY.
+    HavingWithoutGroupBy,
+    /// A bare column in HAVING that is not a grouping column.
+    NonGroupedColumnInHaving,
+
+    // --- E05xx / W05xx: ORDER BY / LIMIT sanity ---
+    /// ORDER BY an aggregate in a query with no grouping or aggregation.
+    OrderByAggregateWithoutGrouping,
+    /// ORDER BY a non-grouped column in a grouped or aggregate query.
+    OrderByNonGroupedColumn,
+    /// ORDER BY a column absent from a SELECT DISTINCT output list.
+    DistinctOrderByNotSelected,
+    /// LIMIT 0: the query can never return a row.
+    LimitZero,
+}
+
+impl Code {
+    /// Every code, in identifier order (for exhaustive reporting).
+    pub const ALL: [Code; 24] = [
+        Code::UnresolvedColumn,
+        Code::UnknownTable,
+        Code::AmbiguousColumn,
+        Code::TableNotInScope,
+        Code::IdentifierViaSynonym,
+        Code::TypeMismatchCompare,
+        Code::CrossTypeCompare,
+        Code::NullLiteralCompare,
+        Code::NonNumericAggregate,
+        Code::LikeOnNonText,
+        Code::UnorderableType,
+        Code::ScalarSubqueryShape,
+        Code::ScalarSubqueryNotAggregated,
+        Code::JoinDisconnected,
+        Code::JoinUnderconstrained,
+        Code::CrossProduct,
+        Code::NonGroupedColumn,
+        Code::AggregateInWhere,
+        Code::HavingWithoutGroupBy,
+        Code::NonGroupedColumnInHaving,
+        Code::OrderByAggregateWithoutGrouping,
+        Code::OrderByNonGroupedColumn,
+        Code::DistinctOrderByNotSelected,
+        Code::LimitZero,
+    ];
+
+    /// The stable identifier, e.g. `E0101`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Code::UnresolvedColumn => "E0101",
+            Code::UnknownTable => "E0102",
+            Code::AmbiguousColumn => "E0103",
+            Code::TableNotInScope => "E0104",
+            Code::IdentifierViaSynonym => "W0101",
+            Code::TypeMismatchCompare => "E0201",
+            Code::CrossTypeCompare => "W0201",
+            Code::NullLiteralCompare => "W0202",
+            Code::NonNumericAggregate => "E0202",
+            Code::LikeOnNonText => "E0203",
+            Code::UnorderableType => "E0204",
+            Code::ScalarSubqueryShape => "E0205",
+            Code::ScalarSubqueryNotAggregated => "W0203",
+            Code::JoinDisconnected => "E0301",
+            Code::JoinUnderconstrained => "E0302",
+            Code::CrossProduct => "W0301",
+            Code::NonGroupedColumn => "E0401",
+            Code::AggregateInWhere => "E0402",
+            Code::HavingWithoutGroupBy => "E0403",
+            Code::NonGroupedColumnInHaving => "E0404",
+            Code::OrderByAggregateWithoutGrouping => "E0501",
+            Code::OrderByNonGroupedColumn => "E0502",
+            Code::DistinctOrderByNotSelected => "E0503",
+            Code::LimitZero => "W0501",
+        }
+    }
+
+    /// The human-readable slug, e.g. `unresolved-column`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Code::UnresolvedColumn => "unresolved-column",
+            Code::UnknownTable => "unknown-table",
+            Code::AmbiguousColumn => "ambiguous-column",
+            Code::TableNotInScope => "table-not-in-scope",
+            Code::IdentifierViaSynonym => "identifier-via-synonym",
+            Code::TypeMismatchCompare => "type-mismatch-compare",
+            Code::CrossTypeCompare => "implicit-cross-type-compare",
+            Code::NullLiteralCompare => "null-literal-compare",
+            Code::NonNumericAggregate => "non-numeric-aggregate",
+            Code::LikeOnNonText => "like-on-non-text",
+            Code::UnorderableType => "unorderable-type",
+            Code::ScalarSubqueryShape => "scalar-subquery-shape",
+            Code::ScalarSubqueryNotAggregated => "scalar-subquery-not-aggregated",
+            Code::JoinDisconnected => "join-disconnected",
+            Code::JoinUnderconstrained => "join-underconstrained",
+            Code::CrossProduct => "implicit-cross-product",
+            Code::NonGroupedColumn => "non-grouped-column",
+            Code::AggregateInWhere => "aggregate-in-where",
+            Code::HavingWithoutGroupBy => "having-without-group-by",
+            Code::NonGroupedColumnInHaving => "non-grouped-column-in-having",
+            Code::OrderByAggregateWithoutGrouping => "order-by-aggregate-without-grouping",
+            Code::OrderByNonGroupedColumn => "order-by-non-grouped-column",
+            Code::DistinctOrderByNotSelected => "distinct-order-by-not-selected",
+            Code::LimitZero => "limit-zero",
+        }
+    }
+
+    /// Severity implied by the identifier prefix (`E` or `W`).
+    pub fn severity(self) -> Severity {
+        if self.id().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.id(), self.slug())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Structural location.
+    pub span: Span,
+    /// What is wrong, naming the offending identifier.
+    pub message: String,
+    /// Optional hint (resolution target, repair suggestion, ...).
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic without a note.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    /// Attach a hint.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.code, self.span, self.message)?;
+        if let Some(note) = &self.note {
+            write!(f, " (note: {note})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in Code::ALL {
+            assert!(seen.insert(code.id()), "duplicate id {}", code.id());
+            assert!(code.id().len() == 5, "id shape {}", code.id());
+        }
+        // The three codes named in the issue tracker must keep their ids.
+        assert_eq!(Code::UnresolvedColumn.id(), "E0101");
+        assert_eq!(Code::JoinDisconnected.id(), "E0301");
+        assert_eq!(Code::CrossTypeCompare.id(), "W0201");
+    }
+
+    #[test]
+    fn severity_follows_prefix() {
+        for code in Code::ALL {
+            let want = if code.id().starts_with('E') {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            assert_eq!(code.severity(), want, "{code}");
+        }
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn display_renders_code_span_and_note() {
+        let d = Diagnostic::new(
+            Code::UnresolvedColumn,
+            Span::new(Clause::Where, 1),
+            "no table in scope has a column `bogus`",
+        )
+        .with_note("did you mean `age`?");
+        let text = d.to_string();
+        assert!(text.contains("E0101"), "{text}");
+        assert!(text.contains("unresolved-column"), "{text}");
+        assert!(text.contains("subquery depth 1"), "{text}");
+        assert!(text.contains("did you mean"), "{text}");
+    }
+
+    #[test]
+    fn policy_default_is_reject() {
+        assert_eq!(AnalyzerPolicy::default(), AnalyzerPolicy::Reject);
+        assert_eq!(AnalyzerPolicy::Reject.label(), "reject");
+    }
+}

@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+//! Schema-aware static semantic analysis for DBPal SQL.
+//!
+//! The training pipeline synthesizes (NL, SQL) pairs from the schema
+//! alone (paper §3); this crate proves — statically, at generation time —
+//! that each synthesized query actually name-resolves, type-checks,
+//! aggregates/groups consistently, and joins along a valid FK path
+//! against that schema. Findings are structured [`Diagnostic`]s with
+//! stable [`Code`]s (`E0101 unresolved-column`, `E0301 join-disconnected`,
+//! `W0201 implicit-cross-type-compare`, ...) so tests and reports can
+//! assert on codes rather than prose.
+//!
+//! Three consumers:
+//!
+//! * `dbpal-core`'s pipeline runs an `analyze` stage over every generated
+//!   pair, controlled by [`AnalyzerPolicy`] (`Off | Warn | Reject`), with
+//!   per-code counts surfaced in its `PipelineReport`.
+//! * `dbpal-runtime`'s post-processor drives `@JOIN` expansion (§5.1) and
+//!   FROM repair (§4.2) from this crate's [`connectivity`] pass, so the
+//!   static verdict and the runtime repair share one implementation.
+//! * `dbpal-bench` measures analyzer throughput (pairs/sec).
+//!
+//! # Example
+//!
+//! ```
+//! use dbpal_analyze::{Analyzer, Code};
+//! use dbpal_schema::{SchemaBuilder, SqlType};
+//! use dbpal_sql::parse_query;
+//!
+//! let schema = SchemaBuilder::new("hospital")
+//!     .table("patients", |t| {
+//!         t.column("name", SqlType::Text).column("age", SqlType::Integer)
+//!     })
+//!     .build()
+//!     .unwrap();
+//! let analyzer = Analyzer::new(&schema);
+//!
+//! let good = parse_query("SELECT name FROM patients WHERE age > 80").unwrap();
+//! assert!(analyzer.analyze(&good).is_empty());
+//!
+//! let bad = parse_query("SELECT salary FROM patients").unwrap();
+//! assert_eq!(analyzer.analyze(&bad)[0].code, Code::UnresolvedColumn);
+//! ```
+
+mod analyzer;
+pub mod connectivity;
+mod diagnostic;
+mod scope;
+
+pub use analyzer::Analyzer;
+pub use connectivity::{
+    check_connectivity, from_required_tables, join_required_tables, top_level_columns,
+};
+pub use diagnostic::{AnalyzerPolicy, Clause, Code, Diagnostic, Severity, Span};
+pub use scope::{owners_of, Scope};
+
+/// The most severe finding in a batch, if any.
+pub fn worst_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+/// Whether a batch contains at least one error-severity finding.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    worst_severity(diags) == Some(Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpal_schema::{SchemaBuilder, SqlType};
+    use dbpal_sql::parse_query;
+
+    #[test]
+    fn severity_helpers() {
+        let schema = SchemaBuilder::new("s")
+            .table("t", |t| t.column("a", SqlType::Integer))
+            .build()
+            .unwrap();
+        let analyzer = Analyzer::new(&schema);
+        let clean = analyzer.analyze(&parse_query("SELECT a FROM t").unwrap());
+        assert_eq!(worst_severity(&clean), None);
+        assert!(!has_errors(&clean));
+
+        let bad = analyzer.analyze(&parse_query("SELECT b FROM t").unwrap());
+        assert!(has_errors(&bad));
+    }
+}

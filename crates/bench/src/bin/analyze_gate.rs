@@ -1,0 +1,75 @@
+//! CI gate: generate a corpus under the default configuration (analyzer
+//! policy `Reject`) and fail unless every pair analyzes clean — zero
+//! rejected pairs and zero error-severity findings.
+//!
+//! The generator is supposed to emit only semantically valid SQL by
+//! construction; this gate turns any regression of that property into a
+//! red build instead of silently shipped training noise. Honors
+//! `DBPAL_CHECK_CASES` indirectly by being cheap: one small-profile run.
+
+use dbpal_core::{GenerationConfig, TrainingPipeline};
+use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
+
+fn gate_schema() -> Schema {
+    SchemaBuilder::new("hospital")
+        .table("patients", |t| {
+            t.synonym("people")
+                .column("name", SqlType::Text)
+                .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                .column_with("disease", SqlType::Text, |c| c.synonym("illness"))
+                .column_with("length_of_stay", SqlType::Integer, |c| {
+                    c.domain(SemanticDomain::Duration)
+                })
+                .column("doctor_id", SqlType::Integer)
+        })
+        .table("doctors", |t| {
+            t.column("id", SqlType::Integer)
+                .column("name", SqlType::Text)
+                .column("specialty", SqlType::Text)
+                .primary_key("id")
+        })
+        .foreign_key("patients", "doctor_id", "doctors", "id")
+        .build()
+        .unwrap()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        GenerationConfig::small()
+    } else {
+        GenerationConfig::default()
+    };
+    assert!(
+        matches!(config.analyzer_policy, dbpal_core::AnalyzerPolicy::Reject),
+        "gate requires the default Reject policy"
+    );
+    let schema = gate_schema();
+    let (corpus, report) = TrainingPipeline::new(config).generate_with_report(&schema);
+    println!("{}", report.render());
+    if let Err(e) = report.check_consistency() {
+        eprintln!("[analyze_gate] inconsistent pipeline report: {e}");
+        std::process::exit(1);
+    }
+
+    let a = &report.analyzer;
+    let errors: Vec<&str> = a
+        .codes
+        .keys()
+        .copied()
+        .filter(|c| c.starts_with('E'))
+        .collect();
+    if a.rejected > 0 || !errors.is_empty() {
+        eprintln!(
+            "[analyze_gate] FAIL: {} pairs rejected, error codes: {:?}",
+            a.rejected, errors
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "[analyze_gate] OK: {} pairs analyzed clean ({} warnings), corpus size {}",
+        a.analyzed,
+        a.total_findings(),
+        corpus.len()
+    );
+}

@@ -1,5 +1,6 @@
 //! Generation-pipeline configuration: the tuning parameters ϕ of Table 1.
 
+use dbpal_analyze::AnalyzerPolicy;
 use dbpal_util::Rng;
 
 /// All parameters of the data generation procedure (paper Table 1),
@@ -51,6 +52,11 @@ pub struct GenerationConfig {
     /// phrase (the other §3.2.3 extension: "use them in the automatic
     /// paraphrasing to identify better paraphrases"). Off by default.
     pub pos_aware_paraphrasing: bool,
+    /// What the pipeline's static-analysis stage does with findings:
+    /// skip the stage (`Off`), count findings but keep every pair
+    /// (`Warn`), or drop pairs with error-severity diagnostics
+    /// (`Reject`, the default). Counts surface in the `PipelineReport`.
+    pub analyzer_policy: AnalyzerPolicy,
     /// RNG seed for reproducible corpus generation.
     pub seed: u64,
     /// Worker threads for the parallel pipeline stages (template
@@ -78,6 +84,7 @@ impl Default for GenerationConfig {
             paraphrase_min_quality: 0.5,
             pos_gated_dropout: false,
             pos_aware_paraphrasing: false,
+            analyzer_policy: AnalyzerPolicy::default(),
             seed: 0x0DBA1,
             threads: 0,
         }
@@ -102,6 +109,9 @@ impl GenerationConfig {
             paraphrase_min_quality: rng.gen_range(0.0..=0.9),
             pos_gated_dropout: rng.gen_bool(0.5),
             pos_aware_paraphrasing: rng.gen_bool(0.5),
+            // Not a generation parameter: the gate decides what ships,
+            // not what is synthesized, so the search space excludes it.
+            analyzer_policy: AnalyzerPolicy::default(),
             seed: rng.next_u64(),
             // Not a generation parameter: threads never changes the
             // corpus, so the search space excludes it.

@@ -56,6 +56,7 @@ pub use model_api::{evaluate_exact, EvalExample, TrainOptions, TranslationModel}
 pub use optimizer::{
     accuracy_histogram, accuracy_stats, best, GridSearch, RandomSearch, TrialResult,
 };
+pub use dbpal_analyze::AnalyzerPolicy;
 pub use pair::{Provenance, TrainingCorpus, TrainingPair};
-pub use pipeline::{PipelineReport, StageTimings, TrainingPipeline};
+pub use pipeline::{analyze_pairs, AnalyzerReport, PipelineReport, StageTimings, TrainingPipeline};
 pub use templates::{catalog, catalog_subset, PatternCategory, QueryClass, SeedTemplate};

@@ -64,24 +64,7 @@ impl RandomSearch {
         let configs: Vec<GenerationConfig> = (0..self.trials)
             .map(|_| GenerationConfig::sample(&mut rng))
             .collect();
-        let threads = threads.max(1).min(self.trials.max(1));
-        let mut accuracies = vec![0.0f64; configs.len()];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<&mut f64>> =
-            accuracies.iter_mut().map(std::sync::Mutex::new).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= configs.len() {
-                        break;
-                    }
-                    let acc = generate(&configs[i]);
-                    **slots[i].lock().expect("slot lock") = acc;
-                });
-            }
-        });
-        drop(slots);
+        let accuracies = dbpal_util::par_map_indexed(&configs, threads, |_, c| generate(c));
         configs
             .into_iter()
             .zip(accuracies)

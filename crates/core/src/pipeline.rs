@@ -1,9 +1,14 @@
-//! The end-to-end training-data pipeline: generate → augment → lemmatize.
+//! The end-to-end training-data pipeline: generate → augment →
+//! lemmatize → analyze.
 //!
 //! This is the flow of paper Figure 2 (left side): the Generator
 //! instantiates seed templates against the schema, the Augmentation step
 //! adds linguistic variations, and the Lemmatizer normalizes every NL
-//! side. The output corpus can then be fed to any pluggable
+//! side. A final static-analysis stage (`dbpal-analyze`) then proves
+//! every surviving pair name-resolves, type-checks, and joins validly
+//! against the schema; the [`dbpal_analyze::AnalyzerPolicy`] knob decides
+//! whether findings are ignored, counted, or gate the pair out of the
+//! corpus. The output corpus can then be fed to any pluggable
 //! [`crate::TranslationModel`].
 //!
 //! Every stage fans out across `config.threads` workers (see
@@ -19,6 +24,7 @@ use crate::{
     Augmenter, GenerationConfig, Generator, GeneratorStats, Provenance, TrainingCorpus,
     TrainingPair,
 };
+use dbpal_analyze::{Analyzer, AnalyzerPolicy, Diagnostic};
 use dbpal_nlp::Lemmatizer;
 use dbpal_schema::Schema;
 use dbpal_util::{par_map_indexed, stream_seed};
@@ -36,8 +42,95 @@ pub struct StageTimings {
     pub lemmatize: Duration,
     /// Duplicate removal.
     pub dedup: Duration,
+    /// Static semantic analysis of every pair.
+    pub analyze: Duration,
     /// The whole pipeline run.
     pub total: Duration,
+}
+
+/// Accounting for the static-analysis stage: how many pairs were
+/// analyzed, flagged, and (under [`AnalyzerPolicy::Reject`]) dropped,
+/// with per-code diagnostic counts. Rejections are never silent — they
+/// are broken down by provenance here, mirroring the generator's
+/// retry/exhaustion counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalyzerReport {
+    /// The policy the stage ran under.
+    pub policy: AnalyzerPolicy,
+    /// Pairs the analyzer inspected (0 when the policy is `Off`).
+    pub analyzed: usize,
+    /// Pairs that carried at least one diagnostic of any severity.
+    pub flagged: usize,
+    /// Pairs dropped for error-severity diagnostics (`Reject` only).
+    pub rejected: usize,
+    /// Diagnostic occurrences per stable code id (e.g. `"E0101"`),
+    /// ordered by id.
+    pub codes: BTreeMap<&'static str, usize>,
+    /// Rejected pairs per provenance (`Reject` only).
+    pub rejected_provenance: BTreeMap<Provenance, usize>,
+}
+
+impl AnalyzerReport {
+    /// Total diagnostic occurrences across all codes.
+    pub fn total_findings(&self) -> usize {
+        self.codes.values().sum()
+    }
+}
+
+/// Analyze a batch of pairs against a schema, applying `policy`.
+///
+/// Returns the surviving pairs (all of them unless the policy is
+/// [`AnalyzerPolicy::Reject`]) and the stage's [`AnalyzerReport`].
+/// Analysis fans out across `threads` workers in fixed-size chunks and
+/// the verdicts merge back in input order, so the surviving-pair sequence
+/// and every report counter are identical at any thread count.
+pub fn analyze_pairs(
+    schema: &Schema,
+    pairs: Vec<TrainingPair>,
+    threads: usize,
+    policy: AnalyzerPolicy,
+) -> (Vec<TrainingPair>, AnalyzerReport) {
+    if policy == AnalyzerPolicy::Off {
+        return (
+            pairs,
+            AnalyzerReport {
+                policy,
+                ..AnalyzerReport::default()
+            },
+        );
+    }
+    let analyzer = Analyzer::new(schema);
+    const CHUNK: usize = 64;
+    let verdicts: Vec<Vec<Vec<Diagnostic>>> = {
+        let chunks: Vec<&[TrainingPair]> = pairs.chunks(CHUNK).collect();
+        par_map_indexed(&chunks, threads, |_, chunk| {
+            chunk.iter().map(|p| analyzer.analyze(&p.sql)).collect()
+        })
+    };
+    let mut report = AnalyzerReport {
+        policy,
+        analyzed: pairs.len(),
+        ..AnalyzerReport::default()
+    };
+    let mut kept = Vec::with_capacity(pairs.len());
+    for (pair, diags) in pairs.into_iter().zip(verdicts.into_iter().flatten()) {
+        if !diags.is_empty() {
+            report.flagged += 1;
+        }
+        for d in &diags {
+            *report.codes.entry(d.code.id()).or_insert(0) += 1;
+        }
+        if policy == AnalyzerPolicy::Reject && dbpal_analyze::has_errors(&diags) {
+            report.rejected += 1;
+            *report
+                .rejected_provenance
+                .entry(pair.provenance)
+                .or_insert(0) += 1;
+        } else {
+            kept.push(pair);
+        }
+    }
+    (kept, report)
 }
 
 /// Accounting for one pipeline run: how many pairs each stage produced,
@@ -48,8 +141,8 @@ pub struct StageTimings {
 /// The counters obey invariants checked by
 /// [`PipelineReport::check_consistency`]:
 /// `seed_pairs + augmented_pairs == pre_dedup_pairs`,
-/// `pre_dedup_pairs - final_pairs == dedup_dropped`, and the
-/// per-provenance counts sum to `final_pairs`.
+/// `pre_dedup_pairs - dedup_dropped - analyzer.rejected == final_pairs`,
+/// and the per-provenance counts sum to `final_pairs`.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
     /// Worker threads the run used (the resolved value, never 0).
@@ -68,6 +161,8 @@ pub struct PipelineReport {
     pub provenance: BTreeMap<Provenance, usize>,
     /// Instantiation counters (retries, exhausted templates, shortfall).
     pub generator: GeneratorStats,
+    /// Static-analysis counters (per-code findings, rejected pairs).
+    pub analyzer: AnalyzerReport,
     /// Per-stage wall time.
     pub timings: StageTimings,
 }
@@ -88,10 +183,54 @@ impl PipelineReport {
                 self.pre_dedup_pairs, self.final_pairs
             ));
         }
-        if self.pre_dedup_pairs - self.final_pairs != self.dedup_dropped {
+        if self.pre_dedup_pairs - self.final_pairs != self.dedup_dropped + self.analyzer.rejected
+        {
             return Err(format!(
-                "dedup drops mismatch: pre {} - final {} != dropped {}",
-                self.pre_dedup_pairs, self.final_pairs, self.dedup_dropped
+                "drops mismatch: pre {} - final {} != dedup {} + rejected {}",
+                self.pre_dedup_pairs,
+                self.final_pairs,
+                self.dedup_dropped,
+                self.analyzer.rejected
+            ));
+        }
+        let a = &self.analyzer;
+        match a.policy {
+            AnalyzerPolicy::Off => {
+                if a.analyzed != 0 || a.flagged != 0 || a.rejected != 0 {
+                    return Err("analyzer counted pairs under Off policy".into());
+                }
+            }
+            AnalyzerPolicy::Warn | AnalyzerPolicy::Reject => {
+                if a.analyzed != self.pre_dedup_pairs - self.dedup_dropped {
+                    return Err(format!(
+                        "analyzer saw {} pairs, dedup emitted {}",
+                        a.analyzed,
+                        self.pre_dedup_pairs - self.dedup_dropped
+                    ));
+                }
+                if a.policy == AnalyzerPolicy::Warn && a.rejected != 0 {
+                    return Err("Warn policy rejected pairs".into());
+                }
+            }
+        }
+        if a.rejected > a.flagged || a.flagged > a.analyzed {
+            return Err(format!(
+                "analyzer counters out of order: rejected {} / flagged {} / analyzed {}",
+                a.rejected, a.flagged, a.analyzed
+            ));
+        }
+        if a.total_findings() < a.flagged {
+            return Err(format!(
+                "fewer findings ({}) than flagged pairs ({})",
+                a.total_findings(),
+                a.flagged
+            ));
+        }
+        if a.rejected_provenance.values().sum::<usize>() != a.rejected {
+            return Err(format!(
+                "rejected-provenance counts sum to {}, rejected is {}",
+                a.rejected_provenance.values().sum::<usize>(),
+                a.rejected
             ));
         }
         if self.provenance.values().sum::<usize>() != self.final_pairs {
@@ -135,6 +274,27 @@ impl PipelineReport {
             ms(self.timings.dedup),
             self.dedup_dropped
         );
+        if self.analyzer.policy == AnalyzerPolicy::Off {
+            out += "  analyze   (off)\n";
+        } else {
+            let codes = if self.analyzer.codes.is_empty() {
+                "clean".to_string()
+            } else {
+                self.analyzer
+                    .codes
+                    .iter()
+                    .map(|(code, n)| format!("{code} x{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out += &format!(
+                "  analyze   {}  policy {}, {} flagged, -{} rejected ({codes})\n",
+                ms(self.timings.analyze),
+                self.analyzer.policy.label(),
+                self.analyzer.flagged,
+                self.analyzer.rejected,
+            );
+        }
         let provenance = self
             .provenance
             .iter()
@@ -251,6 +411,19 @@ impl TrainingPipeline {
         let dedup_dropped = corpus.dedup();
         let dedup_time = stage.elapsed();
 
+        // Step 5: static semantic analysis. Every surviving pair is
+        // proven against the schema; under `Reject` invalid pairs are
+        // dropped with per-code and per-provenance accounting.
+        let stage = Instant::now();
+        let (kept, analyzer_report) = analyze_pairs(
+            schema,
+            corpus.into_iter().collect(),
+            threads,
+            self.config.analyzer_policy,
+        );
+        let corpus = TrainingCorpus::from_pairs(kept);
+        let analyze_time = stage.elapsed();
+
         let report = PipelineReport {
             threads,
             seed_pairs,
@@ -260,11 +433,13 @@ impl TrainingPipeline {
             final_pairs: corpus.len(),
             provenance: corpus.provenance_counts().into_iter().collect(),
             generator: generator_stats,
+            analyzer: analyzer_report,
             timings: StageTimings {
                 generate: generate_time,
                 augment: augment_time,
                 lemmatize: lemmatize_time,
                 dedup: dedup_time,
+                analyze: analyze_time,
                 total: run_start.elapsed(),
             },
         };
@@ -423,6 +598,125 @@ mod tests {
         assert_eq!(one.final_pairs, four.final_pairs);
         assert_eq!(one.provenance, four.provenance);
         assert_eq!(one.generator, four.generator);
+    }
+
+    fn bad_pair() -> TrainingPair {
+        // References a column the schema lacks: E0101 at analyze time.
+        TrainingPair::new(
+            "what are the salaries",
+            dbpal_sql::parse_query("SELECT salary FROM patients").unwrap(),
+            "manual-0",
+            Provenance::Manual,
+        )
+    }
+
+    fn warn_pair() -> TrainingPair {
+        // Valid but suspicious: integer column against a float literal
+        // (W0201), which must never be rejected.
+        TrainingPair::new(
+            "patients aged exactly one and a half",
+            dbpal_sql::parse_query("SELECT name FROM patients WHERE age = 1.5").unwrap(),
+            "manual-1",
+            Provenance::Manual,
+        )
+    }
+
+    fn good_pair() -> TrainingPair {
+        TrainingPair::new(
+            "show all patient names",
+            dbpal_sql::parse_query("SELECT name FROM patients").unwrap(),
+            "manual-2",
+            Provenance::Manual,
+        )
+    }
+
+    #[test]
+    fn analyze_pairs_reject_drops_only_errors() {
+        use dbpal_analyze::AnalyzerPolicy;
+        let schema = schema();
+        let pairs = vec![good_pair(), bad_pair(), warn_pair()];
+        let (kept, report) = analyze_pairs(&schema, pairs, 1, AnalyzerPolicy::Reject);
+        assert_eq!(kept.len(), 2, "error pair must be dropped, warn pair kept");
+        assert_eq!(report.analyzed, 3);
+        assert_eq!(report.flagged, 2);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.codes.get("E0101"), Some(&1));
+        assert_eq!(report.codes.get("W0201"), Some(&1));
+        assert_eq!(
+            report.rejected_provenance.get(&Provenance::Manual),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn analyze_pairs_warn_keeps_everything() {
+        use dbpal_analyze::AnalyzerPolicy;
+        let schema = schema();
+        let pairs = vec![good_pair(), bad_pair(), warn_pair()];
+        let (kept, report) = analyze_pairs(&schema, pairs, 1, AnalyzerPolicy::Warn);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(report.flagged, 2);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.codes.get("E0101"), Some(&1));
+    }
+
+    #[test]
+    fn analyze_pairs_off_skips_analysis() {
+        use dbpal_analyze::AnalyzerPolicy;
+        let schema = schema();
+        let pairs = vec![good_pair(), bad_pair()];
+        let (kept, report) = analyze_pairs(&schema, pairs, 1, AnalyzerPolicy::Off);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(report.analyzed, 0);
+        assert!(report.codes.is_empty());
+    }
+
+    #[test]
+    fn analyze_pairs_report_identical_across_threads() {
+        use dbpal_analyze::AnalyzerPolicy;
+        let schema = schema();
+        // A batch large enough to span several chunks.
+        let mut pairs = Vec::new();
+        for _ in 0..70 {
+            pairs.push(good_pair());
+            pairs.push(bad_pair());
+            pairs.push(warn_pair());
+        }
+        let run = |threads| {
+            analyze_pairs(&schema, pairs.clone(), threads, AnalyzerPolicy::Reject)
+        };
+        let (kept1, rep1) = run(1);
+        let (kept2, rep2) = run(2);
+        let (kept8, rep8) = run(8);
+        assert_eq!(rep1, rep2);
+        assert_eq!(rep1, rep8);
+        assert_eq!(kept1, kept2);
+        assert_eq!(kept1, kept8);
+    }
+
+    #[test]
+    fn default_pipeline_rejects_nothing_and_reports_clean() {
+        let pipeline = TrainingPipeline::new(GenerationConfig::small());
+        let (_, report) = pipeline.generate_with_report(&schema());
+        report.check_consistency().expect("inconsistent report");
+        assert_eq!(report.analyzer.policy, dbpal_analyze::AnalyzerPolicy::Reject);
+        assert_eq!(report.analyzer.analyzed, report.final_pairs);
+        assert_eq!(report.analyzer.flagged, 0, "generated pairs must be clean");
+        assert_eq!(report.analyzer.rejected, 0);
+        assert!(report.analyzer.codes.is_empty());
+        assert!(report.render().contains("policy reject"));
+    }
+
+    #[test]
+    fn off_policy_report_is_consistent() {
+        let config = GenerationConfig {
+            analyzer_policy: dbpal_analyze::AnalyzerPolicy::Off,
+            ..GenerationConfig::small()
+        };
+        let (_, report) = TrainingPipeline::new(config).generate_with_report(&schema());
+        report.check_consistency().expect("inconsistent report");
+        assert_eq!(report.analyzer.analyzed, 0);
+        assert!(report.render().contains("analyze   (off)"));
     }
 
     #[test]

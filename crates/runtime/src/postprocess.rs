@@ -261,26 +261,10 @@ pub fn expand_join_placeholder(query: &Query, schema: &Schema) -> Result<Query, 
     if query.from != FromClause::JoinPlaceholder {
         return Ok(query.clone());
     }
-    // Required tables: qualifiers of column references.
-    let mut required: Vec<TableId> = Vec::new();
-    for col in query.columns_mentioned() {
-        if let Some(t) = &col.table {
-            if let Some(tid) = schema.table_id(t) {
-                if !required.contains(&tid) {
-                    required.push(tid);
-                }
-            }
-        }
-    }
-    // Unqualified columns owned by exactly one table also pin tables.
-    for col in query.columns_mentioned() {
-        if col.table.is_none() {
-            let owners = owners_of(schema, &col.column);
-            if owners.len() == 1 && !required.contains(&owners[0]) {
-                required.push(owners[0]);
-            }
-        }
-    }
+    // Required tables: the same collection pass the static analyzer uses
+    // for its join-connectivity check, so the runtime repairs exactly
+    // what the analyzer gates on.
+    let required = dbpal_analyze::join_required_tables(query, schema);
     if required.is_empty() {
         return Err(RuntimeError::JoinExpansionFailed(
             "no tables referenced by the query".into(),
@@ -337,30 +321,9 @@ pub fn repair_from_clause(query: &Query, schema: &Schema) -> Result<Query, Runti
             from_ids.push(tid);
         }
     }
-    // Find tables required by column references but missing from FROM.
-    let mut required = from_ids.clone();
-    for col in top_level_columns(query) {
-        let owner = match &col.table {
-            Some(t) => schema.table_id(t),
-            None => {
-                let owners = owners_of(schema, &col.column);
-                // Resolvable within FROM already?
-                if owners.iter().any(|o| from_ids.contains(o)) {
-                    continue;
-                }
-                if owners.len() == 1 {
-                    Some(owners[0])
-                } else {
-                    None
-                }
-            }
-        };
-        if let Some(tid) = owner {
-            if !required.contains(&tid) {
-                required.push(tid);
-            }
-        }
-    }
+    // Tables required by column references but missing from FROM,
+    // collected by the analyzer's shared connectivity pass.
+    let required = dbpal_analyze::from_required_tables(query, schema, &from_ids);
     if required.len() == from_ids.len() {
         return Ok(query.clone());
     }
@@ -398,48 +361,6 @@ pub fn repair_from_clause(query: &Query, schema: &Schema) -> Result<Query, Runti
         q.where_pred = Some(Pred::and(preds));
     }
     Ok(q)
-}
-
-/// Tables owning a column name.
-fn owners_of(schema: &Schema, column: &str) -> Vec<TableId> {
-    schema
-        .tables_with_ids()
-        .filter(|(_, t)| t.column_by_name(column).is_some())
-        .map(|(id, _)| id)
-        .collect()
-}
-
-/// Column references of the top-level query only (subqueries carry their
-/// own FROM clauses).
-fn top_level_columns(q: &Query) -> Vec<ColumnRef> {
-    let mut sub_tables: Vec<String> = Vec::new();
-    // Collect subquery tables so their columns can be excluded.
-    fn collect_sub(p: &Pred, out: &mut Vec<ColumnRef>) {
-        match p {
-            Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|p| collect_sub(p, out)),
-            Pred::Not(p) => collect_sub(p, out),
-            Pred::Compare { left, right, .. } => {
-                for s in [left, right] {
-                    if let Scalar::Subquery(q) = s {
-                        out.extend(q.columns_mentioned());
-                    }
-                }
-            }
-            Pred::InSubquery { query, .. } | Pred::Exists { query, .. } => {
-                out.extend(query.columns_mentioned());
-            }
-            _ => {}
-        }
-    }
-    let mut sub_cols = Vec::new();
-    if let Some(p) = &q.where_pred {
-        collect_sub(p, &mut sub_cols);
-    }
-    let _ = &mut sub_tables;
-    q.columns_mentioned()
-        .into_iter()
-        .filter(|c| !sub_cols.contains(c))
-        .collect()
 }
 
 #[cfg(test)]

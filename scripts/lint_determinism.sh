@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# Determinism lint: the corpus contract ("byte-identical per seed at any
+# thread count") dies by a thousand innocent-looking cuts. This script
+# greps workspace sources for the three hazard classes that have bitten
+# similar pipelines, and fails the build on any hit not recorded in
+# scripts/determinism_allowlist.txt.
+#
+#   TIME      wall-clock reads (SystemTime / Instant). Allowed only in
+#             the bench harness and the pipeline's stage-timing report,
+#             which never feed generated data.
+#   SPAWN     raw thread creation (thread::spawn / thread::scope).
+#             All fan-out must go through dbpal_util::par, whose
+#             order-preserving merge is what keeps output stable.
+#   HASHITER  HashMap/HashSet in a file that also serializes (Json::Obj,
+#             to_json, to_tsv): iteration order would leak into output.
+#             Use BTreeMap/BTreeSet in serializing modules.
+#
+# Allowlist format: one `CLASS<space>path` per line, `#` comments.
+# Usage: scripts/lint_determinism.sh  (exit 0 clean, 1 on violations)
+set -eu
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=scripts/determinism_allowlist.txt
+fail=0
+
+allowed() {
+    # allowed CLASS path — is this hit allowlisted?
+    grep -q "^$1 $2\$" "$ALLOWLIST" 2>/dev/null
+}
+
+report() {
+    echo "determinism lint: [$1] $2" >&2
+    echo "  $3" >&2
+    fail=1
+}
+
+# Sources under the contract: every crate plus the facade. Benches are
+# timing code by definition and stay out of scope.
+SRC_FILES=$(find crates/*/src src -name '*.rs' -type f | sort)
+
+for f in $SRC_FILES; do
+    # TIME — \b keeps `Instantiate`/`Instantiation` from matching.
+    if grep -nE '\bSystemTime\b|\bInstant\b' "$f" >/dev/null; then
+        if ! allowed TIME "$f"; then
+            hit=$(grep -nE '\bSystemTime\b|\bInstant\b' "$f" | head -1)
+            report TIME "$f" "$hit"
+        fi
+    fi
+
+    # SPAWN
+    if grep -nE 'thread::spawn|thread::scope' "$f" >/dev/null; then
+        if ! allowed SPAWN "$f"; then
+            hit=$(grep -nE 'thread::spawn|thread::scope' "$f" | head -1)
+            report SPAWN "$f" "$hit"
+        fi
+    fi
+
+    # HASHITER — hash collections co-resident with serialization.
+    if grep -nE 'HashMap<|HashSet<' "$f" >/dev/null \
+        && grep -nE 'Json::Obj|to_json|to_tsv' "$f" >/dev/null; then
+        if ! allowed HASHITER "$f"; then
+            hit=$(grep -nE 'HashMap<|HashSet<' "$f" | head -1)
+            report HASHITER "$f" "$hit"
+        fi
+    fi
+done
+
+# Stale allowlist entries rot into blind spots: every entry must still
+# match a real hit, or it has to be deleted.
+grep -v '^#' "$ALLOWLIST" | grep -v '^[[:space:]]*$' | while read -r class path; do
+    case "$class" in
+        TIME)     pat='\bSystemTime\b|\bInstant\b' ;;
+        SPAWN)    pat='thread::spawn|thread::scope' ;;
+        HASHITER) pat='HashMap<|HashSet<' ;;
+        *) echo "determinism lint: unknown allowlist class '$class'" >&2; exit 1 ;;
+    esac
+    if [ ! -f "$path" ] || ! grep -qE "$pat" "$path"; then
+        echo "determinism lint: stale allowlist entry '$class $path'" >&2
+        exit 1
+    fi
+done || fail=1
+
+if [ "$fail" -ne 0 ]; then
+    echo "determinism lint: FAILED (add justified entries to $ALLOWLIST)" >&2
+    exit 1
+fi
+echo "determinism lint: clean"

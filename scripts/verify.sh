@@ -14,5 +14,13 @@ cd "$(dirname "$0")/.."
 DBPAL_CHECK_CASES="${DBPAL_CHECK_CASES:-16}"
 export DBPAL_CHECK_CASES
 
+# Static hygiene first: cheap, and a determinism hazard invalidates
+# everything the test run would tell us about reproducibility.
+sh scripts/lint_determinism.sh
+
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Fast-profile generation under the default Reject analyzer policy:
+# every generated pair must analyze clean (zero rejects, zero E-codes).
+cargo run --release --offline -p dbpal-bench --bin analyze_gate -- --quick

@@ -17,6 +17,7 @@
 //! |--------|-------|----------|
 //! | [`schema`] | `dbpal-schema` | catalog, annotations, join graph |
 //! | [`sql`] | `dbpal-sql` | SQL AST, parser, printer, equivalence |
+//! | [`analyze`] | `dbpal-analyze` | schema-aware static semantic analyzer |
 //! | [`engine`] | `dbpal-engine` | in-memory relational executor |
 //! | [`nlp`] | `dbpal-nlp` | tokenizer, lemmatizer, paraphrase store |
 //! | [`core`] | `dbpal-core` | templates, generator, augmentation, optimizer |
@@ -35,6 +36,7 @@
 //! See `examples/quickstart.rs` for the end-to-end flow: define a schema,
 //! generate a training corpus, train a model, and answer NL questions.
 
+pub use dbpal_analyze as analyze;
 pub use dbpal_benchsuite as benchsuite;
 pub use dbpal_core as core;
 pub use dbpal_engine as engine;
