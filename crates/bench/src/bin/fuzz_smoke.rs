@@ -1,0 +1,77 @@
+//! CI gate: a seeded, fixed-budget fuzz run over the three differential
+//! oracles (roundtrip, canonicalizer soundness, analyzer coherence).
+//!
+//! The run executes twice — once on 1 worker thread and once on 8 — and
+//! the two reports must serialize to identical bytes: per-iteration
+//! `Rng::for_stream` seeding makes findings thread-count invariant, and
+//! this gate keeps that property honest. Any finding, or any byte
+//! divergence between the two reports, is a red build.
+//!
+//! Budget and seed come from `DBPAL_FUZZ_ITERS` / `DBPAL_FUZZ_SEED`
+//! (defaults: 200 iterations, seed `0xDBA1`). Throughput is reported
+//! through the shared bench harness.
+
+use dbpal_fuzz::{run_fuzz, FuzzConfig, FuzzReport};
+use dbpal_util::bench::{Config, Harness};
+
+fn main() {
+    let base = FuzzConfig::from_env();
+    println!(
+        "[fuzz_smoke] seed {:#x}, {} iterations, oracles: roundtrip + canonical + analyzer",
+        base.seed, base.iters
+    );
+
+    let mut harness = Harness::with_config("fuzz_smoke", Config::quick());
+    let mut reports: Vec<FuzzReport> = Vec::new();
+    for threads in [1usize, 8] {
+        let cfg = FuzzConfig::new(base.seed, base.iters, threads);
+        let name = format!("fuzz_{}_iters_{}_threads", cfg.iters, threads);
+        harness.bench(&name, || {
+            let report = run_fuzz(&cfg);
+            reports.push(report);
+        });
+    }
+
+    // One timed sample per thread count; the median of a single sample
+    // is the whole-run duration, which gives iterations/sec directly.
+    for m in harness.results() {
+        let secs = m.median.as_secs_f64();
+        let rate = if secs > 0.0 {
+            base.iters as f64 / secs
+        } else {
+            f64::INFINITY
+        };
+        println!("[fuzz_smoke] {}: {rate:.0} iterations/sec", m.name);
+    }
+
+    let mut failed = false;
+    for report in &reports {
+        for f in &report.findings {
+            failed = true;
+            eprintln!(
+                "[fuzz_smoke] FINDING iter {} [{}]\n  sql: {}\n  minimized: {}\n  {}\n  corpus case:\n{}",
+                f.iteration, f.oracle, f.sql, f.minimized, f.detail,
+                f.case.to_json()
+            );
+        }
+    }
+    let (one, eight) = (&reports[0], &reports[1]);
+    if one.to_json() != eight.to_json() {
+        failed = true;
+        eprintln!(
+            "[fuzz_smoke] FAIL: reports diverge between 1 and 8 worker threads\n-- 1 thread --\n{}\n-- 8 threads --\n{}",
+            one.to_json(),
+            eight.to_json()
+        );
+    }
+
+    harness.finish();
+    if failed {
+        eprintln!("[fuzz_smoke] FAIL");
+        std::process::exit(1);
+    }
+    println!(
+        "[fuzz_smoke] OK: {} iterations clean, reports byte-identical at 1 and 8 threads",
+        base.iters
+    );
+}

@@ -159,6 +159,9 @@ pub struct PipelineReport {
     pub final_pairs: usize,
     /// Final pair count per provenance.
     pub provenance: BTreeMap<Provenance, usize>,
+    /// Final pair count per template id (as tagged on the pairs, so
+    /// grouped instantiations keep their `+group` suffix).
+    pub template_counts: BTreeMap<String, usize>,
     /// Instantiation counters (retries, exhausted templates, shortfall).
     pub generator: GeneratorStats,
     /// Static-analysis counters (per-code findings, rejected pairs).
@@ -237,6 +240,13 @@ impl PipelineReport {
             return Err(format!(
                 "provenance counts sum to {}, corpus has {}",
                 self.provenance.values().sum::<usize>(),
+                self.final_pairs
+            ));
+        }
+        if self.template_counts.values().sum::<usize>() != self.final_pairs {
+            return Err(format!(
+                "template counts sum to {}, corpus has {}",
+                self.template_counts.values().sum::<usize>(),
                 self.final_pairs
             ));
         }
@@ -432,6 +442,7 @@ impl TrainingPipeline {
             dedup_dropped,
             final_pairs: corpus.len(),
             provenance: corpus.provenance_counts().into_iter().collect(),
+            template_counts: corpus.template_counts().into_iter().collect(),
             generator: generator_stats,
             analyzer: analyzer_report,
             timings: StageTimings {

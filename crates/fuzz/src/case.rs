@@ -1,0 +1,361 @@
+//! JSON persistence and replay of minimized fuzz cases.
+//!
+//! A [`FuzzCase`] is fully self-contained: the schema, the table data,
+//! the SQL text(s), and which oracle to run. Minimized cases live in
+//! `tests/fuzz_corpus/*.json` at the workspace root and are replayed as
+//! ordinary `cargo test` regressions by `crates/fuzz/tests/corpus_replay.rs`.
+//!
+//! Values are encoded as tagged strings (`"i:42"`, `"f:2.5"`, `"t:red"`,
+//! `"b:true"`, `"null"`) rather than raw JSON numbers so that 64-bit
+//! integers and float bit patterns survive the trip exactly.
+
+use dbpal_engine::Database;
+use dbpal_schema::{Schema, SchemaBuilder, SqlType, Value};
+use dbpal_sql::parse_query;
+use dbpal_util::Json;
+
+use crate::mutate::FaultKind;
+use crate::oracles;
+
+/// A persisted, self-contained regression case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Stable case name (also the corpus file stem).
+    pub name: String,
+    /// Which oracle to replay: `roundtrip`, `canonical`, `canonical-pair`,
+    /// `analyzer-clean`, or a fault name from [`FaultKind`].
+    pub oracle: String,
+    /// Schema description.
+    pub schema: SchemaSpec,
+    /// Rows per table, in schema table order.
+    pub rows: Vec<(String, Vec<Vec<Value>>)>,
+    /// The query under test, as SQL text.
+    pub sql: String,
+    /// Second query for pair oracles (empty when unused).
+    pub sql_b: String,
+    /// Why this case exists (bug reference, what it used to break).
+    pub note: String,
+}
+
+/// Plain-data schema description, independent of builder internals.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaSpec {
+    /// Tables: name plus (column name, type) pairs; first column is the
+    /// primary key by corpus convention.
+    pub tables: Vec<(String, Vec<(String, SqlType)>)>,
+    /// Foreign keys: (child table, child column, parent table, parent column).
+    pub foreign_keys: Vec<(String, String, String, String)>,
+}
+
+impl SchemaSpec {
+    /// Capture a spec from a built schema.
+    pub fn from_schema(schema: &Schema) -> Self {
+        let tables = schema
+            .tables()
+            .iter()
+            .map(|t| {
+                (
+                    t.name().to_string(),
+                    t.columns()
+                        .iter()
+                        .map(|c| (c.name().to_string(), c.sql_type()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let foreign_keys = schema
+            .foreign_keys()
+            .iter()
+            .map(|fk| {
+                (
+                    schema.table(fk.from.table).name().to_string(),
+                    schema.column(fk.from).name().to_string(),
+                    schema.table(fk.to.table).name().to_string(),
+                    schema.column(fk.to).name().to_string(),
+                )
+            })
+            .collect();
+        SchemaSpec {
+            tables,
+            foreign_keys,
+        }
+    }
+
+    /// Rebuild a real schema from the spec.
+    pub fn build(&self) -> Schema {
+        let mut b = SchemaBuilder::new("fuzz_case");
+        for (name, cols) in &self.tables {
+            let cols = cols.clone();
+            b = b.table(name, |mut t| {
+                for (cn, ct) in &cols {
+                    t = t.column(cn, *ct);
+                }
+                if let Some((first, _)) = cols.first() {
+                    t = t.primary_key(first);
+                }
+                t
+            });
+        }
+        for (ct, cc, pt, pc) in &self.foreign_keys {
+            b = b.foreign_key(ct, cc, pt, pc);
+        }
+        b.build().expect("corpus schema spec is valid")
+    }
+}
+
+fn type_name(t: SqlType) -> &'static str {
+    match t {
+        SqlType::Integer => "integer",
+        SqlType::Float => "float",
+        SqlType::Text => "text",
+        SqlType::Boolean => "boolean",
+    }
+}
+
+fn type_from_name(s: &str) -> Result<SqlType, String> {
+    match s {
+        "integer" => Ok(SqlType::Integer),
+        "float" => Ok(SqlType::Float),
+        "text" => Ok(SqlType::Text),
+        "boolean" => Ok(SqlType::Boolean),
+        other => Err(format!("unknown sql type `{other}`")),
+    }
+}
+
+/// Encode a value as a tagged string. Floats use Rust's shortest
+/// round-trippable `{:?}` rendering, so parsing recovers the exact bits.
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::str("null"),
+        Value::Int(i) => Json::str(format!("i:{i}")),
+        Value::Float(f) => Json::str(format!("f:{f:?}")),
+        Value::Text(s) => Json::str(format!("t:{s}")),
+        Value::Bool(b) => Json::str(format!("b:{b}")),
+    }
+}
+
+fn value_from_json(j: &Json) -> Result<Value, String> {
+    let s = j.as_str().ok_or("value must be a tagged string")?;
+    if s == "null" {
+        return Ok(Value::Null);
+    }
+    if let Some(rest) = s.strip_prefix("i:") {
+        return rest
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| format!("bad int `{rest}`: {e}"));
+    }
+    if let Some(rest) = s.strip_prefix("f:") {
+        return rest
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| format!("bad float `{rest}`: {e}"));
+    }
+    if let Some(rest) = s.strip_prefix("t:") {
+        return Ok(Value::Text(rest.to_string()));
+    }
+    if let Some(rest) = s.strip_prefix("b:") {
+        return rest
+            .parse::<bool>()
+            .map(Value::Bool)
+            .map_err(|e| format!("bad bool `{rest}`: {e}"));
+    }
+    Err(format!("unrecognized value encoding `{s}`"))
+}
+
+impl FuzzCase {
+    /// Serialize to pretty JSON (stable key order, deterministic bytes).
+    pub fn to_json(&self) -> String {
+        let tables = Json::Arr(
+            self.schema
+                .tables
+                .iter()
+                .map(|(name, cols)| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(name.clone())),
+                        (
+                            "columns".into(),
+                            Json::Arr(
+                                cols.iter()
+                                    .map(|(cn, ct)| {
+                                        Json::Arr(vec![
+                                            Json::str(cn.clone()),
+                                            Json::str(type_name(*ct)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let fks = Json::Arr(
+            self.schema
+                .foreign_keys
+                .iter()
+                .map(|(a, b, c, d)| {
+                    Json::Arr(vec![
+                        Json::str(a.clone()),
+                        Json::str(b.clone()),
+                        Json::str(c.clone()),
+                        Json::str(d.clone()),
+                    ])
+                })
+                .collect(),
+        );
+        let rows = Json::Obj(
+            self.rows
+                .iter()
+                .map(|(table, rows)| {
+                    (
+                        table.clone(),
+                        Json::Arr(
+                            rows.iter()
+                                .map(|r| Json::Arr(r.iter().map(value_to_json).collect()))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("name".into(), Json::str(self.name.clone())),
+            ("oracle".into(), Json::str(self.oracle.clone())),
+            ("tables".into(), tables),
+            ("foreign_keys".into(), fks),
+            ("rows".into(), rows),
+            ("sql".into(), Json::str(self.sql.clone())),
+            ("sql_b".into(), Json::str(self.sql_b.clone())),
+            ("note".into(), Json::str(self.note.clone())),
+        ])
+        .pretty()
+    }
+
+    /// Parse a case back from JSON text.
+    pub fn from_json(text: &str) -> Result<FuzzCase, String> {
+        let j = Json::parse(text).map_err(|e| format!("bad case JSON: {e}"))?;
+        let get_str = |key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let mut tables = Vec::new();
+        for t in j
+            .get("tables")
+            .and_then(Json::as_arr)
+            .ok_or("missing `tables`")?
+        {
+            let name = t
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("table missing name")?
+                .to_string();
+            let mut cols = Vec::new();
+            for c in t
+                .get("columns")
+                .and_then(Json::as_arr)
+                .ok_or("table missing columns")?
+            {
+                let pair = c.as_arr().ok_or("column must be [name, type]")?;
+                let cn = pair
+                    .first()
+                    .and_then(Json::as_str)
+                    .ok_or("column name missing")?;
+                let ct = pair
+                    .get(1)
+                    .and_then(Json::as_str)
+                    .ok_or("column type missing")?;
+                cols.push((cn.to_string(), type_from_name(ct)?));
+            }
+            tables.push((name, cols));
+        }
+        let mut foreign_keys = Vec::new();
+        for fk in j
+            .get("foreign_keys")
+            .and_then(Json::as_arr)
+            .ok_or("missing `foreign_keys`")?
+        {
+            let parts = fk.as_arr().ok_or("fk must be a 4-array")?;
+            let mut it = parts.iter().filter_map(Json::as_str);
+            match (it.next(), it.next(), it.next(), it.next()) {
+                (Some(a), Some(b), Some(c), Some(d)) => {
+                    foreign_keys.push((a.into(), b.into(), c.into(), d.into()));
+                }
+                _ => return Err("fk must be a 4-array of strings".into()),
+            }
+        }
+        let mut rows = Vec::new();
+        for (table, rj) in j
+            .get("rows")
+            .and_then(Json::as_obj)
+            .ok_or("missing `rows`")?
+        {
+            let mut trows = Vec::new();
+            for r in rj.as_arr().ok_or("rows must be arrays")? {
+                let mut row = Vec::new();
+                for v in r.as_arr().ok_or("row must be an array")? {
+                    row.push(value_from_json(v)?);
+                }
+                trows.push(row);
+            }
+            rows.push((table.clone(), trows));
+        }
+        Ok(FuzzCase {
+            name: get_str("name")?,
+            oracle: get_str("oracle")?,
+            schema: SchemaSpec {
+                tables,
+                foreign_keys,
+            },
+            rows,
+            sql: get_str("sql")?,
+            sql_b: get_str("sql_b")?,
+            note: get_str("note")?,
+        })
+    }
+
+    /// Build the case's database.
+    pub fn database(&self) -> Database {
+        let schema = self.schema.build();
+        let mut db = Database::new(schema);
+        for (table, rows) in &self.rows {
+            for row in rows {
+                db.insert(table, row.clone())
+                    .expect("corpus row matches its schema");
+            }
+        }
+        db
+    }
+
+    /// Replay the case's oracle; `Ok(())` means the regression stays fixed.
+    pub fn replay(&self) -> Result<(), String> {
+        let db = self.database();
+        let schema = db.schema().clone();
+        let q = parse_query(&self.sql)
+            .map_err(|e| format!("case `{}`: sql does not parse: {e}", self.name))?;
+        match self.oracle.as_str() {
+            "roundtrip" => oracles::check_roundtrip(&q),
+            "canonical" => oracles::check_canonical_preserves(&db, &q),
+            "canonical-pair" => {
+                let b = parse_query(&self.sql_b)
+                    .map_err(|e| format!("case `{}`: sql_b does not parse: {e}", self.name))?;
+                oracles::check_canonical_pair(&db, &q, &b, true)
+            }
+            "analyzer-clean" => oracles::check_analyzer_clean(&schema, &q),
+            other => {
+                let fault = [
+                    FaultKind::BadColumn,
+                    FaultKind::BadTable,
+                    FaultKind::TypeMismatch,
+                    FaultKind::BrokenJoin,
+                ]
+                .into_iter()
+                .find(|f| f.name() == other)
+                .ok_or_else(|| format!("case `{}`: unknown oracle `{other}`", self.name))?;
+                oracles::check_mutation_flagged(&schema, &q, fault)
+            }
+        }
+    }
+}

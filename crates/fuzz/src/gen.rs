@@ -1,0 +1,714 @@
+//! Schema-aware random generation of schemas, databases, and queries.
+//!
+//! The generator's contract is the *well-formedness invariant*: every
+//! query it produces must (a) print to SQL the parser accepts, (b)
+//! execute without error on any database over its schema, and (c)
+//! analyze completely clean (zero diagnostics, warnings included) under
+//! the schema it was generated for. The oracles in [`crate::oracles`]
+//! assume this invariant; anything it misses is either a generator bug
+//! or a real stack bug, and the shrinker decides which.
+
+use dbpal_engine::Database;
+use dbpal_schema::{Schema, SchemaBuilder, SqlType, Value};
+use dbpal_sql::{
+    AggArg, AggFunc, CmpOp, ColumnRef, FromClause, OrderDir, OrderKey, Pred, Query, Scalar,
+    SelectItem,
+};
+use dbpal_util::{Rng, SliceRandom};
+
+/// Fixed table-name pool; table `i` of a generated schema is `TABLES[i]`.
+const TABLES: [&str; 3] = ["users", "orders", "events"];
+
+/// Optional extra columns: name and type, drawn per table.
+const EXTRAS: [(&str, SqlType); 4] = [
+    ("qty", SqlType::Integer),
+    ("price", SqlType::Float),
+    ("note", SqlType::Text),
+    ("active", SqlType::Boolean),
+];
+
+/// Text-value pool for both data and literals; exercises quoting (`it's`),
+/// LIKE metacharacters stored as data (`100%`), and the empty string.
+const TEXTS: [&str; 6] = ["red", "blue", "green", "it's", "100%", ""];
+
+/// Generate a random valid schema: 1–3 tables, each with an `id` integer
+/// primary key, a numeric `score`, a text `label`, up to three extras,
+/// and (for non-first tables) an integer foreign key into an earlier
+/// table, so join queries always have a real FK path.
+pub fn gen_schema(rng: &mut Rng) -> Schema {
+    let n_tables = rng.gen_range(1..=TABLES.len());
+    let mut builder = SchemaBuilder::new("fuzz");
+    let mut fks: Vec<(String, String, String)> = Vec::new();
+    for i in 0..n_tables {
+        let name = TABLES[i];
+        let score_type = if rng.gen_bool(0.5) {
+            SqlType::Float
+        } else {
+            SqlType::Integer
+        };
+        let n_extras = rng.gen_range(0..=EXTRAS.len() - 1);
+        let extras: Vec<(&str, SqlType)> = EXTRAS
+            .choose_multiple(rng, n_extras)
+            .map(|&(n, t)| (n, t))
+            .collect();
+        let parent = if i > 0 {
+            Some(TABLES[rng.gen_range(0..i)])
+        } else {
+            None
+        };
+        builder = builder.table(name, |mut t| {
+            t = t
+                .column("id", SqlType::Integer)
+                .column("score", score_type)
+                .column("label", SqlType::Text);
+            for (n, ty) in &extras {
+                t = t.column(*n, *ty);
+            }
+            if let Some(p) = parent {
+                t = t.column(format!("{p}_id"), SqlType::Integer);
+            }
+            t.primary_key("id")
+        });
+        if let Some(p) = parent {
+            fks.push((name.to_string(), format!("{p}_id"), p.to_string()));
+        }
+    }
+    for (child, col, parent) in fks {
+        builder = builder.foreign_key(child, col, parent, "id");
+    }
+    builder.build().expect("generated schema is always valid")
+}
+
+/// Populate a database over `schema` with 0–10 rows per table.
+///
+/// Non-key cells are NULL with ~10% probability; foreign-key cells point
+/// at existing parent ids most of the time but may dangle or be NULL, so
+/// joins see both matching and non-matching rows. Empty tables are a
+/// deliberate part of the distribution.
+pub fn gen_database(rng: &mut Rng, schema: &Schema) -> Database {
+    let mut db = Database::new(schema.clone());
+    for (table, rows) in gen_rows(rng, schema) {
+        for row in rows {
+            db.insert(&table, row).expect("generated row is valid");
+        }
+    }
+    db
+}
+
+/// The raw rows behind [`gen_database`], per table in schema order.
+///
+/// Exposed separately so the driver can persist the exact data of a
+/// failing iteration into a corpus case.
+pub fn gen_rows(rng: &mut Rng, schema: &Schema) -> Vec<(String, Vec<Vec<Value>>)> {
+    let mut out: Vec<(String, Vec<Vec<Value>>)> = Vec::with_capacity(schema.table_count());
+    let mut row_counts: Vec<i64> = Vec::with_capacity(schema.table_count());
+    for table in schema.tables() {
+        let rows = rng.gen_range(0..=10usize) as i64;
+        let mut trows = Vec::with_capacity(rows as usize);
+        for r in 0..rows {
+            let mut row = Vec::with_capacity(table.column_count());
+            for col in table.columns() {
+                let v = if col.name() == "id" {
+                    Value::Int(r + 1)
+                } else if col.name().ends_with("_id") {
+                    // FK into an earlier table; earlier tables are already
+                    // counted in row_counts (schema order = insertion order).
+                    let parent = col.name().trim_end_matches("_id");
+                    let parent_rows = TABLES
+                        .iter()
+                        .position(|t| *t == parent)
+                        .and_then(|i| row_counts.get(i).copied())
+                        .unwrap_or(0);
+                    if rng.gen_bool(0.1) {
+                        Value::Null
+                    } else {
+                        // 0 and parent_rows + 1 are deliberate misses.
+                        Value::Int(rng.gen_range(0..=parent_rows + 1))
+                    }
+                } else if rng.gen_bool(0.1) {
+                    Value::Null
+                } else {
+                    match col.sql_type() {
+                        SqlType::Integer => Value::Int(rng.gen_range(-9..=9i64)),
+                        SqlType::Float => Value::Float(rng.gen_range(-8..=8i64) as f64 * 0.5),
+                        SqlType::Text => {
+                            Value::Text(TEXTS.choose(rng).expect("non-empty").to_string())
+                        }
+                        SqlType::Boolean => Value::Bool(rng.gen_bool(0.5)),
+                    }
+                };
+                row.push(v);
+            }
+            trows.push(row);
+        }
+        row_counts.push(rows);
+        out.push((table.name().to_string(), trows));
+    }
+    out
+}
+
+/// A column of a concrete table, with the reference form queries use.
+#[derive(Clone)]
+struct ColInfo {
+    cref: ColumnRef,
+    ty: SqlType,
+}
+
+fn table_cols(schema: &Schema, table: &str, qualified: bool) -> Vec<ColInfo> {
+    let t = schema.table_by_name(table).expect("known table");
+    t.columns()
+        .iter()
+        .map(|c| ColInfo {
+            cref: if qualified {
+                ColumnRef::qualified(table, c.name())
+            } else {
+                ColumnRef::unqualified(c.name())
+            },
+            ty: c.sql_type(),
+        })
+        .collect()
+}
+
+/// A literal whose type matches `ty` exactly (the analyzer warns on
+/// cross-type numeric comparisons, and the well-formedness invariant
+/// demands zero warnings). The float pool deliberately includes values
+/// whose shortest decimal rendering is long or non-obvious.
+pub(crate) fn literal(rng: &mut Rng, ty: SqlType) -> Value {
+    match ty {
+        SqlType::Integer => {
+            if rng.gen_bool(0.85) {
+                Value::Int(rng.gen_range(-9..=9i64))
+            } else {
+                [
+                    Value::Int(i64::MAX),
+                    Value::Int(i64::MIN),
+                    Value::Int(1_000_000_007),
+                    Value::Int(-999_999_937),
+                ]
+                .choose(rng)
+                .expect("non-empty")
+                .clone()
+            }
+        }
+        SqlType::Float => {
+            if rng.gen_bool(0.8) {
+                Value::Float(rng.gen_range(-8..=8i64) as f64 * 0.5)
+            } else {
+                [
+                    Value::Float(0.1 + 0.2),
+                    Value::Float(1e-7),
+                    Value::Float(f64::EPSILON),
+                    Value::Float(1e19),
+                    Value::Float(-2.5e16),
+                ]
+                .choose(rng)
+                .expect("non-empty")
+                .clone()
+            }
+        }
+        SqlType::Text => Value::Text(TEXTS.choose(rng).expect("non-empty").to_string()),
+        SqlType::Boolean => Value::Bool(rng.gen_bool(0.5)),
+    }
+}
+
+fn cmp_op(rng: &mut Rng, ty: SqlType) -> CmpOp {
+    if ty.is_numeric() || ty.is_text() {
+        // Text ordering comparisons are legal in the dialect (lexicographic)
+        // but we keep text to Eq/NotEq to match the analyzer's notion of
+        // typical queries; numerics get the full operator set.
+        if ty.is_numeric() {
+            *[
+                CmpOp::Eq,
+                CmpOp::NotEq,
+                CmpOp::Lt,
+                CmpOp::LtEq,
+                CmpOp::Gt,
+                CmpOp::GtEq,
+            ]
+            .choose(rng)
+            .expect("non-empty")
+        } else {
+            *[CmpOp::Eq, CmpOp::NotEq].choose(rng).expect("non-empty")
+        }
+    } else {
+        *[CmpOp::Eq, CmpOp::NotEq].choose(rng).expect("non-empty")
+    }
+}
+
+/// One leaf predicate over a random column from `cols`.
+fn leaf_pred(rng: &mut Rng, cols: &[ColInfo]) -> Pred {
+    let c = cols.choose(rng).expect("non-empty cols").clone();
+    let choice = rng.gen_range(0..100u32);
+    match c.ty {
+        SqlType::Text if choice < 25 => Pred::Like {
+            col: c.cref,
+            pattern: Scalar::Literal(Value::Text(
+                ["%e%", "r_d", "%", "%'s", "1__%"]
+                    .choose(rng)
+                    .expect("non-empty")
+                    .to_string(),
+            )),
+            negated: rng.gen_bool(0.3),
+        },
+        _ if choice < 15 => Pred::IsNull {
+            col: c.cref,
+            negated: rng.gen_bool(0.5),
+        },
+        _ if choice < 35 && c.ty.is_numeric() => {
+            let low = literal(rng, c.ty);
+            let high = literal(rng, c.ty);
+            Pred::Between {
+                col: c.cref,
+                low: Scalar::Literal(low),
+                high: Scalar::Literal(high),
+            }
+        }
+        _ if choice < 55 => {
+            let n = rng.gen_range(1..=3usize);
+            let values = (0..n)
+                .map(|_| Scalar::Literal(literal(rng, c.ty)))
+                .collect();
+            Pred::InList {
+                col: c.cref,
+                values,
+                negated: rng.gen_bool(0.3),
+            }
+        }
+        _ => {
+            let op = cmp_op(rng, c.ty);
+            let lit = Scalar::Literal(literal(rng, c.ty));
+            let col = Scalar::Column(c.cref);
+            if rng.gen_bool(0.12) {
+                // Literal-on-the-left form: printable, parseable, and
+                // normalized by the canonicalizer's compare flip.
+                Pred::Compare {
+                    left: lit,
+                    op: op.flipped(),
+                    right: col,
+                }
+            } else {
+                Pred::Compare {
+                    left: col,
+                    op,
+                    right: lit,
+                }
+            }
+        }
+    }
+}
+
+/// A WHERE predicate: a leaf, or one level of AND/OR/NOT composition
+/// (never a same-connective nesting, so the parse tree is exact).
+fn where_pred(rng: &mut Rng, cols: &[ColInfo]) -> Pred {
+    match rng.gen_range(0..100u32) {
+        0..=54 => leaf_pred(rng, cols),
+        55..=69 => Pred::And(vec![leaf_pred(rng, cols), leaf_pred(rng, cols)]),
+        70..=79 => Pred::Or(vec![leaf_pred(rng, cols), leaf_pred(rng, cols)]),
+        80..=87 => Pred::Not(Box::new(leaf_pred(rng, cols))),
+        88..=93 => Pred::And(vec![
+            leaf_pred(rng, cols),
+            Pred::Or(vec![leaf_pred(rng, cols), leaf_pred(rng, cols)]),
+        ]),
+        _ => Pred::Or(vec![
+            Pred::And(vec![leaf_pred(rng, cols), leaf_pred(rng, cols)]),
+            leaf_pred(rng, cols),
+        ]),
+    }
+}
+
+/// Distinct plain columns for a select list.
+fn pick_select_cols(rng: &mut Rng, cols: &[ColInfo], max: usize) -> Vec<ColInfo> {
+    let n = rng.gen_range(1..=max.min(cols.len()));
+    cols.choose_multiple(rng, n).cloned().collect()
+}
+
+/// Generate one well-formed query against `schema`.
+///
+/// Shapes: plain single-table selects (with DISTINCT / ORDER BY / LIMIT
+/// flavors), grouped and global aggregates, FK equi-joins, and the three
+/// subquery forms the dialect supports (scalar-aggregate comparison,
+/// `IN (subquery)`, `EXISTS`).
+pub fn gen_query(rng: &mut Rng, schema: &Schema) -> Query {
+    let has_fk = !schema.foreign_keys().is_empty();
+    let shape = rng.gen_range(0..100u32);
+    if shape < 40 {
+        plain_query(rng, schema)
+    } else if shape < 60 {
+        aggregate_query(rng, schema)
+    } else if shape < 75 && has_fk {
+        join_query(rng, schema)
+    } else if shape < 90 {
+        subquery_query(rng, schema)
+    } else {
+        plain_query(rng, schema)
+    }
+}
+
+fn pick_table<'a>(rng: &mut Rng, schema: &'a Schema) -> &'a str {
+    schema
+        .tables()
+        .choose(rng)
+        .expect("schema has tables")
+        .name()
+}
+
+fn plain_query(rng: &mut Rng, schema: &Schema) -> Query {
+    let table = pick_table(rng, schema).to_string();
+    let cols = table_cols(schema, &table, false);
+    let star = rng.gen_bool(0.3);
+    let select: Vec<SelectItem> = if star {
+        vec![SelectItem::Star]
+    } else {
+        pick_select_cols(rng, &cols, 2)
+            .into_iter()
+            .map(|c| SelectItem::Column(c.cref))
+            .collect()
+    };
+    // DISTINCT with `SELECT *` would make every ORDER BY key "not in the
+    // select list" for the analyzer, so DISTINCT implies named columns.
+    let distinct = !star && rng.gen_bool(0.15);
+    let mut q = Query {
+        distinct,
+        select: select.clone(),
+        from: FromClause::table(&table),
+        where_pred: rng.gen_bool(0.7).then(|| where_pred(rng, &cols)),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    };
+    if rng.gen_bool(0.4) {
+        // Under DISTINCT, order keys must come from the select list.
+        let pool: Vec<ColumnRef> = if distinct {
+            select
+                .iter()
+                .filter_map(|s| match s {
+                    SelectItem::Column(c) => Some(c.clone()),
+                    _ => None,
+                })
+                .collect()
+        } else {
+            cols.iter().map(|c| c.cref.clone()).collect()
+        };
+        let n = rng.gen_range(1..=2usize.min(pool.len()));
+        for c in pool.choose_multiple(rng, n) {
+            let dir = if rng.gen_bool(0.5) {
+                OrderDir::Asc
+            } else {
+                OrderDir::Desc
+            };
+            q.order_by.push((OrderKey::Column(c.clone()), dir));
+        }
+    }
+    if rng.gen_bool(0.25) {
+        // LIMIT 0 is engine-legal but draws the analyzer's W0501; the
+        // well-formedness invariant is "zero diagnostics", so start at 1.
+        q.limit = Some(rng.gen_range(1..=5u64));
+    }
+    q
+}
+
+/// An aggregate whose output type is known, for HAVING literal matching.
+fn pick_aggregate(rng: &mut Rng, cols: &[ColInfo]) -> (SelectItem, SqlType) {
+    let numeric: Vec<&ColInfo> = cols.iter().filter(|c| c.ty.is_numeric()).collect();
+    match rng.gen_range(0..5u32) {
+        0 => (
+            SelectItem::Aggregate(AggFunc::Count, AggArg::Star),
+            SqlType::Integer,
+        ),
+        1 => {
+            let c = cols.choose(rng).expect("non-empty");
+            (
+                SelectItem::Aggregate(AggFunc::Count, AggArg::Column(c.cref.clone())),
+                SqlType::Integer,
+            )
+        }
+        2 => {
+            let c = numeric.choose(rng).expect("always has id");
+            (
+                SelectItem::Aggregate(AggFunc::Sum, AggArg::Column(c.cref.clone())),
+                c.ty,
+            )
+        }
+        3 => {
+            let c = numeric.choose(rng).expect("always has id");
+            (
+                SelectItem::Aggregate(AggFunc::Avg, AggArg::Column(c.cref.clone())),
+                SqlType::Float,
+            )
+        }
+        _ => {
+            let f = if rng.gen_bool(0.5) {
+                AggFunc::Min
+            } else {
+                AggFunc::Max
+            };
+            let c = cols.choose(rng).expect("non-empty");
+            (
+                SelectItem::Aggregate(f, AggArg::Column(c.cref.clone())),
+                c.ty,
+            )
+        }
+    }
+}
+
+fn aggregate_query(rng: &mut Rng, schema: &Schema) -> Query {
+    let table = pick_table(rng, schema).to_string();
+    let cols = table_cols(schema, &table, false);
+    let (agg, agg_ty) = pick_aggregate(rng, &cols);
+    let grouped = rng.gen_bool(0.55);
+    if !grouped {
+        // Global aggregate: a single aggregate select, nothing else.
+        return Query {
+            distinct: false,
+            select: vec![agg],
+            from: FromClause::table(&table),
+            where_pred: rng.gen_bool(0.5).then(|| where_pred(rng, &cols)),
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+        };
+    }
+    let key = cols.choose(rng).expect("non-empty").clone();
+    let mut select = vec![SelectItem::Column(key.cref.clone()), agg.clone()];
+    if rng.gen_bool(0.3) {
+        select.swap(0, 1);
+    }
+    let having = rng.gen_bool(0.35).then(|| {
+        let (SelectItem::Aggregate(f, arg), ty) = pick_aggregate(rng, &cols) else {
+            unreachable!("pick_aggregate returns aggregates");
+        };
+        Pred::Compare {
+            left: Scalar::Aggregate(f, arg),
+            op: cmp_op(rng, ty),
+            right: Scalar::Literal(literal(rng, ty)),
+        }
+    });
+    let mut order_by = Vec::new();
+    if rng.gen_bool(0.4) {
+        let dir = if rng.gen_bool(0.5) {
+            OrderDir::Asc
+        } else {
+            OrderDir::Desc
+        };
+        let key_order = rng.gen_bool(0.5);
+        if key_order {
+            order_by.push((OrderKey::Column(key.cref.clone()), dir));
+        } else if let SelectItem::Aggregate(f, arg) = &agg {
+            order_by.push((OrderKey::Aggregate(*f, arg.clone()), dir));
+        }
+    }
+    let _ = agg_ty;
+    Query {
+        distinct: false,
+        select,
+        from: FromClause::table(&table),
+        where_pred: rng.gen_bool(0.5).then(|| where_pred(rng, &cols)),
+        group_by: vec![key.cref],
+        having,
+        order_by,
+        limit: rng.gen_bool(0.25).then(|| rng.gen_range(1..=5u64)),
+    }
+}
+
+fn join_query(rng: &mut Rng, schema: &Schema) -> Query {
+    let fk = schema
+        .foreign_keys()
+        .choose(rng)
+        .expect("caller checked has_fk");
+    let child_t = schema.table(fk.from.table).name().to_string();
+    let child_c = schema.column(fk.from).name().to_string();
+    let parent_t = schema.table(fk.to.table).name().to_string();
+    let parent_c = schema.column(fk.to).name().to_string();
+
+    let mut tables = vec![child_t.clone(), parent_t.clone()];
+    if rng.gen_bool(0.5) {
+        tables.swap(0, 1);
+    }
+    let mut all_cols = table_cols(schema, &child_t, true);
+    all_cols.extend(table_cols(schema, &parent_t, true));
+
+    let equi = {
+        let left = Scalar::Column(ColumnRef::qualified(&child_t, &child_c));
+        let right = Scalar::Column(ColumnRef::qualified(&parent_t, &parent_c));
+        if rng.gen_bool(0.5) {
+            Pred::Compare {
+                left: right.clone(),
+                op: CmpOp::Eq,
+                right: left,
+            }
+        } else {
+            Pred::Compare {
+                left,
+                op: CmpOp::Eq,
+                right,
+            }
+        }
+    };
+    let where_pred = if rng.gen_bool(0.6) {
+        Pred::and(vec![equi, leaf_pred(rng, &all_cols)])
+    } else {
+        equi
+    };
+
+    let select: Vec<SelectItem> = if rng.gen_bool(0.15) {
+        vec![SelectItem::Star]
+    } else {
+        pick_select_cols(rng, &all_cols, 2)
+            .into_iter()
+            .map(|c| SelectItem::Column(c.cref))
+            .collect()
+    };
+    let mut order_by = Vec::new();
+    if rng.gen_bool(0.3) {
+        let c = all_cols.choose(rng).expect("non-empty");
+        let dir = if rng.gen_bool(0.5) {
+            OrderDir::Asc
+        } else {
+            OrderDir::Desc
+        };
+        order_by.push((OrderKey::Column(c.cref.clone()), dir));
+    }
+    Query {
+        distinct: false,
+        select,
+        from: FromClause::Tables(tables),
+        where_pred: Some(where_pred),
+        group_by: Vec::new(),
+        having: None,
+        order_by,
+        limit: rng.gen_bool(0.2).then(|| rng.gen_range(1..=5u64)),
+    }
+}
+
+fn subquery_query(rng: &mut Rng, schema: &Schema) -> Query {
+    let outer_t = pick_table(rng, schema).to_string();
+    let outer_cols = table_cols(schema, &outer_t, false);
+    let inner_t = pick_table(rng, schema).to_string();
+    let inner_cols = table_cols(schema, &inner_t, false);
+
+    let inner_where = |rng: &mut Rng| {
+        rng.gen_bool(0.6)
+            .then(|| leaf_pred(rng, &inner_cols))
+    };
+
+    let sub_pred = match rng.gen_range(0..3u32) {
+        0 => {
+            // Scalar-aggregate comparison: the aggregate's output type must
+            // exactly match the outer column's type (W0201 otherwise).
+            let outer_c = outer_cols
+                .iter()
+                .filter(|c| c.ty.is_numeric())
+                .collect::<Vec<_>>()
+                .choose(rng)
+                .map(|c| (*c).clone())
+                .expect("id is always numeric");
+            let inner_numeric: Vec<&ColInfo> =
+                inner_cols.iter().filter(|c| c.ty.is_numeric()).collect();
+            let (f, arg) = if outer_c.ty == SqlType::Float {
+                let c = inner_numeric.choose(rng).expect("id is numeric");
+                (AggFunc::Avg, AggArg::Column(c.cref.clone()))
+            } else {
+                let int_cols: Vec<&&ColInfo> = inner_numeric
+                    .iter()
+                    .filter(|c| c.ty == SqlType::Integer)
+                    .collect();
+                let c = **int_cols.choose(rng).expect("id is Integer");
+                match rng.gen_range(0..3u32) {
+                    0 => (AggFunc::Count, AggArg::Star),
+                    1 => (AggFunc::Sum, AggArg::Column(c.cref.clone())),
+                    _ => (
+                        if rng.gen_bool(0.5) {
+                            AggFunc::Min
+                        } else {
+                            AggFunc::Max
+                        },
+                        AggArg::Column(c.cref.clone()),
+                    ),
+                }
+            };
+            let inner = Query {
+                distinct: false,
+                select: vec![SelectItem::Aggregate(f, arg)],
+                from: FromClause::table(&inner_t),
+                where_pred: inner_where(rng),
+                group_by: Vec::new(),
+                having: None,
+                order_by: Vec::new(),
+                limit: None,
+            };
+            Pred::Compare {
+                left: Scalar::Column(outer_c.cref),
+                op: cmp_op(rng, outer_c.ty),
+                right: Scalar::Subquery(Box::new(inner)),
+            }
+        }
+        1 => {
+            // col IN (SELECT col2 FROM inner): types must match exactly.
+            let pairs: Vec<(ColInfo, ColInfo)> = outer_cols
+                .iter()
+                .flat_map(|oc| {
+                    inner_cols
+                        .iter()
+                        .filter(|ic| ic.ty == oc.ty)
+                        .map(|ic| (oc.clone(), ic.clone()))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            // Every table has an Integer id, so pairs is never empty.
+            let (oc, ic) = pairs.choose(rng).expect("id pairs always exist").clone();
+            let inner = Query {
+                distinct: rng.gen_bool(0.2),
+                select: vec![SelectItem::Column(ic.cref)],
+                from: FromClause::table(&inner_t),
+                where_pred: inner_where(rng),
+                group_by: Vec::new(),
+                having: None,
+                order_by: Vec::new(),
+                limit: None,
+            };
+            Pred::InSubquery {
+                col: oc.cref,
+                query: Box::new(inner),
+                negated: rng.gen_bool(0.3),
+            }
+        }
+        _ => {
+            let inner = Query {
+                distinct: false,
+                select: vec![SelectItem::Star],
+                from: FromClause::table(&inner_t),
+                where_pred: inner_where(rng),
+                group_by: Vec::new(),
+                having: None,
+                order_by: Vec::new(),
+                limit: None,
+            };
+            Pred::Exists {
+                query: Box::new(inner),
+                negated: rng.gen_bool(0.3),
+            }
+        }
+    };
+
+    let where_pred = if rng.gen_bool(0.4) {
+        Pred::and(vec![sub_pred, leaf_pred(rng, &outer_cols)])
+    } else {
+        sub_pred
+    };
+    let select = pick_select_cols(rng, &outer_cols, 2)
+        .into_iter()
+        .map(|c| SelectItem::Column(c.cref))
+        .collect();
+    Query {
+        distinct: false,
+        select,
+        from: FromClause::table(&outer_t),
+        where_pred: Some(where_pred),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: rng.gen_bool(0.2).then(|| rng.gen_range(1..=5u64)),
+    }
+}

@@ -1,0 +1,241 @@
+//! Fault seeding and equivalence-preserving shuffles.
+//!
+//! [`seed_faults`] injects deliberate semantic breakage into a
+//! well-formed query; the analyzer-coherence oracle demands a diagnostic
+//! with one of the expected codes for each. [`shuffle_equivalent`]
+//! reorders commutative structure (AND/OR operands, IN lists, FROM
+//! tables, select lists, comparison sides) without changing meaning; the
+//! canonicalizer oracle demands the shuffle's canonical form — and its
+//! result multiset — stay identical to the original's.
+
+use dbpal_schema::{SqlType, Value};
+use dbpal_sql::{FromClause, Pred, Query, Scalar, SelectItem};
+use dbpal_util::{Rng, SliceRandom};
+
+/// The kinds of fault the mutator can seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Rename a referenced column to one the schema does not have.
+    BadColumn,
+    /// Rename a FROM table to one the schema does not have.
+    BadTable,
+    /// Replace a comparison literal with an incompatible type.
+    TypeMismatch,
+    /// Remove the equi-join predicate from a two-table query.
+    BrokenJoin,
+}
+
+impl FaultKind {
+    /// Short stable name used in corpus cases and findings.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::BadColumn => "bad-column",
+            FaultKind::BadTable => "bad-table",
+            FaultKind::TypeMismatch => "type-mismatch",
+            FaultKind::BrokenJoin => "broken-join",
+        }
+    }
+
+    /// Diagnostic codes (by id) that legitimately flag this fault.
+    pub fn expected_codes(self) -> &'static [&'static str] {
+        match self {
+            // A bad name can surface as unresolved or (if qualified with a
+            // now-unknown table) as table-not-in-scope.
+            FaultKind::BadColumn => &["E0101", "E0104"],
+            FaultKind::BadTable => &["E0102", "E0104", "E0101"],
+            FaultKind::TypeMismatch => &["E0201"],
+            FaultKind::BrokenJoin => &["W0301", "E0301", "E0302"],
+        }
+    }
+}
+
+/// First column reference in select order, if any.
+fn first_select_col(q: &Query) -> Option<usize> {
+    q.select
+        .iter()
+        .position(|s| matches!(s, SelectItem::Column(_)))
+}
+
+/// Seed every applicable fault into `q`, returning the mutated queries
+/// with the kind that was injected. Deterministic: no RNG involved.
+pub fn seed_faults(q: &Query) -> Vec<(Query, FaultKind)> {
+    let mut out = Vec::new();
+
+    // Bad column: rename the first selected column, or the first group-by
+    // key when the select is all stars/aggregates.
+    if let Some(i) = first_select_col(q) {
+        let mut m = q.clone();
+        if let SelectItem::Column(c) = &mut m.select[i] {
+            c.column = "zzz_missing".to_string();
+        }
+        out.push((m, FaultKind::BadColumn));
+    } else if !q.group_by.is_empty() {
+        let mut m = q.clone();
+        m.group_by[0].column = "zzz_missing".to_string();
+        out.push((m, FaultKind::BadColumn));
+    }
+
+    // Bad table: rename the first FROM table.
+    if let FromClause::Tables(ts) = &q.from {
+        if !ts.is_empty() {
+            let mut m = q.clone();
+            if let FromClause::Tables(ts) = &mut m.from {
+                ts[0] = "zzz_table".to_string();
+            }
+            out.push((m, FaultKind::BadTable));
+        }
+    }
+
+    // Type mismatch: swap the first typed comparison literal for a value
+    // of a guaranteed-incompatible type.
+    if let Some(p) = &q.where_pred {
+        let mut mutated = p.clone();
+        if poison_first_literal(&mut mutated) {
+            let mut m = q.clone();
+            m.where_pred = Some(mutated);
+            out.push((m, FaultKind::TypeMismatch));
+        }
+    }
+
+    // Broken join: drop the column=column equi-join from a two-table query.
+    if q.from.tables().len() >= 2 {
+        if let Some(p) = &q.where_pred {
+            if let Some(stripped) = strip_equijoin(p) {
+                let mut m = q.clone();
+                m.where_pred = stripped;
+                out.push((m, FaultKind::BrokenJoin));
+            }
+        }
+    }
+
+    out
+}
+
+/// Replace the first `col <op> literal` literal with an incompatible
+/// type. Returns false when the predicate has no such comparison.
+fn poison_first_literal(p: &mut Pred) -> bool {
+    match p {
+        Pred::And(ps) | Pred::Or(ps) => ps.iter_mut().any(poison_first_literal),
+        Pred::Not(p) => poison_first_literal(p),
+        Pred::Compare { left, right, .. } => {
+            let lit_side = match (&*left, &*right) {
+                (Scalar::Column(_), Scalar::Literal(v)) => v.sql_type().map(|t| (false, t)),
+                (Scalar::Literal(v), Scalar::Column(_)) => v.sql_type().map(|t| (true, t)),
+                _ => None,
+            };
+            match lit_side {
+                Some((poison_left, ty)) => {
+                    let poison = if ty == SqlType::Text {
+                        Scalar::Literal(Value::Int(1))
+                    } else {
+                        Scalar::Literal(Value::Text("oops".into()))
+                    };
+                    if poison_left {
+                        *left = poison;
+                    } else {
+                        *right = poison;
+                    }
+                    true
+                }
+                None => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Remove the first column=column comparison from the top-level
+/// conjunction. `Some(None)` means the whole WHERE clause was the join.
+fn strip_equijoin(p: &Pred) -> Option<Option<Pred>> {
+    let is_equijoin = |p: &Pred| {
+        matches!(
+            p,
+            Pred::Compare {
+                left: Scalar::Column(_),
+                op: dbpal_sql::CmpOp::Eq,
+                right: Scalar::Column(_),
+            }
+        )
+    };
+    match p {
+        Pred::And(ps) => {
+            let idx = ps.iter().position(is_equijoin)?;
+            let rest: Vec<Pred> = ps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != idx)
+                .map(|(_, p)| p.clone())
+                .collect();
+            Some(Some(Pred::and(rest)))
+        }
+        p if is_equijoin(p) => Some(None),
+        _ => None,
+    }
+}
+
+/// Produce a semantically identical query by shuffling commutative
+/// structure. The canonicalizer must map the result to the same
+/// [`dbpal_sql::CanonicalForm`] as the input.
+pub fn shuffle_equivalent(rng: &mut Rng, q: &Query) -> Query {
+    let mut m = q.clone();
+    if m.select.len() > 1 {
+        m.select.shuffle(rng);
+    }
+    // FROM order is semantic under `SELECT *` (it fixes the expanded
+    // column order) and under LIMIT (it picks which cross-product rows
+    // survive), so only shuffle it when neither applies.
+    let from_order_semantic =
+        m.select.iter().any(|s| matches!(s, SelectItem::Star)) || m.limit.is_some();
+    if let FromClause::Tables(ts) = &mut m.from {
+        if ts.len() > 1 && !from_order_semantic {
+            ts.shuffle(rng);
+        }
+    }
+    if m.group_by.len() > 1 {
+        m.group_by.shuffle(rng);
+    }
+    if let Some(p) = &mut m.where_pred {
+        shuffle_pred(rng, p);
+    }
+    if let Some(p) = &mut m.having {
+        shuffle_pred(rng, p);
+    }
+    m
+}
+
+fn shuffle_pred(rng: &mut Rng, p: &mut Pred) {
+    match p {
+        Pred::And(ps) | Pred::Or(ps) => {
+            ps.shuffle(rng);
+            for p in ps {
+                shuffle_pred(rng, p);
+            }
+        }
+        Pred::Not(p) => shuffle_pred(rng, p),
+        Pred::Compare { left, op, right } => {
+            shuffle_scalar(rng, left);
+            shuffle_scalar(rng, right);
+            if rng.gen_bool(0.4) {
+                std::mem::swap(left, right);
+                *op = op.flipped();
+            }
+        }
+        Pred::InList { values, .. } => values.shuffle(rng),
+        Pred::InSubquery { query, .. } | Pred::Exists { query, .. } => {
+            let shuffled = shuffle_equivalent(rng, query);
+            **query = shuffled;
+        }
+        Pred::Between { low, high, .. } => {
+            shuffle_scalar(rng, low);
+            shuffle_scalar(rng, high);
+        }
+        Pred::Like { .. } | Pred::IsNull { .. } => {}
+    }
+}
+
+fn shuffle_scalar(rng: &mut Rng, s: &mut Scalar) {
+    if let Scalar::Subquery(q) = s {
+        let shuffled = shuffle_equivalent(rng, q);
+        **q = shuffled;
+    }
+}

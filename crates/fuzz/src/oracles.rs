@@ -1,0 +1,130 @@
+//! The three differential oracles.
+//!
+//! Each check returns `Ok(())` or a human-readable violation description
+//! (the driver attaches query text and iteration metadata). Checks never
+//! panic on well-formed input; a panic in the stack under test is itself
+//! a finding, surfaced loudly with the failing seed by the driver's
+//! caller.
+
+use dbpal_analyze::Analyzer;
+use dbpal_engine::{Database, ResultSet};
+use dbpal_schema::Schema;
+use dbpal_sql::{parse_query, CanonicalForm, Query};
+
+use crate::mutate::FaultKind;
+
+/// Oracle 1 — roundtrip: printing and reparsing must reproduce the AST
+/// exactly. (The generator never emits nested same-connective AND/OR, so
+/// the usual "up to `Pred::and` flattening" caveat does not apply.)
+pub fn check_roundtrip(q: &Query) -> Result<(), String> {
+    let printed = q.to_string();
+    match parse_query(&printed) {
+        Err(e) => Err(format!("printed SQL fails to reparse ({e}): `{printed}`")),
+        Ok(reparsed) if &reparsed != q => Err(format!(
+            "reparse produced a different AST for `{printed}`: {reparsed:?} vs {q:?}"
+        )),
+        Ok(_) => Ok(()),
+    }
+}
+
+/// Oracle 2a — canonicalization must not change a query's results: the
+/// canonical query executes successfully and returns a result multiset
+/// semantically equal (modulo column order) to the original's.
+pub fn check_canonical_preserves(db: &Database, q: &Query) -> Result<(), String> {
+    let base = execute(db, q)?;
+    let canon = CanonicalForm::of(q);
+    let canon_res = db.execute(canon.query()).map_err(|e| {
+        format!(
+            "canonical form fails to execute ({e}): `{}`",
+            canon.query()
+        )
+    })?;
+    if !base.semantically_equal(&canon_res) {
+        return Err(format!(
+            "canonicalization changed results: `{q}` vs canonical `{}` ({} vs {} rows)",
+            canon.query(),
+            base.row_count(),
+            canon_res.row_count()
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 2b — two queries with equal canonical forms must return
+/// semantically equal results. `expect_equal_forms` additionally demands
+/// the forms match (used for shuffle-derived pairs, where inequality is
+/// itself a canonicalizer bug).
+pub fn check_canonical_pair(
+    db: &Database,
+    a: &Query,
+    b: &Query,
+    expect_equal_forms: bool,
+) -> Result<(), String> {
+    let fa = CanonicalForm::of(a);
+    let fb = CanonicalForm::of(b);
+    if fa != fb {
+        if expect_equal_forms {
+            return Err(format!(
+                "equivalent shuffle canonicalizes differently: `{a}` -> `{}` but `{b}` -> `{}`",
+                fa.rendered(),
+                fb.rendered()
+            ));
+        }
+        return Ok(());
+    }
+    let ra = execute(db, a)?;
+    let rb = execute(db, b)?;
+    if !ra.semantically_equal(&rb) {
+        return Err(format!(
+            "same canonical form, different results: `{a}` ({} rows) vs `{b}` ({} rows)",
+            ra.row_count(),
+            rb.row_count()
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 3a — generator-produced queries analyze completely clean
+/// (no errors *and* no warnings) against their schema.
+pub fn check_analyzer_clean(schema: &Schema, q: &Query) -> Result<(), String> {
+    let diags = Analyzer::new(schema).analyze(q);
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        let codes: Vec<String> = diags
+            .iter()
+            .map(|d| format!("{} {}", d.code.id(), d.message))
+            .collect();
+        Err(format!(
+            "well-formed query drew diagnostics [{}]: `{q}`",
+            codes.join("; ")
+        ))
+    }
+}
+
+/// Oracle 3b — a fault-seeded mutation must trip at least one diagnostic
+/// with a code the fault kind expects.
+pub fn check_mutation_flagged(
+    schema: &Schema,
+    mutated: &Query,
+    fault: FaultKind,
+) -> Result<(), String> {
+    let diags = Analyzer::new(schema).analyze(mutated);
+    let expected = fault.expected_codes();
+    if diags.iter().any(|d| expected.contains(&d.code.id())) {
+        Ok(())
+    } else {
+        let got: Vec<&str> = diags.iter().map(|d| d.code.id()).collect();
+        Err(format!(
+            "{} mutation not flagged (expected one of {expected:?}, got {got:?}): `{mutated}`",
+            fault.name()
+        ))
+    }
+}
+
+/// Execute, mapping engine errors to violations: the generator's
+/// well-formedness invariant says every generated query runs.
+fn execute(db: &Database, q: &Query) -> Result<ResultSet, String> {
+    db.execute(q)
+        .map_err(|e| format!("engine rejected well-formed query ({e}): `{q}`"))
+}

@@ -1,0 +1,269 @@
+//! Greedy minimizing shrinker for failing queries.
+//!
+//! Strategy: repeatedly generate simplification candidates in a fixed
+//! deterministic order — drop whole clauses first (LIMIT, ORDER BY,
+//! HAVING, DISTINCT, WHERE), then structural reductions (replace a
+//! connective by one operand, unwrap NOT, drop select items, IN-list
+//! values, FROM tables, join predicates), then literal shrinking (toward
+//! `0` / `0.0` / `""`) — and greedily accept the first candidate that
+//! still fails the oracle. Fixpoint iteration with a bounded attempt
+//! budget keeps worst-case shrinking cheap.
+
+use dbpal_schema::Value;
+use dbpal_sql::{FromClause, Pred, Query, Scalar};
+
+/// Shrink `q` while `fails` keeps returning true, returning the smallest
+/// failing query found. `fails(&q)` is assumed true on entry.
+pub fn shrink_query(q: &Query, mut fails: impl FnMut(&Query) -> bool) -> Query {
+    let mut current = q.clone();
+    let mut budget = 500usize;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if cand != current && fails(&cand) {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// All one-step simplifications of `q`, most aggressive first.
+fn candidates(q: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+
+    if q.limit.is_some() {
+        let mut c = q.clone();
+        c.limit = None;
+        out.push(c);
+    }
+    if !q.order_by.is_empty() {
+        let mut c = q.clone();
+        c.order_by.clear();
+        out.push(c);
+    }
+    if q.having.is_some() {
+        let mut c = q.clone();
+        c.having = None;
+        out.push(c);
+    }
+    if q.distinct {
+        let mut c = q.clone();
+        c.distinct = false;
+        out.push(c);
+    }
+    if q.where_pred.is_some() {
+        let mut c = q.clone();
+        c.where_pred = None;
+        out.push(c);
+    }
+
+    // Replace the WHERE/HAVING predicate by each structural reduction.
+    if let Some(p) = &q.where_pred {
+        for r in pred_reductions(p) {
+            let mut c = q.clone();
+            c.where_pred = Some(r);
+            out.push(c);
+        }
+    }
+    if let Some(p) = &q.having {
+        for r in pred_reductions(p) {
+            let mut c = q.clone();
+            c.having = Some(r);
+            out.push(c);
+        }
+    }
+
+    // Drop select items (keep at least one).
+    if q.select.len() > 1 {
+        for i in 0..q.select.len() {
+            let mut c = q.clone();
+            c.select.remove(i);
+            out.push(c);
+        }
+    }
+
+    // Drop FROM tables (keep at least one).
+    if let FromClause::Tables(ts) = &q.from {
+        if ts.len() > 1 {
+            for i in 0..ts.len() {
+                let mut c = q.clone();
+                if let FromClause::Tables(ts) = &mut c.from {
+                    ts.remove(i);
+                }
+                out.push(c);
+            }
+        }
+    }
+
+    // Shrink one literal at a time toward a zero value.
+    let n_lits = count_literals(q);
+    for i in 0..n_lits {
+        if let Some(c) = shrink_literal_at(q, i) {
+            out.push(c);
+        }
+    }
+
+    out
+}
+
+/// Structural reductions of a predicate: replace connectives by single
+/// operands, unwrap NOT, shorten IN lists, and recurse one level.
+fn pred_reductions(p: &Pred) -> Vec<Pred> {
+    let mut out = Vec::new();
+    match p {
+        Pred::And(ps) | Pred::Or(ps) => {
+            for op in ps {
+                out.push(op.clone());
+            }
+            if ps.len() > 2 {
+                for i in 0..ps.len() {
+                    let rest: Vec<Pred> = ps
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, p)| p.clone())
+                        .collect();
+                    out.push(match p {
+                        Pred::And(_) => Pred::And(rest),
+                        _ => Pred::Or(rest),
+                    });
+                }
+            }
+            // Recurse: reduce one operand in place.
+            for (i, op) in ps.iter().enumerate() {
+                for r in pred_reductions(op) {
+                    let mut ops: Vec<Pred> = ps.clone();
+                    ops[i] = r;
+                    out.push(match p {
+                        Pred::And(_) => Pred::And(ops),
+                        _ => Pred::Or(ops),
+                    });
+                }
+            }
+        }
+        Pred::Not(inner) => {
+            out.push((**inner).clone());
+            for r in pred_reductions(inner) {
+                out.push(Pred::Not(Box::new(r)));
+            }
+        }
+        Pred::InList {
+            col,
+            values,
+            negated,
+        } => {
+            if values.len() > 1 {
+                for i in 0..values.len() {
+                    let mut vs = values.clone();
+                    vs.remove(i);
+                    out.push(Pred::InList {
+                        col: col.clone(),
+                        values: vs,
+                        negated: *negated,
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Walk every literal in the query in deterministic order, applying `f`
+/// to literal number `target`; returns whether the target was reached.
+fn visit_literals(q: &mut Query, counter: &mut usize, target: usize, changed: &mut bool) {
+    fn scalar(s: &mut Scalar, counter: &mut usize, target: usize, changed: &mut bool) {
+        match s {
+            Scalar::Literal(v) => {
+                if *counter == target {
+                    if let Some(smaller) = shrink_value(v) {
+                        *v = smaller;
+                        *changed = true;
+                    }
+                }
+                *counter += 1;
+            }
+            Scalar::Subquery(q) => visit_literals(q, counter, target, changed),
+            _ => {}
+        }
+    }
+    fn pred(p: &mut Pred, counter: &mut usize, target: usize, changed: &mut bool) {
+        match p {
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    pred(p, counter, target, changed);
+                }
+            }
+            Pred::Not(p) => pred(p, counter, target, changed),
+            Pred::Compare { left, right, .. } => {
+                scalar(left, counter, target, changed);
+                scalar(right, counter, target, changed);
+            }
+            Pred::Between { low, high, .. } => {
+                scalar(low, counter, target, changed);
+                scalar(high, counter, target, changed);
+            }
+            Pred::InList { values, .. } => {
+                for v in values {
+                    scalar(v, counter, target, changed);
+                }
+            }
+            Pred::InSubquery { query, .. } | Pred::Exists { query, .. } => {
+                visit_literals(query, counter, target, changed);
+            }
+            Pred::Like { pattern, .. } => scalar(pattern, counter, target, changed),
+            Pred::IsNull { .. } => {}
+        }
+    }
+    if let Some(p) = &mut q.where_pred {
+        pred(p, counter, target, changed);
+    }
+    if let Some(p) = &mut q.having {
+        pred(p, counter, target, changed);
+    }
+}
+
+fn count_literals(q: &Query) -> usize {
+    let mut c = q.clone();
+    let mut counter = 0usize;
+    let mut changed = false;
+    // target = usize::MAX never matches, so this only counts.
+    visit_literals(&mut c, &mut counter, usize::MAX, &mut changed);
+    counter
+}
+
+fn shrink_literal_at(q: &Query, target: usize) -> Option<Query> {
+    let mut c = q.clone();
+    let mut counter = 0usize;
+    let mut changed = false;
+    visit_literals(&mut c, &mut counter, target, &mut changed);
+    changed.then_some(c)
+}
+
+/// One shrinking step for a literal value; `None` when already minimal.
+fn shrink_value(v: &Value) -> Option<Value> {
+    match v {
+        Value::Int(0) | Value::Null | Value::Bool(false) => None,
+        // saturating_abs: i64::MIN is a legal literal and must not panic.
+        Value::Int(n) => Some(if n.saturating_abs() > 16 {
+            Value::Int(n / 2)
+        } else {
+            Value::Int(0)
+        }),
+        Value::Float(f) if *f == 0.0 => None,
+        Value::Float(f) => Some(if f.abs() > 16.0 {
+            Value::Float(f / 2.0)
+        } else {
+            Value::Float(0.0)
+        }),
+        Value::Text(s) if s.is_empty() => None,
+        Value::Text(_) => Some(Value::Text(String::new())),
+        Value::Bool(true) => Some(Value::Bool(false)),
+    }
+}

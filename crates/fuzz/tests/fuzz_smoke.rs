@@ -1,0 +1,51 @@
+//! Seeded fuzz smoke: a fixed budget of iterations must come back clean,
+//! and the report must be byte-identical regardless of worker threads.
+
+use dbpal_fuzz::{run_fuzz, run_iteration, FuzzConfig};
+
+const SEED: u64 = 0xDBA1;
+const ITERS: usize = 64;
+
+#[test]
+fn seeded_smoke_finds_nothing() {
+    let report = run_fuzz(&FuzzConfig::new(SEED, ITERS, 2));
+    let details: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("iter {} [{}]: {}", f.iteration, f.oracle, f.detail))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "fuzz smoke found violations:\n{}",
+        details.join("\n")
+    );
+}
+
+#[test]
+fn report_is_thread_count_invariant() {
+    let one = run_fuzz(&FuzzConfig::new(SEED, ITERS, 1));
+    let three = run_fuzz(&FuzzConfig::new(SEED, ITERS, 3));
+    assert_eq!(one.to_json(), three.to_json());
+}
+
+#[test]
+fn iterations_are_seed_reproducible() {
+    for i in [0u64, 7, 33] {
+        let a = run_iteration(SEED, i);
+        let b = run_iteration(SEED, i);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.case.to_json(), y.case.to_json());
+        }
+    }
+}
+
+#[test]
+fn config_from_env_defaults() {
+    // Only assert on the compiled-in defaults; the env vars are not set
+    // under `cargo test`.
+    let cfg = FuzzConfig::from_env();
+    assert_eq!(cfg.seed, dbpal_fuzz::driver::DEFAULT_SEED);
+    assert_eq!(cfg.iters, dbpal_fuzz::driver::DEFAULT_ITERS);
+    assert!(cfg.threads >= 1);
+}

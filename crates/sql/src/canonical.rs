@@ -41,11 +41,20 @@ fn canonicalize(q: &Query) -> Query {
     let mut select: Vec<SelectItem> = q.select.clone();
     select.sort();
     select.dedup();
+    // FROM order is usually irrelevant, but not always: `SELECT *`
+    // expands columns in FROM order (reordering changes the visible
+    // result schema), and under LIMIT the set of surviving rows depends
+    // on cross-product row order unless ORDER BY imposes a total order.
+    // Only canonicalize table order when neither applies.
+    let from_order_semantic =
+        q.select.iter().any(|s| matches!(s, SelectItem::Star)) || q.limit.is_some();
     let from = match &q.from {
         FromClause::Tables(ts) => {
             let mut ts = ts.clone();
-            ts.sort();
-            ts.dedup();
+            if !from_order_semantic {
+                ts.sort();
+                ts.dedup();
+            }
             FromClause::Tables(ts)
         }
         FromClause::JoinPlaceholder => FromClause::JoinPlaceholder,
@@ -111,13 +120,16 @@ fn canonical_pred(p: &Pred) -> Pred {
         Pred::Compare { left, op, right } => {
             let left = canonical_scalar(left);
             let right = canonical_scalar(right);
-            // Put the column on the left when compared against a
-            // non-column ("age = 80", never "80 = age"). For
-            // column-vs-column comparisons, order lexicographically.
-            let column_rank = |s: &Scalar| matches!(s, Scalar::Column(_));
+            // Put the column or aggregate on the left when compared
+            // against anything else ("age = 80", never "80 = age";
+            // "MAX(id) = 2", never "2 = MAX(id)"). When both sides are
+            // anchors, order them lexicographically.
+            let anchor = |s: &Scalar| {
+                matches!(s, Scalar::Column(_) | Scalar::Aggregate(..))
+            };
             let should_flip = match (&left, &right) {
-                (l, r) if !column_rank(l) && column_rank(r) => true,
-                (Scalar::Column(a), Scalar::Column(b)) => a > b,
+                (l, r) if !anchor(l) && anchor(r) => true,
+                (l, r) if anchor(l) && anchor(r) => l > r,
                 _ => false,
             };
             if should_flip {

@@ -24,3 +24,11 @@ cargo test -q --offline --workspace
 # Fast-profile generation under the default Reject analyzer policy:
 # every generated pair must analyze clean (zero rejects, zero E-codes).
 cargo run --release --offline -p dbpal-bench --bin analyze_gate -- --quick
+
+# Seeded fixed-budget fuzz over the three differential oracles
+# (roundtrip, canonicalizer soundness, analyzer coherence). Runs the
+# same budget at 1 and 8 worker threads and requires byte-identical
+# reports; any finding prints its minimized corpus case and fails.
+DBPAL_FUZZ_ITERS="${DBPAL_FUZZ_ITERS:-200}"
+export DBPAL_FUZZ_ITERS
+cargo run --release --offline -p dbpal-bench --bin fuzz_smoke

@@ -19,6 +19,7 @@
 //! | [`sql`] | `dbpal-sql` | SQL AST, parser, printer, equivalence |
 //! | [`analyze`] | `dbpal-analyze` | schema-aware static semantic analyzer |
 //! | [`engine`] | `dbpal-engine` | in-memory relational executor |
+//! | [`fuzz`] | `dbpal-fuzz` | deterministic fuzzing & differential oracles |
 //! | [`nlp`] | `dbpal-nlp` | tokenizer, lemmatizer, paraphrase store |
 //! | [`core`] | `dbpal-core` | templates, generator, augmentation, optimizer |
 //! | [`model`] | `dbpal-model` | pluggable translation models |
@@ -40,6 +41,7 @@ pub use dbpal_analyze as analyze;
 pub use dbpal_benchsuite as benchsuite;
 pub use dbpal_core as core;
 pub use dbpal_engine as engine;
+pub use dbpal_fuzz as fuzz;
 pub use dbpal_model as model;
 pub use dbpal_nlp as nlp;
 pub use dbpal_runtime as runtime;

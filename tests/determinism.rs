@@ -109,6 +109,50 @@ fn thread_count_never_changes_multi_schema_bytes() {
     assert_eq!(one, eight, "8 threads diverged on the multi-schema merge");
 }
 
+/// FNV-1a over the exported corpus bytes; tiny, dependency-free, and
+/// stable across platforms, which is all a golden pin needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Golden-bytes pin: the exported corpus for a fixed seed is not just
+/// run-to-run stable, it is *this exact artifact*. Any intentional
+/// change to generation, augmentation, lemmatization, dedup, analysis,
+/// or the JSON exporter shows up here and forces a conscious re-pin
+/// (update the constants after verifying the diff is intended).
+#[test]
+fn golden_corpus_bytes_for_fixed_seeds() {
+    // (seed, byte length, FNV-1a digest, pair count)
+    const GOLDEN: [(u64, usize, u64, usize); 2] = [
+        (0xD_E7E_C7, 2_333_908, 0x856d_ab8d_79d6_fa4f, 5256),
+        (0x5EED, 2_339_561, 0x8b3e_01e2_6029_232e, 5272),
+    ];
+    for (seed, len, digest, pairs) in GOLDEN {
+        let config = GenerationConfig {
+            seed,
+            ..GenerationConfig::small()
+        };
+        let corpus = TrainingPipeline::new(config).generate(&schema());
+        let json = corpus_to_json(&corpus).expect("export");
+        println!(
+            "seed {seed:#x}: len {}, fnv1a 0x{:016x}, pairs {}",
+            json.len(),
+            fnv1a(json.as_bytes()),
+            corpus.len()
+        );
+        assert_eq!(
+            (json.len(), fnv1a(json.as_bytes()), corpus.len()),
+            (len, digest, pairs),
+            "exported corpus for seed {seed:#x} drifted from its golden pin"
+        );
+    }
+}
+
 /// Regression test for per-schema seed derivation. The seed for schema
 /// `i` used to be `base + i`, so base seed `s` at schema index 1
 /// collided with base seed `s + 1` at schema index 0 — two nominally
