@@ -11,9 +11,7 @@ use crate::connectivity::check_connectivity;
 use crate::diagnostic::{Clause, Code, Diagnostic, Span};
 use crate::scope::Scope;
 use dbpal_schema::{JoinGraph, Schema, SqlType, Value};
-use dbpal_sql::{
-    AggArg, AggFunc, CmpOp, ColumnRef, OrderKey, Pred, Query, Scalar, SelectItem,
-};
+use dbpal_sql::{AggArg, AggFunc, CmpOp, ColumnRef, OrderKey, Pred, Query, Scalar, SelectItem};
 
 /// Schema-aware static analyzer. Construction builds the FK join graph
 /// once; `analyze` can then be called on any number of queries.
@@ -535,8 +533,7 @@ fn is_null_literal(s: &Scalar) -> bool {
 /// and forgiving for hand-written ones.
 fn in_group(c: &ColumnRef, group: &[ColumnRef]) -> bool {
     group.iter().any(|g| {
-        g.column == c.column
-            && (g.table.is_none() || c.table.is_none() || g.table == c.table)
+        g.column == c.column && (g.table.is_none() || c.table.is_none() || g.table == c.table)
     })
 }
 
@@ -545,8 +542,7 @@ fn in_select(c: &ColumnRef, select: &[SelectItem]) -> bool {
     select.iter().any(|item| match item {
         SelectItem::Star => true,
         SelectItem::Column(s) => {
-            s.column == c.column
-                && (s.table.is_none() || c.table.is_none() || s.table == c.table)
+            s.column == c.column && (s.table.is_none() || c.table.is_none() || s.table == c.table)
         }
         SelectItem::Aggregate(..) => false,
     })

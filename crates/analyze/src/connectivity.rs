@@ -368,10 +368,9 @@ mod tests {
     #[test]
     fn required_tables_match_runtime_semantics() {
         let s = schema();
-        let q = parse_query(
-            "SELECT patients.pname FROM @JOIN WHERE doctors.dname = 'x' AND age > 3",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT patients.pname FROM @JOIN WHERE doctors.dname = 'x' AND age > 3")
+                .unwrap();
         let req = join_required_tables(&q, &s);
         let names: Vec<&str> = req.iter().map(|t| s.table(*t).name()).collect();
         // Qualified anchors first (mention order), then single-owner

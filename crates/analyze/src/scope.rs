@@ -109,10 +109,7 @@ impl<'a> Scope<'a> {
                         Span::new(Clause::From, depth),
                         format!("table reference `{name}` resolves only via a synonym"),
                     )
-                    .with_note(format!(
-                        "canonical name is `{}`",
-                        schema.table(*tid).name()
-                    )),
+                    .with_note(format!("canonical name is `{}`", schema.table(*tid).name())),
                 );
                 Some(*tid)
             }
@@ -185,9 +182,7 @@ impl<'a> Scope<'a> {
                     Diagnostic::new(
                         Code::TableNotInScope,
                         span,
-                        format!(
-                            "table `{table_name}` is referenced but not listed in FROM"
-                        ),
+                        format!("table `{table_name}` is referenced but not listed in FROM"),
                     )
                     .with_note("the runtime FROM repair (§4.2) joins such tables in"),
                 );
@@ -211,9 +206,7 @@ impl<'a> Scope<'a> {
                 Diagnostic::new(
                     Code::IdentifierViaSynonym,
                     span,
-                    format!(
-                        "column reference `{table_name}.{column}` resolves only via a synonym"
-                    ),
+                    format!("column reference `{table_name}.{column}` resolves only via a synonym"),
                 )
                 .with_note(format!("canonical name is `{canonical}`")),
             );

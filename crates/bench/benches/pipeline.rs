@@ -75,11 +75,17 @@ fn main() {
     // 4-thread run should win.
     let full = GenerationConfig::default();
     h.bench("pipeline/generate_threads1", || {
-        let cfg = GenerationConfig { threads: 1, ..full.clone() };
+        let cfg = GenerationConfig {
+            threads: 1,
+            ..full.clone()
+        };
         black_box(TrainingPipeline::new(cfg).generate(&schema).len())
     });
     h.bench("pipeline/generate_threads4", || {
-        let cfg = GenerationConfig { threads: 4, ..full.clone() };
+        let cfg = GenerationConfig {
+            threads: 4,
+            ..full.clone()
+        };
         black_box(TrainingPipeline::new(cfg).generate(&schema).len())
     });
 
@@ -89,7 +95,9 @@ fn main() {
 
     let sql = "SELECT disease, COUNT(*) FROM patients WHERE age > @AGE \
                GROUP BY disease HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 5";
-    h.bench("sql/parse", || black_box(dbpal_sql::parse_query(sql).unwrap()));
+    h.bench("sql/parse", || {
+        black_box(dbpal_sql::parse_query(sql).unwrap())
+    });
 
     h.finish();
 }

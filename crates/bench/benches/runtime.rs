@@ -45,8 +45,11 @@ fn database() -> Database {
         .unwrap();
     }
     for i in 1..=10i64 {
-        db.insert("doctors", vec![Value::Int(i), Value::Text(format!("doc{i}"))])
-            .unwrap();
+        db.insert(
+            "doctors",
+            vec![Value::Int(i), Value::Text(format!("doc{i}"))],
+        )
+        .unwrap();
     }
     db
 }
@@ -63,10 +66,9 @@ fn main() {
 
     let s = schema();
     let post = PostProcessor::new(&s);
-    let q = dbpal_sql::parse_query(
-        "SELECT AVG(patients.age) FROM @JOIN WHERE doctors.name = 'doc1'",
-    )
-    .unwrap();
+    let q =
+        dbpal_sql::parse_query("SELECT AVG(patients.age) FROM @JOIN WHERE doctors.name = 'doc1'")
+            .unwrap();
     h.bench("runtime/expand_join", || {
         black_box(post.process(&q, &[]).unwrap())
     });
@@ -76,7 +78,12 @@ fn main() {
     let mut model = SketchModel::new(vec![s.clone()]);
     model.train(
         &corpus,
-        &TrainOptions { epochs: 3, seed: 1, max_pairs: Some(2000), verbose: false },
+        &TrainOptions {
+            epochs: 3,
+            seed: 1,
+            max_pairs: Some(2000),
+            verbose: false,
+        },
     );
     let lem = Lemmatizer::new();
     let lemmas = lem.lemmatize_sentence("show the name of all patients with age @AGE");

@@ -16,9 +16,9 @@
 
 use dbpal_bench::{acc, render_table};
 use dbpal_benchsuite::{Configuration, PatientsExperiment};
+use dbpal_core::TranslationModel;
 use dbpal_core::{TrainingCorpus, TrainingPipeline};
 use dbpal_model::SketchModel;
-use dbpal_core::TranslationModel;
 
 struct Ablation {
     name: &'static str,
@@ -26,10 +26,22 @@ struct Ablation {
 }
 
 const ABLATIONS: &[Ablation] = &[
-    Ablation { name: "sampling", description: "unbalanced instantiation (4x slot fills, one class boosted 8x)" },
-    Ablation { name: "lemmatizer", description: "train on raw NL instead of lemmas" },
-    Ablation { name: "paraphrase_noise", description: "paraphrase quality floor = 0.0" },
-    Ablation { name: "augmentation", description: "no paraphrasing / dropout / comparatives" },
+    Ablation {
+        name: "sampling",
+        description: "unbalanced instantiation (4x slot fills, one class boosted 8x)",
+    },
+    Ablation {
+        name: "lemmatizer",
+        description: "train on raw NL instead of lemmas",
+    },
+    Ablation {
+        name: "paraphrase_noise",
+        description: "paraphrase quality floor = 0.0",
+    },
+    Ablation {
+        name: "augmentation",
+        description: "no paraphrasing / dropout / comparatives",
+    },
 ];
 
 fn main() {

@@ -31,13 +31,7 @@ fn main() {
         .collect();
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(f, a)| {
-            vec![
-                format!("{:.0}%", f * 100.0),
-                acc(*a),
-                acc(a / full_acc),
-            ]
-        })
+        .map(|(f, a)| vec![format!("{:.0}%", f * 100.0), acc(*a), acc(a / full_acc)])
         .collect();
     println!("Figure 3: Normalized Accuracy for Fractions of Seed Templates (reproduction)\n");
     println!("{}", render_table(&header, &rows));

@@ -13,7 +13,9 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let trials = if quick { 8 } else { 68 };
     let exp = GeoTuningExperiment::new();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     eprintln!(
         "[fig4] running {trials} random-search trials over the generator parameters ({threads} threads)"
     );
@@ -21,7 +23,10 @@ fn main() {
 
     let (min, max, mean, std) = accuracy_stats(&results);
     println!("Figure 4: Histogram of Test Accuracy for Random Parameter Configurations\n");
-    println!("{}", render_histogram(&accuracy_histogram(&results, 10), 40));
+    println!(
+        "{}",
+        render_histogram(&accuracy_histogram(&results, 10), 40)
+    );
     println!("trials: {trials}");
     println!("worst:  {min:.3}");
     println!("best:   {max:.3}");

@@ -32,10 +32,17 @@ fn main() {
     );
     let results = exp.run_table2();
 
-    let header: Vec<String> = ["Algorithm", "Easy", "Medium", "Hard", "Very Hard", "Overall"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "Algorithm",
+        "Easy",
+        "Medium",
+        "Hard",
+        "Very Hard",
+        "Overall",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let rows: Vec<Vec<String>> = Configuration::ALL
         .iter()
         .map(|c| {

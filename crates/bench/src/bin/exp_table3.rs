@@ -28,7 +28,11 @@ fn main() {
     let results = exp.run_table3();
 
     let mut header = vec!["Algorithm".to_string()];
-    header.extend(LinguisticCategory::ALL.iter().map(|c| c.label().to_string()));
+    header.extend(
+        LinguisticCategory::ALL
+            .iter()
+            .map(|c| c.label().to_string()),
+    );
     header.push("Overall".to_string());
     let rows: Vec<Vec<String>> = Configuration::ALL
         .iter()

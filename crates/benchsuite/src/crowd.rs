@@ -88,29 +88,97 @@ pub fn test_extra_catalog() -> Vec<SeedTemplate> {
     vec![
         // -- common classes, held-out crowd style B --
         t("xsa0", SelectAll, "pull up the complete list of {table}"),
-        t("xsaw0", SelectAllWhere, "out of all {table} , pull up those with {filter}"),
-        t("xscw0", SelectColWhere, "regarding {table} with {filter} , report the {att}"),
-        t("xscw1", SelectColWhere, "the {att} is needed for any {table} showing {filter}"),
+        t(
+            "xsaw0",
+            SelectAllWhere,
+            "out of all {table} , pull up those with {filter}",
+        ),
+        t(
+            "xscw0",
+            SelectColWhere,
+            "regarding {table} with {filter} , report the {att}",
+        ),
+        t(
+            "xscw1",
+            SelectColWhere,
+            "the {att} is needed for any {table} showing {filter}",
+        ),
         t("xagg0", Agg, "report {agg} {att} taken over every {table}"),
-        t("xaggw0", AggWhere, "restricted to {table} with {filter} , report {agg} {att}"),
+        t(
+            "xaggw0",
+            AggWhere,
+            "restricted to {table} with {filter} , report {agg} {att}",
+        ),
         t("xcnt0", CountAll, "report the headcount of {table}"),
-        t("xcntw0", CountWhere, "report the tally of {table} showing {filter}"),
-        t("xgrp0", GroupBy, "report {agg} {att} of {table} , one figure {grpphrase} {group}"),
-        t("xtop0", TopOne, "report the {table} holding {supmax} {natt}"),
-        t("xbtw0", Between, "report the {att} of {table} whose {natt} falls in the @LOW to @HIGH range"),
-        t("xjs0", JoinSelect, "report the {attq} of {table} attached to the {table2} with {filter2q}"),
-        t("xja0", JoinAgg, "report {agg} {attq} of the {table} attached to the {table2} with {filter2q}"),
-        t("xnmax0", NestedScalar { max: true }, "restricted to {table} with {filter} , report the {att} of the one with peak {natt}"),
+        t(
+            "xcntw0",
+            CountWhere,
+            "report the tally of {table} showing {filter}",
+        ),
+        t(
+            "xgrp0",
+            GroupBy,
+            "report {agg} {att} of {table} , one figure {grpphrase} {group}",
+        ),
+        t(
+            "xtop0",
+            TopOne,
+            "report the {table} holding {supmax} {natt}",
+        ),
+        t(
+            "xbtw0",
+            Between,
+            "report the {att} of {table} whose {natt} falls in the @LOW to @HIGH range",
+        ),
+        t(
+            "xjs0",
+            JoinSelect,
+            "report the {attq} of {table} attached to the {table2} with {filter2q}",
+        ),
+        t(
+            "xja0",
+            JoinAgg,
+            "report {agg} {attq} of the {table} attached to the {table2} with {filter2q}",
+        ),
+        t(
+            "xnmax0",
+            NestedScalar { max: true },
+            "restricted to {table} with {filter} , report the {att} of the one with peak {natt}",
+        ),
         // -- Spider-only classes in held-out style --
-        t("xnlik0", NotLike, "report the {att} of {table} whose {tatt} fails to match @PAT"),
-        t("xcdst0", CountDistinct, "report how many distinct {att} appear among the {table}"),
+        t(
+            "xnlik0",
+            NotLike,
+            "report the {att} of {table} whose {tatt} fails to match @PAT",
+        ),
+        t(
+            "xcdst0",
+            CountDistinct,
+            "report how many distinct {att} appear among the {table}",
+        ),
         // -- DBPal-only classes (covered by seed templates, absent from
         //    the crowd training annotations) --
-        t("xnull0", IsNull, "report the {att} of {table} {nullphrase} {tatt}"),
-        t("xexi0", NestedExists, "report the {att} of all {table} whenever some {table2} has {filter2q}"),
+        t(
+            "xnull0",
+            IsNull,
+            "report the {att} of {table} {nullphrase} {tatt}",
+        ),
+        t(
+            "xexi0",
+            NestedExists,
+            "report the {att} of all {table} whenever some {table2} has {filter2q}",
+        ),
         // -- Unseen classes (in no training corpus) --
-        t("xtopn0", TopN { limit: 3 }, "report the @N {table} holding {supmax} {natt}"),
-        t("xnbtw0", NotBetween, "report the {att} of {table} whose {natt} falls outside the @LOW to @HIGH range"),
+        t(
+            "xtopn0",
+            TopN { limit: 3 },
+            "report the @N {table} holding {supmax} {natt}",
+        ),
+        t(
+            "xnbtw0",
+            NotBetween,
+            "report the {att} of {table} whose {natt} falls outside the @LOW to @HIGH range",
+        ),
     ]
 }
 

@@ -69,7 +69,12 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                 synonyms: &["towns", "municipalities"],
                 columns: &[
                     col!("name", Text),
-                    col!("population", Integer, Population, ["inhabitants", "residents"]),
+                    col!(
+                        "population",
+                        Integer,
+                        Population,
+                        ["inhabitants", "residents"]
+                    ),
                     col!("area", Float, Area, ["size"]),
                     col!("elevation", Integer, Height, ["altitude"]),
                     col!("state_id", Integer),
@@ -327,8 +332,18 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                 columns: &[
                     col!("name", Text),
                     col!("age", Integer, Age, ["years"]),
-                    col!("disease", Text, Generic, ["illness", "condition", "diagnosis"]),
-                    col!("length_of_stay", Integer, Duration, ["stay", "hospital stay"]),
+                    col!(
+                        "disease",
+                        Text,
+                        Generic,
+                        ["illness", "condition", "diagnosis"]
+                    ),
+                    col!(
+                        "length_of_stay",
+                        Integer,
+                        Duration,
+                        ["stay", "hospital stay"]
+                    ),
                     col!("weight", Integer, Weight),
                     col!("doctor_id", Integer),
                 ],
@@ -503,8 +518,7 @@ mod tests {
     fn schema_names_are_distinct() {
         let mut g = SchemaGenerator::new(2);
         let schemas = g.generate(24);
-        let names: std::collections::HashSet<&str> =
-            schemas.iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<&str> = schemas.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), 24);
     }
 
@@ -516,7 +530,10 @@ mod tests {
         // at least somewhere across the batch.
         let widths: Vec<usize> = schemas.iter().map(|s| s.column_count()).collect();
         let distinct: std::collections::HashSet<usize> = widths.iter().copied().collect();
-        assert!(distinct.len() > 1, "all schemas identical width: {widths:?}");
+        assert!(
+            distinct.len() > 1,
+            "all schemas identical width: {widths:?}"
+        );
     }
 
     #[test]
@@ -545,11 +562,8 @@ mod tests {
         let schema = g.generate(1).pop().unwrap();
         let a = populate(&schema, 5, 7);
         let b = populate(&schema, 5, 7);
-        let q = dbpal_sql::parse_query(&format!(
-            "SELECT * FROM {}",
-            schema.tables()[0].name()
-        ))
-        .unwrap();
+        let q = dbpal_sql::parse_query(&format!("SELECT * FROM {}", schema.tables()[0].name()))
+            .unwrap();
         assert_eq!(a.execute(&q).unwrap().rows(), b.execute(&q).unwrap().rows());
     }
 }

@@ -43,7 +43,13 @@ impl EvalOutcome {
 
 impl fmt::Display for EvalOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.3} ({}/{})", self.accuracy(), self.correct, self.total)
+        write!(
+            f,
+            "{:.3} ({}/{})",
+            self.accuracy(),
+            self.correct,
+            self.total
+        )
     }
 }
 
@@ -59,7 +65,9 @@ pub struct DifficultyReport {
 impl DifficultyReport {
     /// Accuracy for one tier.
     pub fn accuracy(&self, d: Difficulty) -> f64 {
-        self.per_difficulty.get(&d).map_or(0.0, EvalOutcome::accuracy)
+        self.per_difficulty
+            .get(&d)
+            .map_or(0.0, EvalOutcome::accuracy)
     }
 }
 
@@ -136,7 +144,10 @@ pub fn bucket_of(
     dbpal_patterns: &HashSet<String>,
 ) -> CoverageBucket {
     let sig = QueryPattern::of(&example.gold).signature().to_string();
-    match (spider_patterns.contains(&sig), dbpal_patterns.contains(&sig)) {
+    match (
+        spider_patterns.contains(&sig),
+        dbpal_patterns.contains(&sig),
+    ) {
         (true, true) => CoverageBucket::Both,
         (false, true) => CoverageBucket::DbpalOnly,
         (true, false) => CoverageBucket::SpiderOnly,

@@ -159,7 +159,11 @@ mod tests {
     #[test]
     fn covers_multiple_query_shapes() {
         let bench = GeoQueryBench::new();
-        let with_agg = bench.examples().iter().filter(|e| e.gold.has_aggregate()).count();
+        let with_agg = bench
+            .examples()
+            .iter()
+            .filter(|e| e.gold.has_aggregate())
+            .count();
         let with_where = bench
             .examples()
             .iter()

@@ -123,7 +123,11 @@ impl PatientsBenchmark {
         let db = populate_patients(&schema);
         let queries = build_queries();
         debug_assert_eq!(queries.len(), 399);
-        PatientsBenchmark { schema, db, queries }
+        PatientsBenchmark {
+            schema,
+            db,
+            queries,
+        }
     }
 
     /// The Patients schema.
@@ -154,7 +158,10 @@ impl PatientsBenchmark {
     pub fn evaluate(
         &self,
         model: &dyn TranslationModel,
-    ) -> (BTreeMap<LinguisticCategory, crate::EvalOutcome>, crate::EvalOutcome) {
+    ) -> (
+        BTreeMap<LinguisticCategory, crate::EvalOutcome>,
+        crate::EvalOutcome,
+    ) {
         let lemmatizer = Lemmatizer::new();
         let mut per: BTreeMap<LinguisticCategory, crate::EvalOutcome> = BTreeMap::new();
         let mut overall = crate::EvalOutcome::default();
@@ -219,7 +226,9 @@ pub fn patients_schema() -> Schema {
                     c.domain(SemanticDomain::Age).synonym("years")
                 })
                 .column_with("disease", SqlType::Text, |c| {
-                    c.synonym("illness").synonym("condition").synonym("diagnosis")
+                    c.synonym("illness")
+                        .synonym("condition")
+                        .synonym("diagnosis")
                 })
                 .column_with("length_of_stay", SqlType::Integer, |c| {
                     c.domain(SemanticDomain::Duration)
@@ -657,8 +666,8 @@ fn substitute(text: &str, sub: &Sub, nl: bool) -> String {
 fn build_queries() -> Vec<PatientsQuery> {
     let mut out = Vec::with_capacity(399);
     for base in base_items() {
-        let needs_numeric_sel =
-            base.sql.contains("AVG({sel})") || base.sql.contains("SUM({sel})")
+        let needs_numeric_sel = base.sql.contains("AVG({sel})")
+            || base.sql.contains("SUM({sel})")
             || base.sql.contains("ORDER BY {sel}");
         let variant_set = if needs_numeric_sel {
             variants_numeric()

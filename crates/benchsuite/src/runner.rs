@@ -10,8 +10,7 @@
 //!   during the training process, only the schemas").
 
 use crate::eval::{
-    evaluate_coverage, evaluate_spider, pattern_set, CoverageBucket, DifficultyReport,
-    EvalOutcome,
+    evaluate_coverage, evaluate_spider, pattern_set, CoverageBucket, DifficultyReport, EvalOutcome,
 };
 use crate::geoquery::GeoQueryBench;
 use crate::patients::{LinguisticCategory, PatientsBenchmark};
@@ -162,9 +161,7 @@ impl SpiderExperiment {
     }
 
     /// Reproduce Table 4: pattern-coverage breakdown per configuration.
-    pub fn run_table4(
-        &self,
-    ) -> BTreeMap<Configuration, BTreeMap<CoverageBucket, EvalOutcome>> {
+    pub fn run_table4(&self) -> BTreeMap<Configuration, BTreeMap<CoverageBucket, EvalOutcome>> {
         let spider_patterns = self.bench.train_pattern_set();
         // DBPal's pattern set comes from its synthetic data (train side —
         // the seed templates are schema-independent, so the pattern space
@@ -350,7 +347,10 @@ impl GeoTuningExperiment {
         // The outer random search already saturates the cores when run
         // through `run_parallel`, so each trial's pipeline runs
         // single-threaded to avoid oversubscription.
-        let config = GenerationConfig { threads: 1, ..config.clone() };
+        let config = GenerationConfig {
+            threads: 1,
+            ..config.clone()
+        };
         let pipeline = TrainingPipeline::new(config);
         let corpus = pipeline.generate(self.geo.schema());
         let mut model = SketchModel::new(vec![self.geo.schema().clone()]);

@@ -2,9 +2,7 @@
 //! comparatives (paper §3.2).
 
 use crate::{GenerationConfig, Provenance, TrainingCorpus, TrainingPair};
-use dbpal_nlp::{
-    tokenize, ComparativeDictionary, ComparativeSense, ParaphraseStore, PosTagger,
-};
+use dbpal_nlp::{tokenize, ComparativeDictionary, ComparativeSense, ParaphraseStore, PosTagger};
 use dbpal_schema::{Schema, SemanticDomain};
 use dbpal_sql::{CmpOp, Pred, Scalar};
 use dbpal_util::{par_map_indexed, Rng, SliceRandom};
@@ -91,9 +89,11 @@ impl<'a> Augmenter<'a> {
         spans.shuffle(rng);
         for (start, n) in spans {
             let phrase = tokens[start..start + n].join(" ");
-            let mut alternatives =
-                self.store
-                    .top(&phrase, self.config.num_para, self.config.paraphrase_min_quality);
+            let mut alternatives = self.store.top(
+                &phrase,
+                self.config.num_para,
+                self.config.paraphrase_min_quality,
+            );
             // POS-aware filtering (§3.2.3 extension): the replacement's
             // leading word must belong to the same coarse word class as
             // the phrase it replaces, rejecting category-crossing swaps
@@ -145,9 +145,7 @@ impl<'a> Augmenter<'a> {
             .iter()
             .enumerate()
             .filter(|(_, t)| !t.starts_with('@'))
-            .filter(|(_, t)| {
-                !self.config.pos_gated_dropout || self.tagger.tag(t).is_droppable()
-            })
+            .filter(|(_, t)| !self.config.pos_gated_dropout || self.tagger.tag(t).is_droppable())
             .map(|(i, _)| i)
             .collect();
         if eligible.is_empty() {
@@ -160,10 +158,7 @@ impl<'a> Augmenter<'a> {
             } else {
                 1
             };
-            let mut drop: Vec<usize> = eligible
-                .choose_multiple(rng, n_drop)
-                .copied()
-                .collect();
+            let mut drop: Vec<usize> = eligible.choose_multiple(rng, n_drop).copied().collect();
             drop.sort_unstable();
             let new_tokens: Vec<String> = tokens
                 .iter()
@@ -214,10 +209,8 @@ impl<'a> Augmenter<'a> {
                 .any(|w| w.join(" ") == phrase)
         };
         for sense in [ComparativeSense::Greater, ComparativeSense::Less] {
-            let domain_phrases_all: Vec<&str> = self
-                .comparatives
-                .domain_phrases(domain, sense)
-                .to_vec();
+            let domain_phrases_all: Vec<&str> =
+                self.comparatives.domain_phrases(domain, sense).to_vec();
             for generic in self.comparatives.generic_phrases(sense) {
                 if !has_phrase(&nl, generic) {
                     continue;
@@ -357,7 +350,10 @@ mod tests {
     #[test]
     fn num_para_zero_disables_paraphrasing() {
         let schema = schema();
-        let config = GenerationConfig { num_para: 0, ..Default::default() };
+        let config = GenerationConfig {
+            num_para: 0,
+            ..Default::default()
+        };
         let mut aug = Augmenter::new(&schema, &config);
         let p = pair("show the name", "SELECT name FROM patients");
         assert!(aug.paraphrase(&p).is_empty());
@@ -375,10 +371,7 @@ mod tests {
             paraphrase_min_quality: 0.0,
             ..strict.clone()
         };
-        let p = pair(
-            "show the name of all patients",
-            "SELECT name FROM patients",
-        );
+        let p = pair("show the name of all patients", "SELECT name FROM patients");
         let n_strict = Augmenter::new(&schema, &strict).paraphrase(&p).len();
         let n_loose = Augmenter::new(&schema, &loose).paraphrase(&p).len();
         assert!(n_loose > n_strict);
@@ -393,7 +386,10 @@ mod tests {
             paraphrase_min_quality: 0.0,
             ..Default::default()
         };
-        let bi = GenerationConfig { size_para: 2, ..uni.clone() };
+        let bi = GenerationConfig {
+            size_para: 2,
+            ..uni.clone()
+        };
         // "how many" is only in the store as a bigram.
         let p = pair(
             "how many patients are there",
@@ -422,10 +418,7 @@ mod tests {
         // "show" has verb paraphrases (display, list) and the noisy
         // multi-word "count off"-style entries; POS filtering must never
         // *add* alternatives, and the surviving ones must stay verbs.
-        let p = pair(
-            "show the name of all patients",
-            "SELECT name FROM patients",
-        );
+        let p = pair("show the name of all patients", "SELECT name FROM patients");
         let plain_out = Augmenter::new(&schema, &plain).paraphrase(&p);
         let pos_out = Augmenter::new(&schema, &pos_aware).paraphrase(&p);
         assert!(pos_out.len() <= plain_out.len());
@@ -457,7 +450,10 @@ mod tests {
     #[test]
     fn dropout_probability_zero_is_silent() {
         let schema = schema();
-        let config = GenerationConfig { rand_drop_p: 0.0, ..Default::default() };
+        let config = GenerationConfig {
+            rand_drop_p: 0.0,
+            ..Default::default()
+        };
         let mut aug = Augmenter::new(&schema, &config);
         let p = pair("show the name of patients", "SELECT name FROM patients");
         assert!(aug.drop_words(&p).is_empty());
@@ -510,8 +506,7 @@ mod tests {
             out.iter().any(|q| {
                 let toks = tokenize(&q.nl);
                 toks.windows(2).all(|w| {
-                    !(w[0] == "age"
-                        && ["older", "above", "aged", "over"].contains(&w[1].as_str()))
+                    !(w[0] == "age" && ["older", "above", "aged", "over"].contains(&w[1].as_str()))
                 })
             }),
             "no elided variant in {:?}",
@@ -539,7 +534,10 @@ mod tests {
     #[test]
     fn full_augment_marks_provenance() {
         let schema = schema();
-        let config = GenerationConfig { rand_drop_p: 1.0, ..Default::default() };
+        let config = GenerationConfig {
+            rand_drop_p: 1.0,
+            ..Default::default()
+        };
         let aug = Augmenter::new(&schema, &config);
         let corpus = TrainingCorpus::from_pairs(vec![pair(
             "show the name of all patients with age greater than @AGE",

@@ -205,22 +205,37 @@ mod tests {
     fn effective_threads_resolves_auto() {
         let auto = GenerationConfig::default();
         assert!(auto.effective_threads() >= 1);
-        let pinned = GenerationConfig { threads: 3, ..Default::default() };
+        let pinned = GenerationConfig {
+            threads: 3,
+            ..Default::default()
+        };
         assert_eq!(pinned.effective_threads(), 3);
     }
 
     #[test]
     fn invalid_configs_rejected() {
-        let c = GenerationConfig { size_slot_fills: 0, ..Default::default() };
+        let c = GenerationConfig {
+            size_slot_fills: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let c = GenerationConfig { group_by_p: 1.5, ..Default::default() };
+        let c = GenerationConfig {
+            group_by_p: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let c = GenerationConfig { join_boost: f64::NAN, ..Default::default() };
+        let c = GenerationConfig {
+            join_boost: f64::NAN,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let c = GenerationConfig { size_tables: 1, ..Default::default() };
+        let c = GenerationConfig {
+            size_tables: 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

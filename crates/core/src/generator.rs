@@ -214,53 +214,53 @@ impl<'a> Generator<'a> {
         use QueryClass::*;
         match class {
             SelectAll => {
-                let t = self.pick_table(rng,|_| true)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |_| true)?;
+                self.bind_table(rng, b, t);
                 Some(Query::simple(vec![SelectItem::Star], self.table_name(t)))
             }
             SelectAllWhere => {
-                let t = self.pick_table(rng,|t| !t.columns().is_empty())?;
-                self.bind_table(rng, b,t);
-                let f = self.make_filter(rng,t, &mut HashSet::new(), false)?;
+                let t = self.pick_table(rng, |t| !t.columns().is_empty())?;
+                self.bind_table(rng, b, t);
+                let f = self.make_filter(rng, t, &mut HashSet::new(), false)?;
                 b.set("filter", f.nl.clone());
                 let mut q = Query::simple(vec![SelectItem::Star], self.table_name(t));
                 q.where_pred = Some(f.pred);
                 Some(q)
             }
             SelectCol => {
-                let t = self.pick_table(rng,|_| true)?;
-                self.bind_table(rng, b,t);
-                let (att, col) = self.pick_column(rng,t, |_| true, &HashSet::new())?;
-                b.set("att", self.col_surface(rng,col));
+                let t = self.pick_table(rng, |_| true)?;
+                self.bind_table(rng, b, t);
+                let (att, col) = self.pick_column(rng, t, |_| true, &HashSet::new())?;
+                b.set("att", self.col_surface(rng, col));
                 Some(Query::simple(
                     vec![SelectItem::Column(att)],
                     self.table_name(t),
                 ))
             }
             SelectColWhere => {
-                let t = self.pick_table(rng,|t| t.column_count() >= 2)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| t.column_count() >= 2)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                b.set("att", self.col_surface(rng,col));
-                let f = self.make_filter(rng,t, &mut used, false)?;
+                b.set("att", self.col_surface(rng, col));
+                let f = self.make_filter(rng, t, &mut used, false)?;
                 b.set("filter", f.nl.clone());
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
                 q.where_pred = Some(f.pred);
                 Some(q)
             }
             SelectColsWhere => {
-                let t = self.pick_table(rng,|t| t.column_count() >= 3)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| t.column_count() >= 3)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (a1, c1) = self.pick_column(rng,t, |_| true, &used)?;
+                let (a1, c1) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(c1);
-                let (a2, c2) = self.pick_column(rng,t, |_| true, &used)?;
+                let (a2, c2) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(c2);
-                b.set("att", self.col_surface(rng,c1));
-                b.set("att2", self.col_surface(rng,c2));
-                let f = self.make_filter(rng,t, &mut used, false)?;
+                b.set("att", self.col_surface(rng, c1));
+                b.set("att2", self.col_surface(rng, c2));
+                let f = self.make_filter(rng, t, &mut used, false)?;
                 b.set("filter", f.nl.clone());
                 let mut q = Query::simple(
                     vec![SelectItem::Column(a1), SelectItem::Column(a2)],
@@ -270,14 +270,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             SelectColWhere2 => {
-                let t = self.pick_table(rng,|t| t.column_count() >= 3)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| t.column_count() >= 3)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                b.set("att", self.col_surface(rng,col));
-                let f1 = self.make_filter(rng,t, &mut used, false)?;
-                let f2 = self.make_filter(rng,t, &mut used, false)?;
+                b.set("att", self.col_surface(rng, col));
+                let f1 = self.make_filter(rng, t, &mut used, false)?;
+                let f2 = self.make_filter(rng, t, &mut used, false)?;
                 b.set("filter", f1.nl.clone());
                 b.set("filter2", f2.nl.clone());
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
@@ -285,59 +285,59 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Distinct => {
-                let t = self.pick_table(rng,|_| true)?;
-                self.bind_table(rng, b,t);
-                let (att, col) = self.pick_column(rng,t, |_| true, &HashSet::new())?;
-                b.set("att", self.col_surface(rng,col));
+                let t = self.pick_table(rng, |_| true)?;
+                self.bind_table(rng, b, t);
+                let (att, col) = self.pick_column(rng, t, |_| true, &HashSet::new())?;
+                b.set("att", self.col_surface(rng, col));
                 b.set("distinct", lexicons::pick(rng, lexicons::DISTINCT_PHRASES));
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
                 q.distinct = true;
                 Some(q)
             }
             Agg | AggWhere => {
-                let t = self.pick_table(rng,has_numeric)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, has_numeric)?;
+                self.bind_table(rng, b, t);
                 let func = *class.agg_choices().choose(rng)?;
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
+                let (att, col) = self.pick_column(rng, t, |c| c.sql_type().is_numeric(), &used)?;
                 used.insert(col);
-                b.set("att", self.col_surface(rng,col));
+                b.set("att", self.col_surface(rng, col));
                 b.set("agg", lexicons::pick(rng, lexicons::agg_phrases(func)));
                 let mut q = Query::simple(
                     vec![SelectItem::Aggregate(func, agg_col(att))],
                     self.table_name(t),
                 );
                 if class == AggWhere {
-                    let f = self.make_filter(rng,t, &mut used, false)?;
+                    let f = self.make_filter(rng, t, &mut used, false)?;
                     b.set("filter", f.nl.clone());
                     q.where_pred = Some(f.pred);
                 }
                 Some(q)
             }
             CountAll | CountWhere => {
-                let t = self.pick_table(rng,|_| true)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |_| true)?;
+                self.bind_table(rng, b, t);
                 let mut q = Query::simple(
                     vec![SelectItem::Aggregate(AggFunc::Count, AggArg::Star)],
                     self.table_name(t),
                 );
                 if class == CountWhere {
-                    let f = self.make_filter(rng,t, &mut HashSet::new(), false)?;
+                    let f = self.make_filter(rng, t, &mut HashSet::new(), false)?;
                     b.set("filter", f.nl.clone());
                     q.where_pred = Some(f.pred);
                 }
                 Some(q)
             }
             GroupBy => {
-                let t = self.pick_table(rng,|t| has_numeric(t) && has_text(t))?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| has_numeric(t) && has_text(t))?;
+                self.bind_table(rng, b, t);
                 let func = *class.agg_choices().choose(rng)?;
                 let mut used = HashSet::new();
-                let (att, acol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
+                let (att, acol) = self.pick_column(rng, t, |c| c.sql_type().is_numeric(), &used)?;
                 used.insert(acol);
-                let (gatt, gcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &used)?;
-                b.set("att", self.col_surface(rng,acol));
-                b.set("group", self.col_surface(rng,gcol));
+                let (gatt, gcol) = self.pick_column(rng, t, |c| c.sql_type().is_text(), &used)?;
+                b.set("att", self.col_surface(rng, acol));
+                b.set("group", self.col_surface(rng, gcol));
                 b.set("agg", lexicons::pick(rng, lexicons::agg_phrases(func)));
                 b.set("grpphrase", lexicons::pick(rng, lexicons::GROUP_PHRASES));
                 let mut q = Query::simple(
@@ -351,10 +351,11 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             GroupByCount => {
-                let t = self.pick_table(rng,has_text)?;
-                self.bind_table(rng, b,t);
-                let (gatt, gcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &HashSet::new())?;
-                b.set("group", self.col_surface(rng,gcol));
+                let t = self.pick_table(rng, has_text)?;
+                self.bind_table(rng, b, t);
+                let (gatt, gcol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_text(), &HashSet::new())?;
+                b.set("group", self.col_surface(rng, gcol));
                 b.set("grpphrase", lexicons::pick(rng, lexicons::GROUP_PHRASES));
                 let mut q = Query::simple(
                     vec![
@@ -367,11 +368,13 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             GroupByHaving => {
-                let t = self.pick_table(rng,has_text)?;
-                self.bind_table(rng, b,t);
-                let (gatt, gcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &HashSet::new())?;
-                b.set("group", self.col_surface(rng,gcol));
-                let mut q = Query::simple(vec![SelectItem::Column(gatt.clone())], self.table_name(t));
+                let t = self.pick_table(rng, has_text)?;
+                self.bind_table(rng, b, t);
+                let (gatt, gcol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_text(), &HashSet::new())?;
+                b.set("group", self.col_surface(rng, gcol));
+                let mut q =
+                    Query::simple(vec![SelectItem::Column(gatt.clone())], self.table_name(t));
                 q.group_by = vec![gatt];
                 q.having = Some(Pred::Compare {
                     left: Scalar::Aggregate(AggFunc::Count, AggArg::Star),
@@ -381,13 +384,18 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             TopOne | BottomOne => {
-                let t = self.pick_table(rng,has_numeric)?;
-                self.bind_table(rng, b,t);
-                let (natt, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &HashSet::new())?;
-                b.set("natt", self.col_surface(rng,ncol));
+                let t = self.pick_table(rng, has_numeric)?;
+                self.bind_table(rng, b, t);
+                let (natt, ncol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_numeric(), &HashSet::new())?;
+                b.set("natt", self.col_surface(rng, ncol));
                 let max = class == TopOne;
-                let sense = if max { ComparativeSense::Max } else { ComparativeSense::Min };
-                let phrase = self.comparative_phrase(rng,ncol, sense);
+                let sense = if max {
+                    ComparativeSense::Max
+                } else {
+                    ComparativeSense::Min
+                };
+                let phrase = self.comparative_phrase(rng, ncol, sense);
                 b.set(if max { "supmax" } else { "supmin" }, phrase);
                 let mut q = Query::simple(vec![SelectItem::Star], self.table_name(t));
                 q.order_by = vec![(
@@ -398,22 +406,17 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             OrderBy { desc } => {
-                let t = self.pick_table(rng,|t| has_numeric(t) && t.column_count() >= 2)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| has_numeric(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                let (natt, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
-                b.set("att", self.col_surface(rng,col));
-                b.set("natt", self.col_surface(rng,ncol));
-                b.set(
-                    "ordasc",
-                    lexicons::pick(rng, lexicons::ORDER_ASC_PHRASES),
-                );
-                b.set(
-                    "orddesc",
-                    lexicons::pick(rng, lexicons::ORDER_DESC_PHRASES),
-                );
+                let (natt, ncol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_numeric(), &used)?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("natt", self.col_surface(rng, ncol));
+                b.set("ordasc", lexicons::pick(rng, lexicons::ORDER_ASC_PHRASES));
+                b.set("orddesc", lexicons::pick(rng, lexicons::ORDER_DESC_PHRASES));
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
                 q.order_by = vec![(
                     OrderKey::Column(natt),
@@ -422,14 +425,15 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Between => {
-                let t = self.pick_table(rng,|t| has_numeric(t) && t.column_count() >= 2)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| has_numeric(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                let (ncolref, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
-                b.set("att", self.col_surface(rng,col));
-                b.set("natt", self.col_surface(rng,ncol));
+                let (ncolref, ncol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_numeric(), &used)?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("natt", self.col_surface(rng, ncol));
                 let base = self.placeholder_name(ncol, false);
                 b.set_raw("@LOW", format!("@{base}_LOW"));
                 b.set_raw("@HIGH", format!("@{base}_HIGH"));
@@ -442,14 +446,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             InList => {
-                let t = self.pick_table(rng,|t| t.column_count() >= 2)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| t.column_count() >= 2)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                let (ccolref, ccol) = self.pick_column(rng,t, |_| true, &used)?;
-                b.set("att", self.col_surface(rng,col));
-                b.set("catt", self.col_surface(rng,ccol));
+                let (ccolref, ccol) = self.pick_column(rng, t, |_| true, &used)?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("catt", self.col_surface(rng, ccol));
                 let base = self.placeholder_name(ccol, false);
                 b.set_raw("@V1", format!("@{base}_1"));
                 b.set_raw("@V2", format!("@{base}_2"));
@@ -465,14 +469,15 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Like => {
-                let t = self.pick_table(rng,|t| has_text(t) && t.column_count() >= 2)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| has_text(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                let (tcolref, tcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &used)?;
-                b.set("att", self.col_surface(rng,col));
-                b.set("tatt", self.col_surface(rng,tcol));
+                let (tcolref, tcol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_text(), &used)?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("tatt", self.col_surface(rng, tcol));
                 b.set("like", lexicons::pick(rng, lexicons::LIKE_PHRASES));
                 let base = self.placeholder_name(tcol, false);
                 b.set_raw("@PAT", format!("@{base}"));
@@ -485,18 +490,16 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             IsNull => {
-                let t = self.pick_table(rng,|t| has_text(t) && t.column_count() >= 2)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| has_text(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                let (tcolref, tcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &used)?;
-                b.set("att", self.col_surface(rng,col));
-                b.set("tatt", self.col_surface(rng,tcol));
-                b.set(
-                    "nullphrase",
-                    lexicons::pick(rng, lexicons::NULL_PHRASES),
-                );
+                let (tcolref, tcol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_text(), &used)?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("tatt", self.col_surface(rng, tcol));
+                b.set("nullphrase", lexicons::pick(rng, lexicons::NULL_PHRASES));
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
                 q.where_pred = Some(Pred::IsNull {
                     col: tcolref,
@@ -505,14 +508,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Neq => {
-                let t = self.pick_table(rng,|t| t.column_count() >= 2)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| t.column_count() >= 2)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                let (ccolref, ccol) = self.pick_column(rng,t, |_| true, &used)?;
-                b.set("att", self.col_surface(rng,col));
-                b.set("catt", self.col_surface(rng,ccol));
+                let (ccolref, ccol) = self.pick_column(rng, t, |_| true, &used)?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("catt", self.col_surface(rng, ccol));
                 let base = self.placeholder_name(ccol, false);
                 b.set_raw("@V1", format!("@{base}"));
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
@@ -524,14 +527,14 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             Disjunction => {
-                let t = self.pick_table(rng,|t| t.column_count() >= 3)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| t.column_count() >= 3)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                b.set("att", self.col_surface(rng,col));
-                let f1 = self.make_filter(rng,t, &mut used, false)?;
-                let f2 = self.make_filter(rng,t, &mut used, false)?;
+                b.set("att", self.col_surface(rng, col));
+                let f1 = self.make_filter(rng, t, &mut used, false)?;
+                let f2 = self.make_filter(rng, t, &mut used, false)?;
                 b.set("filter", f1.nl.clone());
                 b.set("filter2", f2.nl.clone());
                 let mut q = Query::simple(vec![SelectItem::Column(att)], self.table_name(t));
@@ -540,16 +543,17 @@ impl<'a> Generator<'a> {
             }
             JoinSelect | JoinAgg => {
                 let (t1, t2) = self.pick_join_pair(rng)?;
-                self.bind_join_tables(rng, b,t1, t2);
+                self.bind_join_tables(rng, b, t1, t2);
                 let numeric_needed = class == JoinAgg;
-                let (att, col) = self.pick_column(rng,
+                let (att, col) = self.pick_column(
+                    rng,
                     t1,
                     |c| !numeric_needed || c.sql_type().is_numeric(),
                     &HashSet::new(),
                 )?;
                 let att = qualify(att, self.table_name(t1));
-                b.set("attq", self.col_surface(rng,col));
-                let f2 = self.make_filter(rng,t2, &mut HashSet::new(), true)?;
+                b.set("attq", self.col_surface(rng, col));
+                let f2 = self.make_filter(rng, t2, &mut HashSet::new(), true)?;
                 b.set("filter2q", f2.nl.clone());
                 let select = if class == JoinAgg {
                     let func = *class.agg_choices().choose(rng)?;
@@ -571,17 +575,19 @@ impl<'a> Generator<'a> {
             }
             JoinGroupBy => {
                 let (t1, t2) = self.pick_join_pair(rng)?;
-                self.bind_join_tables(rng, b,t1, t2);
+                self.bind_join_tables(rng, b, t1, t2);
                 if !has_numeric(self.schema.table(t1)) || !has_text(self.schema.table(t2)) {
                     return None;
                 }
                 let func = *class.agg_choices().choose(rng)?;
-                let (att, acol) = self.pick_column(rng,t1, |c| c.sql_type().is_numeric(), &HashSet::new())?;
+                let (att, acol) =
+                    self.pick_column(rng, t1, |c| c.sql_type().is_numeric(), &HashSet::new())?;
                 let att = qualify(att, self.table_name(t1));
-                let (gatt, gcol) = self.pick_column(rng,t2, |c| c.sql_type().is_text(), &HashSet::new())?;
+                let (gatt, gcol) =
+                    self.pick_column(rng, t2, |c| c.sql_type().is_text(), &HashSet::new())?;
                 let gatt = qualify(gatt, self.table_name(t2));
-                b.set("attq", self.col_surface(rng,acol));
-                b.set("groupq", self.col_surface(rng,gcol));
+                b.set("attq", self.col_surface(rng, acol));
+                b.set("groupq", self.col_surface(rng, gcol));
                 b.set("agg", lexicons::pick(rng, lexicons::agg_phrases(func)));
                 b.set("grpphrase", lexicons::pick(rng, lexicons::GROUP_PHRASES));
                 Some(Query {
@@ -599,16 +605,17 @@ impl<'a> Generator<'a> {
                 })
             }
             NestedScalar { max } => {
-                let t = self.pick_table(rng,|t| has_numeric(t) && t.column_count() >= 3)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| has_numeric(t) && t.column_count() >= 3)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                let (natt, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
+                let (natt, ncol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_numeric(), &used)?;
                 used.insert(ncol);
-                b.set("att", self.col_surface(rng,col));
-                b.set("natt", self.col_surface(rng,ncol));
-                let f = self.make_filter(rng,t, &mut used, false)?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("natt", self.col_surface(rng, ncol));
+                let f = self.make_filter(rng, t, &mut used, false)?;
                 b.set("filter", f.nl.clone());
                 let func = if max { AggFunc::Max } else { AggFunc::Min };
                 let mut inner = Query::simple(
@@ -629,15 +636,13 @@ impl<'a> Generator<'a> {
             }
             NestedIn => {
                 let (t1, c1, t2, c2) = self.pick_compatible_columns(rng)?;
-                self.bind_join_tables(rng, b,t1, t2);
-                b.set("att", self.col_surface(rng,c1));
-                let f2 = self.make_filter(rng,t2, &mut [c2].into_iter().collect(), true)?;
+                self.bind_join_tables(rng, b, t1, t2);
+                b.set("att", self.col_surface(rng, c1));
+                let f2 = self.make_filter(rng, t2, &mut [c2].into_iter().collect(), true)?;
                 b.set("filter2q", f2.nl.clone());
                 let inner_col = ColumnRef::unqualified(self.schema.column(c2).name());
-                let mut inner = Query::simple(
-                    vec![SelectItem::Column(inner_col)],
-                    self.table_name(t2),
-                );
+                let mut inner =
+                    Query::simple(vec![SelectItem::Column(inner_col)], self.table_name(t2));
                 inner.where_pred = Some(f2.pred);
                 let outer_col = ColumnRef::unqualified(self.schema.column(c1).name());
                 let mut q = Query::simple(
@@ -652,14 +657,15 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             NotLike => {
-                let t = self.pick_table(rng,|t| has_text(t) && t.column_count() >= 2)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| has_text(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                let (tcolref, tcol) = self.pick_column(rng,t, |c| c.sql_type().is_text(), &used)?;
-                b.set("att", self.col_surface(rng,col));
-                b.set("tatt", self.col_surface(rng,tcol));
+                let (tcolref, tcol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_text(), &used)?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("tatt", self.col_surface(rng, tcol));
                 b.set("like", lexicons::pick(rng, lexicons::LIKE_PHRASES));
                 let base = self.placeholder_name(tcol, false);
                 b.set_raw("@PAT", format!("@{base}"));
@@ -672,14 +678,11 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             CountDistinct => {
-                let t = self.pick_table(rng,|_| true)?;
-                self.bind_table(rng, b,t);
-                let (att, col) = self.pick_column(rng,t, |_| true, &HashSet::new())?;
-                b.set("att", self.col_surface(rng,col));
-                b.set(
-                    "distinct",
-                    lexicons::pick(rng, lexicons::DISTINCT_PHRASES),
-                );
+                let t = self.pick_table(rng, |_| true)?;
+                self.bind_table(rng, b, t);
+                let (att, col) = self.pick_column(rng, t, |_| true, &HashSet::new())?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("distinct", lexicons::pick(rng, lexicons::DISTINCT_PHRASES));
                 let q = Query::simple(
                     vec![SelectItem::Aggregate(AggFunc::Count, agg_col(att))],
                     self.table_name(t),
@@ -687,12 +690,15 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             TopN { limit } => {
-                let t = self.pick_table(rng,has_numeric)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, has_numeric)?;
+                self.bind_table(rng, b, t);
                 let (natt, ncol) =
-                    self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &HashSet::new())?;
-                b.set("natt", self.col_surface(rng,ncol));
-                b.set("supmax", self.comparative_phrase(rng,ncol, ComparativeSense::Max));
+                    self.pick_column(rng, t, |c| c.sql_type().is_numeric(), &HashSet::new())?;
+                b.set("natt", self.col_surface(rng, ncol));
+                b.set(
+                    "supmax",
+                    self.comparative_phrase(rng, ncol, ComparativeSense::Max),
+                );
                 b.set_raw("@N", limit.to_string());
                 let mut q = Query::simple(vec![SelectItem::Star], self.table_name(t));
                 q.order_by = vec![(OrderKey::Column(natt), OrderDir::Desc)];
@@ -700,14 +706,15 @@ impl<'a> Generator<'a> {
                 Some(q)
             }
             NotBetween => {
-                let t = self.pick_table(rng,|t| has_numeric(t) && t.column_count() >= 2)?;
-                self.bind_table(rng, b,t);
+                let t = self.pick_table(rng, |t| has_numeric(t) && t.column_count() >= 2)?;
+                self.bind_table(rng, b, t);
                 let mut used = HashSet::new();
-                let (att, col) = self.pick_column(rng,t, |_| true, &used)?;
+                let (att, col) = self.pick_column(rng, t, |_| true, &used)?;
                 used.insert(col);
-                let (ncolref, ncol) = self.pick_column(rng,t, |c| c.sql_type().is_numeric(), &used)?;
-                b.set("att", self.col_surface(rng,col));
-                b.set("natt", self.col_surface(rng,ncol));
+                let (ncolref, ncol) =
+                    self.pick_column(rng, t, |c| c.sql_type().is_numeric(), &used)?;
+                b.set("att", self.col_surface(rng, col));
+                b.set("natt", self.col_surface(rng, ncol));
                 let base = self.placeholder_name(ncol, false);
                 b.set_raw("@LOW", format!("@{base}_LOW"));
                 b.set_raw("@HIGH", format!("@{base}_HIGH"));
@@ -723,12 +730,12 @@ impl<'a> Generator<'a> {
                 if self.schema.table_count() < 2 {
                     return None;
                 }
-                let t1 = self.pick_table(rng,|_| true)?;
-                let t2 = self.pick_table_excluding(rng,t1)?;
-                self.bind_join_tables(rng, b,t1, t2);
-                let (att, col) = self.pick_column(rng,t1, |_| true, &HashSet::new())?;
-                b.set("att", self.col_surface(rng,col));
-                let f2 = self.make_filter(rng,t2, &mut HashSet::new(), true)?;
+                let t1 = self.pick_table(rng, |_| true)?;
+                let t2 = self.pick_table_excluding(rng, t1)?;
+                self.bind_join_tables(rng, b, t1, t2);
+                let (att, col) = self.pick_column(rng, t1, |_| true, &HashSet::new())?;
+                b.set("att", self.col_surface(rng, col));
+                let f2 = self.make_filter(rng, t2, &mut HashSet::new(), true)?;
                 b.set("filter2q", f2.nl.clone());
                 let mut inner = Query::simple(vec![SelectItem::Star], self.table_name(t2));
                 inner.where_pred = Some(f2.pred);
@@ -760,10 +767,10 @@ impl<'a> Generator<'a> {
             .iter()
             .filter_map(|c| self.schema.column_id(&table_name, &c.column).ok())
             .collect();
-        let (gatt, gcol) = self.pick_column(rng,tid, |c| c.sql_type().is_text(), &used)?;
+        let (gatt, gcol) = self.pick_column(rng, tid, |c| c.sql_type().is_text(), &used)?;
         let _ = t;
         let grp = lexicons::pick(rng, lexicons::GROUP_PHRASES);
-        let nl = format!("{nl} {grp} {}", self.col_surface(rng,gcol));
+        let nl = format!("{nl} {grp} {}", self.col_surface(rng, gcol));
         let mut q = sql.clone();
         q.select.insert(0, SelectItem::Column(gatt.clone()));
         q.group_by = vec![gatt];
@@ -819,10 +826,7 @@ impl<'a> Generator<'a> {
             .filter(|(i, c)| accept(c) && !used.contains(&ColumnId::new(t, *i)))
             .collect();
         let &(idx, col) = candidates.choose(rng)?;
-        Some((
-            ColumnRef::unqualified(col.name()),
-            ColumnId::new(t, idx),
-        ))
+        Some((ColumnRef::unqualified(col.name()), ColumnId::new(t, idx)))
     }
 
     /// A random NL surface form of a column (readable name or synonym).
@@ -838,7 +842,7 @@ impl<'a> Generator<'a> {
     }
 
     fn bind_table(&self, rng: &mut Rng, b: &mut Bindings, t: TableId) {
-        let surface = self.table_surface(rng,t);
+        let surface = self.table_surface(rng, t);
         b.set("table", surface);
         b.set("select", lexicons::pick(rng, lexicons::SELECT_PHRASES));
         b.set("from", lexicons::pick(rng, lexicons::FROM_PHRASES));
@@ -846,8 +850,8 @@ impl<'a> Generator<'a> {
     }
 
     fn bind_join_tables(&self, rng: &mut Rng, b: &mut Bindings, t1: TableId, t2: TableId) {
-        self.bind_table(rng, b,t1);
-        let surface2 = self.table_surface(rng,t2);
+        self.bind_table(rng, b, t1);
+        let surface2 = self.table_surface(rng, t2);
         b.set("table2", surface2);
     }
 
@@ -875,10 +879,10 @@ impl<'a> Generator<'a> {
         used: &mut HashSet<ColumnId>,
         qualified: bool,
     ) -> Option<FilterParts> {
-        let (colref, col) = self.pick_column(rng,t, |_| true, used)?;
+        let (colref, col) = self.pick_column(rng, t, |_| true, used)?;
         used.insert(col);
         let column = self.schema.column(col);
-        let surface = self.col_surface(rng,col);
+        let surface = self.col_surface(rng, col);
         let ph = self.placeholder_name(col, qualified);
         let colref = if qualified {
             qualify(colref, self.table_name(t))
@@ -892,10 +896,10 @@ impl<'a> Generator<'a> {
                 let eq = lexicons::pick(rng, lexicons::EQ_PHRASES);
                 (CmpOp::Eq, format!("{surface} {eq} @{ph}"))
             } else if roll < 0.75 {
-                let phrase = self.comparative_phrase(rng,col, ComparativeSense::Greater);
+                let phrase = self.comparative_phrase(rng, col, ComparativeSense::Greater);
                 (CmpOp::Gt, format!("{surface} {phrase} @{ph}"))
             } else {
-                let phrase = self.comparative_phrase(rng,col, ComparativeSense::Less);
+                let phrase = self.comparative_phrase(rng, col, ComparativeSense::Less);
                 (CmpOp::Lt, format!("{surface} {phrase} @{ph}"))
             }
         } else {
@@ -926,7 +930,10 @@ impl<'a> Generator<'a> {
     }
 
     /// Find two tables with type-compatible columns for NestedIn.
-    fn pick_compatible_columns(&self, rng: &mut Rng) -> Option<(TableId, ColumnId, TableId, ColumnId)> {
+    fn pick_compatible_columns(
+        &self,
+        rng: &mut Rng,
+    ) -> Option<(TableId, ColumnId, TableId, ColumnId)> {
         let mut candidates = Vec::new();
         for (t1, table1) in self.schema.tables_with_ids() {
             for (t2, table2) in self.schema.tables_with_ids() {
@@ -1042,7 +1049,8 @@ mod tests {
                     .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
                     .column_with("disease", SqlType::Text, |c| c.synonym("illness"))
                     .column_with("length_of_stay", SqlType::Integer, |c| {
-                        c.domain(SemanticDomain::Duration).readable("length of stay")
+                        c.domain(SemanticDomain::Duration)
+                            .readable("length of stay")
                     })
                     .column("doctor_id", SqlType::Integer)
             })

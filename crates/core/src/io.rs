@@ -274,7 +274,8 @@ mod tests {
 
     #[test]
     fn json_with_bad_sql_rejected() {
-        let json = r#"[{"nl":"x","nl_lemmas":[],"sql":"NOT SQL","template_id":"t","provenance":"seed"}]"#;
+        let json =
+            r#"[{"nl":"x","nl_lemmas":[],"sql":"NOT SQL","template_id":"t","provenance":"seed"}]"#;
         assert!(matches!(
             corpus_from_json(json).unwrap_err(),
             CorpusIoError::BadSql { line: 1, .. }

@@ -38,7 +38,12 @@ pub const NEQ_PHRASES: &[&str] = &["is not", "not equal to", "different from", "
 /// Verbalizations of each aggregate function (the `AggPhrase` slot).
 pub fn agg_phrases(func: AggFunc) -> &'static [&'static str] {
     match func {
-        AggFunc::Count => &["the number of", "how many", "the count of", "the total number of"],
+        AggFunc::Count => &[
+            "the number of",
+            "how many",
+            "the count of",
+            "the total number of",
+        ],
         AggFunc::Sum => &["the total", "the sum of", "the combined", "the overall"],
         AggFunc::Avg => &["the average", "the mean", "the typical"],
         AggFunc::Min => &["the minimum", "the lowest", "the smallest", "the least"],
@@ -53,11 +58,19 @@ pub const GROUP_PHRASES: &[&str] = &["for each", "per", "grouped by", "by", "for
 pub const ORDER_ASC_PHRASES: &[&str] = &["sorted by", "ordered by", "in ascending order of"];
 
 /// Phrases asking for descending ordering.
-pub const ORDER_DESC_PHRASES: &[&str] =
-    &["sorted descending by", "in descending order of", "ranked by decreasing"];
+pub const ORDER_DESC_PHRASES: &[&str] = &[
+    "sorted descending by",
+    "in descending order of",
+    "ranked by decreasing",
+];
 
 /// Phrases expressing DISTINCT.
-pub const DISTINCT_PHRASES: &[&str] = &["the different", "the distinct", "the unique", "all different"];
+pub const DISTINCT_PHRASES: &[&str] = &[
+    "the different",
+    "the distinct",
+    "the unique",
+    "all different",
+];
 
 /// Phrases expressing existence ("are there ...").
 pub const EXISTS_PHRASES: &[&str] = &["are there any", "is there any", "do any exist"];

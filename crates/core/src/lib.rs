@@ -43,20 +43,20 @@ pub mod templates;
 
 pub use augment::Augmenter;
 pub use config::GenerationConfig;
+pub use dbpal_analyze::AnalyzerPolicy;
 pub use generator::{Generator, GeneratorStats};
 pub use io::{
     corpus_from_json, corpus_to_json, corpus_to_tsv, manual_corpus_from_tsv, CorpusIoError,
 };
 pub use lexicons::{
-    agg_phrases, pick, BETWEEN_PHRASES, DISTINCT_PHRASES, EQ_PHRASES, EXISTS_PHRASES,
-    FROM_PHRASES, GROUP_PHRASES, LIKE_PHRASES, NEQ_PHRASES, NULL_PHRASES, ORDER_ASC_PHRASES,
-    ORDER_DESC_PHRASES, SELECT_PHRASES, WHERE_PHRASES,
+    agg_phrases, pick, BETWEEN_PHRASES, DISTINCT_PHRASES, EQ_PHRASES, EXISTS_PHRASES, FROM_PHRASES,
+    GROUP_PHRASES, LIKE_PHRASES, NEQ_PHRASES, NULL_PHRASES, ORDER_ASC_PHRASES, ORDER_DESC_PHRASES,
+    SELECT_PHRASES, WHERE_PHRASES,
 };
 pub use model_api::{evaluate_exact, EvalExample, TrainOptions, TranslationModel};
 pub use optimizer::{
     accuracy_histogram, accuracy_stats, best, GridSearch, RandomSearch, TrialResult,
 };
-pub use dbpal_analyze::AnalyzerPolicy;
 pub use pair::{Provenance, TrainingCorpus, TrainingPair};
 pub use pipeline::{analyze_pairs, AnalyzerReport, PipelineReport, StageTimings, TrainingPipeline};
 pub use templates::{catalog, catalog_subset, PatternCategory, QueryClass, SeedTemplate};

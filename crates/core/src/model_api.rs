@@ -160,8 +160,7 @@ mod tests {
                 "SELECT name FROM patients WHERE age = @AGE",
             ),
         ] {
-            let mut p =
-                TrainingPair::new(nl, parse_query(sql).unwrap(), "t", Provenance::Seed);
+            let mut p = TrainingPair::new(nl, parse_query(sql).unwrap(), "t", Provenance::Seed);
             p.nl_lemmas = lem.lemmatize_sentence(nl);
             pairs.push(p);
         }
@@ -193,10 +192,9 @@ mod tests {
     #[test]
     fn alternatives_count_as_correct() {
         let gold = parse_query("SELECT name FROM patients ORDER BY age DESC LIMIT 1").unwrap();
-        let alt = parse_query(
-            "SELECT name FROM patients WHERE age = (SELECT MAX(age) FROM patients)",
-        )
-        .unwrap();
+        let alt =
+            parse_query("SELECT name FROM patients WHERE age = (SELECT MAX(age) FROM patients)")
+                .unwrap();
         let mut ex = EvalExample::new("who is the oldest patient", gold);
         ex.alternatives.push(alt.clone());
         assert!(ex.matches(&alt));

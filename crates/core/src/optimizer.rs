@@ -154,7 +154,11 @@ pub fn accuracy_histogram(results: &[TrialResult], bins: usize) -> Vec<(f64, usi
         return Vec::new();
     }
     let (min, max, _, _) = accuracy_stats(results);
-    let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+    let width = if max > min {
+        (max - min) / bins as f64
+    } else {
+        1.0
+    };
     let mut hist = vec![0usize; bins];
     for r in results {
         let mut b = ((r.accuracy - min) / width) as usize;

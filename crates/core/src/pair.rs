@@ -259,7 +259,8 @@ mod tests {
 
     #[test]
     fn merge_extends() {
-        let mut a = TrainingCorpus::from_pairs(vec![pair("x", "SELECT a FROM t", Provenance::Seed)]);
+        let mut a =
+            TrainingCorpus::from_pairs(vec![pair("x", "SELECT a FROM t", Provenance::Seed)]);
         let b = TrainingCorpus::from_pairs(vec![pair("y", "SELECT a FROM t", Provenance::Manual)]);
         a.extend(b);
         assert_eq!(a.len(), 2);

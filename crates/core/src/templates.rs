@@ -155,11 +155,14 @@ impl QueryClass {
     /// The aggregate functions this class may instantiate.
     pub fn agg_choices(self) -> &'static [AggFunc] {
         match self {
-            QueryClass::Agg | QueryClass::AggWhere | QueryClass::GroupBy | QueryClass::JoinAgg
-            | QueryClass::JoinGroupBy => {
-                &[AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max]
-            }
-            QueryClass::CountAll | QueryClass::CountWhere | QueryClass::GroupByCount
+            QueryClass::Agg
+            | QueryClass::AggWhere
+            | QueryClass::GroupBy
+            | QueryClass::JoinAgg
+            | QueryClass::JoinGroupBy => &[AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max],
+            QueryClass::CountAll
+            | QueryClass::CountWhere
+            | QueryClass::GroupByCount
             | QueryClass::CountDistinct => &[AggFunc::Count],
             _ => &[],
         }
@@ -473,17 +476,40 @@ mod tests {
     fn patterns_only_use_known_slots() {
         // Every {slot} marker must be one the generator knows how to fill.
         const KNOWN: &[&str] = &[
-            "select", "from", "where", "table", "table2", "att", "att2", "attq", "att2q",
-            "natt", "tatt", "catt", "group", "groupq", "agg", "grpphrase", "distinct",
-            "filter", "filter2", "filter2q", "supmax", "supmin", "ordasc", "orddesc",
-            "like", "nullphrase",
+            "select",
+            "from",
+            "where",
+            "table",
+            "table2",
+            "att",
+            "att2",
+            "attq",
+            "att2q",
+            "natt",
+            "tatt",
+            "catt",
+            "group",
+            "groupq",
+            "agg",
+            "grpphrase",
+            "distinct",
+            "filter",
+            "filter2",
+            "filter2q",
+            "supmax",
+            "supmin",
+            "ordasc",
+            "orddesc",
+            "like",
+            "nullphrase",
         ];
         for t in catalog() {
             let mut rest = t.pattern;
             while let Some(start) = rest.find('{') {
-                let end = rest[start..].find('}').map(|e| start + e).unwrap_or_else(|| {
-                    panic!("unclosed slot in {}: {}", t.id, t.pattern)
-                });
+                let end = rest[start..]
+                    .find('}')
+                    .map(|e| start + e)
+                    .unwrap_or_else(|| panic!("unclosed slot in {}: {}", t.id, t.pattern));
                 let slot = &rest[start + 1..end];
                 assert!(KNOWN.contains(&slot), "unknown slot {{{slot}}} in {}", t.id);
                 rest = &rest[end + 1..];

@@ -77,19 +77,24 @@ fn generated_pairs_analyze_clean_at_any_thread_count() {
         let schema = random_small_schema(rng);
         let mut reports = Vec::new();
         for threads in [1usize, 2, 8] {
-            let cfg = GenerationConfig { threads, ..base.clone() };
+            let cfg = GenerationConfig {
+                threads,
+                ..base.clone()
+            };
             let (corpus, report) = TrainingPipeline::new(cfg).generate_with_report(&schema);
             report
                 .check_consistency()
                 .unwrap_or_else(|e| panic!("inconsistent report: {e}\n{}", report.render()));
             assert_eq!(report.analyzer.policy, AnalyzerPolicy::Reject);
             assert_eq!(
-                report.analyzer.rejected, 0,
+                report.analyzer.rejected,
+                0,
                 "rejected pairs under default config:\n{}",
                 report.render()
             );
             assert_eq!(
-                report.analyzer.flagged, 0,
+                report.analyzer.flagged,
+                0,
                 "flagged pairs under default config:\n{}",
                 report.render()
             );
@@ -97,8 +102,14 @@ fn generated_pairs_analyze_clean_at_any_thread_count() {
             assert_eq!(report.analyzer.analyzed, corpus.len());
             reports.push(report.analyzer);
         }
-        assert_eq!(reports[0], reports[1], "analyzer report differs 1 vs 2 threads");
-        assert_eq!(reports[0], reports[2], "analyzer report differs 1 vs 8 threads");
+        assert_eq!(
+            reports[0], reports[1],
+            "analyzer report differs 1 vs 2 threads"
+        );
+        assert_eq!(
+            reports[0], reports[2],
+            "analyzer report differs 1 vs 8 threads"
+        );
     });
 }
 

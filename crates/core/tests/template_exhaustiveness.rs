@@ -37,8 +37,7 @@ fn hospital_schema() -> Schema {
 #[test]
 fn every_catalog_template_instantiates_at_least_once() {
     let config = GenerationConfig::default();
-    let (_, report) =
-        TrainingPipeline::new(config).generate_with_report(&hospital_schema());
+    let (_, report) = TrainingPipeline::new(config).generate_with_report(&hospital_schema());
     report.check_consistency().unwrap();
 
     // Pairs are tagged with the template id plus an optional `+group`
@@ -65,10 +64,7 @@ fn every_catalog_template_instantiates_at_least_once() {
 
 #[test]
 fn template_counts_sum_to_final_pairs() {
-    let (corpus, report) = TrainingPipeline::new(GenerationConfig::small())
-        .generate_with_report(&hospital_schema());
-    assert_eq!(
-        report.template_counts.values().sum::<usize>(),
-        corpus.len()
-    );
+    let (corpus, report) =
+        TrainingPipeline::new(GenerationConfig::small()).generate_with_report(&hospital_schema());
+    assert_eq!(report.template_counts.values().sum::<usize>(), corpus.len());
 }

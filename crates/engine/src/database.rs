@@ -166,14 +166,24 @@ mod tests {
         let mut d = db();
         d.insert("t", vec![Value::Int(1), "x".into(), Value::Int(2)])
             .unwrap();
-        assert_eq!(d.distinct_values("t", "c").unwrap(), vec![Value::Float(2.0)]);
+        assert_eq!(
+            d.distinct_values("t", "c").unwrap(),
+            vec![Value::Float(2.0)]
+        );
     }
 
     #[test]
     fn insert_rejects_wrong_arity() {
         let mut d = db();
         let err = d.insert("t", vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, EngineError::ArityMismatch { expected: 3, got: 1, .. }));
+        assert!(matches!(
+            err,
+            EngineError::ArityMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
         assert_eq!(d.row_count("t").unwrap(), 0);
     }
 
@@ -229,7 +239,8 @@ mod explain_tests {
     fn db() -> Database {
         let schema = SchemaBuilder::new("s")
             .table("a", |t| {
-                t.column("id", SqlType::Integer).column("x", SqlType::Integer)
+                t.column("id", SqlType::Integer)
+                    .column("x", SqlType::Integer)
             })
             .table("b", |t| {
                 t.column("id", SqlType::Integer).column("y", SqlType::Text)
@@ -264,10 +275,8 @@ mod explain_tests {
     #[test]
     fn explain_describes_grouping_sort_limit() {
         let d = db();
-        let q = parse_query(
-            "SELECT y, COUNT(*) FROM b GROUP BY y ORDER BY COUNT(*) DESC LIMIT 3",
-        )
-        .unwrap();
+        let q = parse_query("SELECT y, COUNT(*) FROM b GROUP BY y ORDER BY COUNT(*) DESC LIMIT 3")
+            .unwrap();
         let plan = d.explain(&q).unwrap();
         assert!(plan.contains("group by y"), "{plan}");
         assert!(plan.contains("sort"), "{plan}");

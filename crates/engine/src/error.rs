@@ -63,10 +63,18 @@ impl fmt::Display for EngineError {
             EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             EngineError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
             EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
-            EngineError::TypeMismatch { table, column, detail } => {
+            EngineError::TypeMismatch {
+                table,
+                column,
+                detail,
+            } => {
                 write!(f, "type mismatch for `{table}.{column}`: {detail}")
             }
-            EngineError::ArityMismatch { table, expected, got } => {
+            EngineError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
                 write!(f, "row for `{table}` has {got} values, expected {expected}")
             }
             EngineError::UnexpandedJoinPlaceholder => {

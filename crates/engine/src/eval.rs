@@ -6,8 +6,8 @@
 //! per-row evaluation is allocation-free.
 
 use crate::{Database, EngineError};
-use dbpal_sql::{AggArg, AggFunc, CmpOp, Pred, Query, Scalar};
 use dbpal_schema::Value;
+use dbpal_sql::{AggArg, AggFunc, CmpOp, Pred, Query, Scalar};
 
 /// A compiled scalar: either a row offset or a constant (literals and
 /// pre-evaluated scalar subqueries).
@@ -182,7 +182,7 @@ pub(crate) fn compile_pred(
         }
         Pred::Exists { query, negated } => {
             let result = db.execute(query)?;
-            Ok(EPred::Const(result.row_count() > 0) .negate_if(*negated))
+            Ok(EPred::Const(result.row_count() > 0).negate_if(*negated))
         }
         Pred::Like {
             col,

@@ -1,8 +1,7 @@
 //! The query executor: join, filter, group, sort, project.
 
 use crate::eval::{
-    compile_pred, compute_aggregate, eval_pred, AggMode, ColumnResolver, EAggArg,
-    EPred, EScalar,
+    compile_pred, compute_aggregate, eval_pred, AggMode, ColumnResolver, EAggArg, EPred, EScalar,
 };
 use crate::{Database, EngineError, ResultSet};
 use dbpal_schema::{TableId, Value};
@@ -121,7 +120,11 @@ pub(crate) fn execute(db: &Database, query: &Query) -> Result<ResultSet, EngineE
 /// Build the combined rows for the FROM clause, using hash equi-joins when
 /// the WHERE clause provides join conditions and falling back to cross
 /// products otherwise.
-fn join_tables(db: &Database, scope: &Scope, query: &Query) -> Result<Vec<Vec<Value>>, EngineError> {
+fn join_tables(
+    db: &Database,
+    scope: &Scope,
+    query: &Query,
+) -> Result<Vec<Vec<Value>>, EngineError> {
     // Extract top-level AND'ed column = column predicates as join
     // candidates.
     let mut join_preds: Vec<(ColumnRef, ColumnRef)> = Vec::new();
@@ -149,12 +152,17 @@ fn join_tables(db: &Database, scope: &Scope, query: &Query) -> Result<Vec<Vec<Va
             for (left, right) in [(a, b), (b, a)] {
                 // `right` must be a column of the new table; `left` must
                 // resolve within the prefix.
-                let right_local = match (&right.table, new_cols.iter().position(|c| c == &right.column)) {
+                let right_local = match (
+                    &right.table,
+                    new_cols.iter().position(|c| c == &right.column),
+                ) {
                     (Some(t), Some(idx)) if t == new_name => Some(idx),
                     (None, Some(idx)) => Some(idx),
                     _ => None,
                 };
-                let Some(right_idx) = right_local else { continue };
+                let Some(right_idx) = right_local else {
+                    continue;
+                };
                 if let Ok(left_idx) = scope.resolve(left) {
                     if left_idx < prefix_scope_width {
                         join_on = Some((left_idx, right_idx));
@@ -219,8 +227,10 @@ pub(crate) fn explain(db: &Database, query: &Query) -> Result<String, EngineErro
     for (i, (name, tid, _, _)) in scope.entries.iter().enumerate() {
         let rows = db.table_data(*tid).row_count;
         if i == 0 {
-            out.push_str(&format!("scan {name} ({rows} rows)
-"));
+            out.push_str(&format!(
+                "scan {name} ({rows} rows)
+"
+            ));
         } else {
             let joined = join_preds
                 .iter()
@@ -230,39 +240,56 @@ pub(crate) fn explain(db: &Database, query: &Query) -> Result<String, EngineErro
                 })
                 .map(|(a, b)| format!("hash join on {a} = {b}"))
                 .unwrap_or_else(|| "cross product".to_string());
-            out.push_str(&format!("{joined} with {name} ({rows} rows)
-"));
+            out.push_str(&format!(
+                "{joined} with {name} ({rows} rows)
+"
+            ));
         }
     }
     if let Some(p) = &query.where_pred {
-        out.push_str(&format!("filter: {p}
-"));
+        out.push_str(&format!(
+            "filter: {p}
+"
+        ));
     }
     if !query.group_by.is_empty() || query.has_aggregate() {
         if query.group_by.is_empty() {
-            out.push_str("aggregate: single group
-");
+            out.push_str(
+                "aggregate: single group
+",
+            );
         } else {
             let keys: Vec<String> = query.group_by.iter().map(|c| c.to_string()).collect();
-            out.push_str(&format!("aggregate: group by {}
-", keys.join(", ")));
+            out.push_str(&format!(
+                "aggregate: group by {}
+",
+                keys.join(", ")
+            ));
         }
         if let Some(h) = &query.having {
-            out.push_str(&format!("having: {h}
-"));
+            out.push_str(&format!(
+                "having: {h}
+"
+            ));
         }
     }
     if !query.order_by.is_empty() {
-        out.push_str("sort
-");
+        out.push_str(
+            "sort
+",
+        );
     }
     if let Some(n) = query.limit {
-        out.push_str(&format!("limit {n}
-"));
+        out.push_str(&format!(
+            "limit {n}
+"
+        ));
     }
     if query.distinct {
-        out.push_str("distinct
-");
+        out.push_str(
+            "distinct
+",
+        );
     }
     Ok(out)
 }
@@ -318,10 +345,7 @@ fn execute_plain(
     if !order.is_empty() {
         rows.sort_by(|a, b| compare_by_keys(a, b, &order));
     }
-    let out = rows
-        .iter()
-        .map(|r| project_row(r, &projections))
-        .collect();
+    let out = rows.iter().map(|r| project_row(r, &projections)).collect();
     Ok((headers, out))
 }
 
@@ -361,7 +385,7 @@ fn execute_grouped(
 
     // Compile select items.
     enum GSel {
-        Key(usize),               // index into key_cols
+        Key(usize), // index into key_cols
         Agg(dbpal_sql::AggFunc, EAggArg),
     }
     let mut headers = Vec::new();
@@ -373,9 +397,10 @@ fn execute_grouped(
             }
             SelectItem::Column(c) => {
                 let idx = scope.resolve(c)?;
-                let key_pos = key_cols.iter().position(|&k| k == idx).ok_or_else(|| {
-                    EngineError::InvalidGroupSelect(c.to_string())
-                })?;
+                let key_pos = key_cols
+                    .iter()
+                    .position(|&k| k == idx)
+                    .ok_or_else(|| EngineError::InvalidGroupSelect(c.to_string()))?;
                 headers.push(header_for(c));
                 gsel.push(GSel::Key(key_pos));
             }
@@ -424,9 +449,10 @@ fn execute_grouped(
         match k {
             OrderKey::Column(c) => {
                 let idx = scope.resolve(c)?;
-                let pos = key_cols.iter().position(|&kc| kc == idx).ok_or_else(|| {
-                    EngineError::InvalidOrderKey(c.to_string())
-                })?;
+                let pos = key_cols
+                    .iter()
+                    .position(|&kc| kc == idx)
+                    .ok_or_else(|| EngineError::InvalidOrderKey(c.to_string()))?;
                 gorder.push((GOrder::Key(pos), *d));
             }
             OrderKey::Aggregate(f, arg) => {
@@ -556,11 +582,8 @@ mod tests {
             .unwrap();
         }
         for (id, name, spec) in [(1, "House", "diagnostics"), (2, "Grey", "surgery")] {
-            db.insert(
-                "doctors",
-                vec![Value::Int(id), name.into(), spec.into()],
-            )
-            .unwrap();
+            db.insert("doctors", vec![Value::Int(id), name.into(), spec.into()])
+                .unwrap();
         }
         db
     }
@@ -595,7 +618,10 @@ mod tests {
     fn avg_age() {
         let db = hospital();
         let r = run(&db, "SELECT AVG(age) FROM patients");
-        assert_eq!(r.rows()[0][0], Value::Float((80 + 35 + 64 + 80 + 12) as f64 / 5.0));
+        assert_eq!(
+            r.rows()[0][0],
+            Value::Float((80 + 35 + 64 + 80 + 12) as f64 / 5.0)
+        );
     }
 
     #[test]
@@ -732,10 +758,7 @@ mod tests {
     #[test]
     fn or_and_not() {
         let db = hospital();
-        let r = run(
-            &db,
-            "SELECT name FROM patients WHERE age = 12 OR age = 35",
-        );
+        let r = run(&db, "SELECT name FROM patients WHERE age = 12 OR age = 35");
         assert_eq!(r.row_count(), 2);
         let r = run(&db, "SELECT name FROM patients WHERE NOT (age = 80)");
         assert_eq!(r.row_count(), 3);
@@ -779,7 +802,8 @@ mod tests {
     fn group_by_empty_table_has_no_groups() {
         let schema = SchemaBuilder::new("s")
             .table("t", |t| {
-                t.column("x", SqlType::Integer).column("y", SqlType::Integer)
+                t.column("x", SqlType::Integer)
+                    .column("y", SqlType::Integer)
             })
             .build()
             .unwrap();

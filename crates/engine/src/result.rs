@@ -104,7 +104,9 @@ impl ResultSet {
             out.push_str(&format!("{c:<width$}", width = widths[i]));
         }
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
@@ -175,11 +177,17 @@ mod tests {
     fn semantic_equality_tolerates_column_permutation() {
         let a = rs(
             &["a", "b"],
-            vec![vec![Value::Int(1), "x".into()], vec![Value::Int(2), "y".into()]],
+            vec![
+                vec![Value::Int(1), "x".into()],
+                vec![Value::Int(2), "y".into()],
+            ],
         );
         let b = rs(
             &["b", "a"],
-            vec![vec!["y".into(), Value::Int(2)], vec!["x".into(), Value::Int(1)]],
+            vec![
+                vec!["y".into(), Value::Int(2)],
+                vec!["x".into(), Value::Int(1)],
+            ],
         );
         assert!(a.semantically_equal(&b));
         assert!(!a.rows_equal_unordered(&b));
@@ -209,10 +217,7 @@ mod tests {
 
     #[test]
     fn table_rendering_contains_headers_and_values() {
-        let a = rs(
-            &["name", "age"],
-            vec![vec!["Ann".into(), Value::Int(80)]],
-        );
+        let a = rs(&["name", "age"], vec![vec!["Ann".into(), Value::Int(80)]]);
         let s = a.to_table_string();
         assert!(s.contains("name"));
         assert!(s.contains("Ann"));

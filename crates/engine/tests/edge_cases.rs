@@ -51,7 +51,10 @@ fn db_with_nulls() -> Database {
 }
 
 fn run(db: &Database, sql: &str) -> Vec<Vec<Value>> {
-    db.execute(&parse_query(sql).unwrap()).unwrap().rows().to_vec()
+    db.execute(&parse_query(sql).unwrap())
+        .unwrap()
+        .rows()
+        .to_vec()
 }
 
 #[test]
@@ -62,7 +65,10 @@ fn aggregates_skip_nulls() {
     assert_eq!(run(&db, "SELECT MIN(score) FROM users"), [[Value::Int(10)]]);
     assert_eq!(run(&db, "SELECT MAX(score) FROM users"), [[Value::Int(30)]]);
     // COUNT(col) counts non-NULL values; COUNT(*) counts rows.
-    assert_eq!(run(&db, "SELECT COUNT(score) FROM users"), [[Value::Int(3)]]);
+    assert_eq!(
+        run(&db, "SELECT COUNT(score) FROM users"),
+        [[Value::Int(3)]]
+    );
     assert_eq!(run(&db, "SELECT COUNT(*) FROM users"), [[Value::Int(5)]]);
     // AVG divides by the non-NULL count, not the row count.
     assert_eq!(
@@ -75,7 +81,10 @@ fn aggregates_skip_nulls() {
 fn global_aggregate_over_empty_input_is_one_row() {
     let db = Database::new(schema());
     assert_eq!(run(&db, "SELECT COUNT(*) FROM users"), [[Value::Int(0)]]);
-    assert_eq!(run(&db, "SELECT COUNT(score) FROM users"), [[Value::Int(0)]]);
+    assert_eq!(
+        run(&db, "SELECT COUNT(score) FROM users"),
+        [[Value::Int(0)]]
+    );
     // Non-count aggregates over zero rows yield NULL, not an error.
     assert_eq!(run(&db, "SELECT SUM(score) FROM users"), [[Value::Null]]);
     assert_eq!(run(&db, "SELECT AVG(score) FROM users"), [[Value::Null]]);
@@ -123,7 +132,11 @@ fn all_null_group_aggregates_to_null() {
 fn joins_over_empty_tables_are_empty_not_errors() {
     // Both sides present but empty.
     let db = Database::new(schema());
-    assert!(run(&db, "SELECT users.id FROM users, orders WHERE orders.users_id = users.id").is_empty());
+    assert!(run(
+        &db,
+        "SELECT users.id FROM users, orders WHERE orders.users_id = users.id"
+    )
+    .is_empty());
 
     // One populated side, one empty side.
     let mut db = Database::new(schema());
@@ -132,7 +145,11 @@ fn joins_over_empty_tables_are_empty_not_errors() {
         vec![Value::Int(1), Value::Int(5), Value::Text("a".into())],
     )
     .unwrap();
-    assert!(run(&db, "SELECT users.id FROM users, orders WHERE orders.users_id = users.id").is_empty());
+    assert!(run(
+        &db,
+        "SELECT users.id FROM users, orders WHERE orders.users_id = users.id"
+    )
+    .is_empty());
     // And the bare cross product is empty too.
     assert!(run(&db, "SELECT users.id FROM users, orders").is_empty());
 }
@@ -141,7 +158,11 @@ fn joins_over_empty_tables_are_empty_not_errors() {
 fn limit_zero_yields_no_rows() {
     let db = db_with_nulls();
     assert!(run(&db, "SELECT id FROM users LIMIT 0").is_empty());
-    assert!(run(&db, "SELECT score, COUNT(*) FROM users GROUP BY score LIMIT 0").is_empty());
+    assert!(run(
+        &db,
+        "SELECT score, COUNT(*) FROM users GROUP BY score LIMIT 0"
+    )
+    .is_empty());
     // LIMIT larger than the result is a no-op.
     assert_eq!(run(&db, "SELECT id FROM users LIMIT 99").len(), 5);
 }

@@ -45,7 +45,9 @@ fn count_star_matches_row_count() {
     forall!(cases = 128, |rng| {
         let rows = gen_rows(rng);
         let db = database(&rows);
-        let r = db.execute(&parse_query("SELECT COUNT(*) FROM t").unwrap()).unwrap();
+        let r = db
+            .execute(&parse_query("SELECT COUNT(*) FROM t").unwrap())
+            .unwrap();
         assert_eq!(&r.rows()[0][0], &Value::Int(rows.len() as i64));
     });
 }
@@ -96,8 +98,7 @@ fn distinct_removes_duplicates() {
         for row in r.rows() {
             assert!(seen.insert(row.clone()), "duplicate row {row:?}");
         }
-        let expected: std::collections::HashSet<&String> =
-            rows.iter().map(|(_, s, _)| s).collect();
+        let expected: std::collections::HashSet<&String> = rows.iter().map(|(_, s, _)| s).collect();
         assert_eq!(r.row_count(), expected.len());
     });
 }
@@ -110,10 +111,14 @@ fn order_by_sorts() {
         let db = database(&rows);
         let q = parse_query("SELECT a FROM t ORDER BY a").unwrap();
         let r = db.execute(&q).unwrap();
-        let values: Vec<i64> = r.rows().iter().map(|row| match row[0] {
-            Value::Int(a) => a,
-            _ => unreachable!(),
-        }).collect();
+        let values: Vec<i64> = r
+            .rows()
+            .iter()
+            .map(|row| match row[0] {
+                Value::Int(a) => a,
+                _ => unreachable!(),
+            })
+            .collect();
         for w in values.windows(2) {
             assert!(w[0] <= w[1]);
         }
@@ -130,9 +135,13 @@ fn sum_and_avg_match_arithmetic() {
         }
         let db = database(&rows);
         let sum: i64 = rows.iter().map(|(a, _, _)| a).sum();
-        let r = db.execute(&parse_query("SELECT SUM(a) FROM t").unwrap()).unwrap();
+        let r = db
+            .execute(&parse_query("SELECT SUM(a) FROM t").unwrap())
+            .unwrap();
         assert_eq!(&r.rows()[0][0], &Value::Int(sum));
-        let r = db.execute(&parse_query("SELECT AVG(a) FROM t").unwrap()).unwrap();
+        let r = db
+            .execute(&parse_query("SELECT AVG(a) FROM t").unwrap())
+            .unwrap();
         let avg = sum as f64 / rows.len() as f64;
         match r.rows()[0][0] {
             Value::Float(f) => assert!((f - avg).abs() < 1e-9),
@@ -149,10 +158,14 @@ fn group_by_partitions() {
         let db = database(&rows);
         let q = parse_query("SELECT s, COUNT(*) FROM t GROUP BY s").unwrap();
         let r = db.execute(&q).unwrap();
-        let total: i64 = r.rows().iter().map(|row| match row[1] {
-            Value::Int(n) => n,
-            _ => 0,
-        }).sum();
+        let total: i64 = r
+            .rows()
+            .iter()
+            .map(|row| match row[1] {
+                Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
         assert_eq!(total, rows.len() as i64);
     });
 }
@@ -166,8 +179,12 @@ fn min_max_bracket() {
             return;
         }
         let db = database(&rows);
-        let rmin = db.execute(&parse_query("SELECT MIN(a) FROM t").unwrap()).unwrap();
-        let rmax = db.execute(&parse_query("SELECT MAX(a) FROM t").unwrap()).unwrap();
+        let rmin = db
+            .execute(&parse_query("SELECT MIN(a) FROM t").unwrap())
+            .unwrap();
+        let rmax = db
+            .execute(&parse_query("SELECT MAX(a) FROM t").unwrap())
+            .unwrap();
         let min = rows.iter().map(|(a, _, _)| *a).min().unwrap();
         let max = rows.iter().map(|(a, _, _)| *a).max().unwrap();
         assert_eq!(&rmin.rows()[0][0], &Value::Int(min));
@@ -184,13 +201,13 @@ fn scalar_subquery_consistency() {
             return;
         }
         let db = database(&rows);
-        let nested = db.execute(&parse_query(
-            "SELECT s FROM t WHERE a = (SELECT MAX(a) FROM t)"
-        ).unwrap()).unwrap();
+        let nested = db
+            .execute(&parse_query("SELECT s FROM t WHERE a = (SELECT MAX(a) FROM t)").unwrap())
+            .unwrap();
         let max = rows.iter().map(|(a, _, _)| *a).max().unwrap();
-        let direct = db.execute(&parse_query(
-            &format!("SELECT s FROM t WHERE a = {max}")
-        ).unwrap()).unwrap();
+        let direct = db
+            .execute(&parse_query(&format!("SELECT s FROM t WHERE a = {max}")).unwrap())
+            .unwrap();
         assert!(nested.rows_equal_unordered(&direct));
     });
 }

@@ -588,10 +588,7 @@ fn subquery_query(rng: &mut Rng, schema: &Schema) -> Query {
     let inner_t = pick_table(rng, schema).to_string();
     let inner_cols = table_cols(schema, &inner_t, false);
 
-    let inner_where = |rng: &mut Rng| {
-        rng.gen_bool(0.6)
-            .then(|| leaf_pred(rng, &inner_cols))
-    };
+    let inner_where = |rng: &mut Rng| rng.gen_bool(0.6).then(|| leaf_pred(rng, &inner_cols));
 
     let sub_pred = match rng.gen_range(0..3u32) {
         0 => {

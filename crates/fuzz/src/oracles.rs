@@ -33,12 +33,9 @@ pub fn check_roundtrip(q: &Query) -> Result<(), String> {
 pub fn check_canonical_preserves(db: &Database, q: &Query) -> Result<(), String> {
     let base = execute(db, q)?;
     let canon = CanonicalForm::of(q);
-    let canon_res = db.execute(canon.query()).map_err(|e| {
-        format!(
-            "canonical form fails to execute ({e}): `{}`",
-            canon.query()
-        )
-    })?;
+    let canon_res = db
+        .execute(canon.query())
+        .map_err(|e| format!("canonical form fails to execute ({e}): `{}`", canon.query()))?;
     if !base.semantically_equal(&canon_res) {
         return Err(format!(
             "canonicalization changed results: `{q}` vs canonical `{}` ({} vs {} rows)",

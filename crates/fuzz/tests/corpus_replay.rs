@@ -10,8 +10,8 @@ fn corpus_dir() -> std::path::PathBuf {
 
 fn load(name: &str) -> FuzzCase {
     let path = corpus_dir().join(format!("{name}.json"));
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     FuzzCase::from_json(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
 }
 
@@ -27,8 +27,8 @@ fn whole_corpus_replays_green() {
     assert!(!paths.is_empty(), "corpus must not be empty");
     for path in paths {
         let text = std::fs::read_to_string(&path).expect("readable case");
-        let case = FuzzCase::from_json(&text)
-            .unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+        let case =
+            FuzzCase::from_json(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
         assert_eq!(
             format!("{}.json", case.name),
             path.file_name().unwrap().to_string_lossy(),

@@ -13,7 +13,11 @@ fn explore() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2000);
     let report = run_fuzz(&FuzzConfig::new(seed, iters, 8));
-    println!("== {} findings over {} iters (seed {seed:#x})", report.findings.len(), iters);
+    println!(
+        "== {} findings over {} iters (seed {seed:#x})",
+        report.findings.len(),
+        iters
+    );
     for f in report.findings.iter().take(25) {
         println!("-- iter {} [{}]", f.iteration, f.oracle);
         println!("   sql: {}", f.sql);
@@ -51,13 +55,7 @@ fn users_rows(n: i64) -> (String, Vec<Vec<Value>>) {
     (
         "users".into(),
         (1..=n)
-            .map(|i| {
-                vec![
-                    Value::Int(i),
-                    Value::Int(-i),
-                    Value::Text(format!("u{i}")),
-                ]
-            })
+            .map(|i| vec![Value::Int(i), Value::Int(-i), Value::Text(format!("u{i}"))])
             .collect(),
     )
 }

@@ -133,7 +133,9 @@ impl SchemaLinker {
         let Some((_, phrases)) = self.domain_phrases.iter().find(|(d, _)| *d == domain) else {
             return 0.0;
         };
-        let hit = phrases.iter().any(|toks| Self::phrase_score(nl, toks) >= 1.0);
+        let hit = phrases
+            .iter()
+            .any(|toks| Self::phrase_score(nl, toks) >= 1.0);
         if hit {
             0.6
         } else {

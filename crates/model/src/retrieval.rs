@@ -45,10 +45,7 @@ impl RetrievalModel {
     }
 
     fn cosine(a: &HashMap<String, f32>, b: &HashMap<String, f32>) -> f32 {
-        let dot: f32 = a
-            .iter()
-            .filter_map(|(t, w)| b.get(t).map(|v| w * v))
-            .sum();
+        let dot: f32 = a.iter().filter_map(|(t, w)| b.get(t).map(|v| w * v)).sum();
         let na: f32 = a.values().map(|w| w * w).sum::<f32>().sqrt();
         let nb: f32 = b.values().map(|w| w * w).sum::<f32>().sqrt();
         if na == 0.0 || nb == 0.0 {
@@ -135,10 +132,7 @@ mod tests {
         let mut pairs = Vec::new();
         for (nl, sql) in [
             ("show the name of patient", "SELECT name FROM patients"),
-            (
-                "how many patient be there",
-                "SELECT COUNT(*) FROM patients",
-            ),
+            ("how many patient be there", "SELECT COUNT(*) FROM patients"),
             (
                 "what be the average age of patient",
                 "SELECT AVG(age) FROM patients",

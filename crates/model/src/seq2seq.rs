@@ -138,7 +138,10 @@ impl Seq2SeqModel {
         // ---- forward ----
         let (enc_states, enc_caches) = self.encode(src);
         let n = enc_states.len();
-        let mut h = enc_states.last().cloned().unwrap_or_else(|| vec![0.0; h_dim]);
+        let mut h = enc_states
+            .last()
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; h_dim]);
 
         struct Step {
             prev_id: usize,
@@ -321,7 +324,10 @@ impl Seq2SeqModel {
     fn decode_greedy(&self, src: &[usize]) -> Vec<usize> {
         let h_dim = self.cfg.hidden_dim;
         let (enc_states, _) = self.encode(src);
-        let mut h = enc_states.last().cloned().unwrap_or_else(|| vec![0.0; h_dim]);
+        let mut h = enc_states
+            .last()
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; h_dim]);
         let mut prev = SOS;
         let mut out = Vec::new();
         for _ in 0..self.cfg.max_decode_len {
@@ -354,7 +360,10 @@ impl Seq2SeqModel {
         }
         let h_dim = self.cfg.hidden_dim;
         let (enc_states, _) = self.encode(src);
-        let h0 = enc_states.last().cloned().unwrap_or_else(|| vec![0.0; h_dim]);
+        let h0 = enc_states
+            .last()
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; h_dim]);
         let mut beams = vec![Hyp {
             tokens: Vec::new(),
             h: h0,
@@ -498,7 +507,10 @@ mod tests {
                 "show the age of patients with name @NAME",
                 "SELECT age FROM patients WHERE name = @NAME",
             ),
-            ("how many patients are there", "SELECT COUNT(*) FROM patients"),
+            (
+                "how many patients are there",
+                "SELECT COUNT(*) FROM patients",
+            ),
             (
                 "what is the average age of patients",
                 "SELECT AVG(age) FROM patients",
@@ -620,7 +632,11 @@ mod tests {
         // on memorized data it must stay in the same ballpark as greedy.
         let (b, g) = (score(&beam), score(&greedy));
         assert!(b + 2 >= g, "beam {b} fell too far below greedy {g}");
-        assert!(b >= corpus.len() / 2, "beam only memorized {b}/{}", corpus.len());
+        assert!(
+            b >= corpus.len() / 2,
+            "beam only memorized {b}/{}",
+            corpus.len()
+        );
     }
 
     #[test]

@@ -145,7 +145,10 @@ impl Skeleton {
             }
         }
 
-        let numeric = col_names.iter().map(|c| numeric_names.contains(c)).collect();
+        let numeric = col_names
+            .iter()
+            .map(|c| numeric_names.contains(c))
+            .collect();
         let text = col_names.iter().map(|c| text_names.contains(c)).collect();
         let key = toks
             .iter()
@@ -186,7 +189,10 @@ impl Skeleton {
     pub fn ph_count(&self) -> usize {
         self.toks
             .iter()
-            .filter(|t| matches!(t, SkelTok::Ph { .. }) || matches!(t, SkelTok::Lit(s) if s.starts_with('@')))
+            .filter(|t| {
+                matches!(t, SkelTok::Ph { .. })
+                    || matches!(t, SkelTok::Lit(s) if s.starts_with('@'))
+            })
             .count()
     }
 
@@ -641,10 +647,7 @@ impl SketchModel {
             }
         }
 
-        let table_names: Vec<&str> = tables
-            .iter()
-            .map(|t| schema.table(*t).name())
-            .collect();
+        let table_names: Vec<&str> = tables.iter().map(|t| schema.table(*t).name()).collect();
         let col_names: Vec<&str> = cols
             .iter()
             .map(|c| schema.column(c.expect("assigned")).name())
@@ -699,7 +702,8 @@ impl TranslationModel for SketchModel {
                 }
             }
             self.col_lexicon.observe(&token_set, &col_names);
-            self.table_lexicon.observe(&token_set, &sql.tables_mentioned());
+            self.table_lexicon
+                .observe(&token_set, &sql.tables_mentioned());
             let class = match self.class_index.get(skeleton.key()) {
                 Some(&c) => c,
                 None => {
@@ -765,7 +769,8 @@ impl TranslationModel for SketchModel {
                 .iter()
                 .enumerate()
                 .max_by(|(_, a), (_, b)| {
-                    a.total_score(nl_lemmas).total_cmp(&b.total_score(nl_lemmas))
+                    a.total_score(nl_lemmas)
+                        .total_cmp(&b.total_score(nl_lemmas))
                 })
                 .map(|(i, _)| i)?
         };
@@ -834,17 +839,23 @@ mod tests {
 
     #[test]
     fn join_skeletons_are_schema_independent() {
-        let a = parse_query(
-            "SELECT AVG(patients.age) FROM @JOIN WHERE doctors.name = @DOCTORS.NAME",
-        )
-        .unwrap();
-        let b = parse_query(
-            "SELECT AVG(cars.price) FROM @JOIN WHERE makers.country = @MAKERS.COUNTRY",
-        )
-        .unwrap();
+        let a =
+            parse_query("SELECT AVG(patients.age) FROM @JOIN WHERE doctors.name = @DOCTORS.NAME")
+                .unwrap();
+        let b =
+            parse_query("SELECT AVG(cars.price) FROM @JOIN WHERE makers.country = @MAKERS.COUNTRY")
+                .unwrap();
         let sa = Skeleton::of(&a).unwrap();
-        assert_eq!(sa.key(), Skeleton::of(&b).unwrap().key(), "join skeletons must anonymize");
-        assert!(!sa.key().contains("patients"), "table name leaked: {}", sa.key());
+        assert_eq!(
+            sa.key(),
+            Skeleton::of(&b).unwrap().key(),
+            "join skeletons must anonymize"
+        );
+        assert!(
+            !sa.key().contains("patients"),
+            "table name leaked: {}",
+            sa.key()
+        );
     }
 
     #[test]
@@ -942,7 +953,15 @@ mod tests {
         let pipeline = TrainingPipeline::new(GenerationConfig::small());
         let corpus = pipeline.generate(&schema);
         let mut model = SketchModel::new(vec![schema]);
-        model.train(&corpus, &TrainOptions { epochs: 6, seed: 3, max_pairs: None, verbose: false });
+        model.train(
+            &corpus,
+            &TrainOptions {
+                epochs: 6,
+                seed: 3,
+                max_pairs: None,
+                verbose: false,
+            },
+        );
         let lem = Lemmatizer::new();
         let q = model
             .translate(&lem.lemmatize_sentence("how many patients are there"))
@@ -950,4 +969,3 @@ mod tests {
         assert!(q.to_string().contains("COUNT"), "got {q}");
     }
 }
-

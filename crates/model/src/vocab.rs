@@ -64,10 +64,7 @@ impl Vocab {
 
     /// The token for an id; `<unk>` for out-of-range ids.
     pub fn token(&self, id: usize) -> &str {
-        self.to_token
-            .get(id)
-            .map(String::as_str)
-            .unwrap_or("<unk>")
+        self.to_token.get(id).map(String::as_str).unwrap_or("<unk>")
     }
 
     /// Vocabulary size including reserved tokens.

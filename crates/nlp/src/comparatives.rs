@@ -162,7 +162,8 @@ mod tests {
         let d = ComparativeDictionary::new();
         for domain in SemanticDomain::ALL {
             assert!(
-                !d.domain_phrases(domain, ComparativeSense::Greater).is_empty(),
+                !d.domain_phrases(domain, ComparativeSense::Greater)
+                    .is_empty(),
                 "{domain} lacks Greater phrases"
             );
         }

@@ -151,13 +151,62 @@ const IRREGULAR: &[(&str, &str)] = &[
 
 /// Words ending in s/ed/ing that are already base forms.
 const INVARIANT: &[&str] = &[
-    "species", "series", "news", "mathematics", "physics", "always", "perhaps", "plus",
-    "versus", "thus", "this", "his", "its", "was", "bus", "gas", "yes", "during", "nothing",
-    "something", "anything", "everything", "thing", "king", "ring", "spring", "string",
-    "sibling", "morning", "evening", "building", "red", "bed", "hundred", "wed", "ted",
-    "united", "massachusetts", "texas", "kansas", "arkansas", "illinois", "status", "address",
-    "process", "access", "business", "class", "kindness", "illness", "pass", "less", "across",
-    "boss", "loss", "miss",
+    "species",
+    "series",
+    "news",
+    "mathematics",
+    "physics",
+    "always",
+    "perhaps",
+    "plus",
+    "versus",
+    "thus",
+    "this",
+    "his",
+    "its",
+    "was",
+    "bus",
+    "gas",
+    "yes",
+    "during",
+    "nothing",
+    "something",
+    "anything",
+    "everything",
+    "thing",
+    "king",
+    "ring",
+    "spring",
+    "string",
+    "sibling",
+    "morning",
+    "evening",
+    "building",
+    "red",
+    "bed",
+    "hundred",
+    "wed",
+    "ted",
+    "united",
+    "massachusetts",
+    "texas",
+    "kansas",
+    "arkansas",
+    "illinois",
+    "status",
+    "address",
+    "process",
+    "access",
+    "business",
+    "class",
+    "kindness",
+    "illness",
+    "pass",
+    "less",
+    "across",
+    "boss",
+    "loss",
+    "miss",
 ];
 
 impl Lemmatizer {

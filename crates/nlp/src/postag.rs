@@ -52,24 +52,50 @@ const DETERMINERS: &[&str] = &[
     "those", "both",
 ];
 const FUNCTION: &[&str] = &[
-    "of", "in", "on", "at", "by", "with", "for", "from", "to", "into", "over", "under",
-    "above", "below", "between", "and", "or", "but", "than", "as", "per", "whose", "where",
-    "while", "if", "then", "so",
+    "of", "in", "on", "at", "by", "with", "for", "from", "to", "into", "over", "under", "above",
+    "below", "between", "and", "or", "but", "than", "as", "per", "whose", "where", "while", "if",
+    "then", "so",
 ];
 const PRONOUNS: &[&str] = &[
-    "i", "me", "my", "you", "your", "he", "she", "it", "its", "we", "us", "our", "they",
-    "them", "their", "who", "whom",
+    "i", "me", "my", "you", "your", "he", "she", "it", "its", "we", "us", "our", "they", "them",
+    "their", "who", "whom",
 ];
 const WH: &[&str] = &["what", "which", "how", "when", "why"];
 const AUXILIARIES: &[&str] = &[
-    "is", "are", "am", "was", "were", "be", "been", "being", "do", "does", "did", "have",
-    "has", "had", "can", "could", "will", "would", "shall", "should", "may", "might", "must",
+    "is", "are", "am", "was", "were", "be", "been", "being", "do", "does", "did", "have", "has",
+    "had", "can", "could", "will", "would", "shall", "should", "may", "might", "must",
 ];
 const COMMON_VERBS: &[&str] = &[
-    "show", "list", "display", "give", "find", "get", "tell", "return", "count", "compute",
-    "calculate", "enumerate", "identify", "retrieve", "fetch", "provide", "select", "name",
-    "want", "need", "stay", "treat", "diagnose", "live", "work", "order", "sort", "group",
-    "exceed", "equal",
+    "show",
+    "list",
+    "display",
+    "give",
+    "find",
+    "get",
+    "tell",
+    "return",
+    "count",
+    "compute",
+    "calculate",
+    "enumerate",
+    "identify",
+    "retrieve",
+    "fetch",
+    "provide",
+    "select",
+    "name",
+    "want",
+    "need",
+    "stay",
+    "treat",
+    "diagnose",
+    "live",
+    "work",
+    "order",
+    "sort",
+    "group",
+    "exceed",
+    "equal",
 ];
 
 impl PosTagger {
@@ -105,8 +131,12 @@ impl PosTagger {
             return PosTag::Verb;
         }
         // Suffix heuristics.
-        if word.ends_with("est") || word.ends_with("ous") || word.ends_with("ful")
-            || word.ends_with("ive") || word.ends_with("able") || word.ends_with("al")
+        if word.ends_with("est")
+            || word.ends_with("ous")
+            || word.ends_with("ful")
+            || word.ends_with("ive")
+            || word.ends_with("able")
+            || word.ends_with("al")
         {
             return PosTag::Adjective;
         }

@@ -133,10 +133,7 @@ impl ParaphraseStore {
             "where",
             entries!["in which" => 0.75, "for which" => 0.75, "whereby" => 0.3],
         );
-        table.insert(
-            "whose",
-            entries!["with" => 0.6, "that have" => 0.6],
-        );
+        table.insert("whose", entries!["with" => 0.6, "that have" => 0.6]);
         table.insert(
             "greater than",
             entries!["more than" => 0.95, "larger than" => 0.9, "above" => 0.85,
@@ -169,10 +166,7 @@ impl ParaphraseStore {
             "is",
             entries!["equals" => 0.7, "is exactly" => 0.6, "be" => 0.3],
         );
-        table.insert(
-            "not",
-            entries!["n't" => 0.6, "never" => 0.3],
-        );
+        table.insert("not", entries!["n't" => 0.6, "never" => 0.3]);
         table.insert(
             "between",
             entries!["in the range" => 0.7, "from" => 0.4, "among" => 0.25],
@@ -183,10 +177,7 @@ impl ParaphraseStore {
             "average",
             entries!["mean" => 0.95, "typical" => 0.5, "expected" => 0.3, "avg" => 0.75],
         );
-        table.insert(
-            "mean",
-            entries!["average" => 0.95, "typical" => 0.45],
-        );
+        table.insert("mean", entries!["average" => 0.95, "typical" => 0.45]);
         table.insert(
             "maximum",
             entries!["highest" => 0.9, "largest" => 0.9, "greatest" => 0.85, "top" => 0.7,
@@ -242,10 +233,7 @@ impl ParaphraseStore {
             "name",
             entries!["title" => 0.5, "label" => 0.4, "designation" => 0.3],
         );
-        table.insert(
-            "names",
-            entries!["titles" => 0.5, "labels" => 0.4],
-        );
+        table.insert("names", entries!["titles" => 0.5, "labels" => 0.4]);
         table.insert(
             "different",
             entries!["distinct" => 0.9, "unique" => 0.8, "various" => 0.5, "separate" => 0.4],
@@ -323,14 +311,8 @@ impl ParaphraseStore {
             "in",
             entries!["within" => 0.8, "inside" => 0.6, "into" => 0.2],
         );
-        table.insert(
-            "of",
-            entries!["for" => 0.5, "belonging to" => 0.45],
-        );
-        table.insert(
-            "the",
-            entries!["all the" => 0.4, "that" => 0.2],
-        );
+        table.insert("of", entries!["for" => 0.5, "belonging to" => 0.45]);
+        table.insert("the", entries!["all the" => 0.4, "that" => 0.2]);
         table.insert(
             "patients",
             entries!["people" => 0.6, "cases" => 0.45, "individuals" => 0.55,
@@ -357,31 +339,19 @@ impl ParaphraseStore {
             "diseases",
             entries!["illnesses" => 0.9, "conditions" => 0.75, "ailments" => 0.6],
         );
-        table.insert(
-            "age",
-            entries!["years" => 0.5, "age in years" => 0.6],
-        );
+        table.insert("age", entries!["years" => 0.5, "age in years" => 0.6]);
         table.insert(
             "city",
             entries!["town" => 0.7, "municipality" => 0.6, "metropolis" => 0.3],
         );
-        table.insert(
-            "cities",
-            entries!["towns" => 0.7, "municipalities" => 0.6],
-        );
-        table.insert(
-            "state",
-            entries!["province" => 0.4, "region" => 0.4],
-        );
+        table.insert("cities", entries!["towns" => 0.7, "municipalities" => 0.6]);
+        table.insert("state", entries!["province" => 0.4, "region" => 0.4]);
         table.insert(
             "population",
             entries!["number of inhabitants" => 0.8, "number of residents" => 0.75,
                      "headcount" => 0.4],
         );
-        table.insert(
-            "river",
-            entries!["waterway" => 0.6, "stream" => 0.5],
-        );
+        table.insert("river", entries!["waterway" => 0.6, "stream" => 0.5]);
         table.insert(
             "mountain",
             entries!["peak" => 0.7, "summit" => 0.5, "mount" => 0.7],
@@ -406,22 +376,13 @@ impl ParaphraseStore {
             "employees",
             entries!["workers" => 0.85, "staff members" => 0.8, "personnel" => 0.6],
         );
-        table.insert(
-            "student",
-            entries!["pupil" => 0.8, "learner" => 0.5],
-        );
-        table.insert(
-            "students",
-            entries!["pupils" => 0.8, "learners" => 0.5],
-        );
+        table.insert("student", entries!["pupil" => 0.8, "learner" => 0.5]);
+        table.insert("students", entries!["pupils" => 0.8, "learners" => 0.5]);
         table.insert(
             "car",
             entries!["automobile" => 0.85, "vehicle" => 0.8, "motorcar" => 0.4],
         );
-        table.insert(
-            "cars",
-            entries!["automobiles" => 0.85, "vehicles" => 0.8],
-        );
+        table.insert("cars", entries!["automobiles" => 0.85, "vehicles" => 0.8]);
         table.insert(
             "book",
             entries!["volume" => 0.5, "title" => 0.45, "publication" => 0.5],
@@ -438,10 +399,7 @@ impl ParaphraseStore {
             "customers",
             entries!["clients" => 0.85, "buyers" => 0.6, "patrons" => 0.5],
         );
-        table.insert(
-            "order",
-            entries!["purchase" => 0.7, "transaction" => 0.55],
-        );
+        table.insert("order", entries!["purchase" => 0.7, "transaction" => 0.55]);
         table.insert(
             "team",
             entries!["squad" => 0.7, "club" => 0.6, "side" => 0.4],
@@ -458,14 +416,8 @@ impl ParaphraseStore {
             "country",
             entries!["nation" => 0.85, "land" => 0.3, "state" => 0.35],
         );
-        table.insert(
-            "countries",
-            entries!["nations" => 0.85, "lands" => 0.3],
-        );
-        table.insert(
-            "airport",
-            entries!["airfield" => 0.6, "aerodrome" => 0.4],
-        );
+        table.insert("countries", entries!["nations" => 0.85, "lands" => 0.3]);
+        table.insert("airport", entries!["airfield" => 0.6, "aerodrome" => 0.4]);
         table.insert(
             "hospital",
             entries!["clinic" => 0.6, "medical center" => 0.7, "infirmary" => 0.4],
@@ -554,7 +506,10 @@ mod tests {
         let high = store.top("show", 10, 0.7);
         assert!(high.iter().all(|e| e.quality >= 0.7));
         let all = store.top("show", 10, 0.0);
-        assert!(all.len() > high.len(), "low-quality entries exist for noise");
+        assert!(
+            all.len() > high.len(),
+            "low-quality entries exist for noise"
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn keeps_inner_apostrophes_and_hyphens() {
-        assert_eq!(tokenize("the patient's x-ray"), vec!["the", "patient's", "x-ray"]);
+        assert_eq!(
+            tokenize("the patient's x-ray"),
+            vec!["the", "patient's", "x-ray"]
+        );
     }
 
     #[test]

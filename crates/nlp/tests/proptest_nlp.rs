@@ -11,9 +11,7 @@ use dbpal_util::{check, forall, Rng};
 /// Arbitrary text: ASCII printable plus a sprinkling of multi-byte
 /// characters, standing in for proptest's `.{0,60}`.
 fn arbitrary_text(rng: &mut Rng, max: usize) -> String {
-    const WIDE: &[char] = &[
-        'é', 'ü', 'ß', 'λ', 'Ω', '中', '文', '🙂', '…', '—', '\t',
-    ];
+    const WIDE: &[char] = &['é', 'ü', 'ß', 'λ', 'Ω', '中', '文', '🙂', '…', '—', '\t'];
     let n = rng.gen_range(0..=max);
     (0..n)
         .map(|_| {
@@ -30,8 +28,8 @@ fn arbitrary_text(rng: &mut Rng, max: usize) -> String {
 /// `[a-zA-Z0-9 .,!?']{0,60}`
 fn sentence_text(rng: &mut Rng, max: usize) -> String {
     const ALPHABET: &[char] = &[
-        'a', 'b', 'c', 'd', 'e', 'g', 'h', 'i', 'n', 'o', 'r', 's', 't', 'w', 'y', 'z', 'A',
-        'B', 'M', 'Z', '0', '1', '7', '9', ' ', '.', ',', '!', '?', '\'',
+        'a', 'b', 'c', 'd', 'e', 'g', 'h', 'i', 'n', 'o', 'r', 's', 't', 'w', 'y', 'z', 'A', 'B',
+        'M', 'Z', '0', '1', '7', '9', ' ', '.', ',', '!', '?', '\'',
     ];
     check::string_from(rng, ALPHABET, 0..=max)
 }
@@ -90,8 +88,8 @@ fn lemma_length_bounds() {
 #[test]
 fn placeholders_pass_through() {
     const UPPER: &[char] = &[
-        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q',
-        'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z',
+        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R',
+        'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z',
     ];
     forall!(cases = 256, |rng| {
         let name = check::string_from(rng, UPPER, 1..=8);
@@ -104,8 +102,8 @@ fn placeholders_pass_through() {
 /// `[a-z ]{0,20}` — lowercase words with spaces.
 fn spaced_lowercase(rng: &mut Rng, max: usize) -> String {
     const ALPHABET: &[char] = &[
-        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
-        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', ' ',
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z', ' ',
     ];
     check::string_from(rng, ALPHABET, 0..=max)
 }
@@ -150,9 +148,9 @@ fn edit_distance_bounds() {
 #[test]
 fn tagger_total() {
     const ALPHABET: &[char] = &[
-        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
-        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7',
-        '8', '9', '@',
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9',
+        '@',
     ];
     forall!(cases = 256, |rng| {
         let word = check::string_from(rng, ALPHABET, 1..=12);

@@ -57,15 +57,12 @@ pub fn requalify_with_bindings(query: &Query, bindings: &[Binding], schema: &Sch
     }
     fn walk(p: &mut Pred, bindings: &[Binding], schema: &Schema) {
         match p {
-            Pred::And(ps) | Pred::Or(ps) => {
-                ps.iter_mut().for_each(|p| walk(p, bindings, schema))
-            }
+            Pred::And(ps) | Pred::Or(ps) => ps.iter_mut().for_each(|p| walk(p, bindings, schema)),
             Pred::Not(p) => walk(p, bindings, schema),
             Pred::Compare { left, op: _, right } => {
                 if let (Scalar::Column(col), Scalar::Placeholder(ph)) = (&mut *left, &*right) {
                     fix_col(col, ph, bindings, schema);
-                } else if let (Scalar::Placeholder(ph), Scalar::Column(col)) =
-                    (&*left, &mut *right)
+                } else if let (Scalar::Placeholder(ph), Scalar::Column(col)) = (&*left, &mut *right)
                 {
                     let ph = ph.clone();
                     fix_col(col, &ph, bindings, schema);
@@ -165,8 +162,8 @@ fn bind_scalar(
 ) -> Result<Scalar, RuntimeError> {
     match s {
         Scalar::Placeholder(name) => {
-            let (i, binding) = lookup(&name, bindings, used)
-                .ok_or(RuntimeError::UnboundPlaceholder(name))?;
+            let (i, binding) =
+                lookup(&name, bindings, used).ok_or(RuntimeError::UnboundPlaceholder(name))?;
             if i != usize::MAX {
                 used[i] = true;
             }
@@ -446,10 +443,7 @@ mod tests {
 
     #[test]
     fn same_placeholder_twice_reuses_value() {
-        let q = parse_query(
-            "SELECT pname FROM patients WHERE age = @AGE AND id > @AGE",
-        )
-        .unwrap();
+        let q = parse_query("SELECT pname FROM patients WHERE age = @AGE AND id > @AGE").unwrap();
         let out = bind_constants(&q, &[binding("AGE", Value::Int(5))]).unwrap();
         let text = out.to_string();
         assert_eq!(text.matches('5').count(), 2, "got {text}");
@@ -459,14 +453,14 @@ mod tests {
     fn expands_join_placeholder() {
         // Paper §5.1's example shape.
         let s = schema();
-        let q = parse_query(
-            "SELECT AVG(patients.age) FROM @JOIN WHERE doctors.dname = 'House'",
-        )
-        .unwrap();
+        let q = parse_query("SELECT AVG(patients.age) FROM @JOIN WHERE doctors.dname = 'House'")
+            .unwrap();
         let out = expand_join_placeholder(&q, &s).unwrap();
         let text = out.to_string();
-        assert!(text.contains("FROM patients, doctors") || text.contains("FROM doctors, patients"),
-            "got {text}");
+        assert!(
+            text.contains("FROM patients, doctors") || text.contains("FROM doctors, patients"),
+            "got {text}"
+        );
         assert!(
             text.contains("patients.doctor_id = doctors.id")
                 || text.contains("doctors.id = patients.doctor_id"),
@@ -500,8 +494,10 @@ mod tests {
         let out = repair_from_clause(&q, &s).unwrap();
         let text = out.to_string();
         assert!(text.contains("patients"), "got {text}");
-        assert!(text.contains("doctor_id = doctors.id") || text.contains("doctors.id"),
-            "join path missing: {text}");
+        assert!(
+            text.contains("doctor_id = doctors.id") || text.contains("doctors.id"),
+            "join path missing: {text}"
+        );
     }
 
     #[test]
@@ -514,10 +510,8 @@ mod tests {
     #[test]
     fn repair_adds_missing_join_table() {
         let s = schema();
-        let q = parse_query(
-            "SELECT patients.pname FROM patients WHERE doctors.dname = 'House'",
-        )
-        .unwrap();
+        let q = parse_query("SELECT patients.pname FROM patients WHERE doctors.dname = 'House'")
+            .unwrap();
         let out = repair_from_clause(&q, &s).unwrap();
         assert!(out.from.tables().contains(&"doctors".to_string()));
         assert!(out.to_string().contains("patients.doctor_id = doctors.id"));
@@ -538,10 +532,9 @@ mod tests {
     fn full_postprocessor_pipeline() {
         let s = schema();
         let pp = PostProcessor::new(&s);
-        let q = parse_query(
-            "SELECT AVG(patients.age) FROM @JOIN WHERE doctors.dname = @DOCTORS.DNAME",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT AVG(patients.age) FROM @JOIN WHERE doctors.dname = @DOCTORS.DNAME")
+                .unwrap();
         let bindings = vec![binding("DNAME", Value::Text("House".into()))];
         let out = pp.process(&q, &bindings).unwrap();
         let text = out.to_string();
@@ -609,8 +602,7 @@ mod requalify_tests {
     #[test]
     fn already_qualified_column_untouched() {
         let s = schema();
-        let q =
-            parse_query("SELECT age FROM patients WHERE patients.name = @NAME").unwrap();
+        let q = parse_query("SELECT age FROM patients WHERE patients.name = @NAME").unwrap();
         let out = requalify_with_bindings(&q, &[doctors_name_binding(&s)], &s);
         assert_eq!(out, q);
     }
@@ -624,7 +616,10 @@ mod requalify_tests {
         let out = pp.process(&q, &[doctors_name_binding(&s)]).unwrap();
         let text = out.to_string();
         assert!(text.contains("doctors"), "got {text}");
-        assert!(text.contains("patients.doctor_id = doctors.id"), "got {text}");
+        assert!(
+            text.contains("patients.doctor_id = doctors.id"),
+            "got {text}"
+        );
         assert!(text.contains("'House'"), "got {text}");
     }
 }

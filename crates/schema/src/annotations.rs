@@ -7,7 +7,6 @@
 //! slot-fill step draws on them when instantiating `{Table}`/`{Attribute}`
 //! slots, and the runtime's schema linker matches NL tokens against them.
 
-
 /// NL annotations for a single schema object (table or column).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Annotations {

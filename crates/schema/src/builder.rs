@@ -1,8 +1,6 @@
 //! Fluent builders for constructing [`Schema`]s in code.
 
-use crate::{
-    Annotations, Column, ForeignKey, Schema, SchemaError, SemanticDomain, SqlType, Table,
-};
+use crate::{Annotations, Column, ForeignKey, Schema, SchemaError, SemanticDomain, SqlType, Table};
 
 /// Builder for a [`Schema`].
 ///
@@ -25,7 +23,11 @@ impl SchemaBuilder {
     }
 
     /// Add a table, configuring it through the closure.
-    pub fn table(mut self, name: impl Into<String>, f: impl FnOnce(TableBuilder) -> TableBuilder) -> Self {
+    pub fn table(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(TableBuilder) -> TableBuilder,
+    ) -> Self {
         self.tables.push(f(TableBuilder::new(name)));
         self
     }
@@ -142,7 +144,12 @@ impl TableBuilder {
             ),
             None => None,
         };
-        Ok(Table::new(self.name, columns, primary_key, self.annotations))
+        Ok(Table::new(
+            self.name,
+            columns,
+            primary_key,
+            self.annotations,
+        ))
     }
 }
 
@@ -223,7 +230,10 @@ mod tests {
 
     #[test]
     fn empty_table_rejected() {
-        let err = SchemaBuilder::new("s").table("t", |t| t).build().unwrap_err();
+        let err = SchemaBuilder::new("s")
+            .table("t", |t| t)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, SchemaError::EmptyTable(_)));
     }
 

@@ -75,7 +75,11 @@ impl JoinGraph {
         }
         JoinGraph {
             adjacency,
-            table_names: schema.tables().iter().map(|t| t.name().to_string()).collect(),
+            table_names: schema
+                .tables()
+                .iter()
+                .map(|t| t.name().to_string())
+                .collect(),
         }
     }
 
@@ -93,11 +97,7 @@ impl JoinGraph {
     ///
     /// Returns the edges along the path, in order from `from` to `to`.
     /// An empty edge list means `from == to`.
-    pub fn shortest_path(
-        &self,
-        from: TableId,
-        to: TableId,
-    ) -> Result<Vec<JoinEdge>, SchemaError> {
+    pub fn shortest_path(&self, from: TableId, to: TableId) -> Result<Vec<JoinEdge>, SchemaError> {
         if from == to {
             return Ok(Vec::new());
         }

@@ -261,22 +261,19 @@ impl Schema {
         let tid = self
             .table_id(table)
             .ok_or_else(|| SchemaError::UnknownTable(table.to_string()))?;
-        let (idx, _) = self.table(tid).column_by_name(column).ok_or_else(|| {
-            SchemaError::UnknownColumn {
-                table: table.to_string(),
-                column: column.to_string(),
-            }
-        })?;
+        let (idx, _) =
+            self.table(tid)
+                .column_by_name(column)
+                .ok_or_else(|| SchemaError::UnknownColumn {
+                    table: table.to_string(),
+                    column: column.to_string(),
+                })?;
         Ok(ColumnId::new(tid, idx))
     }
 
     /// `table.column` rendering of a column id.
     pub fn qualified_column_name(&self, id: ColumnId) -> String {
-        format!(
-            "{}.{}",
-            self.table(id.table).name(),
-            self.column(id).name()
-        )
+        format!("{}.{}", self.table(id.table).name(), self.column(id).name())
     }
 
     /// All declared foreign keys.
@@ -286,9 +283,8 @@ impl Schema {
 
     /// Iterator over all column ids in the schema.
     pub fn all_column_ids(&self) -> impl Iterator<Item = ColumnId> + '_ {
-        self.tables_with_ids().flat_map(|(tid, t)| {
-            (0..t.column_count() as u32).map(move |i| ColumnId::new(tid, i))
-        })
+        self.tables_with_ids()
+            .flat_map(|(tid, t)| (0..t.column_count() as u32).map(move |i| ColumnId::new(tid, i)))
     }
 
     /// Total number of columns across all tables.

@@ -54,8 +54,7 @@ impl fmt::Display for SqlType {
 /// When the augmenter sees a generic comparative phrase such as
 /// *"greater than"* applied to a column whose domain is [`SemanticDomain::Age`],
 /// it may substitute the domain-specific comparative *"older than"*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SemanticDomain {
     /// Ages of people or things ("older than", "younger than", "oldest").
     Age,
@@ -115,7 +114,6 @@ impl SemanticDomain {
     }
 }
 
-
 impl fmt::Display for SemanticDomain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
@@ -142,7 +140,12 @@ mod tests {
 
     #[test]
     fn keywords_round_trip_display() {
-        for ty in [SqlType::Integer, SqlType::Float, SqlType::Text, SqlType::Boolean] {
+        for ty in [
+            SqlType::Integer,
+            SqlType::Float,
+            SqlType::Text,
+            SqlType::Boolean,
+        ] {
             assert_eq!(ty.to_string(), ty.keyword());
         }
     }

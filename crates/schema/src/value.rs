@@ -244,11 +244,13 @@ mod tests {
 
     #[test]
     fn total_order_ranks_types() {
-        let mut values = [Value::Text("a".into()),
+        let mut values = [
+            Value::Text("a".into()),
             Value::Int(5),
             Value::Null,
             Value::Bool(true),
-            Value::Float(1.5)];
+            Value::Float(1.5),
+        ];
         values.sort();
         assert!(values[0].is_null());
         assert!(matches!(values[1], Value::Bool(_)));
@@ -265,10 +267,7 @@ mod tests {
 
     #[test]
     fn sql_literal_escapes_quotes() {
-        assert_eq!(
-            Value::Text("O'Brien".into()).to_sql_literal(),
-            "'O''Brien'"
-        );
+        assert_eq!(Value::Text("O'Brien".into()).to_sql_literal(), "'O''Brien'");
         assert_eq!(Value::Int(42).to_sql_literal(), "42");
         assert_eq!(Value::Null.to_sql_literal(), "NULL");
         assert_eq!(Value::Float(2.0).to_sql_literal(), "2.0");

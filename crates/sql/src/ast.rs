@@ -370,8 +370,7 @@ impl Query {
                 Pred::InList { .. } | Pred::Like { .. } | Pred::IsNull { .. } => false,
             }
         }
-        self.where_pred.as_ref().is_some_and(pred_has)
-            || self.having.as_ref().is_some_and(pred_has)
+        self.where_pred.as_ref().is_some_and(pred_has) || self.having.as_ref().is_some_and(pred_has)
     }
 
     /// All table names mentioned in FROM clauses, including subqueries,

@@ -124,9 +124,7 @@ fn canonical_pred(p: &Pred) -> Pred {
             // against anything else ("age = 80", never "80 = age";
             // "MAX(id) = 2", never "2 = MAX(id)"). When both sides are
             // anchors, order them lexicographically.
-            let anchor = |s: &Scalar| {
-                matches!(s, Scalar::Column(_) | Scalar::Aggregate(..))
-            };
+            let anchor = |s: &Scalar| matches!(s, Scalar::Column(_) | Scalar::Aggregate(..));
             let should_flip = match (&left, &right) {
                 (l, r) if !anchor(l) && anchor(r) => true,
                 (l, r) if anchor(l) && anchor(r) => l > r,
@@ -282,7 +280,10 @@ mod tests {
     #[test]
     fn count_vs_sum_no_match() {
         // The paper's §3.3 motivating example: count confused with sum.
-        assert!(!matches("SELECT COUNT(area) FROM s", "SELECT SUM(area) FROM s"));
+        assert!(!matches(
+            "SELECT COUNT(area) FROM s",
+            "SELECT SUM(area) FROM s"
+        ));
     }
 
     #[test]
@@ -335,16 +336,16 @@ mod tests {
 
     #[test]
     fn distinct_matters() {
-        assert!(!matches(
-            "SELECT DISTINCT a FROM t",
-            "SELECT a FROM t"
-        ));
+        assert!(!matches("SELECT DISTINCT a FROM t", "SELECT a FROM t"));
     }
 
     #[test]
     fn rendered_is_stable() {
         let a = parse_query("SELECT a FROM t WHERE b = 2 AND a = 1").unwrap();
         let b = parse_query("SELECT a FROM t WHERE a = 1 AND b = 2").unwrap();
-        assert_eq!(CanonicalForm::of(&a).rendered(), CanonicalForm::of(&b).rendered());
+        assert_eq!(
+            CanonicalForm::of(&a).rendered(),
+            CanonicalForm::of(&b).rendered()
+        );
     }
 }

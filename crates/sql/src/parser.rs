@@ -94,7 +94,9 @@ impl Parser {
         }
         match self.peek() {
             None => Ok(()),
-            Some(t) => Err(SqlError::TrailingInput { found: t.describe() }),
+            Some(t) => Err(SqlError::TrailingInput {
+                found: t.describe(),
+            }),
         }
     }
 
@@ -535,8 +537,7 @@ mod tests {
 
     #[test]
     fn aggregates_and_group_by() {
-        let q =
-            parse_query("SELECT state, AVG(population) FROM cities GROUP BY state").unwrap();
+        let q = parse_query("SELECT state, AVG(population) FROM cities GROUP BY state").unwrap();
         assert!(q.has_aggregate());
         assert_eq!(q.group_by.len(), 1);
     }
@@ -558,10 +559,8 @@ mod tests {
 
     #[test]
     fn join_placeholder_from() {
-        let q = parse_query(
-            "SELECT AVG(patient.age) FROM @JOIN WHERE doctor.name = @DOCTOR.NAME",
-        )
-        .unwrap();
+        let q = parse_query("SELECT AVG(patient.age) FROM @JOIN WHERE doctor.name = @DOCTOR.NAME")
+            .unwrap();
         assert_eq!(q.from, FromClause::JoinPlaceholder);
         assert_eq!(q.placeholders(), vec!["DOCTOR.NAME"]);
     }
@@ -600,8 +599,7 @@ mod tests {
 
     #[test]
     fn not_in_list() {
-        let q =
-            parse_query("SELECT name FROM patients WHERE age NOT IN (1, 2, 3)").unwrap();
+        let q = parse_query("SELECT name FROM patients WHERE age NOT IN (1, 2, 3)").unwrap();
         assert!(matches!(
             q.where_pred,
             Some(Pred::InList { negated: true, .. })
@@ -614,12 +612,18 @@ mod tests {
             "SELECT name FROM doctors WHERE EXISTS (SELECT * FROM patients WHERE age > 90)",
         )
         .unwrap();
-        assert!(matches!(q.where_pred, Some(Pred::Exists { negated: false, .. })));
+        assert!(matches!(
+            q.where_pred,
+            Some(Pred::Exists { negated: false, .. })
+        ));
         let q = parse_query(
             "SELECT name FROM doctors WHERE NOT EXISTS (SELECT * FROM patients WHERE age > 90)",
         )
         .unwrap();
-        assert!(matches!(q.where_pred, Some(Pred::Exists { negated: true, .. })));
+        assert!(matches!(
+            q.where_pred,
+            Some(Pred::Exists { negated: true, .. })
+        ));
     }
 
     #[test]
@@ -655,9 +659,15 @@ mod tests {
     #[test]
     fn like_and_is_null() {
         let q = parse_query("SELECT * FROM t WHERE name LIKE '%ann%'").unwrap();
-        assert!(matches!(q.where_pred, Some(Pred::Like { negated: false, .. })));
+        assert!(matches!(
+            q.where_pred,
+            Some(Pred::Like { negated: false, .. })
+        ));
         let q = parse_query("SELECT * FROM t WHERE name IS NOT NULL").unwrap();
-        assert!(matches!(q.where_pred, Some(Pred::IsNull { negated: true, .. })));
+        assert!(matches!(
+            q.where_pred,
+            Some(Pred::IsNull { negated: true, .. })
+        ));
     }
 
     #[test]
@@ -675,15 +685,15 @@ mod tests {
             "SELECT state, COUNT(*) FROM cities GROUP BY state ORDER BY COUNT(*) DESC LIMIT 1",
         )
         .unwrap();
-        assert!(matches!(q.order_by[0].0, OrderKey::Aggregate(AggFunc::Count, _)));
+        assert!(matches!(
+            q.order_by[0].0,
+            OrderKey::Aggregate(AggFunc::Count, _)
+        ));
     }
 
     #[test]
     fn having() {
-        let q = parse_query(
-            "SELECT state FROM cities GROUP BY state HAVING COUNT(*) > 5",
-        )
-        .unwrap();
+        let q = parse_query("SELECT state FROM cities GROUP BY state HAVING COUNT(*) > 5").unwrap();
         assert!(q.having.is_some());
     }
 

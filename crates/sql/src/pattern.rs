@@ -84,11 +84,7 @@ impl QueryPattern {
             .collect();
         parts.sort();
         sig.push_str(&parts.join(","));
-        score += query
-            .select
-            .iter()
-            .filter(|i| i.is_aggregate())
-            .count() as u32;
+        score += query.select.iter().filter(|i| i.is_aggregate()).count() as u32;
         if query.select.len() > 2 {
             score += 1;
         }
@@ -289,7 +285,10 @@ mod tests {
 
     #[test]
     fn simple_query_is_easy() {
-        assert_eq!(pattern("SELECT a FROM t WHERE b = 1").difficulty(), Difficulty::Easy);
+        assert_eq!(
+            pattern("SELECT a FROM t WHERE b = 1").difficulty(),
+            Difficulty::Easy
+        );
         assert_eq!(pattern("SELECT * FROM t").difficulty(), Difficulty::Easy);
     }
 
@@ -301,10 +300,12 @@ mod tests {
 
     #[test]
     fn join_plus_group_is_hard() {
-        let p = pattern(
-            "SELECT a.x, COUNT(*) FROM a, b WHERE a.id = b.id GROUP BY a.x",
+        let p = pattern("SELECT a.x, COUNT(*) FROM a, b WHERE a.id = b.id GROUP BY a.x");
+        assert!(
+            p.difficulty() >= Difficulty::Hard,
+            "got {:?}",
+            p.difficulty()
         );
-        assert!(p.difficulty() >= Difficulty::Hard, "got {:?}", p.difficulty());
     }
 
     #[test]

@@ -130,7 +130,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                     tokens.push(Token::NotEq);
                     i += 2;
                 } else {
-                    return Err(SqlError::UnexpectedChar { ch: '!', position: i });
+                    return Err(SqlError::UnexpectedChar {
+                        ch: '!',
+                        position: i,
+                    });
                 }
             }
             '\'' => {
@@ -213,9 +216,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token::Word(input[start..i].to_string()));

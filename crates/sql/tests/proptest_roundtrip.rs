@@ -11,9 +11,9 @@ use dbpal_sql::{
 use dbpal_util::{check, forall, Rng};
 
 const KEYWORDS: &[&str] = &[
-    "select", "distinct", "from", "where", "group", "by", "having", "order", "limit", "and",
-    "or", "not", "between", "in", "like", "is", "null", "exists", "asc", "desc", "count",
-    "sum", "avg", "min", "max", "true", "false",
+    "select", "distinct", "from", "where", "group", "by", "having", "order", "limit", "and", "or",
+    "not", "between", "in", "like", "is", "null", "exists", "asc", "desc", "count", "sum", "avg",
+    "min", "max", "true", "false",
 ];
 
 /// `[a-z][a-z0-9_]{0,6}`, excluding SQL keywords.
@@ -28,7 +28,11 @@ fn identifier(rng: &mut Rng) -> String {
 
 fn column_ref(rng: &mut Rng) -> ColumnRef {
     ColumnRef {
-        table: if rng.gen_bool(0.5) { Some(identifier(rng)) } else { None },
+        table: if rng.gen_bool(0.5) {
+            Some(identifier(rng))
+        } else {
+            None
+        },
         column: identifier(rng),
     }
 }
@@ -53,8 +57,8 @@ fn agg_arg(rng: &mut Rng) -> AggArg {
 
 fn literal(rng: &mut Rng) -> Value {
     const TEXT: &[char] = &[
-        ' ', 'a', 'b', 'c', 'x', 'y', 'z', 'A', 'B', 'Z', '0', '5', '9', '_', '\'', ',', '.',
-        '!', '?', '-',
+        ' ', 'a', 'b', 'c', 'x', 'y', 'z', 'A', 'B', 'Z', '0', '5', '9', '_', '\'', ',', '.', '!',
+        '?', '-',
     ];
     match rng.gen_range(0..5) {
         0 => Value::Null,
@@ -71,13 +75,13 @@ fn literal(rng: &mut Rng) -> Value {
 /// `[A-Z][A-Z0-9_]{0,6}(\.[A-Z][A-Z0-9_]{0,4})?`
 fn placeholder(rng: &mut Rng) -> String {
     const HEAD: &[char] = &[
-        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q',
-        'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z',
+        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R',
+        'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z',
     ];
     const TAIL: &[char] = &[
-        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q',
-        'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '0', '1', '2', '3', '4', '5', '6', '7',
-        '8', '9', '_',
+        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R',
+        'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9',
+        '_',
     ];
     let mut s = String::new();
     s.push(HEAD[rng.gen_range(0..HEAD.len())]);
@@ -201,16 +205,32 @@ fn query(rng: &mut Rng, depth: u32) -> Query {
     };
     let distinct = rng.gen_bool(0.5);
     let select = check::vec_of(rng, 1..4, select_item);
-    let where_pred = if rng.gen_bool(0.5) { Some(pred(rng, depth)) } else { None };
+    let where_pred = if rng.gen_bool(0.5) {
+        Some(pred(rng, depth))
+    } else {
+        None
+    };
     let group_by = check::vec_of(rng, 0..3, column_ref);
     let order_by = check::vec_of(rng, 0..3, |r| {
         (
             order_key(r),
-            if r.gen_bool(0.5) { OrderDir::Asc } else { OrderDir::Desc },
+            if r.gen_bool(0.5) {
+                OrderDir::Asc
+            } else {
+                OrderDir::Desc
+            },
         )
     });
-    let limit = if rng.gen_bool(0.5) { Some(rng.gen_range(0u64..1000)) } else { None };
-    let having = if rng.gen_bool(0.5) { Some(pred(rng, 0)) } else { None };
+    let limit = if rng.gen_bool(0.5) {
+        Some(rng.gen_range(0u64..1000))
+    } else {
+        None
+    };
+    let having = if rng.gen_bool(0.5) {
+        Some(pred(rng, 0))
+    } else {
+        None
+    };
     Query {
         distinct,
         select,
@@ -230,8 +250,8 @@ fn print_parse_round_trip() {
     forall!(cases = 256, |rng| {
         let q = query(rng, 1);
         let printed = q.to_string();
-        let reparsed = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed for `{printed}`: {e}"));
+        let reparsed =
+            parse_query(&printed).unwrap_or_else(|e| panic!("reparse failed for `{printed}`: {e}"));
         assert_eq!(&reparsed, &q, "printed form was `{printed}`");
     });
 }

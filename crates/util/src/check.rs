@@ -34,7 +34,9 @@ fn env_u64(name: &str) -> Option<u64> {
 
 /// Cases per property for this run (`DBPAL_CHECK_CASES`, default 64).
 pub fn cases() -> usize {
-    env_u64("DBPAL_CHECK_CASES").map(|n| n as usize).unwrap_or(DEFAULT_CASES)
+    env_u64("DBPAL_CHECK_CASES")
+        .map(|n| n as usize)
+        .unwrap_or(DEFAULT_CASES)
 }
 
 /// Base seed for this run (`DBPAL_CHECK_SEED`, default [`DEFAULT_SEED`]).
@@ -108,7 +110,11 @@ macro_rules! forall {
 // ----- generator helpers for ported suites ------------------------------
 
 /// A string of `len` characters drawn uniformly from `alphabet`.
-pub fn string_from(rng: &mut Rng, alphabet: &[char], len: impl crate::rng::SampleRange<usize>) -> String {
+pub fn string_from(
+    rng: &mut Rng,
+    alphabet: &[char],
+    len: impl crate::rng::SampleRange<usize>,
+) -> String {
     let n = rng.gen_range(len);
     (0..n)
         .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
@@ -118,8 +124,8 @@ pub fn string_from(rng: &mut Rng, alphabet: &[char], len: impl crate::rng::Sampl
 /// A `[a-z]{len}` string (uniform per character).
 pub fn ascii_lowercase(rng: &mut Rng, len: impl crate::rng::SampleRange<usize>) -> String {
     const ALPHA: &[char] = &[
-        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
-        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
     ];
     string_from(rng, ALPHA, len)
 }
@@ -127,13 +133,13 @@ pub fn ascii_lowercase(rng: &mut Rng, len: impl crate::rng::SampleRange<usize>) 
 /// A `[a-z][a-z0-9_]{rest}` identifier-shaped string.
 pub fn identifier(rng: &mut Rng, rest: impl crate::rng::SampleRange<usize>) -> String {
     const HEAD: &[char] = &[
-        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
-        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
     ];
     const TAIL: &[char] = &[
-        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
-        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7',
-        '8', '9', '_',
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9',
+        '_',
     ];
     let mut s = String::new();
     s.push(HEAD[rng.gen_range(0..HEAD.len())]);
@@ -238,8 +244,14 @@ mod tests {
         for _ in 0..9000 {
             counts[weighted_index(&mut rng, &[1, 8, 1])] += 1;
         }
-        assert!(counts[1] > counts[0] * 4, "middle arm underdrawn: {counts:?}");
-        assert!(counts[1] > counts[2] * 4, "middle arm underdrawn: {counts:?}");
+        assert!(
+            counts[1] > counts[0] * 4,
+            "middle arm underdrawn: {counts:?}"
+        );
+        assert!(
+            counts[1] > counts[2] * 4,
+            "middle arm underdrawn: {counts:?}"
+        );
         assert!(counts[0] > 0 && counts[2] > 0);
     }
 

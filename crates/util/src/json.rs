@@ -416,9 +416,7 @@ impl<'a> Parser<'a> {
                 } else {
                     hi
                 };
-                out.push(
-                    char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))?,
-                );
+                out.push(char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))?);
             }
             c => return Err(self.err(format!("invalid escape `\\{}`", c as char))),
         }
@@ -428,7 +426,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -528,8 +528,10 @@ mod tests {
 
     #[test]
     fn parses_standard_json_inputs() {
-        let v = Json::parse(r#" { "a" : [ 1 , 2.5 , -3e2 , true , null ] , "b" : "\u0041\ud83d\ude80" } "#)
-            .unwrap();
+        let v = Json::parse(
+            r#" { "a" : [ 1 , 2.5 , -3e2 , true , null ] , "b" : "\u0041\ud83d\ude80" } "#,
+        )
+        .unwrap();
         assert_eq!(v.get("b").unwrap().as_str(), Some("A🚀"));
         let arr = v.get("a").unwrap().as_arr().unwrap();
         assert_eq!(arr[0].as_i64(), Some(1));
@@ -601,7 +603,12 @@ mod tests {
     #[test]
     fn object_order_is_preserved() {
         let v = Json::parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
-        let keys: Vec<&str> = v.as_obj().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
         assert_eq!(keys, ["z", "a", "m"]);
     }
 }

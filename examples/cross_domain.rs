@@ -42,11 +42,7 @@ fn main() {
         let corpus = exp.corpus_for(config);
         let model = exp.train_model(config);
         let report = evaluate_spider(&model, &exp.bench.test_examples);
-        println!(
-            "\n{:<14} trained on {} pairs",
-            config.label(),
-            corpus.len()
-        );
+        println!("\n{:<14} trained on {} pairs", config.label(), corpus.len());
         for d in Difficulty::ALL {
             println!("  {:<10} {:.3}", d.label(), report.accuracy(d));
         }

@@ -38,7 +38,11 @@ fn main() {
             Some(pred) => format!("MISS {pred}   (gold: {})", q.gold),
             None => format!("FAIL no translation   (gold: {})", q.gold),
         };
-        println!("  [{:13}] {}\n                  -> {verdict}", category.label(), q.nl);
+        println!(
+            "  [{:13}] {}\n                  -> {verdict}",
+            category.label(),
+            q.nl
+        );
     }
 
     // Category-level accuracy.

@@ -5,9 +5,9 @@
 //! Run with: `cargo run --release --example pluggable_models`
 
 use dbpal::benchsuite::PatientsBenchmark;
+use dbpal::core::TrainingPipeline;
 use dbpal::core::{GenerationConfig, TrainOptions, TranslationModel};
 use dbpal::model::{RetrievalModel, Seq2SeqConfig, Seq2SeqModel, SketchModel};
-use dbpal::core::TrainingPipeline;
 
 fn main() {
     let bench = PatientsBenchmark::new();

@@ -43,7 +43,12 @@ fn main() {
     ] {
         db.insert(
             "patients",
-            vec![name.into(), Value::Int(age), disease.into(), Value::Int(stay)],
+            vec![
+                name.into(),
+                Value::Int(age),
+                disease.into(),
+                Value::Int(stay),
+            ],
         )
         .expect("row fits schema");
     }

@@ -38,7 +38,9 @@ fn main() {
     if let Some(b) = best(&results) {
         println!(
             "\nbest ϕ: num_para={}, size_para={}, rand_drop_p={:.2}, min_quality={:.2}",
-            b.config.num_para, b.config.size_para, b.config.rand_drop_p,
+            b.config.num_para,
+            b.config.size_para,
+            b.config.rand_drop_p,
             b.config.paraphrase_min_quality
         );
     }

@@ -85,7 +85,10 @@ fn thread_count_never_changes_exported_bytes() {
     let eight = export_with(8);
     assert!(!one.is_empty());
     assert_eq!(one, two, "2 threads diverged from the single-thread corpus");
-    assert_eq!(one, eight, "8 threads diverged from the single-thread corpus");
+    assert_eq!(
+        one, eight,
+        "8 threads diverged from the single-thread corpus"
+    );
 }
 
 /// The same contract for the multi-schema merge path.
@@ -186,7 +189,8 @@ fn adjacent_seed_schema_index_pairs_differ() {
     let solo_portion: Vec<String> = solo.pairs().iter().map(|p| p.nl.clone()).collect();
 
     assert_ne!(
-        geo_portion, solo_portion,
+        geo_portion,
+        solo_portion,
         "seed {base} at schema index 1 must not reuse seed {} at index 0",
         base + 1
     );

@@ -42,7 +42,8 @@ fn hospital_db() -> Database {
         .unwrap();
     }
     for (id, n) in [(1, "House"), (2, "Grey")] {
-        db.insert("doctors", vec![Value::Int(id), n.into()]).unwrap();
+        db.insert("doctors", vec![Value::Int(id), n.into()])
+            .unwrap();
     }
     db
 }
@@ -74,8 +75,16 @@ fn paper_figure1_lifecycle() {
     let resp = nlidb
         .answer("Show me the name of all patients with age 80")
         .expect("answerable");
-    assert_eq!(resp.anonymized_nl, "Show me the name of all patients with age @AGE");
-    let names: Vec<String> = resp.result.rows().iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(
+        resp.anonymized_nl,
+        "Show me the name of all patients with age @AGE"
+    );
+    let names: Vec<String> = resp
+        .result
+        .rows()
+        .iter()
+        .map(|r| r[0].to_string())
+        .collect();
     assert_eq!(resp.result.row_count(), 2, "sql was {}", resp.final_sql);
     assert!(names.contains(&"Ann".to_string()));
     assert!(names.contains(&"Dan".to_string()));
@@ -87,7 +96,12 @@ fn string_constants_and_counts() {
     let resp = nlidb
         .answer("How many patients have influenza?")
         .expect("answerable");
-    assert_eq!(resp.result.rows()[0][0], Value::Int(2), "sql: {}", resp.final_sql);
+    assert_eq!(
+        resp.result.rows()[0][0],
+        Value::Int(2),
+        "sql: {}",
+        resp.final_sql
+    );
 }
 
 #[test]
@@ -109,8 +123,15 @@ fn synonym_questions_answered() {
     // "illness" is a schema annotation; it reaches the model through the
     // generated training data.
     let nlidb = bootstrapped_nlidb();
-    let resp = nlidb.answer("How many patients have asthma?").expect("answerable");
-    assert_eq!(resp.result.rows()[0][0], Value::Int(2), "sql: {}", resp.final_sql);
+    let resp = nlidb
+        .answer("How many patients have asthma?")
+        .expect("answerable");
+    assert_eq!(
+        resp.result.rows()[0][0],
+        Value::Int(2),
+        "sql: {}",
+        resp.final_sql
+    );
 }
 
 #[test]
@@ -120,7 +141,12 @@ fn data_updates_need_no_retraining() {
     let mut db2 = hospital_db();
     db2.insert(
         "patients",
-        vec!["Finn".into(), Value::Int(50), "malaria".into(), Value::Int(1)],
+        vec![
+            "Finn".into(),
+            Value::Int(50),
+            "malaria".into(),
+            Value::Int(1),
+        ],
     )
     .unwrap();
     // Rebuild the NLIDB around the updated data; the value-index refresh
@@ -128,8 +154,15 @@ fn data_updates_need_no_retraining() {
     let mut nlidb = Nlidb::new(db2, SketchModel::new(vec![hospital_schema()]));
     nlidb.bootstrap(GenerationConfig::small(), &TrainOptions::fast());
     nlidb.refresh_index();
-    let resp = nlidb.answer("How many patients have malaria?").expect("answerable");
-    assert_eq!(resp.result.rows()[0][0], Value::Int(1), "sql: {}", resp.final_sql);
+    let resp = nlidb
+        .answer("How many patients have malaria?")
+        .expect("answerable");
+    assert_eq!(
+        resp.result.rows()[0][0],
+        Value::Int(1),
+        "sql: {}",
+        resp.final_sql
+    );
 }
 
 #[test]

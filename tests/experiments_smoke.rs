@@ -2,9 +2,7 @@
 //! *shapes* the paper reports (orderings, not absolute numbers).
 
 use dbpal::benchsuite::eval::evaluate_spider;
-use dbpal::benchsuite::{
-    Configuration, GeoTuningExperiment, PatientsExperiment, SpiderExperiment,
-};
+use dbpal::benchsuite::{Configuration, GeoTuningExperiment, PatientsExperiment, SpiderExperiment};
 use dbpal::core::{accuracy_stats, GenerationConfig};
 
 #[test]
@@ -29,8 +27,12 @@ fn table2_shape_dbpal_beats_baseline() {
 #[test]
 fn table3_shape_dbpal_beats_baseline_on_patients() {
     let exp = PatientsExperiment::quick();
-    let (_, baseline) = exp.patients.evaluate(&exp.train_model(Configuration::Baseline));
-    let (per, full) = exp.patients.evaluate(&exp.train_model(Configuration::DbpalFull));
+    let (_, baseline) = exp
+        .patients
+        .evaluate(&exp.train_model(Configuration::Baseline));
+    let (per, full) = exp
+        .patients
+        .evaluate(&exp.train_model(Configuration::DbpalFull));
     assert!(
         full.accuracy() > baseline.accuracy() + 0.1,
         "DBPal (Full) {} must clearly beat baseline {}",
@@ -55,7 +57,10 @@ fn table4_shape_dbpal_bucket_requires_dbpal_data() {
     let baseline = &results[&Configuration::Baseline];
     // Patterns only DBPal covers are unanswerable without DBPal data.
     if let Some(outcome) = baseline.get(&dbpal::benchsuite::CoverageBucket::DbpalOnly) {
-        assert_eq!(outcome.correct, 0, "baseline cannot know DBPal-only patterns");
+        assert_eq!(
+            outcome.correct, 0,
+            "baseline cannot know DBPal-only patterns"
+        );
     }
 }
 

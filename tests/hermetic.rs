@@ -45,7 +45,9 @@ fn check_dependency_line(line: &str) -> Result<(), String> {
     };
     let (name, spec) = (name.trim(), spec.trim());
     if spec.starts_with('"') {
-        return Err(format!("`{name}` is a registry dependency (bare version string)"));
+        return Err(format!(
+            "`{name}` is a registry dependency (bare version string)"
+        ));
     }
     if spec.starts_with('{') {
         for banned in ["version", "git", "registry"] {
@@ -58,7 +60,9 @@ fn check_dependency_line(line: &str) -> Result<(), String> {
         }
         return Ok(());
     }
-    Err(format!("`{name}` has an unrecognized dependency spec: {spec}"))
+    Err(format!(
+        "`{name}` has an unrecognized dependency spec: {spec}"
+    ))
 }
 
 #[test]
@@ -79,11 +83,7 @@ fn workspace_has_only_path_dependencies() {
             }
             if in_deps {
                 if let Err(why) = check_dependency_line(line) {
-                    violations.push(format!(
-                        "{}:{}: {why}",
-                        manifest.display(),
-                        lineno + 1
-                    ));
+                    violations.push(format!("{}:{}: {why}", manifest.display(), lineno + 1));
                 }
             }
         }
