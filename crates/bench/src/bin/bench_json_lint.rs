@@ -1,0 +1,84 @@
+//! CI gate: every `BENCH_*.json` report handed on the command line must
+//! parse with the in-repo JSON parser and match the bench-report schema
+//! (DESIGN.md "Serving & observability"): a `group` string plus a
+//! `benchmarks` array whose entries carry name, median/min/max
+//! nanoseconds, iterations per sample, and sample count.
+//!
+//! This is what makes the machine-readable perf trajectory trustworthy:
+//! a report that silently stopped parsing would otherwise rot unnoticed.
+
+use dbpal_util::Json;
+
+/// Validate one report document; returns a description of the first
+/// schema violation.
+fn check_report(doc: &Json) -> Result<(usize, String), String> {
+    let group = doc
+        .get("group")
+        .and_then(Json::as_str)
+        .ok_or("missing string `group`")?
+        .to_string();
+    let benchmarks = doc
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `benchmarks`")?;
+    for (i, b) in benchmarks.iter().enumerate() {
+        b.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("benchmarks[{i}]: missing string `name`"))?;
+        for key in [
+            "median_ns",
+            "min_ns",
+            "max_ns",
+            "iters_per_sample",
+            "samples",
+        ] {
+            let v = b
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("benchmarks[{i}]: missing number `{key}`"))?;
+            if v < 0.0 {
+                return Err(format!("benchmarks[{i}]: negative `{key}`"));
+            }
+        }
+    }
+    Ok((benchmarks.len(), group))
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_json_lint <BENCH_*.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("[bench_json_lint] FAIL {path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("[bench_json_lint] FAIL {path}: does not parse: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match check_report(&doc) {
+            Ok((n, group)) => {
+                println!("[bench_json_lint] OK {path}: group `{group}`, {n} benchmarks");
+            }
+            Err(e) => {
+                eprintln!("[bench_json_lint] FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -27,7 +27,7 @@ use crate::{
 use dbpal_analyze::{Analyzer, AnalyzerPolicy, Diagnostic};
 use dbpal_nlp::Lemmatizer;
 use dbpal_schema::Schema;
-use dbpal_util::{par_map_indexed, stream_seed};
+use dbpal_util::{par_map_indexed, stream_seed, MetricsRegistry};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -186,14 +186,10 @@ impl PipelineReport {
                 self.pre_dedup_pairs, self.final_pairs
             ));
         }
-        if self.pre_dedup_pairs - self.final_pairs != self.dedup_dropped + self.analyzer.rejected
-        {
+        if self.pre_dedup_pairs - self.final_pairs != self.dedup_dropped + self.analyzer.rejected {
             return Err(format!(
                 "drops mismatch: pre {} - final {} != dedup {} + rejected {}",
-                self.pre_dedup_pairs,
-                self.final_pairs,
-                self.dedup_dropped,
-                self.analyzer.rejected
+                self.pre_dedup_pairs, self.final_pairs, self.dedup_dropped, self.analyzer.rejected
             ));
         }
         let a = &self.analyzer;
@@ -257,6 +253,45 @@ impl PipelineReport {
             ));
         }
         Ok(())
+    }
+
+    /// Record this report into a [`MetricsRegistry`], the export format
+    /// shared with the serving layer and the fuzz driver: pair
+    /// accounting as `pipeline.*` counters, stage wall times as one
+    /// observation each in `pipeline.stage.*` histograms. Counter
+    /// values and histogram observation counts are deterministic per
+    /// seed; only the recorded durations vary.
+    pub fn record_metrics(&self, reg: &MetricsRegistry) {
+        reg.counter("pipeline.threads").add(self.threads as u64);
+        reg.counter("pipeline.seed_pairs")
+            .add(self.seed_pairs as u64);
+        reg.counter("pipeline.augmented_pairs")
+            .add(self.augmented_pairs as u64);
+        reg.counter("pipeline.dedup_dropped")
+            .add(self.dedup_dropped as u64);
+        reg.counter("pipeline.final_pairs")
+            .add(self.final_pairs as u64);
+        reg.counter("pipeline.generator.retries")
+            .add(self.generator.retries() as u64);
+        reg.counter("pipeline.generator.shortfall")
+            .add(self.generator.shortfall as u64);
+        reg.counter("pipeline.analyzer.analyzed")
+            .add(self.analyzer.analyzed as u64);
+        reg.counter("pipeline.analyzer.flagged")
+            .add(self.analyzer.flagged as u64);
+        reg.counter("pipeline.analyzer.rejected")
+            .add(self.analyzer.rejected as u64);
+        let t = &self.timings;
+        for (stage, d) in [
+            ("pipeline.stage.generate", t.generate),
+            ("pipeline.stage.augment", t.augment),
+            ("pipeline.stage.lemmatize", t.lemmatize),
+            ("pipeline.stage.dedup", t.dedup),
+            ("pipeline.stage.analyze", t.analyze),
+            ("pipeline.stage.total", t.total),
+        ] {
+            reg.histogram(stage).record(d);
+        }
     }
 
     /// A multi-line human-readable rendering (printed by the bench
@@ -493,7 +528,8 @@ mod tests {
                     .column("doctor_id", SqlType::Integer)
             })
             .table("doctors", |t| {
-                t.column("id", SqlType::Integer).column("name", SqlType::Text)
+                t.column("id", SqlType::Integer)
+                    .column("name", SqlType::Text)
             })
             .foreign_key("patients", "doctor_id", "doctors", "id")
             .build()
@@ -523,8 +559,18 @@ mod tests {
     #[test]
     fn pipeline_is_deterministic() {
         let pipeline = TrainingPipeline::new(GenerationConfig::small());
-        let a: Vec<String> = pipeline.generate(&schema()).pairs().iter().map(|p| p.nl.clone()).collect();
-        let b: Vec<String> = pipeline.generate(&schema()).pairs().iter().map(|p| p.nl.clone()).collect();
+        let a: Vec<String> = pipeline
+            .generate(&schema())
+            .pairs()
+            .iter()
+            .map(|p| p.nl.clone())
+            .collect();
+        let b: Vec<String> = pipeline
+            .generate(&schema())
+            .pairs()
+            .iter()
+            .map(|p| p.nl.clone())
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -553,8 +599,14 @@ mod tests {
             .unwrap();
         let pipeline = TrainingPipeline::new(GenerationConfig::small());
         let merged = pipeline.generate_multi(&[&s1, &s2]);
-        let has_city = merged.pairs().iter().any(|p| p.sql_text().contains("cities"));
-        let has_patients = merged.pairs().iter().any(|p| p.sql_text().contains("patients"));
+        let has_city = merged
+            .pairs()
+            .iter()
+            .any(|p| p.sql_text().contains("cities"));
+        let has_patients = merged
+            .pairs()
+            .iter()
+            .any(|p| p.sql_text().contains("patients"));
         assert!(has_city && has_patients);
     }
 
@@ -577,7 +629,11 @@ mod tests {
         report.check_consistency().expect("inconsistent report");
         assert_eq!(report.final_pairs, corpus.len());
         assert_eq!(
-            report.provenance.iter().map(|(p, n)| (*p, *n)).collect::<Vec<_>>(),
+            report
+                .provenance
+                .iter()
+                .map(|(p, n)| (*p, *n))
+                .collect::<Vec<_>>(),
             {
                 let mut v: Vec<_> = corpus.provenance_counts().into_iter().collect();
                 v.sort();
@@ -595,10 +651,32 @@ mod tests {
     }
 
     #[test]
+    fn report_records_into_registry() {
+        let pipeline = TrainingPipeline::new(GenerationConfig::small());
+        let (_, report) = pipeline.generate_with_report(&schema());
+        let reg = MetricsRegistry::new();
+        report.record_metrics(&reg);
+        assert_eq!(
+            reg.counter("pipeline.final_pairs").get(),
+            report.final_pairs as u64
+        );
+        assert_eq!(reg.histogram("pipeline.stage.generate").count(), 1);
+        // The deterministic export carries every counter and stage
+        // observation count, no wall-clock values.
+        let doc = reg.to_json_deterministic().pretty();
+        assert!(doc.contains("pipeline.seed_pairs"));
+        assert!(doc.contains("pipeline.stage.total"));
+        assert!(!doc.contains("sum_ns"));
+    }
+
+    #[test]
     fn report_is_identical_across_thread_counts() {
         let base = GenerationConfig::small();
         let run = |threads: usize| {
-            let cfg = GenerationConfig { threads, ..base.clone() };
+            let cfg = GenerationConfig {
+                threads,
+                ..base.clone()
+            };
             TrainingPipeline::new(cfg).generate_with_report(&schema()).1
         };
         let one = run(1);
@@ -693,9 +771,7 @@ mod tests {
             pairs.push(bad_pair());
             pairs.push(warn_pair());
         }
-        let run = |threads| {
-            analyze_pairs(&schema, pairs.clone(), threads, AnalyzerPolicy::Reject)
-        };
+        let run = |threads| analyze_pairs(&schema, pairs.clone(), threads, AnalyzerPolicy::Reject);
         let (kept1, rep1) = run(1);
         let (kept2, rep2) = run(2);
         let (kept8, rep8) = run(8);
@@ -710,7 +786,10 @@ mod tests {
         let pipeline = TrainingPipeline::new(GenerationConfig::small());
         let (_, report) = pipeline.generate_with_report(&schema());
         report.check_consistency().expect("inconsistent report");
-        assert_eq!(report.analyzer.policy, dbpal_analyze::AnalyzerPolicy::Reject);
+        assert_eq!(
+            report.analyzer.policy,
+            dbpal_analyze::AnalyzerPolicy::Reject
+        );
         assert_eq!(report.analyzer.analyzed, report.final_pairs);
         assert_eq!(report.analyzer.flagged, 0, "generated pairs must be clean");
         assert_eq!(report.analyzer.rejected, 0);
@@ -747,8 +826,7 @@ mod tests {
             num_missing: 0,
             ..GenerationConfig::default()
         };
-        let (corpus, report) = TrainingPipeline::new(config)
-            .generate_with_report(&schema);
+        let (corpus, report) = TrainingPipeline::new(config).generate_with_report(&schema);
         report.check_consistency().expect("inconsistent report");
         assert!(!corpus.is_empty(), "tiny schema produced nothing at all");
         let g = &report.generator;

@@ -12,7 +12,7 @@
 use dbpal_engine::Database;
 use dbpal_schema::{Schema, Value};
 use dbpal_sql::Query;
-use dbpal_util::{auto_threads, par_map_indexed, Rng};
+use dbpal_util::{auto_threads, par_map_indexed, MetricsRegistry, Rng};
 
 use crate::case::{FuzzCase, SchemaSpec};
 use crate::gen::{gen_query, gen_rows, gen_schema};
@@ -92,6 +92,19 @@ pub struct FuzzReport {
 }
 
 impl FuzzReport {
+    /// Record this run into a [`MetricsRegistry`] (the export format
+    /// shared with the training pipeline and the serving layer):
+    /// iteration budget and total findings, plus one counter per oracle
+    /// that produced a finding. Fully deterministic — the driver takes
+    /// no wall-clock reads.
+    pub fn record_metrics(&self, reg: &MetricsRegistry) {
+        reg.counter("fuzz.iterations").add(self.iters as u64);
+        reg.counter("fuzz.findings").add(self.findings.len() as u64);
+        for f in &self.findings {
+            reg.counter(&format!("fuzz.findings.{}", f.oracle)).inc();
+        }
+    }
+
     /// Deterministic JSON rendering. Thread count and timings are
     /// excluded on purpose: a run at 1 worker and a run at 8 workers
     /// must serialize to identical bytes.
@@ -135,9 +148,7 @@ fn shrink_with(
     mut check: impl FnMut(&Query) -> Result<(), String>,
 ) -> (Query, String) {
     let class = err_class(orig_err).to_string();
-    let min = shrink_query(q, |c| {
-        matches!(check(c), Err(e) if err_class(&e) == class)
-    });
+    let min = shrink_query(q, |c| matches!(check(c), Err(e) if err_class(&e) == class));
     let detail = check(&min).err().unwrap_or_else(|| orig_err.to_string());
     (min, detail)
 }
@@ -180,7 +191,8 @@ pub fn run_iteration(seed: u64, i: u64) -> Vec<Finding> {
     let mut db = Database::new(schema.clone());
     for (table, trows) in &rows {
         for row in trows {
-            db.insert(table, row.clone()).expect("generated row is valid");
+            db.insert(table, row.clone())
+                .expect("generated row is valid");
         }
     }
     let q1 = gen_query(&mut rng, &schema);
@@ -205,8 +217,7 @@ pub fn run_iteration(seed: u64, i: u64) -> Vec<Finding> {
     // Oracle 3a: generated queries analyze clean.
     for q in [&q1, &q2] {
         if let Err(e) = oracles::check_analyzer_clean(&schema, q) {
-            let (min, detail) =
-                shrink_with(q, &e, |c| oracles::check_analyzer_clean(&schema, c));
+            let (min, detail) = shrink_with(q, &e, |c| oracles::check_analyzer_clean(&schema, c));
             findings.push(ctx.finding("analyzer-clean", q, &min, detail));
         }
     }
@@ -214,8 +225,7 @@ pub fn run_iteration(seed: u64, i: u64) -> Vec<Finding> {
     // Oracle 2a: canonicalization preserves results.
     for q in [&q1, &q2] {
         if let Err(e) = oracles::check_canonical_preserves(&db, q) {
-            let (min, detail) =
-                shrink_with(q, &e, |c| oracles::check_canonical_preserves(&db, c));
+            let (min, detail) = shrink_with(q, &e, |c| oracles::check_canonical_preserves(&db, c));
             findings.push(ctx.finding("canonical", q, &min, detail));
         }
     }

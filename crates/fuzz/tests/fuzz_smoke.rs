@@ -29,6 +29,27 @@ fn report_is_thread_count_invariant() {
 }
 
 #[test]
+fn report_records_into_shared_registry() {
+    use dbpal_util::MetricsRegistry;
+    let report = run_fuzz(&FuzzConfig::new(SEED, 16, 2));
+    let reg = MetricsRegistry::new();
+    report.record_metrics(&reg);
+    assert_eq!(reg.counter("fuzz.iterations").get(), 16);
+    assert_eq!(
+        reg.counter("fuzz.findings").get(),
+        report.findings.len() as u64
+    );
+    // The registry export is deterministic: recording the same report
+    // into a fresh registry serializes identically.
+    let reg2 = MetricsRegistry::new();
+    report.record_metrics(&reg2);
+    assert_eq!(
+        reg.to_json_deterministic().pretty(),
+        reg2.to_json_deterministic().pretty()
+    );
+}
+
+#[test]
 fn iterations_are_seed_reproducible() {
     for i in [0u64, 7, 33] {
         let a = run_iteration(SEED, i);

@@ -24,7 +24,7 @@ pub struct Binding {
 }
 
 /// The anonymization result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Anonymized {
     /// The NL query with constants replaced by `@PLACEHOLDER` tokens.
     pub text: String,
@@ -351,10 +351,7 @@ mod tests {
         let (db, idx) = setup();
         let handler = ParameterHandler::new(db.schema(), &idx);
         let a = handler.anonymize("Show me the name of all patients with age 80");
-        assert_eq!(
-            a.text,
-            "Show me the name of all patients with age @AGE"
-        );
+        assert_eq!(a.text, "Show me the name of all patients with age @AGE");
         assert_eq!(a.bindings.len(), 1);
         assert_eq!(a.bindings[0].placeholder, "AGE");
         assert_eq!(a.bindings[0].value, Value::Int(80));

@@ -66,11 +66,34 @@ impl<M: TranslationModel> Nlidb<M> {
         self.index = ValueIndex::build(&self.db);
     }
 
+    /// Swap in a different database (same or different content) and
+    /// rebuild the value index. The model carries over untouched —
+    /// placeholders keep it independent of the data (§3.1) — but any
+    /// caller-side cache keyed on anonymized text must be invalidated,
+    /// since anonymization itself depends on the new value index
+    /// (`dbpal-serve` does this).
+    pub fn replace_database(&mut self, db: Database) {
+        self.db = db;
+        self.index = ValueIndex::build(&self.db);
+    }
+
+    /// Stage 1 of pre-processing: anonymize constants against the value
+    /// index (§4.1). Split out from [`Nlidb::preprocess`] so callers can
+    /// time the stages independently.
+    pub fn anonymize(&self, question: &str) -> Anonymized {
+        let handler = ParameterHandler::new(self.db.schema(), &self.index);
+        handler.anonymize(question)
+    }
+
+    /// Stage 2 of pre-processing: lemmatize an (anonymized) sentence.
+    pub fn lemmatize(&self, text: &str) -> Vec<String> {
+        self.lemmatizer.lemmatize_sentence(text)
+    }
+
     /// Pre-process an input question: anonymize constants and lemmatize.
     pub fn preprocess(&self, question: &str) -> (Anonymized, Vec<String>) {
-        let handler = ParameterHandler::new(self.db.schema(), &self.index);
-        let anonymized = handler.anonymize(question);
-        let lemmas = self.lemmatizer.lemmatize_sentence(&anonymized.text);
+        let anonymized = self.anonymize(question);
+        let lemmas = self.lemmatize(&anonymized.text);
         (anonymized, lemmas)
     }
 
@@ -156,7 +179,8 @@ mod tests {
             .unwrap();
         }
         for (id, n) in [(1, "House"), (2, "Grey")] {
-            db.insert("doctors", vec![Value::Int(id), n.into()]).unwrap();
+            db.insert("doctors", vec![Value::Int(id), n.into()])
+                .unwrap();
         }
         db
     }
@@ -172,7 +196,10 @@ mod tests {
         let resp = nlidb
             .answer("Show me the name of all patients with age 80")
             .unwrap();
-        assert_eq!(resp.anonymized_nl, "Show me the name of all patients with age @AGE");
+        assert_eq!(
+            resp.anonymized_nl,
+            "Show me the name of all patients with age @AGE"
+        );
         assert_eq!(resp.result.row_count(), 1);
         assert_eq!(resp.result.rows()[0][0], Value::Text("Ann".into()));
         assert!(resp.final_sql.to_string().contains("= 80"));
@@ -217,13 +244,14 @@ mod tests {
     fn from_repair_applied_before_execution() {
         // Model predicts the wrong FROM table; the post-processor repairs
         // it (§4.2) and execution succeeds.
-        let model = Scripted::new(&[(
-            "show the name of all patient",
-            "SELECT name FROM doctors",
-        )]);
+        let model = Scripted::new(&[("show the name of all patient", "SELECT name FROM doctors")]);
         let nlidb = Nlidb::new(hospital_db(), model);
         let resp = nlidb.answer("show the names of all patients").unwrap();
-        assert!(resp.final_sql.from.tables().contains(&"patients".to_string()));
+        assert!(resp
+            .final_sql
+            .from
+            .tables()
+            .contains(&"patients".to_string()));
         assert_eq!(resp.result.row_count(), 3);
     }
 
@@ -237,22 +265,31 @@ mod tests {
         // "malaria" is unknown → the constant is not anonymized and the
         // scripted model cannot match the question.
         assert!(nlidb.answer("How many patients have malaria?").is_err());
-        // Insert a malaria patient and refresh: now it anonymizes.
-        // (The model needs no retraining — §3.1.)
+        // Insert a malaria patient and swap the database in: the value
+        // index rebuilds and the constant anonymizes. (The model carries
+        // over with no retraining — §3.1.)
         let mut db2 = hospital_db();
         db2.insert(
             "patients",
-            vec!["Dan".into(), Value::Int(20), "malaria".into(), Value::Int(1)],
+            vec![
+                "Dan".into(),
+                Value::Int(20),
+                "malaria".into(),
+                Value::Int(1),
+            ],
         )
         .unwrap();
-        nlidb = Nlidb::new(
-            db2,
-            Scripted::new(&[(
-                "how many patient have @DISEASE",
-                "SELECT COUNT(*) FROM patients WHERE disease = @DISEASE",
-            )]),
-        );
+        nlidb.replace_database(db2);
         let resp = nlidb.answer("How many patients have malaria?").unwrap();
         assert_eq!(resp.result.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn preprocess_stages_compose() {
+        let nlidb = Nlidb::new(hospital_db(), Scripted::new(&[]));
+        let question = "Show all patients with age 80";
+        let anonymized = nlidb.anonymize(question);
+        let lemmas = nlidb.lemmatize(&anonymized.text);
+        assert_eq!(nlidb.preprocess(question), (anonymized, lemmas));
     }
 }

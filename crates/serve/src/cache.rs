@@ -1,0 +1,188 @@
+//! A deterministic LRU cache for translations.
+//!
+//! Keys are the anonymized + lemmatized token string of a question
+//! (paper §4.1): constants are already replaced by placeholders before
+//! the key is formed, so "patients with age 80" and "patients with age
+//! 35" share one entry, and the cached SQL-with-placeholders re-binds to
+//! either question's constants in post-processing.
+//!
+//! Recency is a logical tick counter (no wall clock), and eviction picks
+//! the strictly smallest tick, so the cache's behavior — and therefore
+//! every hit/miss counter downstream — is a pure function of the access
+//! sequence. Eviction scans all entries (`O(capacity)`), which is the
+//! right trade at serving cache sizes (hundreds of entries) and keeps
+//! the structure free of unsafe pointer juggling.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// A least-recently-used cache with deterministic eviction order.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    map: HashMap<String, Entry<V>>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<V> LruCache<V> {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(&entry.value)
+    }
+
+    /// Peek at `key` without touching recency (used by tests).
+    pub fn peek(&self, key: &str) -> Option<&V> {
+        self.map.get(key).map(|e| &e.value)
+    }
+
+    /// Insert or replace `key`, evicting the least recently used entry
+    /// when at capacity. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: impl Into<String>, value: V) -> Option<String> {
+        self.tick += 1;
+        let key = key.into();
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.value = value;
+            entry.last_used = self.tick;
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            // Ticks are unique, so the minimum is unambiguous and the
+            // victim is independent of HashMap iteration order.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("cache at capacity has entries");
+            self.map.remove(&victim);
+            evicted = Some(victim);
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+        evicted
+    }
+
+    /// Drop every entry (database swap invalidation).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut c = LruCache::new(4);
+        c.insert("k", 7);
+        assert_eq!(c.get("k"), Some(&7));
+        assert_eq!(c.get("missing"), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_follows_recency_order() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Touch `a` so `b` is the LRU entry.
+        assert_eq!(c.get("a"), Some(&1));
+        assert_eq!(c.insert("c", 3), Some("b".to_string()));
+        assert_eq!(c.peek("a"), Some(&1));
+        assert_eq!(c.peek("b"), None);
+        assert_eq!(c.peek("c"), Some(&3));
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.insert("a", 10), None);
+        assert_eq!(c.insert("c", 3), Some("b".to_string()));
+        assert_eq!(c.peek("a"), Some(&10));
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert("a", 1);
+        assert_eq!(c.insert("b", 2), Some("a".to_string()));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut c = LruCache::new(4);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get("a"), None);
+    }
+
+    #[test]
+    fn eviction_sequence_is_deterministic() {
+        // The same access sequence must evict the same keys in the same
+        // order, run after run (no HashMap-iteration dependence).
+        let run = || {
+            let mut c = LruCache::new(3);
+            let mut evictions = Vec::new();
+            for i in 0..20 {
+                let key = format!("k{}", i % 7);
+                if c.get(&key).is_none() {
+                    if let Some(victim) = c.insert(key, i) {
+                        evictions.push(victim);
+                    }
+                }
+            }
+            evictions
+        };
+        let first = run();
+        assert!(!first.is_empty());
+        for _ in 0..5 {
+            assert_eq!(run(), first);
+        }
+    }
+}

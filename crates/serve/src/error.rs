@@ -1,0 +1,38 @@
+//! Serving-layer errors.
+
+use dbpal_runtime::RuntimeError;
+use std::fmt;
+
+/// Errors surfaced by the serving layer. Admission-control sheds are a
+/// typed, expected outcome — never a panic — so callers can retry with
+/// backoff.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The query was shed: the batch exceeded the configured queue
+    /// depth. Carries the depth so callers can size their retry.
+    Overloaded {
+        /// The queue depth the service was configured with.
+        queue_depth: usize,
+    },
+    /// The admitted query failed inside the NLIDB runtime.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "query shed: queue depth {queue_depth} exceeded")
+            }
+            ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RuntimeError> for ServeError {
+    fn from(e: RuntimeError) -> Self {
+        ServeError::Runtime(e)
+    }
+}

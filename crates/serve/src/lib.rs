@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # dbpal-serve — the concurrent NLIDB serving layer
+//!
+//! The paper's runtime phase (§4) answers one question at a time; this
+//! crate is the step from that synchronous call toward the ROADMAP's
+//! production-scale target. A [`QueryService`] wraps an
+//! [`dbpal_runtime::Nlidb`] in:
+//!
+//! * **admission control** — batches beyond the configured queue depth
+//!   shed their tail with a typed [`ServeError::Overloaded`], never a
+//!   panic;
+//! * **an LRU translation cache** ([`LruCache`]) keyed on the
+//!   anonymized + lemmatized token string, so questions differing only
+//!   in constants share one model invocation (§4.1);
+//! * **worker fan-out** — the preprocess, translate, and
+//!   post-process/execute stages run on `par_map_indexed` workers;
+//! * **per-stage observability** — anonymize / lemmatize / translate /
+//!   postprocess / execute latency histograms plus cache and shed
+//!   counters in a [`dbpal_util::MetricsRegistry`].
+//!
+//! Cache consultation happens in sequential phases between the parallel
+//! ones (see [`service`] for the phase diagram), which keeps every
+//! counter — and the registry's deterministic JSON export — byte-
+//! identical at any worker count. `serve_gate` in `scripts/verify.sh`
+//! enforces exactly that.
+
+mod cache;
+mod error;
+mod service;
+pub mod testing;
+
+pub use cache::LruCache;
+pub use error::ServeError;
+pub use service::{QueryService, ServeConfig, ServeResponse};

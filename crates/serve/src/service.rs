@@ -1,0 +1,308 @@
+//! The concurrent query service: a bounded admission queue fanned out
+//! over worker sessions, with an LRU translation cache and per-stage
+//! instrumentation.
+//!
+//! # Determinism under concurrency
+//!
+//! A naive shared cache makes hit/miss counts a race: two identical
+//! queries running on different workers both miss, while a
+//! single-threaded run would score one miss and one hit. This service
+//! instead executes each batch in alternating parallel/sequential
+//! phases:
+//!
+//! ```text
+//!   admit ──▶ preprocess ──▶ cache lookup ──▶ translate ──▶ insert ──▶ finish
+//!   (seq)     (parallel)     (sequential)     (parallel,    (seq)     (parallel)
+//!                                              misses only)
+//! ```
+//!
+//! Pre-processing (anonymize + lemmatize), translation, and
+//! post-process/execute fan out over `par_map_indexed` workers; the
+//! cache is only consulted and updated in the sequential phases, in
+//! batch order, with duplicate in-batch misses coalesced into one
+//! translation. Every counter — hits, misses, coalesced, sheds, errors
+//! — is therefore a pure function of the query sequence, independent of
+//! the worker count; only the recorded latencies vary. The
+//! [`MetricsRegistry`] deterministic export is byte-identical at 1 and 8
+//! workers, and `serve_gate` in CI keeps that honest.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dbpal_core::TranslationModel;
+use dbpal_engine::Database;
+use dbpal_runtime::{Nlidb, NlidbResponse, PostProcessor, RuntimeError};
+use dbpal_sql::Query;
+use dbpal_util::metrics::{Counter, Histogram, MetricsRegistry};
+use dbpal_util::{auto_threads, par_map_indexed};
+
+use crate::cache::LruCache;
+use crate::error::ServeError;
+
+/// Serving-layer tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads for the parallel phases; `0` means "use all
+    /// available parallelism". Changes wall-clock time only, never
+    /// counters or results.
+    pub workers: usize,
+    /// Admission-control limit: queries beyond this many in one batch
+    /// are shed with [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Capacity of the LRU translation cache, in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// A served answer: the NLIDB response plus serving metadata.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// Whether the translation came from the cache.
+    pub cache_hit: bool,
+    /// The underlying end-to-end response.
+    pub response: NlidbResponse,
+}
+
+/// Pre-resolved metric handles so the hot path never re-locks the
+/// registry's name tables.
+struct ServeMetrics {
+    queries: Arc<Counter>,
+    cache_hit: Arc<Counter>,
+    cache_miss: Arc<Counter>,
+    cache_coalesced: Arc<Counter>,
+    cache_invalidations: Arc<Counter>,
+    shed: Arc<Counter>,
+    errors: Arc<Counter>,
+    anonymize: Arc<Histogram>,
+    lemmatize: Arc<Histogram>,
+    translate: Arc<Histogram>,
+    postprocess: Arc<Histogram>,
+    execute: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn resolve(reg: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            queries: reg.counter("serve.queries"),
+            cache_hit: reg.counter("serve.cache.hit"),
+            cache_miss: reg.counter("serve.cache.miss"),
+            cache_coalesced: reg.counter("serve.cache.coalesced"),
+            cache_invalidations: reg.counter("serve.cache.invalidations"),
+            shed: reg.counter("serve.shed"),
+            errors: reg.counter("serve.errors"),
+            anonymize: reg.histogram("serve.stage.anonymize"),
+            lemmatize: reg.histogram("serve.stage.lemmatize"),
+            translate: reg.histogram("serve.stage.translate"),
+            postprocess: reg.histogram("serve.stage.postprocess"),
+            execute: reg.histogram("serve.stage.execute"),
+        }
+    }
+}
+
+/// How one admitted query obtains its translation.
+enum Plan {
+    /// Served from the cache.
+    Hit(Query),
+    /// Waits on the `i`-th unique translation of this batch.
+    Translate(usize),
+}
+
+/// A concurrent NLIDB query service over one [`Nlidb`].
+pub struct QueryService<M: TranslationModel> {
+    nlidb: Nlidb<M>,
+    config: ServeConfig,
+    cache: Mutex<LruCache<Query>>,
+    registry: MetricsRegistry,
+    metrics: ServeMetrics,
+}
+
+impl<M: TranslationModel + Sync> QueryService<M> {
+    /// Wrap an NLIDB in a serving layer.
+    pub fn new(nlidb: Nlidb<M>, config: ServeConfig) -> Self {
+        let registry = MetricsRegistry::new();
+        let metrics = ServeMetrics::resolve(&registry);
+        let cache = Mutex::new(LruCache::new(config.cache_capacity));
+        QueryService {
+            nlidb,
+            config,
+            cache,
+            registry,
+            metrics,
+        }
+    }
+
+    /// The underlying NLIDB.
+    pub fn nlidb(&self) -> &Nlidb<M> {
+        &self.nlidb
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The service's metrics registry (counters and stage histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Entries currently in the translation cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("serve cache lock").len()
+    }
+
+    /// Swap in a new database. Anonymization depends on the value index
+    /// over the data, so every cached translation key is stale: the
+    /// cache is invalidated wholesale (counted under
+    /// `serve.cache.invalidations`).
+    pub fn replace_database(&mut self, db: Database) {
+        self.nlidb.replace_database(db);
+        let mut cache = self.cache.lock().expect("serve cache lock");
+        self.metrics.cache_invalidations.add(cache.len() as u64);
+        cache.clear();
+    }
+
+    /// Answer a single question through the full serving path (a batch
+    /// of one: it can never shed).
+    pub fn answer(&self, question: &str) -> Result<ServeResponse, ServeError> {
+        self.submit_batch(&[question.to_string()])
+            .pop()
+            .expect("batch of one yields one result")
+    }
+
+    /// Serve a batch of questions. The first `queue_depth` queries are
+    /// admitted; the rest are shed with [`ServeError::Overloaded`].
+    /// Results come back in input order.
+    pub fn submit_batch(&self, questions: &[String]) -> Vec<Result<ServeResponse, ServeError>> {
+        let m = &self.metrics;
+        let admitted_n = questions.len().min(self.config.queue_depth);
+        let admitted = &questions[..admitted_n];
+        m.queries.add(admitted_n as u64);
+        m.shed.add((questions.len() - admitted_n) as u64);
+        let workers = match self.config.workers {
+            0 => auto_threads(),
+            w => w,
+        };
+
+        // Phase 1 (parallel): anonymize + lemmatize, forming the cache
+        // key of each question.
+        let pre: Vec<(dbpal_runtime::Anonymized, Vec<String>, String)> =
+            par_map_indexed(admitted, workers, |_, q| {
+                let anonymized = m.anonymize.time(|| self.nlidb.anonymize(q));
+                let lemmas = m.lemmatize.time(|| self.nlidb.lemmatize(&anonymized.text));
+                let key = lemmas.join(" ");
+                (anonymized, lemmas, key)
+            });
+
+        // Phase 2 (sequential): consult the cache in batch order.
+        // Repeated in-batch misses coalesce onto one pending
+        // translation, which is what a sequential server would compute
+        // too — so counters are thread-count invariant.
+        let mut pending: Vec<(String, Vec<String>)> = Vec::new();
+        let mut pending_index: BTreeMap<String, usize> = BTreeMap::new();
+        let plans: Vec<Plan> = {
+            let mut cache = self.cache.lock().expect("serve cache lock");
+            pre.iter()
+                .map(|(_, lemmas, key)| {
+                    if let Some(q) = cache.get(key) {
+                        m.cache_hit.inc();
+                        Plan::Hit(q.clone())
+                    } else {
+                        m.cache_miss.inc();
+                        if let Some(&i) = pending_index.get(key) {
+                            m.cache_coalesced.inc();
+                            Plan::Translate(i)
+                        } else {
+                            let i = pending.len();
+                            pending_index.insert(key.clone(), i);
+                            pending.push((key.clone(), lemmas.clone()));
+                            Plan::Translate(i)
+                        }
+                    }
+                })
+                .collect()
+        };
+
+        // Phase 3 (parallel): translate each unique missed key once.
+        let translated: Vec<Option<Query>> =
+            par_map_indexed(&pending, workers, |_, (_, lemmas)| {
+                m.translate.time(|| self.nlidb.model().translate(lemmas))
+            });
+
+        // Phase 4 (sequential): install successful translations in
+        // first-miss order. Failures are not cached: the model may be
+        // retrained or the index refreshed between batches.
+        {
+            let mut cache = self.cache.lock().expect("serve cache lock");
+            for ((key, _), result) in pending.iter().zip(&translated) {
+                if let Some(q) = result {
+                    cache.insert(key.clone(), q.clone());
+                }
+            }
+        }
+
+        // Phase 5 (parallel): post-process and execute every admitted
+        // query against its (cached or fresh) translation.
+        let jobs: Vec<(&dbpal_runtime::Anonymized, Option<Query>, bool)> = pre
+            .iter()
+            .zip(&plans)
+            .map(|((anonymized, _, _), plan)| match plan {
+                Plan::Hit(q) => (anonymized, Some(q.clone()), true),
+                Plan::Translate(i) => (anonymized, translated[*i].clone(), false),
+            })
+            .collect();
+        let mut results: Vec<Result<ServeResponse, ServeError>> =
+            par_map_indexed(&jobs, workers, |_, (anonymized, translation, hit)| {
+                let outcome = self.finish(anonymized, translation.as_ref(), *hit);
+                if outcome.is_err() {
+                    m.errors.inc();
+                }
+                outcome
+            });
+
+        // Shed tail, in order.
+        results.extend((admitted_n..questions.len()).map(|_| {
+            Err(ServeError::Overloaded {
+                queue_depth: self.config.queue_depth,
+            })
+        }));
+        results
+    }
+
+    /// Post-process and execute one translated query.
+    fn finish(
+        &self,
+        anonymized: &dbpal_runtime::Anonymized,
+        translation: Option<&Query>,
+        cache_hit: bool,
+    ) -> Result<ServeResponse, ServeError> {
+        let m = &self.metrics;
+        let translated = translation.ok_or(RuntimeError::TranslationFailed)?.clone();
+        let post = PostProcessor::new(self.nlidb.database().schema());
+        let final_sql = m
+            .postprocess
+            .time(|| post.process(&translated, &anonymized.bindings))?;
+        let result = m
+            .execute
+            .time(|| self.nlidb.database().execute(&final_sql))
+            .map_err(RuntimeError::from)?;
+        Ok(ServeResponse {
+            cache_hit,
+            response: NlidbResponse {
+                anonymized_nl: anonymized.text.clone(),
+                translated_sql: translated,
+                final_sql,
+                result,
+            },
+        })
+    }
+}

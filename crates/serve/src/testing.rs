@@ -1,0 +1,115 @@
+//! Deterministic fixtures shared by the serve tests, the `serve_gate`
+//! CI bin, and the serve benchmarks: a lookup translation model and a
+//! small hospital database.
+//!
+//! [`ScriptedModel`] maps an exact anonymized + lemmatized token string
+//! to a fixed SQL translation — the serving layer's contract surface
+//! (cache keys, hit/miss accounting, error paths) without the noise of
+//! a learned model. Anything not in the script fails to translate,
+//! which exercises the typed error path.
+
+use dbpal_core::{TrainOptions, TrainingCorpus, TranslationModel};
+use dbpal_engine::Database;
+use dbpal_schema::{SchemaBuilder, SemanticDomain, SqlType, Value};
+use dbpal_sql::{parse_query, Query};
+
+/// A lookup model: lemmatized NL → SQL, nothing learned.
+pub struct ScriptedModel {
+    entries: Vec<(String, Query)>,
+}
+
+impl ScriptedModel {
+    /// Build from `(lemmatized NL, SQL)` pairs. Panics on invalid SQL —
+    /// scripts are fixtures, not inputs.
+    pub fn new(entries: &[(&str, &str)]) -> Self {
+        ScriptedModel {
+            entries: entries
+                .iter()
+                .map(|(nl, sql)| {
+                    (
+                        nl.to_string(),
+                        parse_query(sql)
+                            .unwrap_or_else(|e| panic!("bad scripted SQL `{sql}`: {e}")),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl TranslationModel for ScriptedModel {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+
+    fn train(&mut self, _corpus: &TrainingCorpus, _opts: &TrainOptions) {}
+
+    fn translate(&self, nl_lemmas: &[String]) -> Option<Query> {
+        let key = nl_lemmas.join(" ");
+        self.entries
+            .iter()
+            .find(|(nl, _)| *nl == key)
+            .map(|(_, q)| q.clone())
+    }
+}
+
+/// The serving fixtures' hospital database (the paper's running
+/// example): patients with diseases and ages, doctors behind a foreign
+/// key.
+pub fn hospital_db() -> Database {
+    let schema = SchemaBuilder::new("hospital")
+        .table("patients", |t| {
+            t.column("name", SqlType::Text)
+                .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                .column("disease", SqlType::Text)
+                .column("doctor_id", SqlType::Integer)
+        })
+        .table("doctors", |t| {
+            t.column("id", SqlType::Integer)
+                .column("dname", SqlType::Text)
+                .primary_key("id")
+        })
+        .foreign_key("patients", "doctor_id", "doctors", "id")
+        .build()
+        .expect("fixture schema is valid");
+    let mut db = Database::new(schema);
+    for (n, a, d, doc) in [
+        ("Ann", 80, "influenza", 1),
+        ("Bob", 35, "asthma", 1),
+        ("Cat", 64, "influenza", 2),
+        ("Dan", 20, "malaria", 2),
+        ("Eve", 47, "asthma", 1),
+    ] {
+        db.insert(
+            "patients",
+            vec![n.into(), Value::Int(a), d.into(), Value::Int(doc)],
+        )
+        .expect("fixture row inserts");
+    }
+    for (id, n) in [(1, "House"), (2, "Grey")] {
+        db.insert("doctors", vec![Value::Int(id), n.into()])
+            .expect("fixture row inserts");
+    }
+    db
+}
+
+/// The script matching [`hospital_db`]: four question families keyed on
+/// their anonymized lemma strings. Constant-different questions within
+/// a family share one key — and therefore one cache entry.
+pub fn hospital_script() -> ScriptedModel {
+    ScriptedModel::new(&[
+        (
+            "show me the name of all patient with age @AGE",
+            "SELECT name FROM patients WHERE age = @AGE",
+        ),
+        (
+            "how many patient have @DISEASE",
+            "SELECT COUNT(*) FROM patients WHERE disease = @DISEASE",
+        ),
+        (
+            "what be the average age of patient of doctor @DNAME",
+            "SELECT AVG(patients.age) FROM @JOIN WHERE doctors.dname = @DOCTORS.DNAME",
+        ),
+        ("show the name of all patient", "SELECT name FROM patients"),
+    ])
+}

@@ -1,0 +1,249 @@
+//! Integration tests for the serving layer: cache semantics, admission
+//! control, metrics determinism, and a cached-vs-uncached equivalence
+//! property.
+
+use dbpal_runtime::{Nlidb, RuntimeError};
+use dbpal_serve::testing::{hospital_db, hospital_script};
+use dbpal_serve::{QueryService, ServeConfig, ServeError};
+use dbpal_util::{check, forall, SliceRandom};
+
+fn service(config: ServeConfig) -> QueryService<dbpal_serve::testing::ScriptedModel> {
+    QueryService::new(Nlidb::new(hospital_db(), hospital_script()), config)
+}
+
+fn counter(svc: &QueryService<dbpal_serve::testing::ScriptedModel>, name: &str) -> u64 {
+    svc.metrics().counter(name).get()
+}
+
+#[test]
+fn single_answer_cold_then_warm() {
+    let svc = service(ServeConfig::default());
+    let cold = svc.answer("How many patients have influenza?").unwrap();
+    assert!(!cold.cache_hit);
+    assert_eq!(cold.response.result.rows()[0][0], 2i64.into());
+    let warm = svc.answer("How many patients have influenza?").unwrap();
+    assert!(warm.cache_hit);
+    assert_eq!(warm.response.result.rows()[0][0], 2i64.into());
+    assert_eq!(counter(&svc, "serve.cache.hit"), 1);
+    assert_eq!(counter(&svc, "serve.cache.miss"), 1);
+    assert_eq!(counter(&svc, "serve.queries"), 2);
+}
+
+#[test]
+fn constant_variants_share_one_cache_entry() {
+    // The cache key is formed after anonymization (§4.1): questions
+    // differing only in constants hit the same entry, and each still
+    // gets its own constants re-bound in post-processing.
+    let svc = service(ServeConfig::default());
+    let a = svc
+        .answer("Show me the name of all patients with age 80")
+        .unwrap();
+    assert!(!a.cache_hit);
+    assert_eq!(a.response.result.rows()[0][0], "Ann".into());
+    let b = svc
+        .answer("Show me the name of all patients with age 35")
+        .unwrap();
+    assert!(b.cache_hit, "constant-different query must share the entry");
+    assert_eq!(b.response.result.rows()[0][0], "Bob".into());
+    assert!(b.response.final_sql.to_string().contains("= 35"));
+    assert_eq!(svc.cache_len(), 1);
+}
+
+#[test]
+fn batch_coalesces_duplicate_misses() {
+    let svc = service(ServeConfig::default());
+    let questions = vec![
+        "How many patients have influenza?".to_string(),
+        "How many patients have asthma?".to_string(),
+        "How many patients have malaria?".to_string(),
+    ];
+    let results = svc.submit_batch(&questions);
+    assert!(results.iter().all(|r| r.is_ok()));
+    // All three anonymize to the same key: one translation, two
+    // coalesced misses — exactly what a sequential server would do
+    // minus the duplicate model calls.
+    assert_eq!(counter(&svc, "serve.cache.miss"), 3);
+    assert_eq!(counter(&svc, "serve.cache.coalesced"), 2);
+    assert_eq!(
+        svc.metrics().histogram("serve.stage.translate").count(),
+        1,
+        "duplicate in-batch misses must translate once"
+    );
+    assert_eq!(svc.cache_len(), 1);
+}
+
+#[test]
+fn overload_sheds_tail_with_typed_errors() {
+    let svc = service(ServeConfig {
+        queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let questions: Vec<String> = (0..7)
+        .map(|_| "show the names of all patients".to_string())
+        .collect();
+    let results = svc.submit_batch(&questions);
+    assert_eq!(results.len(), 7);
+    for r in &results[..4] {
+        assert!(r.is_ok(), "admitted query failed: {r:?}");
+    }
+    for r in &results[4..] {
+        assert_eq!(
+            r.as_ref().unwrap_err(),
+            &ServeError::Overloaded { queue_depth: 4 }
+        );
+    }
+    assert_eq!(counter(&svc, "serve.shed"), 3);
+    assert_eq!(counter(&svc, "serve.queries"), 4);
+}
+
+#[test]
+fn untranslatable_question_is_typed_and_counted() {
+    let svc = service(ServeConfig::default());
+    let err = svc.answer("gibberish beyond the script").unwrap_err();
+    assert_eq!(err, ServeError::Runtime(RuntimeError::TranslationFailed));
+    assert_eq!(counter(&svc, "serve.errors"), 1);
+    assert_eq!(svc.cache_len(), 0, "failed translations must not be cached");
+}
+
+#[test]
+fn database_swap_invalidates_cache() {
+    let mut svc = service(ServeConfig::default());
+    svc.answer("How many patients have influenza?").unwrap();
+    assert_eq!(svc.cache_len(), 1);
+
+    // New database: same schema, more influenza patients.
+    let mut db = hospital_db();
+    db.insert(
+        "patients",
+        vec![
+            "Fay".into(),
+            dbpal_schema::Value::Int(52),
+            "influenza".into(),
+            dbpal_schema::Value::Int(2),
+        ],
+    )
+    .unwrap();
+    svc.replace_database(db);
+    assert_eq!(svc.cache_len(), 0, "swap must clear the cache");
+    assert_eq!(counter(&svc, "serve.cache.invalidations"), 1);
+
+    let resp = svc.answer("How many patients have influenza?").unwrap();
+    assert!(!resp.cache_hit, "post-swap answer must re-translate");
+    assert_eq!(resp.response.result.rows()[0][0], 3i64.into());
+}
+
+#[test]
+fn tiny_cache_evicts_in_lru_order() {
+    let svc = service(ServeConfig {
+        cache_capacity: 1,
+        ..ServeConfig::default()
+    });
+    svc.answer("show the names of all patients").unwrap();
+    svc.answer("How many patients have asthma?").unwrap(); // evicts
+    let again = svc.answer("show the names of all patients").unwrap();
+    assert!(!again.cache_hit, "evicted entry must miss");
+    let asthma = svc.answer("How many patients have asthma?").unwrap();
+    assert!(!asthma.cache_hit, "previous answer evicted this entry too");
+    assert_eq!(svc.cache_len(), 1);
+}
+
+#[test]
+fn stage_histogram_counts_match_workload() {
+    let svc = service(ServeConfig::default());
+    let questions = vec![
+        "Show me the name of all patients with age 80".to_string(),
+        "Show me the name of all patients with age 35".to_string(),
+        "How many patients have malaria?".to_string(),
+    ];
+    let results = svc.submit_batch(&questions);
+    assert!(results.iter().all(|r| r.is_ok()));
+    let h = |name: &str| svc.metrics().histogram(name).count();
+    assert_eq!(h("serve.stage.anonymize"), 3);
+    assert_eq!(h("serve.stage.lemmatize"), 3);
+    assert_eq!(h("serve.stage.translate"), 2, "one per unique key");
+    assert_eq!(h("serve.stage.postprocess"), 3);
+    assert_eq!(h("serve.stage.execute"), 3);
+}
+
+/// The workload used by the determinism and equivalence checks: every
+/// family of the script with every constant the fixture data contains.
+fn mixed_workload() -> Vec<String> {
+    let mut qs = Vec::new();
+    for age in [80, 35, 64, 20, 47, 80, 35] {
+        qs.push(format!("Show me the name of all patients with age {age}"));
+    }
+    for disease in ["influenza", "asthma", "malaria", "influenza"] {
+        qs.push(format!("How many patients have {disease}?"));
+    }
+    for doctor in ["House", "Grey", "House"] {
+        qs.push(format!(
+            "What is the average age of patients of doctor {doctor}"
+        ));
+    }
+    qs.push("show the names of all patients".to_string());
+    qs
+}
+
+#[test]
+fn deterministic_metrics_identical_at_1_and_8_workers() {
+    let run = |workers: usize| {
+        let svc = service(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        });
+        let qs = mixed_workload();
+        for batch in qs.chunks(5) {
+            let results = svc.submit_batch(batch);
+            assert!(results.iter().all(|r| r.is_ok()));
+        }
+        svc.metrics().to_json_deterministic().pretty()
+    };
+    let one = run(1);
+    let eight = run(8);
+    assert_eq!(one, eight, "deterministic export diverged across workers");
+}
+
+#[test]
+fn cached_and_uncached_translations_agree() {
+    // Property: for any mixed question sequence, the served answer
+    // (caching, batching, fan-out and all) is identical to a plain
+    // uncached `Nlidb::answer` — same final SQL, same result rows.
+    let nlidb = Nlidb::new(hospital_db(), hospital_script());
+    forall!(cases = 32, |rng| {
+        let svc = service(ServeConfig {
+            workers: rng.gen_range(1usize..4),
+            cache_capacity: rng.gen_range(1usize..5),
+            ..ServeConfig::default()
+        });
+        let questions: Vec<String> = check::vec_of(rng, 1..12, |r| match r.gen_range(0u32..4) {
+            0 => {
+                let age = *[80i64, 35, 64, 20, 47].choose(r).unwrap();
+                format!("Show me the name of all patients with age {age}")
+            }
+            1 => {
+                let d = *["influenza", "asthma", "malaria"].choose(r).unwrap();
+                format!("How many patients have {d}?")
+            }
+            2 => {
+                let doc = *["House", "Grey"].choose(r).unwrap();
+                format!("What is the average age of patients of doctor {doc}")
+            }
+            _ => "show the names of all patients".to_string(),
+        });
+        let served = svc.submit_batch(&questions);
+        for (question, served) in questions.iter().zip(served) {
+            let served = served.expect("scripted workload answers cleanly");
+            let direct = nlidb.answer(question).expect("direct answer succeeds");
+            assert_eq!(
+                served.response.final_sql.to_string(),
+                direct.final_sql.to_string(),
+                "cached SQL diverged for `{question}`"
+            );
+            assert_eq!(
+                served.response.result.rows(),
+                direct.result.rows(),
+                "cached result diverged for `{question}`"
+            );
+        }
+    });
+}

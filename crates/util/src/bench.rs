@@ -58,12 +58,16 @@ impl Config {
     /// Full measurement when invoked by `cargo bench` (which passes
     /// `--bench` to `harness = false` targets), [`Config::quick`]
     /// otherwise — so `cargo test`, which runs bench binaries with no
-    /// arguments, finishes in milliseconds.
+    /// arguments, finishes in milliseconds. An explicit `--quick`
+    /// forces the smoke profile even under `cargo bench`; CI uses this
+    /// to emit machine-readable reports without paying for full
+    /// measurement.
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--bench") {
-            Config::default()
-        } else {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") || !args.iter().any(|a| a == "--bench") {
             Config::quick()
+        } else {
+            Config::default()
         }
     }
 }
@@ -138,7 +142,12 @@ impl Harness {
             iters_per_sample: iters,
             samples: per_iter.len(),
         };
-        eprintln!("{} (min {}, max {})", fmt_dur(m.median), fmt_dur(m.min), fmt_dur(m.max));
+        eprintln!(
+            "{} (min {}, max {})",
+            fmt_dur(m.median),
+            fmt_dur(m.min),
+            fmt_dur(m.max)
+        );
         self.results.push(m);
     }
 
@@ -222,8 +231,23 @@ impl Harness {
         ])
     }
 
-    /// Print the human-readable table and honor `DBPAL_BENCH_JSON`.
-    /// Call once at the end of a bench binary's `main`.
+    /// The machine-readable report path this run should write, if any:
+    /// `DBPAL_BENCH_JSON=<path|->` wins, then a `--json` argument, which
+    /// writes `BENCH_<group>.json` in the current directory. This is how
+    /// the perf trajectory gets recorded — see DESIGN.md "Serving &
+    /// observability" for the schema.
+    fn json_path(&self) -> Option<String> {
+        if let Ok(path) = std::env::var("DBPAL_BENCH_JSON") {
+            return Some(path);
+        }
+        if std::env::args().any(|a| a == "--json") {
+            return Some(format!("BENCH_{}.json", self.group));
+        }
+        None
+    }
+
+    /// Print the human-readable table and honor `DBPAL_BENCH_JSON` /
+    /// `--json`. Call once at the end of a bench binary's `main`.
     pub fn finish(self) {
         println!("\n== {} ==", self.group);
         let name_w = self
@@ -233,7 +257,10 @@ impl Harness {
             .max()
             .unwrap_or(4)
             .max(4);
-        println!("{:<name_w$}  {:>12}  {:>12}  {:>12}", "name", "median", "min", "max");
+        println!(
+            "{:<name_w$}  {:>12}  {:>12}  {:>12}",
+            "name", "median", "min", "max"
+        );
         for m in &self.results {
             println!(
                 "{:<name_w$}  {:>12}  {:>12}  {:>12}",
@@ -243,12 +270,14 @@ impl Harness {
                 fmt_dur(m.max),
             );
         }
-        if let Ok(path) = std::env::var("DBPAL_BENCH_JSON") {
+        if let Some(path) = self.json_path() {
             let doc = self.to_json().pretty();
             if path == "-" {
                 println!("{doc}");
             } else if let Err(e) = std::fs::write(&path, doc + "\n") {
                 eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("bench report written to {path}");
             }
         }
     }

@@ -15,6 +15,7 @@
 //! | [`check`] | `proptest` | seeded [`forall!`] property runner |
 //! | [`bench`] | `criterion` | warmup + median-of-N wall-clock harness |
 //! | [`par`] | `rayon` | order-preserving scoped-pool map ([`par_map_indexed`]) |
+//! | [`metrics`] | `prometheus`/`metrics` | counters, latency histograms, span timers, [`MetricsRegistry`] |
 //!
 //! All randomness is reproducible: the same seed yields the same stream
 //! on every platform, forever — the workspace owns the generator, so no
@@ -23,9 +24,11 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod metrics;
 pub mod par;
 pub mod rng;
 
 pub use json::{Json, JsonError};
+pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use par::{auto_threads, par_map_indexed};
 pub use rng::{stream_seed, Rng, SliceRandom};

@@ -17,6 +17,7 @@ export DBPAL_CHECK_CASES
 # Static hygiene first: cheap, and a determinism hazard invalidates
 # everything the test run would tell us about reproducibility.
 sh scripts/lint_determinism.sh
+cargo fmt --check
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
@@ -32,3 +33,20 @@ cargo run --release --offline -p dbpal-bench --bin analyze_gate -- --quick
 DBPAL_FUZZ_ITERS="${DBPAL_FUZZ_ITERS:-200}"
 export DBPAL_FUZZ_ITERS
 cargo run --release --offline -p dbpal-bench --bin fuzz_smoke
+
+# Serving-layer gate: seeded mixed workload through dbpal-serve must hit
+# the cache above the seeded floor, shed nothing at the default queue
+# depth, export byte-identical deterministic metrics at 1 and 8 workers,
+# and shed exactly the over-limit tail (typed errors) under saturation.
+cargo run --release --offline -p dbpal-bench --bin serve_gate -- --quick
+
+# Machine-readable perf trajectory: regenerate the bench reports in
+# quick mode and lint them against the schema in DESIGN.md with the
+# in-repo JSON parser. (cargo bench runs binaries with the package dir
+# as cwd, so the output paths are pinned via DBPAL_BENCH_JSON.)
+DBPAL_BENCH_JSON="$PWD/BENCH_pipeline.json" \
+  cargo bench --offline -q -p dbpal-bench --bench pipeline -- --quick
+DBPAL_BENCH_JSON="$PWD/BENCH_serve.json" \
+  cargo bench --offline -q -p dbpal-bench --bench serve -- --quick
+cargo run --release --offline -p dbpal-bench --bin bench_json_lint -- \
+  BENCH_pipeline.json BENCH_serve.json

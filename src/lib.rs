@@ -24,6 +24,7 @@
 //! | [`core`] | `dbpal-core` | templates, generator, augmentation, optimizer |
 //! | [`model`] | `dbpal-model` | pluggable translation models |
 //! | [`runtime`] | `dbpal-runtime` | NLIDB runtime (pre/post-processing) |
+//! | [`serve`] | `dbpal-serve` | concurrent serving: cache, admission control, metrics |
 //! | [`benchsuite`] | `dbpal-benchsuite` | Spider-like, Patients, GeoQuery benchmarks |
 //! | [`util`] | `dbpal-util` | seeded PRNG, JSON, check + bench harnesses |
 //!
@@ -46,6 +47,7 @@ pub use dbpal_model as model;
 pub use dbpal_nlp as nlp;
 pub use dbpal_runtime as runtime;
 pub use dbpal_schema as schema;
+pub use dbpal_serve as serve;
 pub use dbpal_sql as sql;
 pub use dbpal_util as util;
 
