@@ -6,8 +6,48 @@
 //!
 //! This is what makes the machine-readable perf trajectory trustworthy:
 //! a report that silently stopped parsing would otherwise rot unnoticed.
+//!
+//! The `serve` report additionally carries the load harness's `load`
+//! member (written by `load_gate` / `load_gen`); its schema — client
+//! and request counts, QPS, p50/p95/p99 latencies, error tallies, and
+//! the answer digest — is validated here too, and *required* for the
+//! `serve` group so a gate that silently stopped merging would fail CI.
 
 use dbpal_util::Json;
+
+/// Validate the `load` member written by the load harness.
+fn check_load(load: &Json) -> Result<(), String> {
+    for key in [
+        "clients",
+        "batch",
+        "warmup_requests",
+        "measured_requests",
+        "queries",
+        "qps",
+        "p50_ns",
+        "p95_ns",
+        "p99_ns",
+        "protocol_errors",
+        "answer_mismatches",
+        "sheds",
+    ] {
+        let v = load
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("load: missing number `{key}`"))?;
+        if v < 0.0 {
+            return Err(format!("load: negative `{key}`"));
+        }
+    }
+    let digest = load
+        .get("digest")
+        .and_then(Json::as_str)
+        .ok_or("load: missing string `digest`")?;
+    if digest.is_empty() {
+        return Err("load: empty `digest`".to_string());
+    }
+    Ok(())
+}
 
 /// Validate one report document; returns a description of the first
 /// schema violation.
@@ -40,6 +80,13 @@ fn check_report(doc: &Json) -> Result<(usize, String), String> {
                 return Err(format!("benchmarks[{i}]: negative `{key}`"));
             }
         }
+    }
+    match doc.get("load") {
+        Some(load) => check_load(load)?,
+        None if group == "serve" => {
+            return Err("group `serve` requires a `load` member (run load_gate)".to_string())
+        }
+        None => {}
     }
     Ok((benchmarks.len(), group))
 }

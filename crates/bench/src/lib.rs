@@ -6,6 +6,8 @@
 
 use std::fmt::Write as _;
 
+pub mod loadgen;
+
 /// Render an aligned text table: a header row plus data rows.
 pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
     let ncols = header.len();

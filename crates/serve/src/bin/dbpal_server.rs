@@ -1,0 +1,141 @@
+//! `dbpal-server` — the network-facing NLIDB server.
+//!
+//! Serves the hospital demo fixture (the paper's running Patients
+//! example) over the length-delimited JSON-over-TCP protocol described
+//! in DESIGN.md "Network serving". The process runs until a client
+//! sends the `shutdown` op, then drains gracefully — stops accepting,
+//! finishes in-flight batches — and flushes the full metrics JSON.
+//!
+//! ```text
+//! dbpal-server [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!              [--batch-window N] [--max-conns N] [--cache N]
+//!              [--metrics-out PATH] [--quiet]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:7432`, service defaults otherwise.
+//! Request logs (structured one-line JSON, question text redacted) go
+//! to stderr unless `--quiet`; the final metrics flush goes to
+//! `--metrics-out` or stdout.
+
+use std::process::exit;
+
+use dbpal_runtime::Nlidb;
+use dbpal_serve::net::{serve, ServerConfig};
+use dbpal_serve::testing::{hospital_db, hospital_script};
+use dbpal_serve::{QueryService, ServeConfig};
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    cache_capacity: usize,
+    batch_window: usize,
+    max_connections: usize,
+    metrics_out: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dbpal-server [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \x20                   [--batch-window N] [--max-conns N] [--cache N]\n\
+         \x20                   [--metrics-out PATH] [--quiet]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let defaults = ServeConfig::default();
+    let server_defaults = ServerConfig::default();
+    let mut args = Args {
+        addr: "127.0.0.1:7432".to_string(),
+        workers: defaults.workers,
+        queue_depth: defaults.queue_depth,
+        cache_capacity: defaults.cache_capacity,
+        batch_window: server_defaults.batch_window,
+        max_connections: server_defaults.max_connections,
+        metrics_out: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue-depth" => {
+                args.queue_depth = parse_num(&value("--queue-depth"), "--queue-depth")
+            }
+            "--batch-window" => {
+                args.batch_window = parse_num(&value("--batch-window"), "--batch-window")
+            }
+            "--max-conns" => args.max_connections = parse_num(&value("--max-conns"), "--max-conns"),
+            "--cache" => args.cache_capacity = parse_num(&value("--cache"), "--cache"),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs a number, got `{s}`");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let service = QueryService::new(
+        Nlidb::new(hospital_db(), hospital_script()),
+        ServeConfig {
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+            cache_capacity: args.cache_capacity,
+        },
+    );
+    let handle = match serve(
+        service,
+        ServerConfig {
+            addr: args.addr.clone(),
+            max_connections: args.max_connections,
+            batch_window: args.batch_window,
+            log: !args.quiet,
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("dbpal-server: cannot bind {}: {e}", args.addr);
+            exit(1);
+        }
+    };
+    println!("dbpal-server listening on {}", handle.addr());
+    // Blocks until a client sends the `shutdown` op, then drains.
+    let report = handle.join();
+    eprintln!(
+        "dbpal-server drained: {} connections, {} requests, {} refused, {} protocol errors",
+        report.connections, report.requests, report.refused, report.protocol_errors
+    );
+    match &args.metrics_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, report.metrics_json.clone() + "\n") {
+                eprintln!("dbpal-server: cannot write {path}: {e}");
+                exit(1);
+            }
+            eprintln!("dbpal-server: metrics flushed to {path}");
+        }
+        None => println!("{}", report.metrics_json),
+    }
+}

@@ -101,6 +101,12 @@ impl<V> LruCache<V> {
         evicted
     }
 
+    /// Remove one entry (targeted invalidation, e.g. a retrained
+    /// template family), returning its value if it was cached.
+    pub fn invalidate(&mut self, key: &str) -> Option<V> {
+        self.map.remove(key).map(|e| e.value)
+    }
+
     /// Drop every entry (database swap invalidation).
     pub fn clear(&mut self) {
         self.map.clear();

@@ -16,7 +16,11 @@
 //!   post-process/execute stages run on `par_map_indexed` workers;
 //! * **per-stage observability** — anonymize / lemmatize / translate /
 //!   postprocess / execute latency histograms plus cache and shed
-//!   counters in a [`dbpal_util::MetricsRegistry`].
+//!   counters in a [`dbpal_util::MetricsRegistry`];
+//! * **a network surface** ([`net`]) — the `dbpal-server` binary speaks
+//!   a length-delimited JSON-over-TCP protocol with health/readiness
+//!   probes, micro-batching into `submit_batch`, redacting structured
+//!   request logs, and graceful drain with a final metrics flush.
 //!
 //! Cache consultation happens in sequential phases between the parallel
 //! ones (see [`service`] for the phase diagram), which keeps every
@@ -26,6 +30,7 @@
 
 mod cache;
 mod error;
+pub mod net;
 mod service;
 pub mod testing;
 

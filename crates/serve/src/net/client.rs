@@ -1,0 +1,153 @@
+//! A small blocking client for the `dbpal-server` protocol — used by
+//! the load harness, the serving test battery, and anything else that
+//! wants to talk to a running server without hand-rolling frames.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use dbpal_util::frame::{self, FrameError};
+
+use crate::net::protocol::{ErrorKind, QueryOutcome, Request, Response};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Framing failure (truncated or oversized response).
+    Frame(FrameError),
+    /// The server closed the connection where a response was expected.
+    Closed,
+    /// The response did not parse against the protocol grammar.
+    BadResponse(String),
+    /// The server answered with a frame-level error.
+    Server {
+        /// The typed kind.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "client framing error: {e}"),
+            ClientError::Closed => f.write_str("server closed the connection"),
+            ClientError::BadResponse(m) => write!(f, "unparseable response: {m}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server error [{}]: {message}", kind.as_str())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    max_frame_len: usize,
+}
+
+impl Client {
+    /// Connect with a generous default response timeout (30s — a drain
+    /// can legitimately hold a response while a batch finishes).
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            stream,
+            max_frame_len: frame::DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    /// Send one request and read one response frame.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send_raw(&req.to_bytes())?;
+        self.read_response()
+    }
+
+    /// Write an arbitrary payload as one frame (protocol-robustness
+    /// tests send deliberately malformed bytes through this).
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        frame::write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    /// Write raw bytes with no framing at all (truncated-frame tests).
+    pub fn send_unframed(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Read one response frame.
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        match frame::read_frame(&mut self.stream, self.max_frame_len)? {
+            None => Err(ClientError::Closed),
+            Some(payload) => Response::from_bytes(&payload).map_err(ClientError::BadResponse),
+        }
+    }
+
+    /// `query`: returns per-question outcomes, surfacing frame-level
+    /// errors as [`ClientError::Server`].
+    pub fn query(&mut self, questions: &[String]) -> Result<Vec<QueryOutcome>, ClientError> {
+        match self.call(&Request::Query(questions.to_vec()))? {
+            Response::Results(items) => Ok(items),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Err(ClientError::BadResponse(format!(
+                "expected results, got {other:?}"
+            ))),
+        }
+    }
+
+    /// `health`: `(ready, draining)`.
+    pub fn health(&mut self) -> Result<(bool, bool), ClientError> {
+        self.probe(Request::Health)
+    }
+
+    /// `ready`: `(ready, draining)`.
+    pub fn ready(&mut self) -> Result<(bool, bool), ClientError> {
+        self.probe(Request::Ready)
+    }
+
+    fn probe(&mut self, req: Request) -> Result<(bool, bool), ClientError> {
+        match self.call(&req)? {
+            Response::Probe {
+                ready, draining, ..
+            } => Ok((ready, draining)),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Err(ClientError::BadResponse(format!(
+                "expected probe, got {other:?}"
+            ))),
+        }
+    }
+
+    /// `shutdown`: asks the server to drain gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Err(ClientError::BadResponse(format!(
+                "expected shutdown ack, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Network serving: the JSON-over-TCP protocol, the server runtime
+//! behind the `dbpal-server` binary, and a blocking client.
+//!
+//! See DESIGN.md "Network serving" for the protocol grammar, drain
+//! semantics, and redaction rules.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{ErrorKind, QueryOutcome, Request, Response};
+pub use server::{serve, ServerConfig, ServerHandle, ServerReport};

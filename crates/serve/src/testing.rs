@@ -16,6 +16,7 @@ use dbpal_sql::{parse_query, Query};
 /// A lookup model: lemmatized NL → SQL, nothing learned.
 pub struct ScriptedModel {
     entries: Vec<(String, Query)>,
+    delay: std::time::Duration,
 }
 
 impl ScriptedModel {
@@ -33,7 +34,15 @@ impl ScriptedModel {
                     )
                 })
                 .collect(),
+            delay: std::time::Duration::ZERO,
         }
+    }
+
+    /// Sleep this long inside every cache-missing `translate` call —
+    /// lets drain tests hold a batch reliably in flight.
+    pub fn with_delay(mut self, delay: std::time::Duration) -> Self {
+        self.delay = delay;
+        self
     }
 }
 
@@ -45,6 +54,9 @@ impl TranslationModel for ScriptedModel {
     fn train(&mut self, _corpus: &TrainingCorpus, _opts: &TrainOptions) {}
 
     fn translate(&self, nl_lemmas: &[String]) -> Option<Query> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
         let key = nl_lemmas.join(" ");
         self.entries
             .iter()

@@ -1,0 +1,176 @@
+//! Property test: [`LruCache`] against a naive reference model.
+//!
+//! The reference keeps a flat `Vec` of `(key, value, last_used)` and
+//! replays the cache's documented tick semantics literally — `get`
+//! ticks even on a miss, eviction removes the strictly-smallest tick,
+//! `invalidate` and `clear` don't tick. Random op sequences over a
+//! small key space must agree with the real cache on every return
+//! value (including which key each insert evicts), the hit/miss
+//! tallies, the final contents, and the capacity bound. `clear` here
+//! is exactly the wholesale invalidation `replace_database` performs.
+
+use dbpal_serve::LruCache;
+use dbpal_util::check::weighted_index;
+use dbpal_util::forall;
+
+struct RefModel {
+    entries: Vec<(String, i64, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl RefModel {
+    fn new(capacity: usize) -> Self {
+        RefModel {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<i64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.iter_mut().find(|(k, _, _)| k == key)?;
+        e.2 = tick;
+        Some(e.1)
+    }
+
+    fn insert(&mut self, key: &str, value: i64) -> Option<String> {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(k, _, _)| k == key) {
+            e.1 = value;
+            e.2 = self.tick;
+            return None;
+        }
+        let mut evicted = None;
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+                .expect("model at capacity has entries");
+            evicted = Some(self.entries.remove(victim).0);
+        }
+        self.entries.push((key.to_string(), value, self.tick));
+        evicted
+    }
+
+    fn invalidate(&mut self, key: &str) -> Option<i64> {
+        let i = self.entries.iter().position(|(k, _, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn peek(&self, key: &str) -> Option<i64> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, _)| *v)
+    }
+}
+
+#[test]
+fn lru_cache_matches_the_reference_model() {
+    const KEYS: [&str; 6] = ["k0", "k1", "k2", "k3", "k4", "k5"];
+
+    forall!(cases = 256, |rng| {
+        let capacity = rng.gen_range(1usize..=4);
+        let mut cache: LruCache<i64> = LruCache::new(capacity);
+        let mut model = RefModel::new(capacity);
+        assert_eq!(cache.capacity(), model.capacity);
+
+        let (mut gets, mut hits, mut misses) = (0u64, 0u64, 0u64);
+        let ops = rng.gen_range(0usize..=80);
+        for step in 0..ops {
+            let key = KEYS[rng.gen_range(0..KEYS.len())];
+            // get-heavy and insert-heavy, with occasional invalidation
+            // and rare wholesale clears.
+            match weighted_index(rng, &[5, 5, 2, 1]) {
+                0 => {
+                    let got = cache.get(key).copied();
+                    assert_eq!(got, model.get(key), "get({key}) at step {step}");
+                    gets += 1;
+                    match got {
+                        Some(_) => hits += 1,
+                        None => misses += 1,
+                    }
+                }
+                1 => {
+                    let value = rng.gen_range(-1000i64..1000);
+                    assert_eq!(
+                        cache.insert(key, value),
+                        model.insert(key, value),
+                        "insert({key}) eviction at step {step}"
+                    );
+                }
+                2 => {
+                    assert_eq!(
+                        cache.invalidate(key),
+                        model.invalidate(key),
+                        "invalidate({key}) at step {step}"
+                    );
+                }
+                _ => {
+                    cache.clear();
+                    model.clear();
+                }
+            }
+            assert_eq!(cache.len(), model.len(), "len after step {step}");
+            assert!(
+                cache.len() <= cache.capacity(),
+                "capacity bound broken at step {step}"
+            );
+            assert_eq!(cache.is_empty(), model.len() == 0);
+        }
+
+        // Final contents agree key by key (peek leaves recency alone).
+        for key in KEYS {
+            assert_eq!(cache.peek(key).copied(), model.peek(key), "peek({key})");
+        }
+        // Every get classified as exactly one of hit or miss: the tally
+        // the serving counters are built from.
+        assert_eq!(hits + misses, gets);
+    });
+}
+
+#[test]
+fn replayed_sequences_are_identical() {
+    // The same op sequence replayed on a fresh cache produces the same
+    // hit/miss tally and the same eviction victims — the determinism
+    // the serving counters depend on.
+    const KEYS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+    forall!(cases = 64, |rng| {
+        let ops: Vec<(usize, usize, i64)> = (0..rng.gen_range(0usize..60))
+            .map(|_| {
+                (
+                    weighted_index(rng, &[1, 1]),
+                    rng.gen_range(0..KEYS.len()),
+                    rng.gen_range(0i64..100),
+                )
+            })
+            .collect();
+        let run = |ops: &[(usize, usize, i64)]| {
+            let mut cache: LruCache<i64> = LruCache::new(3);
+            let mut trace: Vec<String> = Vec::new();
+            for &(op, k, v) in ops {
+                match op {
+                    0 => trace.push(format!("get {:?}", cache.get(KEYS[k]).copied())),
+                    _ => trace.push(format!("evict {:?}", cache.insert(KEYS[k], v))),
+                }
+            }
+            trace
+        };
+        assert_eq!(run(&ops), run(&ops));
+    });
+}

@@ -16,6 +16,8 @@
 //! | [`bench`] | `criterion` | warmup + median-of-N wall-clock harness |
 //! | [`par`] | `rayon` | order-preserving scoped-pool map ([`par_map_indexed`]) |
 //! | [`metrics`] | `prometheus`/`metrics` | counters, latency histograms, span timers, [`MetricsRegistry`] |
+//! | [`frame`] | `tokio-util` codecs | length-delimited framing over byte streams |
+//! | [`log`] | `tracing`/`slog` | one-line JSON [`LogEvent`]s with value/secret redaction |
 //!
 //! All randomness is reproducible: the same seed yields the same stream
 //! on every platform, forever — the workspace owns the generator, so no
@@ -23,12 +25,16 @@
 
 pub mod bench;
 pub mod check;
+pub mod frame;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod par;
 pub mod rng;
 
+pub use frame::FrameError;
 pub use json::{Json, JsonError};
+pub use log::LogEvent;
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use par::{auto_threads, par_map_indexed};
 pub use rng::{stream_seed, Rng, SliceRandom};

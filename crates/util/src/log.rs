@@ -1,0 +1,224 @@
+//! Structured, redacting log lines for the serving layer.
+//!
+//! One log event is one single-line JSON object (insertion-ordered
+//! members via [`Json::Obj`], so lines are deterministic for a given
+//! field sequence). There is deliberately **no wall-clock timestamp**:
+//! the workspace's determinism contract bans time reads outside the
+//! bench/metrics allowlist, and a logical sequence number (the caller
+//! supplies it) orders events just as well for tests and replay.
+//!
+//! # Redaction
+//!
+//! Served questions contain user data — names, ages, diseases in the
+//! running hospital example — and such constants must never reach a log
+//! file verbatim. Two redaction levels:
+//!
+//! * [`redact_text`] masks the *constants* of a question while keeping
+//!   its shape: digit runs become `<num>`, quoted spans become `<str>`,
+//!   and tokens carrying an uppercase letter (proper nouns — the only
+//!   way entity constants appear in our question grammar) become
+//!   `<name>`. "Show me all patients with age 80" logs as
+//!   `<name> me all patients with age <num>` — the template survives,
+//!   the values do not.
+//! * [`redact_secret`] masks a value entirely, leaving only its length
+//!   (`<redacted:12>`), for credentials and other fields whose shape is
+//!   itself sensitive.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// A structured log event: an ordered list of fields rendered as one
+/// compact JSON line. The constructor's `event` name is always the
+/// first field, so lines grep cleanly by kind.
+#[derive(Debug, Clone)]
+pub struct LogEvent {
+    fields: Vec<(String, Json)>,
+}
+
+impl LogEvent {
+    /// A new event of the given kind.
+    pub fn new(event: &str) -> Self {
+        LogEvent {
+            fields: vec![("event".to_string(), Json::str(event))],
+        }
+    }
+
+    /// Append a string field, verbatim. Never pass user data here —
+    /// use [`LogEvent::text`] or [`LogEvent::secret`] for that.
+    pub fn field(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), Json::Str(value.into())));
+        self
+    }
+
+    /// Append a numeric field.
+    pub fn num(mut self, key: &str, value: impl Into<f64>) -> Self {
+        self.fields.push((key.to_string(), Json::Num(value.into())));
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn flag(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), Json::Bool(value)));
+        self
+    }
+
+    /// Append user-provided text with constants masked ([`redact_text`]).
+    pub fn text(self, key: &str, value: &str) -> Self {
+        let masked = redact_text(value);
+        self.field(key, masked)
+    }
+
+    /// Append a fully masked value ([`redact_secret`]).
+    pub fn secret(self, key: &str, value: &str) -> Self {
+        let masked = redact_secret(value);
+        self.field(key, masked)
+    }
+
+    /// The single-line JSON rendering.
+    pub fn to_line(&self) -> String {
+        Json::Obj(self.fields.clone()).compact()
+    }
+}
+
+impl fmt::Display for LogEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+/// Mask the constants of free text, keeping its shape: digit runs →
+/// `<num>`, quoted spans → `<str>`, tokens containing an uppercase
+/// letter → `<name>` (trailing ASCII punctuation survives). See the
+/// module docs for the rationale.
+pub fn redact_text(text: &str) -> String {
+    // Pass 1, character-level: quoted spans and digit runs.
+    let mut pass1 = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' | '\'' => {
+                // Consume to the matching quote (or end of input —
+                // an unterminated quote still hides its contents).
+                for q in chars.by_ref() {
+                    if q == c {
+                        break;
+                    }
+                }
+                pass1.push_str("<str>");
+            }
+            _ if c.is_ascii_digit() => {
+                // A digit run; a dot is part of the run only when a
+                // digit follows it ("80.5" masks whole, "80." does not).
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_digit() {
+                        chars.next();
+                    } else if n == '.' {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if matches!(ahead.peek(), Some(d) if d.is_ascii_digit()) {
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                pass1.push_str("<num>");
+            }
+            _ => pass1.push(c),
+        }
+    }
+    // Pass 2, token-level: anything with an uppercase letter is a
+    // proper noun (entity constant) in our question grammar.
+    pass1
+        .split(' ')
+        .map(|tok| {
+            if tok.chars().any(|c| c.is_uppercase()) && !tok.contains('<') {
+                let trailing: String = tok
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_ascii_punctuation())
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                format!("<name>{trailing}")
+            } else {
+                tok.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Mask a value entirely, leaving only its character count.
+pub fn redact_secret(value: &str) -> String {
+    format!("<redacted:{}>", value.chars().count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_renders_one_json_line() {
+        let line = LogEvent::new("request")
+            .num("seq", 7u32)
+            .field("op", "query")
+            .flag("ok", true)
+            .to_line();
+        assert_eq!(
+            line,
+            r#"{"event":"request","seq":7,"op":"query","ok":true}"#
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn text_field_masks_constants() {
+        let line = LogEvent::new("request")
+            .text("q", "Show me the name of all patients with age 80")
+            .to_line();
+        assert!(!line.contains("80"), "age constant leaked: {line}");
+        assert!(!line.contains("Show"), "proper-noun token leaked: {line}");
+        assert!(line.contains("patients"), "shape lost: {line}");
+    }
+
+    #[test]
+    fn redact_text_masks_numbers_strings_names() {
+        assert_eq!(
+            redact_text("patients with age 80.5 named 'Ann'"),
+            "patients with age <num> named <str>"
+        );
+        assert_eq!(redact_text("doctor House? yes"), "doctor <name>? yes");
+        // Unterminated quotes still hide everything after them.
+        assert_eq!(redact_text("password \"hunter"), "password <str>");
+    }
+
+    #[test]
+    fn redact_text_leaves_plain_shape_words() {
+        assert_eq!(
+            redact_text("how many patients have influenza"),
+            "how many patients have influenza"
+        );
+    }
+
+    #[test]
+    fn redact_secret_leaves_only_length() {
+        assert_eq!(redact_secret("hunter2"), "<redacted:7>");
+        assert_eq!(redact_secret(""), "<redacted:0>");
+    }
+
+    #[test]
+    fn lines_are_deterministic() {
+        let build = || {
+            LogEvent::new("drain")
+                .num("inflight", 3u32)
+                .flag("accepting", false)
+                .to_line()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -401,6 +401,82 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_ns(), 0);
+        assert!(h.bucket_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn single_observation_pins_every_percentile() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(5_000)); // bucket (4µs, 8µs]
+        let bound = Some(Duration::from_nanos(8_000));
+        assert_eq!(h.quantile(0.50), bound);
+        assert_eq!(h.quantile(0.95), bound);
+        assert_eq!(h.quantile(0.99), bound);
+        // Even q=0 resolves to the only occupied bucket (rank floors at 1).
+        assert_eq!(h.quantile(0.0), bound);
+    }
+
+    #[test]
+    fn exact_bucket_boundary_lands_in_the_next_bucket() {
+        // Bounds are exclusive upper: a value exactly equal to a bound
+        // belongs to the *following* bucket, so its quantile reports the
+        // next bound up. Pin this for the first and an interior bound.
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(1_000)); // == bounds[0] → bucket 1
+        assert_eq!(h.bucket_counts()[1], 1);
+        assert_eq!(h.quantile(0.50), Some(Duration::from_nanos(2_000)));
+
+        let h2 = Histogram::new();
+        h2.record(Duration::from_nanos(999)); // < bounds[0] → bucket 0
+        assert_eq!(h2.bucket_counts()[0], 1);
+        assert_eq!(h2.quantile(0.50), Some(Duration::from_nanos(1_000)));
+
+        let h3 = Histogram::new();
+        h3.record(Duration::from_nanos(1_048_576_000)); // == bounds[20]
+        assert_eq!(h3.bucket_counts()[21], 1);
+        assert_eq!(h3.quantile(0.99), Some(Duration::from_nanos(2_097_152_000)));
+    }
+
+    #[test]
+    fn saturation_at_the_top_bucket_reports_largest_finite_bound() {
+        let top = BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1];
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(top)); // == last bound → overflow
+        h.record(Duration::from_secs(3_600)); // deep overflow
+        h.record(Duration::MAX); // nanos clamp to u64::MAX, no panic
+        assert_eq!(h.bucket_counts()[BUCKET_BOUNDS_NS.len()], 3);
+        // Every percentile saturates to the largest finite bound.
+        let sat = Some(Duration::from_nanos(top));
+        assert_eq!(h.quantile(0.50), sat);
+        assert_eq!(h.quantile(0.95), sat);
+        assert_eq!(h.quantile(0.99), sat);
+    }
+
+    #[test]
+    fn mixed_population_percentile_split_is_exact() {
+        // 90 fast + 10 slow observations: p50 reports the fast bucket's
+        // bound, p95/p99 the slow one's.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(500)); // bucket 0 → bound 1µs
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(3)); // (2.048ms, 4.096ms]
+        }
+        assert_eq!(h.quantile(0.50), Some(Duration::from_nanos(1_000)));
+        assert_eq!(h.quantile(0.90), Some(Duration::from_nanos(1_000)));
+        assert_eq!(h.quantile(0.95), Some(Duration::from_nanos(4_096_000)));
+        assert_eq!(h.quantile(0.99), Some(Duration::from_nanos(4_096_000)));
+    }
+
+    #[test]
     fn span_records_on_drop() {
         let h = Histogram::new();
         {

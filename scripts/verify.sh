@@ -48,5 +48,16 @@ DBPAL_BENCH_JSON="$PWD/BENCH_pipeline.json" \
   cargo bench --offline -q -p dbpal-bench --bench pipeline -- --quick
 DBPAL_BENCH_JSON="$PWD/BENCH_serve.json" \
   cargo bench --offline -q -p dbpal-bench --bench serve -- --quick
+
+# Network load gate: closed-loop clients against a live dbpal-server
+# socket, twice. Requires zero protocol errors / mismatches / sheds, a
+# byte-identical deterministic payload across the two runs, and the QPS
+# floor (DBPAL_LOAD_QPS_FLOOR, default 200). Merges the `load` section
+# into BENCH_serve.json, which the lint below then requires and checks.
+# DBPAL_LOAD_CLIENTS / _WARMUP / _REQUESTS / _BATCH / _SEED tune the
+# reduced --quick profile.
+DBPAL_BENCH_JSON="$PWD/BENCH_serve.json" \
+  cargo run --release --offline -p dbpal-bench --bin load_gate -- --quick
+
 cargo run --release --offline -p dbpal-bench --bin bench_json_lint -- \
   BENCH_pipeline.json BENCH_serve.json
