@@ -12,6 +12,9 @@
 //! and request counts, QPS, p50/p95/p99 latencies, error tallies, and
 //! the answer digest — is validated here too, and *required* for the
 //! `serve` group so a gate that silently stopped merging would fail CI.
+//! The `tenant` report likewise requires the `tenants` member written
+//! by `tenant_gate`: one entry per tenant with its queries, hits,
+//! misses, and sheds, each internally consistent.
 
 use dbpal_util::Json;
 
@@ -45,6 +48,41 @@ fn check_load(load: &Json) -> Result<(), String> {
         .ok_or("load: missing string `digest`")?;
     if digest.is_empty() {
         return Err("load: empty `digest`".to_string());
+    }
+    Ok(())
+}
+
+/// Validate the `tenants` member written by `tenant_gate`.
+fn check_tenants(tenants: &Json) -> Result<(), String> {
+    let rows = tenants.as_arr().ok_or("`tenants` is not an array")?;
+    if rows.is_empty() {
+        return Err("tenants: empty array".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let id = row
+            .get("tenant")
+            .and_then(Json::as_str)
+            .ok_or(format!("tenants[{i}]: missing string `tenant`"))?;
+        if id.is_empty() {
+            return Err(format!("tenants[{i}]: empty `tenant`"));
+        }
+        let mut nums = [0.0f64; 4];
+        for (slot, key) in ["queries", "hits", "misses", "sheds"].iter().enumerate() {
+            let v = row
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("tenants[{i}]: missing number `{key}`"))?;
+            if v < 0.0 {
+                return Err(format!("tenants[{i}]: negative `{key}`"));
+            }
+            nums[slot] = v;
+        }
+        if nums[1] + nums[2] != nums[0] {
+            return Err(format!(
+                "tenants[{i}] (`{id}`): hits + misses != queries ({} + {} != {})",
+                nums[1], nums[2], nums[0]
+            ));
+        }
     }
     Ok(())
 }
@@ -85,6 +123,13 @@ fn check_report(doc: &Json) -> Result<(usize, String), String> {
         Some(load) => check_load(load)?,
         None if group == "serve" => {
             return Err("group `serve` requires a `load` member (run load_gate)".to_string())
+        }
+        None => {}
+    }
+    match doc.get("tenants") {
+        Some(tenants) => check_tenants(tenants)?,
+        None if group == "tenant" => {
+            return Err("group `tenant` requires a `tenants` member (run tenant_gate)".to_string())
         }
         None => {}
     }

@@ -7,21 +7,30 @@
 //! * deterministic hit/miss/coalesced counts — the registry's
 //!   deterministic JSON export must be byte-identical at 1 and 8 worker
 //!   threads,
-//! * zero sheds under the default queue depth, and
+//! * zero sheds under the default queue depth,
 //! * graceful shedding under deliberate saturation: typed `Overloaded`
-//!   errors for exactly the over-limit tail, never a panic.
+//!   errors for exactly the over-limit tail, never a panic, and
+//! * the same determinism over a seeded *mixed-tenant* workload: three
+//!   tenants interleaved in every batch, per-tenant hit/miss counters
+//!   consistent (hits + misses = queries, tenants sum to the globals),
+//!   and the full export — per-tenant counters included — again
+//!   byte-identical at 1 and 8 workers.
 //!
 //! Workload throughput is reported through the shared bench harness
 //! (`--json` writes `BENCH_serve_gate.json`; the serve *benchmarks*
 //! live in `benches/serve.rs`).
 
 use dbpal_runtime::Nlidb;
-use dbpal_serve::testing::{hospital_db, hospital_script, ScriptedModel};
+use dbpal_serve::testing::{
+    hospital_db, hospital_script, tenant_registry, tenant_workload, ScriptedModel,
+};
 use dbpal_serve::{QueryService, ServeConfig, ServeError};
 use dbpal_util::bench::{Config, Harness};
 use dbpal_util::{Rng, SliceRandom};
 
 const WORKLOAD_SEED: u64 = 0x5EB5;
+const TENANT_WORKLOAD_SEED: u64 = 0x7E4A;
+const TENANT_WORKLOAD_LEN: usize = 120;
 const WORKLOAD_LEN: usize = 200;
 const BATCH: usize = 20;
 /// The workload has 4 question families → 4 unique cache keys; misses
@@ -82,6 +91,31 @@ fn run(workers: usize, questions: &[String]) -> (String, u64, u64, u64) {
         counter("serve.cache.miss"),
         counter("serve.shed"),
     )
+}
+
+/// Drive the seeded mixed-tenant workload through a fresh three-tenant
+/// service and return the deterministic export plus the service handle
+/// for counter checks.
+fn run_tenants(
+    workers: usize,
+    items: &[(String, String)],
+) -> (String, QueryService<ScriptedModel>) {
+    let svc = QueryService::with_tenants(
+        tenant_registry(),
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    );
+    for batch in items.chunks(BATCH) {
+        for ((tenant, q), result) in batch.iter().zip(svc.submit_tagged(batch)) {
+            if let Err(e) = result {
+                eprintln!("[serve_gate] FAIL: `{q}` for tenant `{tenant}` errored: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    (svc.metrics().to_json_deterministic().pretty(), svc)
 }
 
 fn main() {
@@ -146,6 +180,55 @@ fn main() {
         failed = true;
     }
 
+    // Mixed-tenant phase: three tenants interleaved in every batch must
+    // keep the whole export — per-tenant counters included — as
+    // deterministic as the single-tenant run.
+    let tenant_items = tenant_workload(TENANT_WORKLOAD_SEED, TENANT_WORKLOAD_LEN);
+    println!(
+        "[serve_gate] mixed-tenant: seed {TENANT_WORKLOAD_SEED:#x}, {} queries over 3 tenants",
+        tenant_items.len()
+    );
+    let (tenant_json_one, tenant_svc) = run_tenants(1, &tenant_items);
+    let (tenant_json_eight, _) = run_tenants(8, &tenant_items);
+    if tenant_json_one != tenant_json_eight {
+        eprintln!(
+            "[serve_gate] FAIL: mixed-tenant metrics diverge between 1 and 8 workers\n-- 1 worker --\n{tenant_json_one}\n-- 8 workers --\n{tenant_json_eight}"
+        );
+        failed = true;
+    }
+    let tcounter = |name: &str| tenant_svc.metrics().counter(name).get();
+    let (mut tenant_queries, mut tenant_hits, mut tenant_misses) = (0u64, 0u64, 0u64);
+    for tenant in ["alpha", "beta", "gamma"] {
+        let queries = tcounter(&format!("serve.tenant.{tenant}.queries"));
+        let hits = tcounter(&format!("serve.tenant.{tenant}.cache.hit"));
+        let misses = tcounter(&format!("serve.tenant.{tenant}.cache.miss"));
+        let sheds = tcounter(&format!("serve.tenant.{tenant}.shed"));
+        println!(
+            "[serve_gate] tenant {tenant}: {queries} queries, {hits} hits / {misses} misses, {sheds} sheds"
+        );
+        if hits + misses != queries || sheds != 0 {
+            eprintln!(
+                "[serve_gate] FAIL: tenant {tenant} counters inconsistent \
+                 ({hits}+{misses} != {queries}, or {sheds} sheds)"
+            );
+            failed = true;
+        }
+        if queries == 0 {
+            eprintln!("[serve_gate] FAIL: seeded workload never reached tenant {tenant}");
+            failed = true;
+        }
+        tenant_queries += queries;
+        tenant_hits += hits;
+        tenant_misses += misses;
+    }
+    if tenant_queries != tenant_items.len() as u64
+        || tenant_hits != tcounter("serve.cache.hit")
+        || tenant_misses != tcounter("serve.cache.miss")
+    {
+        eprintln!("[serve_gate] FAIL: per-tenant counters do not sum to the globals");
+        failed = true;
+    }
+
     // Saturation: a batch over the queue depth must shed exactly the
     // tail as typed errors — and must not panic.
     let depth = 8usize;
@@ -177,6 +260,7 @@ fn main() {
     }
     println!(
         "[serve_gate] OK: hit rate {hit_rate:.3}, zero sheds at default depth, \
-         metrics byte-identical at 1 and 8 workers, saturation sheds typed errors"
+         metrics byte-identical at 1 and 8 workers (single- and mixed-tenant), \
+         saturation sheds typed errors"
     );
 }

@@ -295,7 +295,9 @@ fn run_client(
                                 out.answer_mismatches += 1;
                             }
                         }
-                        QueryOutcome::Overloaded { .. } => out.sheds += 1,
+                        QueryOutcome::Overloaded { .. } | QueryOutcome::TenantOverloaded { .. } => {
+                            out.sheds += 1
+                        }
                         QueryOutcome::Failed { .. } => out.answer_mismatches += 1,
                     }
                 }

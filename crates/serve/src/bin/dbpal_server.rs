@@ -9,8 +9,16 @@
 //! ```text
 //! dbpal-server [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!              [--batch-window N] [--max-conns N] [--cache N]
-//!              [--metrics-out PATH] [--quiet]
+//!              [--tenants SPEC] [--metrics-out PATH] [--quiet]
 //! ```
+//!
+//! `--tenants` selects the hosted deployments. `--tenants demo` serves
+//! the three-tenant fixture registry (`alpha` hospital / `beta` clinic /
+//! `gamma` library). Otherwise the value is a comma-separated list of
+//! `name` or `name:quota` entries, each an independent hospital-fixture
+//! tenant with an optional per-batch admission quota; the first entry
+//! is the default tenant for untagged requests. Without the flag the
+//! server hosts the single hospital fixture, exactly as before.
 //!
 //! Defaults: `--addr 127.0.0.1:7432`, service defaults otherwise.
 //! Request logs (structured one-line JSON, question text redacted) go
@@ -21,8 +29,8 @@ use std::process::exit;
 
 use dbpal_runtime::Nlidb;
 use dbpal_serve::net::{serve, ServerConfig};
-use dbpal_serve::testing::{hospital_db, hospital_script};
-use dbpal_serve::{QueryService, ServeConfig};
+use dbpal_serve::testing::{hospital_db, hospital_script, tenant_registry, ScriptedModel};
+use dbpal_serve::{QueryService, ServeConfig, TenantRegistry};
 
 struct Args {
     addr: String,
@@ -31,6 +39,7 @@ struct Args {
     cache_capacity: usize,
     batch_window: usize,
     max_connections: usize,
+    tenants: Option<String>,
     metrics_out: Option<String>,
     quiet: bool,
 }
@@ -39,6 +48,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: dbpal-server [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20                   [--batch-window N] [--max-conns N] [--cache N]\n\
+         \x20                   [--tenants demo|name[:quota],...]\n\
          \x20                   [--metrics-out PATH] [--quiet]"
     );
     exit(2);
@@ -54,6 +64,7 @@ fn parse_args() -> Args {
         cache_capacity: defaults.cache_capacity,
         batch_window: server_defaults.batch_window,
         max_connections: server_defaults.max_connections,
+        tenants: None,
         metrics_out: None,
         quiet: false,
     };
@@ -76,6 +87,7 @@ fn parse_args() -> Args {
             }
             "--max-conns" => args.max_connections = parse_num(&value("--max-conns"), "--max-conns"),
             "--cache" => args.cache_capacity = parse_num(&value("--cache"), "--cache"),
+            "--tenants" => args.tenants = Some(value("--tenants")),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
@@ -95,16 +107,50 @@ fn parse_num(s: &str, flag: &str) -> usize {
     })
 }
 
+/// Build the tenant registry selected by `--tenants`: `demo` → the
+/// three-tenant fixture set; otherwise comma-separated `name[:quota]`
+/// entries, each a hospital-fixture clone.
+fn registry_from_spec(spec: &str) -> TenantRegistry<ScriptedModel> {
+    if spec == "demo" {
+        return tenant_registry();
+    }
+    let mut registry = TenantRegistry::new();
+    for entry in spec.split(',') {
+        let (name, quota) = match entry.split_once(':') {
+            Some((name, q)) => {
+                let quota: usize = q.parse().unwrap_or_else(|_| {
+                    eprintln!("--tenants entry `{entry}` needs a numeric quota");
+                    usage()
+                });
+                (name, quota)
+            }
+            None => (entry, usize::MAX),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            eprintln!("--tenants name `{name}` must match [A-Za-z0-9_-]+");
+            usage();
+        }
+        registry =
+            registry.register_with_quota(name, Nlidb::new(hospital_db(), hospital_script()), quota);
+    }
+    registry
+}
+
 fn main() {
     let args = parse_args();
-    let service = QueryService::new(
-        Nlidb::new(hospital_db(), hospital_script()),
-        ServeConfig {
-            workers: args.workers,
-            queue_depth: args.queue_depth,
-            cache_capacity: args.cache_capacity,
-        },
-    );
+    let config = ServeConfig {
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        cache_capacity: args.cache_capacity,
+    };
+    let service = match &args.tenants {
+        Some(spec) => QueryService::with_tenants(registry_from_spec(spec), config),
+        None => QueryService::new(Nlidb::new(hospital_db(), hospital_script()), config),
+    };
     let handle = match serve(
         service,
         ServerConfig {
@@ -121,7 +167,11 @@ fn main() {
             exit(1);
         }
     };
-    println!("dbpal-server listening on {}", handle.addr());
+    println!(
+        "dbpal-server listening on {} (tenants: {})",
+        handle.addr(),
+        handle.service().tenant_ids().join(", ")
+    );
     // Blocks until a client sends the `shutdown` op, then drains.
     let report = handle.join();
     eprintln!(

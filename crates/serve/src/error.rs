@@ -14,6 +14,20 @@ pub enum ServeError {
         /// The queue depth the service was configured with.
         queue_depth: usize,
     },
+    /// The query was shed by its *tenant's* admission quota: a noisy
+    /// tenant over its per-batch budget sheds its own tail instead of
+    /// starving everyone else's queries.
+    TenantOverloaded {
+        /// The tenant whose quota was exceeded.
+        tenant: String,
+        /// The per-batch quota that tenant was configured with.
+        quota: usize,
+    },
+    /// The request named a tenant the service has no registration for.
+    UnknownTenant {
+        /// The unrecognized tenant id.
+        tenant: String,
+    },
     /// The admitted query failed inside the NLIDB runtime.
     Runtime(RuntimeError),
 }
@@ -23,6 +37,15 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Overloaded { queue_depth } => {
                 write!(f, "query shed: queue depth {queue_depth} exceeded")
+            }
+            ServeError::TenantOverloaded { tenant, quota } => {
+                write!(
+                    f,
+                    "query shed: tenant `{tenant}` exceeded its quota of {quota}"
+                )
+            }
+            ServeError::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant `{tenant}`")
             }
             ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
         }

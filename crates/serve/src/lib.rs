@@ -6,12 +6,19 @@
 //! production-scale target. A [`QueryService`] wraps an
 //! [`dbpal_runtime::Nlidb`] in:
 //!
+//! * **multi-tenant routing** — a [`TenantRegistry`] maps tenant id →
+//!   its own [`dbpal_runtime::Nlidb`] (schema, database, annotations),
+//!   with per-tenant metrics, per-tenant admission quotas (typed
+//!   [`ServeError::TenantOverloaded`] sheds), and shard-scoped
+//!   database hot-swap ([`QueryService::replace_tenant`]);
 //! * **admission control** — batches beyond the configured queue depth
 //!   shed their tail with a typed [`ServeError::Overloaded`], never a
 //!   panic;
-//! * **an LRU translation cache** ([`LruCache`]) keyed on the
-//!   anonymized + lemmatized token string, so questions differing only
-//!   in constants share one model invocation (§4.1);
+//! * **a sharded LRU translation cache** ([`ShardedCache`], one shard
+//!   per tenant under one global budget with global-recency eviction)
+//!   keyed on the anonymized + lemmatized token string, so questions
+//!   differing only in constants share one model invocation (§4.1) and
+//!   cross-tenant hits are impossible by construction;
 //! * **worker fan-out** — the preprocess, translate, and
 //!   post-process/execute stages run on `par_map_indexed` workers;
 //! * **per-stage observability** — anonymize / lemmatize / translate /
@@ -32,8 +39,12 @@ mod cache;
 mod error;
 pub mod net;
 mod service;
+mod shard;
+mod tenant;
 pub mod testing;
 
 pub use cache::LruCache;
 pub use error::ServeError;
-pub use service::{QueryService, ServeConfig, ServeResponse};
+pub use service::{QueryService, ServeConfig, ServeResponse, DEFAULT_TENANT};
+pub use shard::ShardedCache;
+pub use tenant::TenantRegistry;

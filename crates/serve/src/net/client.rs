@@ -106,10 +106,31 @@ impl Client {
         }
     }
 
-    /// `query`: returns per-question outcomes, surfacing frame-level
-    /// errors as [`ClientError::Server`].
+    /// `query` as the server's default tenant: returns per-question
+    /// outcomes, surfacing frame-level errors as [`ClientError::Server`].
     pub fn query(&mut self, questions: &[String]) -> Result<Vec<QueryOutcome>, ClientError> {
-        match self.call(&Request::Query(questions.to_vec()))? {
+        self.query_inner(None, questions)
+    }
+
+    /// `query` tagged with a tenant id. An unregistered tenant surfaces
+    /// as [`ClientError::Server`] with the `unknown_tenant` kind.
+    pub fn query_as(
+        &mut self,
+        tenant: &str,
+        questions: &[String],
+    ) -> Result<Vec<QueryOutcome>, ClientError> {
+        self.query_inner(Some(tenant.to_string()), questions)
+    }
+
+    fn query_inner(
+        &mut self,
+        tenant: Option<String>,
+        questions: &[String],
+    ) -> Result<Vec<QueryOutcome>, ClientError> {
+        match self.call(&Request::Query {
+            tenant,
+            questions: questions.to_vec(),
+        })? {
             Response::Results(items) => Ok(items),
             Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
             other => Err(ClientError::BadResponse(format!(

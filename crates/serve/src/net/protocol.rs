@@ -7,26 +7,31 @@
 //!
 //! ```text
 //!   {"op":"query","questions":["…", …]}   answer a batch of questions
+//!   {"op":"query","tenant":"…","questions":[…]}   …as a named tenant
 //!   {"op":"health"}                       liveness (ok even while draining)
 //!   {"op":"ready"}                        readiness to accept new work
 //!   {"op":"shutdown"}                     trigger graceful drain
 //! ```
 //!
-//! Responses are `{"status":"ok",…}` or `{"status":"error","kind":…,
+//! `tenant` is optional: an absent tenant routes to the server's
+//! default tenant, so single-tenant clients never change. Responses
+//! are `{"status":"ok",…}` or `{"status":"error","kind":…,
 //! "message":…}`. A `query` ok-response carries one result object per
 //! question, in question order, each with its own per-item status:
 //!
 //! ```text
 //!   {"status":"ok","cached":b,"sql":"…","columns":[…],"rows":[[…]…]}
 //!   {"status":"overloaded","queue_depth":n}      admission-control shed
+//!   {"status":"tenant_overloaded","tenant":"…","quota":n}  quota shed
 //!   {"status":"error","kind":"…","message":"…"}  runtime failure
 //! ```
 //!
 //! Frame-level error kinds (the connection-scoped failures a client can
 //! see): `malformed_json`, `bad_request`, `empty_batch`,
-//! `oversized_frame`, `draining`, `busy`. `oversized_frame` desyncs the
-//! byte stream, so the server closes the connection after sending it;
-//! every other error leaves the connection usable.
+//! `oversized_frame`, `unknown_tenant`, `draining`, `busy`.
+//! `oversized_frame` desyncs the byte stream, so the server closes the
+//! connection after sending it; every other error — including
+//! `unknown_tenant` — leaves the connection usable.
 
 use dbpal_engine::ResultSet;
 use dbpal_runtime::RuntimeError;
@@ -42,8 +47,14 @@ pub const MAX_QUESTIONS_PER_REQUEST: usize = 1024;
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Answer a batch of questions.
-    Query(Vec<String>),
+    /// Answer a batch of questions, optionally as a named tenant
+    /// (`None` routes to the server's default tenant).
+    Query {
+        /// The tenant to answer as, if tagged.
+        tenant: Option<String>,
+        /// The questions, answered in order.
+        questions: Vec<String>,
+    },
     /// Liveness probe.
     Health,
     /// Readiness probe.
@@ -63,6 +74,8 @@ pub enum ErrorKind {
     EmptyBatch,
     /// The frame header declared a payload over the server's cap.
     OversizedFrame,
+    /// The request named a tenant the server has no registration for.
+    UnknownTenant,
     /// The server is draining and accepts no new work.
     Draining,
     /// The connection limit is reached.
@@ -77,6 +90,7 @@ impl ErrorKind {
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::EmptyBatch => "empty_batch",
             ErrorKind::OversizedFrame => "oversized_frame",
+            ErrorKind::UnknownTenant => "unknown_tenant",
             ErrorKind::Draining => "draining",
             ErrorKind::Busy => "busy",
         }
@@ -89,6 +103,7 @@ impl ErrorKind {
             "bad_request" => ErrorKind::BadRequest,
             "empty_batch" => ErrorKind::EmptyBatch,
             "oversized_frame" => ErrorKind::OversizedFrame,
+            "unknown_tenant" => ErrorKind::UnknownTenant,
             "draining" => ErrorKind::Draining,
             "busy" => ErrorKind::Busy,
             _ => return None,
@@ -115,6 +130,14 @@ pub enum QueryOutcome {
     Overloaded {
         /// The queue depth that was exceeded.
         queue_depth: u64,
+    },
+    /// Shed by the tenant's own admission quota — the noisy tenant's
+    /// tail, typed so its clients can back off without guessing.
+    TenantOverloaded {
+        /// The tenant whose quota was exceeded.
+        tenant: String,
+        /// The per-batch quota that was exceeded.
+        quota: u64,
     },
     /// The runtime failed on this question.
     Failed {
@@ -148,6 +171,9 @@ impl QueryOutcome {
             ])
             .compact(),
             QueryOutcome::Overloaded { .. } => r#"{"status":"overloaded"}"#.to_string(),
+            QueryOutcome::TenantOverloaded { .. } => {
+                r#"{"status":"tenant_overloaded"}"#.to_string()
+            }
             QueryOutcome::Failed { kind, .. } => Json::Obj(vec![
                 ("status".into(), Json::str("error")),
                 ("kind".into(), Json::str(kind.clone())),
@@ -227,6 +253,14 @@ impl QueryOutcome {
             Err(ServeError::Overloaded { queue_depth }) => QueryOutcome::Overloaded {
                 queue_depth: *queue_depth as u64,
             },
+            Err(ServeError::TenantOverloaded { tenant, quota }) => QueryOutcome::TenantOverloaded {
+                tenant: tenant.clone(),
+                quota: *quota as u64,
+            },
+            Err(ServeError::UnknownTenant { tenant }) => QueryOutcome::Failed {
+                kind: "unknown_tenant".to_string(),
+                message: format!("unknown tenant `{tenant}`"),
+            },
             Err(ServeError::Runtime(e)) => QueryOutcome::Failed {
                 kind: runtime_error_kind(e).to_string(),
                 message: e.to_string(),
@@ -257,6 +291,11 @@ impl QueryOutcome {
             QueryOutcome::Overloaded { queue_depth } => Json::Obj(vec![
                 ("status".into(), Json::str("overloaded")),
                 ("queue_depth".into(), Json::Num(*queue_depth as f64)),
+            ]),
+            QueryOutcome::TenantOverloaded { tenant, quota } => Json::Obj(vec![
+                ("status".into(), Json::str("tenant_overloaded")),
+                ("tenant".into(), Json::str(tenant.clone())),
+                ("quota".into(), Json::Num(*quota as f64)),
             ]),
             QueryOutcome::Failed { kind, message } => Json::Obj(vec![
                 ("status".into(), Json::str("error")),
@@ -302,6 +341,14 @@ impl QueryOutcome {
                     .get("queue_depth")
                     .and_then(Json::as_i64)
                     .unwrap_or_default() as u64,
+            }),
+            "tenant_overloaded" => Ok(QueryOutcome::TenantOverloaded {
+                tenant: j
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .ok_or("tenant_overloaded missing `tenant`")?
+                    .to_string(),
+                quota: j.get("quota").and_then(Json::as_i64).unwrap_or_default() as u64,
             }),
             "error" => Ok(QueryOutcome::Failed {
                 kind: j
@@ -364,7 +411,18 @@ impl Request {
                         ErrorKind::BadRequest,
                         "`questions` must be strings".to_string(),
                     ))?;
-                Ok(Request::Query(questions))
+                let tenant = match doc.get("tenant") {
+                    None => None,
+                    Some(t) => Some(
+                        t.as_str()
+                            .ok_or((
+                                ErrorKind::BadRequest,
+                                "`tenant` must be a string".to_string(),
+                            ))?
+                            .to_string(),
+                    ),
+                };
+                Ok(Request::Query { tenant, questions })
             }
             other => Err((ErrorKind::BadRequest, format!("unknown op `{other}`"))),
         }
@@ -376,13 +434,17 @@ impl Request {
             Request::Health => Json::Obj(vec![("op".into(), Json::str("health"))]),
             Request::Ready => Json::Obj(vec![("op".into(), Json::str("ready"))]),
             Request::Shutdown => Json::Obj(vec![("op".into(), Json::str("shutdown"))]),
-            Request::Query(questions) => Json::Obj(vec![
-                ("op".into(), Json::str("query")),
-                (
+            Request::Query { tenant, questions } => {
+                let mut members = vec![("op".into(), Json::str("query"))];
+                if let Some(t) = tenant {
+                    members.push(("tenant".into(), Json::str(t.clone())));
+                }
+                members.push((
                     "questions".into(),
                     Json::Arr(questions.iter().map(|q| Json::str(q.clone())).collect()),
-                ),
-            ]),
+                ));
+                Json::Obj(members)
+            }
         };
         doc.compact().into_bytes()
     }
@@ -497,10 +559,29 @@ mod tests {
             Request::Health,
             Request::Ready,
             Request::Shutdown,
-            Request::Query(vec!["how many patients have asthma".into()]),
+            Request::Query {
+                tenant: None,
+                questions: vec!["how many patients have asthma".into()],
+            },
+            Request::Query {
+                tenant: Some("clinic-b".into()),
+                questions: vec!["how many patients have asthma".into()],
+            },
         ] {
             assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn untagged_query_has_no_tenant_member_on_the_wire() {
+        // Wire back-compat: a tenant-less query serializes exactly as
+        // the pre-tenant protocol did.
+        let req = Request::Query {
+            tenant: None,
+            questions: vec!["q".into()],
+        };
+        let wire = String::from_utf8(req.to_bytes()).unwrap();
+        assert!(!wire.contains("tenant"), "unexpected member in {wire}");
     }
 
     #[test]
@@ -513,6 +594,10 @@ mod tests {
                 rows: vec![vec![Json::str("Ann")], vec![Json::Null]],
             },
             QueryOutcome::Overloaded { queue_depth: 64 },
+            QueryOutcome::TenantOverloaded {
+                tenant: "alpha".into(),
+                quota: 2,
+            },
             QueryOutcome::Failed {
                 kind: "translation_failed".into(),
                 message: "no template".into(),
@@ -551,6 +636,10 @@ mod tests {
             kind(b"{\"op\":\"query\",\"questions\":[1,2]}"),
             ErrorKind::BadRequest
         );
+        assert_eq!(
+            kind(b"{\"op\":\"query\",\"tenant\":7,\"questions\":[\"q\"]}"),
+            ErrorKind::BadRequest
+        );
     }
 
     #[test]
@@ -577,6 +666,7 @@ mod tests {
             ErrorKind::BadRequest,
             ErrorKind::EmptyBatch,
             ErrorKind::OversizedFrame,
+            ErrorKind::UnknownTenant,
             ErrorKind::Draining,
             ErrorKind::Busy,
         ] {

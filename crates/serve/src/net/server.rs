@@ -1,6 +1,8 @@
 //! The network server: a bounded accept loop over std `TcpListener`,
 //! per-connection reader threads, and a micro-batching dispatcher that
-//! feeds [`QueryService::submit_batch`].
+//! feeds [`QueryService::submit_tagged`] with tenant-tagged questions
+//! (untagged requests route to the default tenant; unknown tenants are
+//! refused with a typed `unknown_tenant` error before the queue).
 //!
 //! # Architecture
 //!
@@ -118,8 +120,10 @@ pub struct ServerReport {
     pub metrics_deterministic_json: String,
 }
 
-/// One queued question awaiting the batcher.
+/// One queued question awaiting the batcher, tagged with its tenant
+/// (already validated against the service's registry).
 struct Job {
+    tenant: String,
     question: String,
     slot: usize,
     tx: mpsc::Sender<(usize, Result<ServeResponse, ServeError>)>,
@@ -138,7 +142,7 @@ struct ServerMetrics {
     request_latency: Arc<Histogram>,
 }
 
-struct Inner<M: TranslationModel + Sync> {
+struct Inner<M: TranslationModel + Send + Sync> {
     service: QueryService<M>,
     config: ServerConfig,
     addr: SocketAddr,
@@ -154,7 +158,7 @@ struct Inner<M: TranslationModel + Sync> {
     m: ServerMetrics,
 }
 
-impl<M: TranslationModel + Sync> Inner<M> {
+impl<M: TranslationModel + Send + Sync> Inner<M> {
     fn log(&self, ev: LogEvent) {
         if self.config.log {
             let seq = self.log_seq.fetch_add(1, Ordering::Relaxed);
@@ -391,7 +395,7 @@ enum ReadOutcome {
 /// Read one frame, waking every [`IDLE_TICK`] while idle so a drain can
 /// close the connection. Once a frame's first byte arrives, the rest is
 /// read under [`FRAME_GRACE`].
-fn read_request<M: TranslationModel + Sync>(
+fn read_request<M: TranslationModel + Send + Sync>(
     inner: &Inner<M>,
     stream: &mut TcpStream,
 ) -> ReadOutcome {
@@ -541,7 +545,7 @@ fn handle_frame<M: TranslationModel + Send + Sync + 'static>(
             inner.trigger_drain();
             (Response::ShuttingDown, false)
         }
-        Ok(Request::Query(questions)) => {
+        Ok(Request::Query { tenant, questions }) => {
             if draining {
                 (
                     Response::Error {
@@ -551,33 +555,59 @@ fn handle_frame<M: TranslationModel + Send + Sync + 'static>(
                     false,
                 )
             } else {
-                inner.m.requests.inc();
-                let outcomes = inner
-                    .m
-                    .request_latency
-                    .time(|| submit_via_batcher(inner.as_ref(), &questions));
-                let answered = outcomes
-                    .iter()
-                    .filter(|o| matches!(o, QueryOutcome::Answer { .. }))
-                    .count();
-                inner.log(
-                    LogEvent::new("request")
-                        .num("conn", conn_id as f64)
-                        .field("op", "query")
-                        .num("questions", questions.len() as f64)
-                        .text("q0", &questions[0])
-                        .num("answered", answered as f64),
-                );
-                (Response::Results(outcomes), true)
+                // Resolve the tenant up front: untagged requests route
+                // to the default tenant; an unknown tenant is a typed
+                // frame-level refusal that never reaches the batcher
+                // (the connection stays usable).
+                let tenant =
+                    tenant.unwrap_or_else(|| inner.service.default_tenant_id().to_string());
+                if !inner.service.has_tenant(&tenant) {
+                    inner.m.protocol_errors.inc();
+                    inner.log(
+                        LogEvent::new("protocol_error")
+                            .num("conn", conn_id as f64)
+                            .field("kind", ErrorKind::UnknownTenant.as_str())
+                            .field("tenant", tenant.clone()),
+                    );
+                    (
+                        Response::Error {
+                            kind: ErrorKind::UnknownTenant,
+                            message: format!("unknown tenant `{tenant}`"),
+                        },
+                        true,
+                    )
+                } else {
+                    inner.m.requests.inc();
+                    let outcomes = inner
+                        .m
+                        .request_latency
+                        .time(|| submit_via_batcher(inner.as_ref(), &tenant, &questions));
+                    let answered = outcomes
+                        .iter()
+                        .filter(|o| matches!(o, QueryOutcome::Answer { .. }))
+                        .count();
+                    inner.log(
+                        LogEvent::new("request")
+                            .num("conn", conn_id as f64)
+                            .field("op", "query")
+                            .field("tenant", tenant.clone())
+                            .num("questions", questions.len() as f64)
+                            .text("q0", &questions[0])
+                            .num("answered", answered as f64),
+                    );
+                    (Response::Results(outcomes), true)
+                }
             }
         }
     };
     frame::write_frame(stream, &response.to_bytes()).is_ok() && keep
 }
 
-/// Queue `questions` for the batcher and await their outcomes in order.
-fn submit_via_batcher<M: TranslationModel + Sync>(
+/// Queue `questions` for the batcher as `tenant` and await their
+/// outcomes in order.
+fn submit_via_batcher<M: TranslationModel + Send + Sync>(
     inner: &Inner<M>,
+    tenant: &str,
     questions: &[String],
 ) -> Vec<QueryOutcome> {
     let (tx, rx) = mpsc::channel();
@@ -585,6 +615,7 @@ fn submit_via_batcher<M: TranslationModel + Sync>(
         let mut q = inner.batch.lock().expect("batch lock");
         for (slot, question) in questions.iter().enumerate() {
             q.queue.push_back(Job {
+                tenant: tenant.to_string(),
                 question: question.clone(),
                 slot,
                 tx: tx.clone(),
@@ -607,7 +638,7 @@ fn submit_via_batcher<M: TranslationModel + Sync>(
 
 /// Drain the queue in micro-batches until stopped *and* empty — a drain
 /// never abandons queued work.
-fn run_batcher<M: TranslationModel + Sync>(inner: &Inner<M>) {
+fn run_batcher<M: TranslationModel + Send + Sync>(inner: &Inner<M>) {
     loop {
         let jobs: Vec<Job> = {
             let mut q = inner.batch.lock().expect("batch lock");
@@ -623,8 +654,13 @@ fn run_batcher<M: TranslationModel + Sync>(inner: &Inner<M>) {
             let n = q.queue.len().min(inner.config.batch_window.max(1));
             q.queue.drain(..n).collect()
         };
-        let questions: Vec<String> = jobs.iter().map(|j| j.question.clone()).collect();
-        let results = inner.service.submit_batch(&questions);
+        // Micro-batches mix tenants freely: the service's sequential
+        // admission and sharded cache keep the mix deterministic.
+        let tagged: Vec<(String, String)> = jobs
+            .iter()
+            .map(|j| (j.tenant.clone(), j.question.clone()))
+            .collect();
+        let results = inner.service.submit_tagged(&tagged);
         for (job, result) in jobs.into_iter().zip(results) {
             // A receiver may be gone if its connection died mid-request;
             // the remaining answers still route.

@@ -1,6 +1,6 @@
 //! The concurrent query service: a bounded admission queue fanned out
-//! over worker sessions, with an LRU translation cache and per-stage
-//! instrumentation.
+//! over worker sessions, with a tenant-sharded LRU translation cache
+//! and per-stage instrumentation.
 //!
 //! # Determinism under concurrency
 //!
@@ -25,9 +25,30 @@
 //! the worker count; only the recorded latencies vary. The
 //! [`MetricsRegistry`] deterministic export is byte-identical at 1 and 8
 //! workers, and `serve_gate` in CI keeps that honest.
+//!
+//! # Multi-tenancy
+//!
+//! The tenant dimension changes none of the above. Admission walks the
+//! tagged batch sequentially in input order, so quota sheds and global
+//! sheds land on the same queries at any worker count; cache lookups
+//! key on `(tenant, anonymized-lemma-string)` inside the same
+//! sequential phases, so per-tenant hit/miss/coalesced counters are as
+//! worker-count-invariant as the global ones; and the sharded cache's
+//! global logical clock evicts by the same strictly-min-tick rule. A
+//! mixed-tenant batch is exactly as deterministic as a single-tenant
+//! one — the mixed-tenant `serve_gate` phase compares the full
+//! deterministic export (including every `serve.tenant.<id>.…`
+//! counter) at 1 vs 8 workers, byte for byte.
+//!
+//! Each tenant's [`Nlidb`] sits behind an `RwLock`: batches hold read
+//! guards (acquired in registration order) for every tenant they
+//! touch, and [`QueryService::replace_tenant`] takes the write lock —
+//! so a hot swap waits for in-flight batches (which therefore see one
+//! consistent database snapshot end to end, never a stale mix) and
+//! then invalidates only that tenant's cache shard.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use dbpal_core::TranslationModel;
 use dbpal_engine::Database;
@@ -36,8 +57,13 @@ use dbpal_sql::Query;
 use dbpal_util::metrics::{Counter, Histogram, MetricsRegistry};
 use dbpal_util::{auto_threads, par_map_indexed};
 
-use crate::cache::LruCache;
 use crate::error::ServeError;
+use crate::shard::ShardedCache;
+use crate::tenant::TenantRegistry;
+
+/// The tenant id [`QueryService::new`] registers its single tenant
+/// under, and the tenant untagged requests route to.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Serving-layer tuning knobs.
 #[derive(Debug, Clone)]
@@ -49,7 +75,8 @@ pub struct ServeConfig {
     /// Admission-control limit: queries beyond this many in one batch
     /// are shed with [`ServeError::Overloaded`].
     pub queue_depth: usize,
-    /// Capacity of the LRU translation cache, in entries.
+    /// Global capacity of the sharded translation cache, in entries,
+    /// shared by all tenants.
     pub cache_capacity: usize,
 }
 
@@ -108,6 +135,36 @@ impl ServeMetrics {
     }
 }
 
+/// Per-tenant counters, pre-resolved like [`ServeMetrics`]. These sum
+/// to the global counters: every query is attributed to exactly one
+/// tenant.
+struct TenantMetrics {
+    queries: Arc<Counter>,
+    cache_hit: Arc<Counter>,
+    cache_miss: Arc<Counter>,
+    shed: Arc<Counter>,
+}
+
+impl TenantMetrics {
+    fn resolve(reg: &MetricsRegistry, id: &str) -> Self {
+        TenantMetrics {
+            queries: reg.counter(&format!("serve.tenant.{id}.queries")),
+            cache_hit: reg.counter(&format!("serve.tenant.{id}.cache.hit")),
+            cache_miss: reg.counter(&format!("serve.tenant.{id}.cache.miss")),
+            shed: reg.counter(&format!("serve.tenant.{id}.shed")),
+        }
+    }
+}
+
+/// One tenant as the service holds it: id, lock-guarded NLIDB, quota,
+/// and its counter handles.
+struct Tenant<M: TranslationModel> {
+    id: String,
+    nlidb: RwLock<Nlidb<M>>,
+    quota: usize,
+    m: TenantMetrics,
+}
+
 /// How one admitted query obtains its translation.
 enum Plan {
     /// Served from the cache.
@@ -116,33 +173,58 @@ enum Plan {
     Translate(usize),
 }
 
-/// A concurrent NLIDB query service over one [`Nlidb`].
+/// A concurrent NLIDB query service over one or more tenants.
 pub struct QueryService<M: TranslationModel> {
-    nlidb: Nlidb<M>,
+    /// Tenants in registration order; index 0 is the default tenant.
+    tenants: Vec<Tenant<M>>,
     config: ServeConfig,
-    cache: Mutex<LruCache<Query>>,
+    cache: Mutex<ShardedCache<Query>>,
     registry: MetricsRegistry,
     metrics: ServeMetrics,
 }
 
-impl<M: TranslationModel + Sync> QueryService<M> {
-    /// Wrap an NLIDB in a serving layer.
+impl<M: TranslationModel + Send + Sync> QueryService<M> {
+    /// Wrap a single NLIDB in a serving layer, registered as the
+    /// [`DEFAULT_TENANT`] with an unlimited quota — the single-tenant
+    /// API is the one-tenant case of the registry API.
     pub fn new(nlidb: Nlidb<M>, config: ServeConfig) -> Self {
-        let registry = MetricsRegistry::new();
-        let metrics = ServeMetrics::resolve(&registry);
-        let cache = Mutex::new(LruCache::new(config.cache_capacity));
-        QueryService {
-            nlidb,
+        Self::with_tenants(
+            TenantRegistry::new().register(DEFAULT_TENANT, nlidb),
             config,
-            cache,
-            registry,
-            metrics,
-        }
+        )
     }
 
-    /// The underlying NLIDB.
-    pub fn nlidb(&self) -> &Nlidb<M> {
-        &self.nlidb
+    /// Wrap a [`TenantRegistry`] in a serving layer. The first
+    /// registered tenant becomes the default tenant for untagged
+    /// requests. Panics on an empty registry.
+    pub fn with_tenants(registry: TenantRegistry<M>, config: ServeConfig) -> Self {
+        assert!(
+            !registry.is_empty(),
+            "a QueryService needs at least one tenant"
+        );
+        let metrics_registry = MetricsRegistry::new();
+        let metrics = ServeMetrics::resolve(&metrics_registry);
+        let mut cache = ShardedCache::new(config.cache_capacity);
+        let tenants: Vec<Tenant<M>> = registry
+            .tenants
+            .into_iter()
+            .map(|spec| {
+                cache.register_tenant(&spec.id);
+                Tenant {
+                    m: TenantMetrics::resolve(&metrics_registry, &spec.id),
+                    id: spec.id,
+                    nlidb: RwLock::new(spec.nlidb),
+                    quota: spec.quota,
+                }
+            })
+            .collect();
+        QueryService {
+            tenants,
+            config,
+            cache: Mutex::new(cache),
+            registry: metrics_registry,
+            metrics,
+        }
     }
 
     /// The active configuration.
@@ -155,76 +237,250 @@ impl<M: TranslationModel + Sync> QueryService<M> {
         &self.registry
     }
 
-    /// Entries currently in the translation cache.
+    /// Entries currently in the translation cache, over all shards.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().expect("serve cache lock").len()
     }
 
-    /// Swap in a new database. Anonymization depends on the value index
-    /// over the data, so every cached translation key is stale: the
-    /// cache is invalidated wholesale (counted under
-    /// `serve.cache.invalidations`).
-    pub fn replace_database(&mut self, db: Database) {
-        self.nlidb.replace_database(db);
-        let mut cache = self.cache.lock().expect("serve cache lock");
-        self.metrics.cache_invalidations.add(cache.len() as u64);
-        cache.clear();
+    /// Entries currently in `tenant`'s cache shard, or `None` for an
+    /// unknown tenant.
+    pub fn tenant_cache_len(&self, tenant: &str) -> Option<usize> {
+        self.tenant_index(tenant)?;
+        Some(
+            self.cache
+                .lock()
+                .expect("serve cache lock")
+                .shard_len(tenant),
+        )
     }
 
-    /// Answer a single question through the full serving path (a batch
-    /// of one: it can never shed).
+    /// Registered tenant ids, in registration order.
+    pub fn tenant_ids(&self) -> Vec<&str> {
+        self.tenants.iter().map(|t| t.id.as_str()).collect()
+    }
+
+    /// Whether `tenant` is registered.
+    pub fn has_tenant(&self, tenant: &str) -> bool {
+        self.tenant_index(tenant).is_some()
+    }
+
+    /// The tenant untagged requests route to (the first registered).
+    pub fn default_tenant_id(&self) -> &str {
+        &self.tenants[0].id
+    }
+
+    fn tenant_index(&self, tenant: &str) -> Option<usize> {
+        self.tenants.iter().position(|t| t.id == tenant)
+    }
+
+    /// Swap in a new database for the *default* tenant — the
+    /// single-tenant spelling of [`replace_tenant`](Self::replace_tenant).
+    pub fn replace_database(&mut self, db: Database) {
+        let tenant = self.tenants[0].id.clone();
+        self.replace_tenant(&tenant, db)
+            .expect("default tenant is always registered");
+    }
+
+    /// Swap in a new database for `tenant`. Anonymization depends on
+    /// the value index over the data, so that tenant's cached
+    /// translation keys are stale: exactly its cache shard is
+    /// invalidated (counted under `serve.cache.invalidations`), while
+    /// every other tenant's entries — and any batch currently in
+    /// flight, which holds read locks this swap waits on — are
+    /// untouched. Returns how many cache entries were dropped.
+    pub fn replace_tenant(&self, tenant: &str, db: Database) -> Result<usize, ServeError> {
+        let idx = self
+            .tenant_index(tenant)
+            .ok_or_else(|| ServeError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })?;
+        // Lock order: tenant NLIDB before cache, same as batches. The
+        // write acquisition blocks until in-flight batches (read
+        // holders) finish, so no batch ever sees the swap mid-stride.
+        let mut nlidb = self.tenants[idx].nlidb.write().expect("tenant nlidb lock");
+        nlidb.replace_database(db);
+        let mut cache = self.cache.lock().expect("serve cache lock");
+        let dropped = cache.invalidate_tenant(&self.tenants[idx].id);
+        self.metrics.cache_invalidations.add(dropped as u64);
+        Ok(dropped)
+    }
+
+    /// Answer a single question as the default tenant (a batch of one:
+    /// with the default unlimited quota it can never shed).
     pub fn answer(&self, question: &str) -> Result<ServeResponse, ServeError> {
         self.submit_batch(&[question.to_string()])
             .pop()
             .expect("batch of one yields one result")
     }
 
-    /// Serve a batch of questions. The first `queue_depth` queries are
-    /// admitted; the rest are shed with [`ServeError::Overloaded`].
-    /// Results come back in input order.
+    /// Answer a single question as `tenant`.
+    pub fn answer_for(&self, tenant: &str, question: &str) -> Result<ServeResponse, ServeError> {
+        self.submit_batch_for(tenant, &[question.to_string()])
+            .pop()
+            .expect("batch of one yields one result")
+    }
+
+    /// Serve a batch of questions as the default tenant. Results come
+    /// back in input order; queries beyond `queue_depth` are shed with
+    /// [`ServeError::Overloaded`].
     pub fn submit_batch(&self, questions: &[String]) -> Vec<Result<ServeResponse, ServeError>> {
+        let items: Vec<Result<(usize, &str), ServeError>> =
+            questions.iter().map(|q| Ok((0, q.as_str()))).collect();
+        self.submit_resolved(items)
+    }
+
+    /// Serve a batch of questions as `tenant`. An unknown tenant fails
+    /// every question with [`ServeError::UnknownTenant`].
+    pub fn submit_batch_for(
+        &self,
+        tenant: &str,
+        questions: &[String],
+    ) -> Vec<Result<ServeResponse, ServeError>> {
+        let items: Vec<Result<(usize, &str), ServeError>> = match self.tenant_index(tenant) {
+            Some(idx) => questions.iter().map(|q| Ok((idx, q.as_str()))).collect(),
+            None => questions
+                .iter()
+                .map(|_| {
+                    Err(ServeError::UnknownTenant {
+                        tenant: tenant.to_string(),
+                    })
+                })
+                .collect(),
+        };
+        self.submit_resolved(items)
+    }
+
+    /// Serve a mixed-tenant batch of `(tenant id, question)` pairs —
+    /// what the network batcher feeds after coalescing concurrent
+    /// connections. Results come back in input order; items naming an
+    /// unknown tenant fail typed without consuming admission budget.
+    pub fn submit_tagged(
+        &self,
+        items: &[(String, String)],
+    ) -> Vec<Result<ServeResponse, ServeError>> {
+        let resolved: Vec<Result<(usize, &str), ServeError>> = items
+            .iter()
+            .map(|(tenant, q)| match self.tenant_index(tenant) {
+                Some(idx) => Ok((idx, q.as_str())),
+                None => Err(ServeError::UnknownTenant {
+                    tenant: tenant.clone(),
+                }),
+            })
+            .collect();
+        self.submit_resolved(resolved)
+    }
+
+    /// The phased batch pipeline over tenant-resolved items: each `Ok`
+    /// is `(tenant index, question)`, each `Err` is a pre-resolved
+    /// failure that occupies its slot without consuming admission
+    /// budget. All phases are as documented at module level; every
+    /// sequential decision (admission, quotas, cache) happens in input
+    /// order, so the outcome and every counter are independent of the
+    /// worker count.
+    fn submit_resolved(
+        &self,
+        items: Vec<Result<(usize, &str), ServeError>>,
+    ) -> Vec<Result<ServeResponse, ServeError>> {
         let m = &self.metrics;
-        let admitted_n = questions.len().min(self.config.queue_depth);
-        let admitted = &questions[..admitted_n];
-        m.queries.add(admitted_n as u64);
-        m.shed.add((questions.len() - admitted_n) as u64);
+
+        // Admission (sequential, input order): per-tenant quota first
+        // (the noisy tenant sheds its own tail, typed), then the global
+        // queue depth. With one unlimited tenant this is exactly the
+        // historical "admit the first queue_depth" prefix rule.
+        let mut admitted: Vec<(usize, &str)> = Vec::new();
+        let mut slots: Vec<Option<ServeError>> = Vec::with_capacity(items.len());
+        let mut admitted_per_tenant = vec![0usize; self.tenants.len()];
+        for item in items {
+            match item {
+                Err(e) => {
+                    m.errors.inc();
+                    slots.push(Some(e));
+                }
+                Ok((t, q)) => {
+                    let tenant = &self.tenants[t];
+                    if admitted_per_tenant[t] >= tenant.quota {
+                        m.shed.inc();
+                        tenant.m.shed.inc();
+                        slots.push(Some(ServeError::TenantOverloaded {
+                            tenant: tenant.id.clone(),
+                            quota: tenant.quota,
+                        }));
+                    } else if admitted.len() >= self.config.queue_depth {
+                        m.shed.inc();
+                        tenant.m.shed.inc();
+                        slots.push(Some(ServeError::Overloaded {
+                            queue_depth: self.config.queue_depth,
+                        }));
+                    } else {
+                        admitted_per_tenant[t] += 1;
+                        m.queries.inc();
+                        tenant.m.queries.inc();
+                        admitted.push((t, q));
+                        slots.push(None);
+                    }
+                }
+            }
+        }
+
         let workers = match self.config.workers {
             0 => auto_threads(),
             w => w,
         };
 
-        // Phase 1 (parallel): anonymize + lemmatize, forming the cache
-        // key of each question.
+        // Hold a read guard per involved tenant for the whole batch
+        // (acquired in registration order — the same order everywhere,
+        // so no lock cycle with `replace_tenant`'s write acquisition).
+        let mut involved: Vec<usize> = admitted.iter().map(|&(t, _)| t).collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let guards: Vec<(usize, std::sync::RwLockReadGuard<'_, Nlidb<M>>)> = involved
+            .iter()
+            .map(|&t| (t, self.tenants[t].nlidb.read().expect("tenant nlidb lock")))
+            .collect();
+        let mut nlidbs: Vec<Option<&Nlidb<M>>> = vec![None; self.tenants.len()];
+        for (t, guard) in &guards {
+            nlidbs[*t] = Some(&**guard);
+        }
+
+        // Phase 1 (parallel): anonymize + lemmatize against the
+        // tenant's own value index, forming each question's cache key.
         let pre: Vec<(dbpal_runtime::Anonymized, Vec<String>, String)> =
-            par_map_indexed(admitted, workers, |_, q| {
-                let anonymized = m.anonymize.time(|| self.nlidb.anonymize(q));
-                let lemmas = m.lemmatize.time(|| self.nlidb.lemmatize(&anonymized.text));
+            par_map_indexed(&admitted, workers, |_, &(t, q)| {
+                let nlidb = nlidbs[t].expect("involved tenant holds a read guard");
+                let anonymized = m.anonymize.time(|| nlidb.anonymize(q));
+                let lemmas = m.lemmatize.time(|| nlidb.lemmatize(&anonymized.text));
                 let key = lemmas.join(" ");
                 (anonymized, lemmas, key)
             });
 
-        // Phase 2 (sequential): consult the cache in batch order.
-        // Repeated in-batch misses coalesce onto one pending
-        // translation, which is what a sequential server would compute
-        // too — so counters are thread-count invariant.
-        let mut pending: Vec<(String, Vec<String>)> = Vec::new();
-        let mut pending_index: BTreeMap<String, usize> = BTreeMap::new();
+        // Phase 2 (sequential): consult the sharded cache in batch
+        // order. Lookups are namespaced by tenant — a cross-tenant hit
+        // is impossible by construction — and repeated in-batch misses
+        // coalesce per (tenant, key) onto one pending translation,
+        // which is what a sequential server would compute too.
+        let mut pending: Vec<(usize, String, Vec<String>)> = Vec::new();
+        let mut pending_index: BTreeMap<(usize, String), usize> = BTreeMap::new();
         let plans: Vec<Plan> = {
             let mut cache = self.cache.lock().expect("serve cache lock");
-            pre.iter()
-                .map(|(_, lemmas, key)| {
-                    if let Some(q) = cache.get(key) {
+            admitted
+                .iter()
+                .zip(&pre)
+                .map(|(&(t, _), (_, lemmas, key))| {
+                    let tenant = &self.tenants[t];
+                    if let Some(q) = cache.get(&tenant.id, key) {
                         m.cache_hit.inc();
+                        tenant.m.cache_hit.inc();
                         Plan::Hit(q.clone())
                     } else {
                         m.cache_miss.inc();
-                        if let Some(&i) = pending_index.get(key) {
+                        tenant.m.cache_miss.inc();
+                        if let Some(&i) = pending_index.get(&(t, key.clone())) {
                             m.cache_coalesced.inc();
                             Plan::Translate(i)
                         } else {
                             let i = pending.len();
-                            pending_index.insert(key.clone(), i);
-                            pending.push((key.clone(), lemmas.clone()));
+                            pending_index.insert((t, key.clone()), i);
+                            pending.push((t, key.clone(), lemmas.clone()));
                             Plan::Translate(i)
                         }
                     }
@@ -232,68 +488,79 @@ impl<M: TranslationModel + Sync> QueryService<M> {
                 .collect()
         };
 
-        // Phase 3 (parallel): translate each unique missed key once.
+        // Phase 3 (parallel): translate each unique missed (tenant,
+        // key) once, with that tenant's model.
         let translated: Vec<Option<Query>> =
-            par_map_indexed(&pending, workers, |_, (_, lemmas)| {
-                m.translate.time(|| self.nlidb.model().translate(lemmas))
+            par_map_indexed(&pending, workers, |_, (t, _, lemmas)| {
+                let nlidb = nlidbs[*t].expect("involved tenant holds a read guard");
+                m.translate.time(|| nlidb.model().translate(lemmas))
             });
 
         // Phase 4 (sequential): install successful translations in
-        // first-miss order. Failures are not cached: the model may be
-        // retrained or the index refreshed between batches.
+        // first-miss order, each into its tenant's shard. Failures are
+        // not cached: the model may be retrained or the index refreshed
+        // between batches.
         {
             let mut cache = self.cache.lock().expect("serve cache lock");
-            for ((key, _), result) in pending.iter().zip(&translated) {
+            for ((t, key, _), result) in pending.iter().zip(&translated) {
                 if let Some(q) = result {
-                    cache.insert(key.clone(), q.clone());
+                    cache.insert(&self.tenants[*t].id, key.clone(), q.clone());
                 }
             }
         }
 
         // Phase 5 (parallel): post-process and execute every admitted
-        // query against its (cached or fresh) translation.
-        let jobs: Vec<(&dbpal_runtime::Anonymized, Option<Query>, bool)> = pre
+        // query against its tenant's database.
+        let jobs: Vec<(usize, &dbpal_runtime::Anonymized, Option<Query>, bool)> = admitted
             .iter()
-            .zip(&plans)
-            .map(|((anonymized, _, _), plan)| match plan {
-                Plan::Hit(q) => (anonymized, Some(q.clone()), true),
-                Plan::Translate(i) => (anonymized, translated[*i].clone(), false),
+            .zip(pre.iter().zip(&plans))
+            .map(|(&(t, _), ((anonymized, _, _), plan))| match plan {
+                Plan::Hit(q) => (t, anonymized, Some(q.clone()), true),
+                Plan::Translate(i) => (t, anonymized, translated[*i].clone(), false),
             })
             .collect();
-        let mut results: Vec<Result<ServeResponse, ServeError>> =
-            par_map_indexed(&jobs, workers, |_, (anonymized, translation, hit)| {
-                let outcome = self.finish(anonymized, translation.as_ref(), *hit);
+        let finished: Vec<Result<ServeResponse, ServeError>> =
+            par_map_indexed(&jobs, workers, |_, (t, anonymized, translation, hit)| {
+                let nlidb = nlidbs[*t].expect("involved tenant holds a read guard");
+                let outcome = self.finish(nlidb, anonymized, translation.as_ref(), *hit);
                 if outcome.is_err() {
                     m.errors.inc();
                 }
                 outcome
             });
 
-        // Shed tail, in order.
-        results.extend((admitted_n..questions.len()).map(|_| {
-            Err(ServeError::Overloaded {
-                queue_depth: self.config.queue_depth,
+        // Reassemble in input order: admitted results interleave with
+        // the pre-resolved sheds and errors at their original slots.
+        let mut finished = finished.into_iter();
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(e) => Err(e),
+                None => finished
+                    .next()
+                    .expect("one finished result per admitted slot"),
             })
-        }));
-        results
+            .collect()
     }
 
-    /// Post-process and execute one translated query.
+    /// Post-process and execute one translated query against its
+    /// tenant's database.
     fn finish(
         &self,
+        nlidb: &Nlidb<M>,
         anonymized: &dbpal_runtime::Anonymized,
         translation: Option<&Query>,
         cache_hit: bool,
     ) -> Result<ServeResponse, ServeError> {
         let m = &self.metrics;
         let translated = translation.ok_or(RuntimeError::TranslationFailed)?.clone();
-        let post = PostProcessor::new(self.nlidb.database().schema());
+        let post = PostProcessor::new(nlidb.database().schema());
         let final_sql = m
             .postprocess
             .time(|| post.process(&translated, &anonymized.bindings))?;
         let result = m
             .execute
-            .time(|| self.nlidb.database().execute(&final_sql))
+            .time(|| nlidb.database().execute(&final_sql))
             .map_err(RuntimeError::from)?;
         Ok(ServeResponse {
             cache_hit,

@@ -1,0 +1,129 @@
+//! The tenant registry: tenant id → per-tenant [`Nlidb`] (schema,
+//! database, annotations) plus an admission quota.
+//!
+//! A registry is a builder: register every tenant up front, then hand
+//! it to [`QueryService::with_tenants`](crate::QueryService::with_tenants).
+//! Tenant ids are part of the wire protocol and of metric names
+//! (`serve.tenant.<id>.…`), so they are restricted to
+//! `[A-Za-z0-9_-]+` — anything else panics at registration, which is a
+//! configuration error, not an input error.
+//!
+//! The first registered tenant is the **default tenant**: requests that
+//! carry no tenant id route to it, which is what keeps the
+//! single-tenant API (`QueryService::new`, `Client::query`) working
+//! unchanged.
+
+use dbpal_core::TranslationModel;
+use dbpal_runtime::Nlidb;
+
+/// One registered tenant, before the service wraps it in locks.
+pub(crate) struct TenantSpec<M: TranslationModel> {
+    pub(crate) id: String,
+    pub(crate) nlidb: Nlidb<M>,
+    pub(crate) quota: usize,
+}
+
+/// A builder mapping tenant ids to their [`Nlidb`] instances and
+/// admission quotas.
+pub struct TenantRegistry<M: TranslationModel> {
+    pub(crate) tenants: Vec<TenantSpec<M>>,
+}
+
+/// True for ids safe on the wire and in metric names.
+fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+impl<M: TranslationModel> TenantRegistry<M> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TenantRegistry {
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Register a tenant with an unlimited per-batch quota. Panics on a
+    /// duplicate or malformed id (fixtures and configs, not inputs).
+    pub fn register(self, id: impl Into<String>, nlidb: Nlidb<M>) -> Self {
+        self.register_with_quota(id, nlidb, usize::MAX)
+    }
+
+    /// Register a tenant that may have at most `quota` queries admitted
+    /// per batch; anything beyond sheds with a typed
+    /// [`ServeError::TenantOverloaded`](crate::ServeError::TenantOverloaded).
+    pub fn register_with_quota(
+        mut self,
+        id: impl Into<String>,
+        nlidb: Nlidb<M>,
+        quota: usize,
+    ) -> Self {
+        let id = id.into();
+        assert!(
+            valid_id(&id),
+            "tenant id `{id}` must match [A-Za-z0-9_-]+ (it names metrics and wire fields)"
+        );
+        assert!(
+            self.tenants.iter().all(|t| t.id != id),
+            "tenant id `{id}` registered twice"
+        );
+        self.tenants.push(TenantSpec { id, nlidb, quota });
+        self
+    }
+
+    /// Registered tenant count.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Registered tenant ids, in registration order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.tenants.iter().map(|t| t.id.as_str()).collect()
+    }
+}
+
+impl<M: TranslationModel> Default for TenantRegistry<M> {
+    fn default() -> Self {
+        TenantRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{hospital_db, hospital_script};
+
+    #[test]
+    fn registration_order_and_ids() {
+        let reg = TenantRegistry::new()
+            .register("alpha", Nlidb::new(hospital_db(), hospital_script()))
+            .register_with_quota("beta-2", Nlidb::new(hospital_db(), hospital_script()), 4);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.ids(), vec!["alpha", "beta-2"]);
+        assert_eq!(reg.tenants[1].quota, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_id_panics() {
+        let _ = TenantRegistry::new()
+            .register("alpha", Nlidb::new(hospital_db(), hospital_script()))
+            .register("alpha", Nlidb::new(hospital_db(), hospital_script()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn malformed_id_panics() {
+        let _ = TenantRegistry::new().register(
+            "not a valid id",
+            Nlidb::new(hospital_db(), hospital_script()),
+        );
+    }
+}

@@ -9,8 +9,8 @@ use dbpal_runtime::Nlidb;
 use dbpal_serve::net::{
     serve, Client, ClientError, ErrorKind, QueryOutcome, Response, ServerConfig,
 };
-use dbpal_serve::testing::{hospital_db, hospital_script, ScriptedModel};
-use dbpal_serve::{QueryService, ServeConfig};
+use dbpal_serve::testing::{hospital_db, hospital_script, tenant_registry, ScriptedModel};
+use dbpal_serve::{QueryService, ServeConfig, TenantRegistry};
 use dbpal_util::frame;
 use dbpal_util::Json;
 
@@ -281,5 +281,123 @@ fn busy_refusal_when_connection_limit_reached() {
     let mut retry = retry.expect("slot freed after close");
     assert_still_serving(&mut retry);
     drop(retry);
+    handle.shutdown();
+}
+
+#[test]
+fn tenant_tagged_queries_route_over_the_wire() {
+    // alpha (hospital) and beta (clinic) share the question text and
+    // cache key but must answer from their own data; untagged requests
+    // route to the first registered tenant.
+    let handle = serve(
+        QueryService::with_tenants(
+            tenant_registry(),
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        ),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let q = vec!["How many patients have influenza?".to_string()];
+    let count_of = |outcomes: &[QueryOutcome]| match &outcomes[0] {
+        QueryOutcome::Answer { rows, .. } => rows[0][0].clone(),
+        other => panic!("expected an answer, got {other:?}"),
+    };
+    let alpha = client.query_as("alpha", &q).expect("alpha query");
+    assert_eq!(count_of(&alpha), Json::Num(2.0));
+    let beta = client.query_as("beta", &q).expect("beta query");
+    assert_eq!(count_of(&beta), Json::Num(3.0), "cross-tenant leak");
+    let untagged = client.query(&q).expect("untagged query");
+    assert_eq!(count_of(&untagged), Json::Num(2.0), "default is alpha");
+
+    let gamma = client
+        .query_as("gamma", &["How many books are about scifi".to_string()])
+        .expect("gamma query");
+    assert_eq!(count_of(&gamma), Json::Num(3.0));
+
+    drop(client);
+    let report = handle.shutdown();
+    assert_eq!(report.protocol_errors, 0);
+}
+
+#[test]
+fn unknown_tenant_is_a_typed_error_and_the_connection_survives() {
+    let handle = serve(
+        QueryService::with_tenants(
+            tenant_registry(),
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        ),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    match client.query_as("nobody", &[GOOD_QUESTION.to_string()]) {
+        Err(ClientError::Server { kind, message }) => {
+            assert_eq!(kind, ErrorKind::UnknownTenant);
+            assert!(message.contains("nobody"), "message names the tenant");
+        }
+        other => panic!("expected unknown_tenant, got {other:?}"),
+    }
+    // Same connection keeps working — the refusal happens before the
+    // batcher, like any other bad request.
+    assert_still_serving(&mut client);
+
+    drop(client);
+    let report = handle.shutdown();
+    assert_eq!(report.protocol_errors, 1, "refusal counted");
+}
+
+#[test]
+fn tenant_quota_sheds_surface_as_tenant_overloaded_status() {
+    // alpha's per-batch quota is 2: the tail of an alpha-tagged request
+    // sheds with the distinct tenant_overloaded status, in order, while
+    // the head answers normally.
+    let registry = TenantRegistry::new()
+        .register_with_quota("alpha", Nlidb::new(hospital_db(), hospital_script()), 2)
+        .register("beta", Nlidb::new(hospital_db(), hospital_script()));
+    let handle = serve(
+        QueryService::with_tenants(
+            registry,
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        ),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let questions: Vec<String> = (0..4).map(|_| GOOD_QUESTION.to_string()).collect();
+    let outcomes = client.query_as("alpha", &questions).expect("query");
+    assert_eq!(outcomes.len(), 4);
+    for o in &outcomes[..2] {
+        assert_answer_is_ann(o);
+    }
+    for o in &outcomes[2..] {
+        match o {
+            QueryOutcome::TenantOverloaded { tenant, quota } => {
+                assert_eq!(tenant, "alpha");
+                assert_eq!(*quota, 2);
+            }
+            other => panic!("expected tenant_overloaded, got {other:?}"),
+        }
+    }
+    // The unlimited neighbor is untouched on the same connection.
+    let beta = client.query_as("beta", &questions).expect("beta query");
+    assert!(
+        beta.iter()
+            .all(|o| matches!(o, QueryOutcome::Answer { .. })),
+        "beta shed alongside alpha: {beta:?}"
+    );
+    drop(client);
     handle.shutdown();
 }

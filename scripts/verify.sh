@@ -36,9 +36,19 @@ cargo run --release --offline -p dbpal-bench --bin fuzz_smoke
 
 # Serving-layer gate: seeded mixed workload through dbpal-serve must hit
 # the cache above the seeded floor, shed nothing at the default queue
-# depth, export byte-identical deterministic metrics at 1 and 8 workers,
+# depth, export byte-identical deterministic metrics at 1 and 8 workers
+# (for the single-tenant workload and the interleaved three-tenant one),
 # and shed exactly the over-limit tail (typed errors) under saturation.
 cargo run --release --offline -p dbpal-bench --bin serve_gate -- --quick
+
+# Multi-tenant gate: the seeded three-tenant workload must export
+# deterministic per-tenant counters at any worker count, quota sheds
+# must be exact (typed TenantOverloaded, neighbors untouched), and a
+# database hot-swap must invalidate only the swapped tenant's cache
+# shard. Writes BENCH_tenant.json with the `tenants` section the lint
+# below requires.
+DBPAL_BENCH_JSON="$PWD/BENCH_tenant.json" \
+  cargo run --release --offline -p dbpal-bench --bin tenant_gate -- --quick
 
 # Machine-readable perf trajectory: regenerate the bench reports in
 # quick mode and lint them against the schema in DESIGN.md with the
@@ -60,4 +70,4 @@ DBPAL_BENCH_JSON="$PWD/BENCH_serve.json" \
   cargo run --release --offline -p dbpal-bench --bin load_gate -- --quick
 
 cargo run --release --offline -p dbpal-bench --bin bench_json_lint -- \
-  BENCH_pipeline.json BENCH_serve.json
+  BENCH_pipeline.json BENCH_serve.json BENCH_tenant.json
