@@ -15,6 +15,11 @@
 //! The `tenant` report likewise requires the `tenants` member written
 //! by `tenant_gate`: one entry per tenant with its queries, hits,
 //! misses, and sheds, each internally consistent.
+//! The `lint` report requires the `lints` member written by
+//! `lint_gate`: the rule catalog with per-rule finding counts, a
+//! violations array that must be empty (the gate fails otherwise, so a
+//! non-empty array here means a stale or hand-edited report), and the
+//! allowlist entry count.
 
 use dbpal_util::Json;
 
@@ -87,6 +92,64 @@ fn check_tenants(tenants: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate the `lints` member written by `lint_gate`.
+fn check_lints(lints: &Json) -> Result<(), String> {
+    for key in ["schema_version", "files_scanned", "allowlist_entries"] {
+        let v = lints
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("lints: missing number `{key}`"))?;
+        if v < 0.0 {
+            return Err(format!("lints: negative `{key}`"));
+        }
+    }
+    if lints.get("files_scanned").and_then(Json::as_f64) == Some(0.0) {
+        return Err("lints: scanned zero files".to_string());
+    }
+    let rules = lints
+        .get("rules")
+        .and_then(Json::as_arr)
+        .ok_or("lints: missing array `rules`")?;
+    if rules.is_empty() {
+        return Err("lints: empty rule catalog".to_string());
+    }
+    for (i, rule) in rules.iter().enumerate() {
+        for key in ["code", "name"] {
+            let s = rule
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("lints.rules[{i}]: missing string `{key}`"))?;
+            if s.is_empty() {
+                return Err(format!("lints.rules[{i}]: empty `{key}`"));
+            }
+        }
+        let findings = rule
+            .get("findings")
+            .and_then(Json::as_f64)
+            .ok_or(format!("lints.rules[{i}]: missing number `findings`"))?;
+        let allowed = rule
+            .get("allowlisted")
+            .and_then(Json::as_f64)
+            .ok_or(format!("lints.rules[{i}]: missing number `allowlisted`"))?;
+        if findings < 0.0 || allowed < 0.0 || allowed > findings {
+            return Err(format!(
+                "lints.rules[{i}]: inconsistent counts (findings {findings}, allowlisted {allowed})"
+            ));
+        }
+    }
+    let violations = lints
+        .get("violations")
+        .and_then(Json::as_arr)
+        .ok_or("lints: missing array `violations`")?;
+    if !violations.is_empty() {
+        return Err(format!(
+            "lints: {} violations in a committed report — lint_gate should have failed",
+            violations.len()
+        ));
+    }
+    Ok(())
+}
+
 /// Validate one report document; returns a description of the first
 /// schema violation.
 fn check_report(doc: &Json) -> Result<(usize, String), String> {
@@ -130,6 +193,13 @@ fn check_report(doc: &Json) -> Result<(usize, String), String> {
         Some(tenants) => check_tenants(tenants)?,
         None if group == "tenant" => {
             return Err("group `tenant` requires a `tenants` member (run tenant_gate)".to_string())
+        }
+        None => {}
+    }
+    match doc.get("lints") {
+        Some(lints) => check_lints(lints)?,
+        None if group == "lint" => {
+            return Err("group `lint` requires a `lints` member (run lint_gate)".to_string())
         }
         None => {}
     }

@@ -1,0 +1,192 @@
+//! The allowlist: `L### path` entries with mandatory justifications.
+//!
+//! Format (one file, `scripts/lint_allowlist.txt`):
+//!
+//! ```text
+//! # Bench harness measures wall-clock by design; timings are reported,
+//! # never folded into generated corpora.
+//! L001 crates/util/src/bench.rs
+//! L001 crates/util/src/metrics.rs
+//! ```
+//!
+//! A contiguous `#` comment block justifies every entry that follows it
+//! until a blank line. An entry with no justification is an error — the
+//! allowlist documents *why* debt is acceptable, not just that it is.
+//! An entry matching zero findings is stale and also an error, so the
+//! file can only shrink as debt is paid down.
+
+use crate::rules::{rule_by_code, Finding};
+
+/// One `L### path` line.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule code the entry silences.
+    pub code: String,
+    /// Workspace-relative file path it applies to.
+    pub path: String,
+    /// 1-based line in the allowlist file (for error messages).
+    pub line_no: usize,
+    /// The justification comment block above the entry.
+    pub justification: String,
+}
+
+/// Parse the allowlist text. Returns entries, or every format error at
+/// once (unknown code, missing justification, malformed line).
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    let mut justification: Vec<String> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            justification.clear();
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            justification.push(comment.trim().to_string());
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let code = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        if code.is_empty() || path.is_empty() || parts.next().is_some() {
+            errors.push(format!(
+                "allowlist line {line_no}: expected `L### path`, got `{line}`"
+            ));
+            continue;
+        }
+        if rule_by_code(code).is_none() {
+            errors.push(format!(
+                "allowlist line {line_no}: unknown rule code `{code}`"
+            ));
+            continue;
+        }
+        if justification.is_empty() {
+            errors.push(format!(
+                "allowlist line {line_no}: entry `{code} {path}` has no justification comment"
+            ));
+            continue;
+        }
+        entries.push(AllowEntry {
+            code: code.to_string(),
+            path: path.to_string(),
+            line_no,
+            justification: justification.join(" "),
+        });
+        // A justification block covers every entry until a blank line.
+    }
+
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// The outcome of filtering findings through the allowlist.
+pub struct Applied {
+    /// Findings no entry covers — these fail the gate.
+    pub violations: Vec<Finding>,
+    /// Findings silenced by some entry, in original order.
+    pub allowed: Vec<Finding>,
+    /// How many findings each entry (by index) matched.
+    pub match_counts: Vec<usize>,
+}
+
+impl Applied {
+    /// Indices of entries that matched nothing (stale).
+    pub fn stale(&self) -> Vec<usize> {
+        self.match_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Split findings into violations and allowlisted, counting per-entry
+/// matches for stale detection.
+pub fn apply(findings: Vec<Finding>, entries: &[AllowEntry]) -> Applied {
+    let mut match_counts = vec![0usize; entries.len()];
+    let mut violations = Vec::new();
+    let mut allowed = Vec::new();
+    for f in findings {
+        let hit = entries
+            .iter()
+            .position(|e| e.code == f.code && e.path == f.path);
+        match hit {
+            Some(i) => {
+                match_counts[i] += 1;
+                allowed.push(f);
+            }
+            None => violations.push(f),
+        }
+    }
+    Applied {
+        violations,
+        allowed,
+        match_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: &'static str, path: &str) -> Finding {
+        Finding {
+            code,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            item: String::new(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_with_shared_justification() {
+        let text = "# clock is the payload here\nL001 a.rs\nL001 b.rs\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].justification, "clock is the payload here");
+        assert_eq!(entries[1].justification, "clock is the payload here");
+    }
+
+    #[test]
+    fn blank_line_clears_justification() {
+        let text = "# reason\nL001 a.rs\n\nL002 b.rs\n";
+        let errs = parse(text).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("no justification"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn unknown_code_rejected() {
+        let errs = parse("# why\nL999 a.rs\n").unwrap_err();
+        assert!(errs[0].contains("unknown rule code"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let errs = parse("# why\nL001 a.rs extra\n").unwrap_err();
+        assert!(errs[0].contains("expected `L### path`"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn apply_splits_and_counts() {
+        let entries = parse("# why\nL001 a.rs\nL002 c.rs\n").unwrap();
+        let applied = apply(
+            vec![finding("L001", "a.rs"), finding("L001", "b.rs")],
+            &entries,
+        );
+        assert_eq!(applied.violations.len(), 1);
+        assert_eq!(applied.violations[0].path, "b.rs");
+        assert_eq!(applied.allowed.len(), 1);
+        assert_eq!(applied.match_counts, vec![1, 0]);
+        assert_eq!(applied.stale(), vec![1]);
+    }
+}

@@ -1,0 +1,427 @@
+//! The item-aware walker: turns the flat token stream into per-token
+//! scope facts — which `fn` / `impl` / `mod` encloses a token, whether
+//! it sits in test code, and which *top-level item* it belongs to (the
+//! grouping the context-aware HASHITER rule needs).
+//!
+//! This is not a parser. It tracks brace nesting and recognizes item
+//! headers (`fn name`, `impl … {`, `mod name {`, `struct`/`enum`/
+//! `trait`/`union`), which is exactly enough to give every diagnostic a
+//! stable `file:line:col` span *and* an item path like
+//! `QueryService::submit_batch`, and to scope rules to "the enclosing
+//! item" rather than "somewhere in the same file" — the difference
+//! between a rule and a grep.
+
+use crate::lexer::{TokKind, Token};
+
+/// What kind of item opened a scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }`.
+    Mod,
+    /// `fn name(…) { … }` (free fn, method, or nested fn).
+    Fn,
+    /// `impl Type { … }` / `impl Trait for Type { … }`.
+    Impl,
+    /// `struct` / `enum` / `union` with a brace body.
+    TypeDef,
+    /// `trait Name { … }`.
+    Trait,
+    /// An anonymous block (`{ … }` of an expression, match arm, …).
+    Block,
+}
+
+/// One entry of the scope stack.
+#[derive(Debug, Clone)]
+struct Frame {
+    kind: ItemKind,
+    name: String,
+    /// Test code: `#[test]` fn or `#[cfg(test)]` item, inherited.
+    test: bool,
+    /// Index into `items` for non-block frames (co-residency grouping).
+    item_id: Option<usize>,
+}
+
+/// Per-token scope annotation, parallel to the token vector.
+#[derive(Debug, Clone)]
+pub struct TokenScope {
+    /// Name of the nearest enclosing `fn`, if any.
+    pub fn_name: Option<String>,
+    /// The outermost non-`mod` item this token belongs to — tokens in
+    /// different methods of one `impl` share it. `usize::MAX` when the
+    /// token is at module level outside any item.
+    pub item_id: usize,
+    /// Inside `#[test]` / `#[cfg(test)]` code.
+    pub in_test: bool,
+    /// Item path for diagnostics, e.g. `tests::QueryService::answer`.
+    pub path: String,
+}
+
+/// A recognized item (for diagnostics and grouping).
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What it is.
+    pub kind: ItemKind,
+    /// Its name (`submit_batch`, `QueryService`, …).
+    pub name: String,
+}
+
+/// The annotated file: tokens plus their scope facts.
+pub struct FileContext {
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// One scope record per token.
+    pub scopes: Vec<TokenScope>,
+    /// All recognized items, in source order.
+    pub items: Vec<Item>,
+}
+
+/// Sentinel `item_id` for module-level tokens outside any item.
+pub const NO_ITEM: usize = usize::MAX;
+
+/// A pending item header seen but whose `{` has not yet opened.
+struct Pending {
+    kind: ItemKind,
+    name: String,
+    test: bool,
+    /// Paren/bracket depth at which a `;` cancels the header (trait
+    /// method declarations, `struct Unit;`, fn pointer types).
+    delim_depth: usize,
+}
+
+/// Annotate a token stream with scope facts.
+pub fn annotate(tokens: Vec<Token>) -> FileContext {
+    let mut scopes = Vec::with_capacity(tokens.len());
+    let mut items: Vec<Item> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut pending_test_attr = false;
+    let mut delim_depth = 0usize;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+
+        // Record this token's scope *before* processing its structural
+        // effect, so an opening `{` belongs to the outer scope and the
+        // item-name identifier belongs to the item it opens (fine either
+        // way for the rules; chosen for stability).
+        scopes.push(scope_of(&stack, pending_test_attr));
+
+        match (tok.kind, tok.text.as_str()) {
+            // ----- attributes --------------------------------------
+            (TokKind::Punct, "#") => {
+                // `#[…]` outer attribute or `#![…]` inner attribute.
+                let inner = tokens.get(i + 1).map(|t| t.is_punct("!")).unwrap_or(false);
+                let open = i + 1 + usize::from(inner);
+                if tokens.get(open).map(|t| t.is_punct("[")).unwrap_or(false) {
+                    // Consume the balanced bracket group, keeping the
+                    // scopes vector parallel to the token index.
+                    let mut depth = 0usize;
+                    let mut has_test = false;
+                    let mut j = i + 1;
+                    while j < tokens.len() {
+                        scopes.push(scope_of(&stack, pending_test_attr));
+                        let t = &tokens[j];
+                        if t.is_punct("[") {
+                            depth += 1;
+                        } else if t.is_punct("]") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else if t.is_ident("test") {
+                            has_test = true;
+                        }
+                        j += 1;
+                    }
+                    if has_test && !inner {
+                        pending_test_attr = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+
+            // ----- item headers ------------------------------------
+            (TokKind::Ident, "fn") if pending.is_none() => {
+                if let Some(name_tok) = tokens.get(i + 1) {
+                    if name_tok.kind == TokKind::Ident {
+                        pending = Some(Pending {
+                            kind: ItemKind::Fn,
+                            name: name_tok.text.clone(),
+                            test: pending_test_attr,
+                            delim_depth,
+                        });
+                        pending_test_attr = false;
+                    }
+                }
+            }
+            (TokKind::Ident, "mod") if pending.is_none() => {
+                if let Some(name_tok) = tokens.get(i + 1) {
+                    if name_tok.kind == TokKind::Ident {
+                        pending = Some(Pending {
+                            kind: ItemKind::Mod,
+                            name: name_tok.text.clone(),
+                            test: pending_test_attr,
+                            delim_depth,
+                        });
+                        pending_test_attr = false;
+                    }
+                }
+            }
+            (TokKind::Ident, "impl") if pending.is_none() => {
+                pending = Some(Pending {
+                    kind: ItemKind::Impl,
+                    name: impl_name(&tokens, i + 1),
+                    test: pending_test_attr,
+                    delim_depth,
+                });
+                pending_test_attr = false;
+            }
+            (TokKind::Ident, "struct" | "enum" | "union") if pending.is_none() => {
+                if let Some(name_tok) = tokens.get(i + 1) {
+                    if name_tok.kind == TokKind::Ident {
+                        pending = Some(Pending {
+                            kind: ItemKind::TypeDef,
+                            name: name_tok.text.clone(),
+                            test: pending_test_attr,
+                            delim_depth,
+                        });
+                        pending_test_attr = false;
+                    }
+                }
+            }
+            (TokKind::Ident, "trait") if pending.is_none() => {
+                if let Some(name_tok) = tokens.get(i + 1) {
+                    if name_tok.kind == TokKind::Ident {
+                        pending = Some(Pending {
+                            kind: ItemKind::Trait,
+                            name: name_tok.text.clone(),
+                            test: pending_test_attr,
+                            delim_depth,
+                        });
+                        pending_test_attr = false;
+                    }
+                }
+            }
+
+            // ----- structure ---------------------------------------
+            (TokKind::Punct, "(") | (TokKind::Punct, "[") => delim_depth += 1,
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => {
+                delim_depth = delim_depth.saturating_sub(1)
+            }
+            (TokKind::Punct, ";") => {
+                // `struct Unit;`, trait fn declarations, `mod m;` — the
+                // header never gets a body. Only at the header's own
+                // delimiter depth: `fn f(x: [u8; 4])` keeps pending.
+                if let Some(p) = &pending {
+                    if delim_depth <= p.delim_depth {
+                        pending = None;
+                    }
+                }
+                // A statement boundary also ends any dangling test
+                // attribute (`#[cfg(test)] use …;` must not leak onto
+                // the next item).
+                if delim_depth == 0 {
+                    pending_test_attr = false;
+                }
+            }
+            (TokKind::Punct, "{") => {
+                let inherited_test = stack.last().map(|f| f.test).unwrap_or(false);
+                let frame = match pending.take() {
+                    Some(p) => {
+                        let id = items.len();
+                        items.push(Item {
+                            kind: p.kind,
+                            name: p.name.clone(),
+                        });
+                        Frame {
+                            kind: p.kind,
+                            name: p.name,
+                            test: p.test || inherited_test,
+                            item_id: Some(id),
+                        }
+                    }
+                    None => Frame {
+                        kind: ItemKind::Block,
+                        name: String::new(),
+                        test: inherited_test,
+                        item_id: None,
+                    },
+                };
+                stack.push(frame);
+            }
+            (TokKind::Punct, "}") => {
+                stack.pop();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    FileContext {
+        tokens,
+        scopes,
+        items,
+    }
+}
+
+fn scope_of(stack: &[Frame], _pending_test: bool) -> TokenScope {
+    let fn_name = stack
+        .iter()
+        .rev()
+        .find(|f| f.kind == ItemKind::Fn)
+        .map(|f| f.name.clone());
+    let item_id = stack
+        .iter()
+        .find(|f| !matches!(f.kind, ItemKind::Mod | ItemKind::Block))
+        .and_then(|f| f.item_id)
+        .unwrap_or(NO_ITEM);
+    let in_test = stack.iter().any(|f| f.test);
+    let path = stack
+        .iter()
+        .filter(|f| !f.name.is_empty())
+        .map(|f| f.name.as_str())
+        .collect::<Vec<_>>()
+        .join("::");
+    TokenScope {
+        fn_name,
+        item_id,
+        in_test,
+        path,
+    }
+}
+
+/// The display name of an `impl` header: the self type (`impl Foo` →
+/// `Foo`, `impl Trait for Bar` → `Bar`), skipping generic parameters.
+fn impl_name(tokens: &[Token], mut i: usize) -> String {
+    let mut angle = 0i32;
+    let mut first: Option<&str> = None;
+    let mut after_for: Option<&str> = None;
+    let mut saw_for = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") || t.is_punct(";") {
+            break;
+        }
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "<") => angle += 1,
+            (TokKind::Punct, ">") => angle -= 1,
+            (TokKind::Ident, "for") if angle == 0 => saw_for = true,
+            (TokKind::Ident, "where") if angle == 0 => break,
+            (TokKind::Ident, name) if angle == 0 => {
+                if saw_for {
+                    if after_for.is_none() {
+                        after_for = Some(name);
+                    }
+                } else if first.is_none() {
+                    first = Some(name);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    after_for.or(first).unwrap_or("impl").to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx(src: &str) -> FileContext {
+        annotate(lex(src))
+    }
+
+    fn scope_at_ident<'a>(ctx: &'a FileContext, ident: &str) -> &'a TokenScope {
+        let idx = ctx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .unwrap_or_else(|| panic!("no ident `{ident}`"));
+        &ctx.scopes[idx]
+    }
+
+    #[test]
+    fn fn_and_impl_paths() {
+        let c = ctx("impl Foo { fn bar(&self) { marker(); } } fn free() { other(); }");
+        let s = scope_at_ident(&c, "marker");
+        assert_eq!(s.fn_name.as_deref(), Some("bar"));
+        assert_eq!(s.path, "Foo::bar");
+        let s2 = scope_at_ident(&c, "other");
+        assert_eq!(s2.fn_name.as_deref(), Some("free"));
+        assert_eq!(s2.path, "free");
+    }
+
+    #[test]
+    fn impl_trait_for_type_names_the_type() {
+        let c = ctx("impl<M: Clone> Display for ServeError<M> { fn fmt(&self) { marker(); } }");
+        assert_eq!(scope_at_ident(&c, "marker").path, "ServeError::fmt");
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_everything_inside() {
+        let c = ctx("fn live() { a(); } #[cfg(test)] mod tests { fn helper() { b(); } #[test] fn t() { c(); } }");
+        assert!(!scope_at_ident(&c, "a").in_test);
+        assert!(scope_at_ident(&c, "b").in_test);
+        assert!(scope_at_ident(&c, "c").in_test);
+    }
+
+    #[test]
+    fn test_attr_on_fn_marks_only_that_fn() {
+        let c = ctx("#[test] fn t() { a(); } fn live() { b(); }");
+        assert!(scope_at_ident(&c, "a").in_test);
+        assert!(!scope_at_ident(&c, "b").in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_use_does_not_leak() {
+        let c = ctx("#[cfg(test)] use foo::bar; fn live() { a(); }");
+        assert!(!scope_at_ident(&c, "a").in_test);
+    }
+
+    #[test]
+    fn items_in_one_impl_share_item_id() {
+        let c = ctx("impl A { fn x() { one(); } fn y() { two(); } } fn z() { three(); }");
+        let a = scope_at_ident(&c, "one").item_id;
+        let b = scope_at_ident(&c, "two").item_id;
+        let z = scope_at_ident(&c, "three").item_id;
+        assert_eq!(a, b);
+        assert_ne!(a, z);
+        assert_ne!(z, NO_ITEM);
+    }
+
+    #[test]
+    fn mod_does_not_group_items_together() {
+        let c = ctx("mod m { fn x() { one(); } fn y() { two(); } }");
+        assert_ne!(
+            scope_at_ident(&c, "one").item_id,
+            scope_at_ident(&c, "two").item_id
+        );
+    }
+
+    #[test]
+    fn unit_struct_and_trait_decls_do_not_wedge_the_stack() {
+        let c = ctx("struct Unit; trait T { fn decl(&self); } fn live(x: [u8; 4]) { marker(); }");
+        let s = scope_at_ident(&c, "marker");
+        assert_eq!(s.fn_name.as_deref(), Some("live"));
+        assert_eq!(s.path, "live");
+    }
+
+    #[test]
+    fn fn_returning_impl_trait_keeps_fn_frame() {
+        let c = ctx("fn make() -> impl Iterator<Item = u8> { marker(); std::iter::empty() }");
+        assert_eq!(
+            scope_at_ident(&c, "marker").fn_name.as_deref(),
+            Some("make")
+        );
+    }
+
+    #[test]
+    fn anonymous_blocks_inherit() {
+        let c = ctx("fn f() { if true { loop { marker(); } } }");
+        let s = scope_at_ident(&c, "marker");
+        assert_eq!(s.fn_name.as_deref(), Some("f"));
+    }
+}

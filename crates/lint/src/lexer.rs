@@ -1,0 +1,508 @@
+//! A real Rust lexer — the piece the old grep lint could never be.
+//!
+//! Produces a flat token stream with `line:col` spans. Comments (line
+//! and *nested* block), string literals (plain, raw, byte, byte-raw),
+//! and char literals are consumed and **dropped**, so a rule matching
+//! the identifier `Instant` can no longer be fooled by a doc comment or
+//! a `"Instant"` string — and conversely can no longer be *hidden* by
+//! one. Lifetimes (`'a`, `'static`, loop labels) are distinguished from
+//! char literals by lookahead, raw identifiers (`r#type`) from raw
+//! strings (`r#"…"#`) likewise.
+//!
+//! The lexer is deliberately lossless about *structure* (every brace,
+//! bracket, and path separator is a token) and lossy about *values*
+//! (numeric literal text is kept but never interpreted beyond small
+//! integer indices for the lock-order rule).
+
+/// What a token is, as far as the rules need to know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`) — text excludes `'`.
+    Lifetime,
+    /// A numeric literal (text as written, suffix included).
+    Number,
+    /// One punctuation character (`{`, `[`, `.`, `!`, `#`, …). Multi-
+    /// character operators arrive as single chars except `::`, which is
+    /// one token — the rules match paths, not arithmetic.
+    Punct,
+    /// The `::` path separator.
+    PathSep,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text (for `Punct`, the single character; for
+    /// `PathSep`, `::`).
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters, not bytes).
+    pub col: usize,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    pub fn is_punct(&self, text: &str) -> bool {
+        (self.kind == TokKind::Punct || self.kind == TokKind::PathSep) && self.text == text
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream. Malformed input (an unterminated
+/// string, say) never fails: the lexer consumes to end of input and
+/// returns what it saw — a linter must not die on the code it judges.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => {
+                cur.bump();
+                match cur.peek() {
+                    Some('/') => skip_line_comment(&mut cur),
+                    Some('*') => skip_block_comment(&mut cur),
+                    _ => out.push(punct('/', line, col)),
+                }
+            }
+            '"' => {
+                cur.bump();
+                skip_string(&mut cur);
+            }
+            '\'' => lex_quote(&mut cur, &mut out, line, col),
+            'r' | 'b' => lex_r_or_b(&mut cur, &mut out, line, col),
+            c if is_ident_start(c) => {
+                out.push(lex_ident(&mut cur, line, col));
+            }
+            c if c.is_ascii_digit() => {
+                out.push(lex_number(&mut cur, line, col));
+            }
+            ':' => {
+                cur.bump();
+                if cur.peek() == Some(':') {
+                    cur.bump();
+                    out.push(Token {
+                        kind: TokKind::PathSep,
+                        text: "::".to_string(),
+                        line,
+                        col,
+                    });
+                } else {
+                    out.push(punct(':', line, col));
+                }
+            }
+            c => {
+                cur.bump();
+                out.push(punct(c, line, col));
+            }
+        }
+    }
+    out
+}
+
+fn punct(c: char, line: usize, col: usize) -> Token {
+    Token {
+        kind: TokKind::Punct,
+        text: c.to_string(),
+        line,
+        col,
+    }
+}
+
+fn skip_line_comment(cur: &mut Cursor) {
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        cur.bump();
+    }
+}
+
+/// Block comments nest in Rust: `/* /* */ */` is one comment.
+fn skip_block_comment(cur: &mut Cursor) {
+    cur.bump(); // the `*`
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.bump() {
+            Some('/') if cur.peek() == Some('*') => {
+                cur.bump();
+                depth += 1;
+            }
+            Some('*') if cur.peek() == Some('/') => {
+                cur.bump();
+                depth -= 1;
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+}
+
+/// Consume a `"…"` body after the opening quote.
+fn skip_string(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consume a raw string body: the caller has consumed `r` (and any `b`)
+/// and positions us at the first `#` or `"`.
+fn skip_raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek() != Some('"') {
+        return; // `r#ident` was already handled; defensive only
+    }
+    cur.bump();
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+            None => return,
+        }
+    }
+}
+
+/// `'` starts either a char literal or a lifetime. A lifetime is `'`
+/// followed by an identifier **not** closed by another `'`; everything
+/// else (escape, single char, `'a'`) is a char literal.
+fn lex_quote(cur: &mut Cursor, out: &mut Vec<Token>, line: usize, col: usize) {
+    cur.bump(); // the opening `'`
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume escape then closing quote.
+            cur.bump();
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump(); // char literal like 'a' — drop it
+            } else {
+                out.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            }
+        }
+        Some(_) => {
+            // Non-ident char literal like '.' or '0'.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+        }
+        None => {}
+    }
+}
+
+/// `r` / `b` may open a raw string (`r"`, `r#"`), byte string (`b"`),
+/// byte-raw string (`br"`), byte char (`b'x'`), raw identifier
+/// (`r#type`), or just an identifier starting with that letter.
+fn lex_r_or_b(cur: &mut Cursor, out: &mut Vec<Token>, line: usize, col: usize) {
+    let first = cur.bump().unwrap_or('r');
+    match (first, cur.peek()) {
+        ('r', Some('"')) => skip_raw_string(cur),
+        ('r', Some('#')) => {
+            // `r#"…"#` raw string or `r#ident` raw identifier.
+            cur.bump();
+            match cur.peek() {
+                Some('"') | Some('#') => {
+                    // Re-enter raw-string scanning with one hash consumed.
+                    let mut hashes = 1usize;
+                    while cur.peek() == Some('#') {
+                        cur.bump();
+                        hashes += 1;
+                    }
+                    if cur.peek() == Some('"') {
+                        cur.bump();
+                        skip_raw_body(cur, hashes);
+                    }
+                }
+                Some(c) if is_ident_start(c) => {
+                    let mut tok = lex_ident(cur, line, col);
+                    tok.col = col; // span starts at the `r`
+                    out.push(tok);
+                }
+                _ => out.push(ident_token(first.to_string(), line, col)),
+            }
+        }
+        ('b', Some('"')) => {
+            cur.bump();
+            skip_string(cur);
+        }
+        ('b', Some('\'')) => lex_quote(cur, out, line, col),
+        ('b', Some('r')) => {
+            // `br"…"` / `br#"…"#` — or an identifier starting with "br".
+            let mut probe = cur.chars.clone();
+            probe.next();
+            match probe.peek() {
+                Some('"') | Some('#') => {
+                    cur.bump();
+                    skip_raw_string(cur);
+                }
+                _ => {
+                    let mut tok = lex_ident(cur, line, col);
+                    tok.text.insert(0, first);
+                    out.push(tok);
+                }
+            }
+        }
+        (_, Some(c)) if is_ident_continue(c) => {
+            let mut tok = lex_ident(cur, line, col);
+            tok.text.insert(0, first);
+            out.push(tok);
+        }
+        _ => out.push(ident_token(first.to_string(), line, col)),
+    }
+}
+
+fn skip_raw_body(cur: &mut Cursor, hashes: usize) {
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+            None => return,
+        }
+    }
+}
+
+fn ident_token(text: String, line: usize, col: usize) -> Token {
+    Token {
+        kind: TokKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor, line: usize, col: usize) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    ident_token(text, line, col)
+}
+
+/// Numbers: digits, `_`, suffixes, hex/oct/bin bodies, and a fractional
+/// part only when a digit follows the dot (so `0..10` and `x.0.clone()`
+/// lex the dot as punctuation).
+fn lex_number(cur: &mut Cursor, line: usize, col: usize) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            let mut probe = cur.chars.clone();
+            probe.next();
+            match probe.peek() {
+                Some(d) if d.is_ascii_digit() && !text.contains('.') => {
+                    text.push(c);
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokKind::Number,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = r##"
+            // line SystemTime comment
+            /* block /* nested SystemTime */ still comment */
+            let a = "SystemTime in a string";
+            let b = r#"raw SystemTime"#;
+            let c = b"byte SystemTime";
+            let real = Instant::now();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "SystemTime"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "Instant"));
+        assert!(ids.iter().any(|i| i == "now"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'q'; let l: &'static str = \"s\"; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+        // The char literal 'q' produced no ident token.
+        assert!(!toks.iter().any(|t| t.is_ident("q")));
+    }
+
+    #[test]
+    fn raw_identifiers_and_loop_labels() {
+        let toks = lex("let r#type = 1; 'outer: loop { break 'outer; }");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let toks = lex("thread::spawn(|| {})");
+        assert!(toks[1].is_punct("::"));
+        assert!(toks[0].is_ident("thread"));
+        assert!(toks[2].is_ident("spawn"));
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let toks = lex("a\n  bee");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[1].text, "bee");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_method_calls() {
+        let toks = lex("0..10; x.0.clone(); 1_000u64; 0xFF; 2.5e3");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "0", "1_000u64", "0xFF", "2.5e3"]);
+        assert!(toks.iter().any(|t| t.is_ident("clone")));
+    }
+
+    #[test]
+    fn unterminated_input_is_survived() {
+        // A linter must not die on bad input: just reach end of stream.
+        for bad in ["\"unterminated", "/* unterminated", "r#\"unterminated", "'"] {
+            let _ = lex(bad);
+        }
+    }
+
+    #[test]
+    fn br_prefixed_identifiers_survive() {
+        let toks = lex("let branch = brand; let raw = br\"bytes\";");
+        assert!(toks.iter().any(|t| t.is_ident("branch")));
+        assert!(toks.iter().any(|t| t.is_ident("brand")));
+        assert!(!toks.iter().any(|t| t.is_ident("bytes")));
+    }
+}

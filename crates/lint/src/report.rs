@@ -1,0 +1,73 @@
+//! Deterministic report rendering: the `lints` JSON member consumed by
+//! `bench_json_lint`, and the human diagnostic listing.
+
+use crate::allowlist::{AllowEntry, Applied};
+use crate::rules::{Finding, RULES};
+use dbpal_util::json::Json;
+
+/// Current report schema. Bump when the shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Build the `lints` member. Fully determined by its inputs — no
+/// clocks, no host state — so the 1-thread and 8-thread runs produce
+/// byte-identical text.
+pub fn lints_json(files_scanned: usize, applied: &Applied, entries: &[AllowEntry]) -> Json {
+    let count = |pool: &[Finding], code: &str| pool.iter().filter(|f| f.code == code).count();
+
+    let rules = RULES
+        .iter()
+        .map(|r| {
+            let allowed = count(&applied.allowed, r.code);
+            let viol = count(&applied.violations, r.code);
+            Json::Obj(vec![
+                ("code".into(), Json::str(r.code)),
+                ("name".into(), Json::str(r.name)),
+                ("findings".into(), Json::Num((allowed + viol) as f64)),
+                ("allowlisted".into(), Json::Num(allowed as f64)),
+            ])
+        })
+        .collect::<Vec<_>>();
+
+    let violations = applied
+        .violations
+        .iter()
+        .map(finding_json)
+        .collect::<Vec<_>>();
+
+    Json::Obj(vec![
+        ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+        ("files_scanned".into(), Json::Num(files_scanned as f64)),
+        ("allowlist_entries".into(), Json::Num(entries.len() as f64)),
+        ("rules".into(), Json::Arr(rules)),
+        ("violations".into(), Json::Arr(violations)),
+    ])
+}
+
+fn finding_json(f: &Finding) -> Json {
+    Json::Obj(vec![
+        ("code".into(), Json::str(f.code)),
+        ("path".into(), Json::str(&f.path)),
+        ("line".into(), Json::Num(f.line as f64)),
+        ("col".into(), Json::Num(f.col as f64)),
+        ("item".into(), Json::str(&f.item)),
+        ("message".into(), Json::str(&f.message)),
+    ])
+}
+
+/// Render violations for the terminal, one line per finding, plus a
+/// stale-entry section when the allowlist has dead weight.
+pub fn render_human(applied: &Applied, entries: &[AllowEntry]) -> String {
+    let mut out = String::new();
+    for f in &applied.violations {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    for idx in applied.stale() {
+        let e = &entries[idx];
+        out.push_str(&format!(
+            "stale allowlist entry (line {}): `{} {}` matches no finding — remove it\n",
+            e.line_no, e.code, e.path
+        ));
+    }
+    out
+}

@@ -81,15 +81,18 @@ impl<V> LruCache<V> {
         let mut evicted = None;
         if self.map.len() >= self.capacity {
             // Ticks are unique, so the minimum is unambiguous and the
-            // victim is independent of HashMap iteration order.
+            // victim is independent of HashMap iteration order. (The
+            // map can only be empty here if capacity is 0 — then there
+            // is nothing to evict and nothing worth caching either.)
             let victim = self
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("cache at capacity has entries");
-            self.map.remove(&victim);
-            evicted = Some(victim);
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.map.remove(&victim);
+                evicted = Some(victim);
+            }
         }
         self.map.insert(
             key,

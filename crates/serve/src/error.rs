@@ -30,6 +30,14 @@ pub enum ServeError {
     },
     /// The admitted query failed inside the NLIDB runtime.
     Runtime(RuntimeError),
+    /// The service's own state was unusable for this query — e.g. a
+    /// tenant lock poisoned by a panicked writer. The failure is scoped
+    /// to the query that observed it: the process, the connection, and
+    /// every other tenant keep serving.
+    Internal {
+        /// What was broken, for the error response and the logs.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -48,6 +56,7 @@ impl fmt::Display for ServeError {
                 write!(f, "unknown tenant `{tenant}`")
             }
             ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServeError::Internal { detail } => write!(f, "internal error: {detail}"),
         }
     }
 }

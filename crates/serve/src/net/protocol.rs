@@ -265,6 +265,10 @@ impl QueryOutcome {
                 kind: runtime_error_kind(e).to_string(),
                 message: e.to_string(),
             },
+            Err(ServeError::Internal { detail }) => QueryOutcome::Failed {
+                kind: "internal".to_string(),
+                message: format!("internal error: {detail}"),
+            },
         }
     }
 

@@ -50,7 +50,7 @@ use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -175,7 +175,9 @@ impl<M: TranslationModel + Send + Sync> Inner<M> {
             return;
         }
         self.log(LogEvent::new("drain").flag("accepting", false));
-        *self.drained.lock().expect("drain lock") = true;
+        // The drain flag mutex guards a single bool; poisoning cannot
+        // leave it inconsistent, so a panicked holder is survivable.
+        *self.drained.lock().unwrap_or_else(PoisonError::into_inner) = true;
         self.drained_cv.notify_all();
         // Wake an idle batcher so it can observe queue-empty + stop later.
         self.batch_cv.notify_all();
@@ -264,9 +266,12 @@ impl<M: TranslationModel + Send + Sync + 'static> ServerHandle<M> {
         let inner = &self.inner;
         // 1. Wait for the drain trigger (ours or the wire's).
         {
-            let mut d = inner.drained.lock().expect("drain lock");
+            let mut d = inner.drained.lock().unwrap_or_else(PoisonError::into_inner);
             while !*d {
-                d = inner.drained_cv.wait(d).expect("drain wait");
+                d = inner
+                    .drained_cv
+                    .wait(d)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
         // 2. Let every connection thread finish. Handles are registered
@@ -274,7 +279,10 @@ impl<M: TranslationModel + Send + Sync + 'static> ServerHandle<M> {
         // `active_conns` and another pass picks them up.
         loop {
             let handles: Vec<JoinHandle<()>> = {
-                let mut hs = inner.conn_handles.lock().expect("conn handle lock");
+                let mut hs = inner
+                    .conn_handles
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 hs.drain(..).collect()
             };
             if handles.is_empty() {
@@ -290,7 +298,7 @@ impl<M: TranslationModel + Send + Sync + 'static> ServerHandle<M> {
         }
         // 3. The queue is now quiescent: stop and join the batcher.
         {
-            let mut q = inner.batch.lock().expect("batch lock");
+            let mut q = inner.batch.lock().unwrap_or_else(PoisonError::into_inner);
             q.stop = true;
         }
         inner.batch_cv.notify_all();
@@ -377,7 +385,7 @@ fn run_accept<M: TranslationModel + Send + Sync + 'static>(
         inner
             .conn_handles
             .lock()
-            .expect("conn handle lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(handle);
     }
 }
@@ -420,7 +428,9 @@ fn read_request<M: TranslationModel + Send + Sync>(
     if stream.read_exact(&mut rest).is_err() {
         return ReadOutcome::Broken;
     }
-    let header = [first[0], rest[0], rest[1], rest[2]];
+    let [b0] = first;
+    let [b1, b2, b3] = rest;
+    let header = [b0, b1, b2, b3];
     let declared = frame::decode_len(header);
     let outcome = match frame::read_payload(stream, declared, inner.config.max_frame_len) {
         Ok(payload) => ReadOutcome::Frame(payload),
@@ -440,7 +450,10 @@ fn drain_payload(stream: &mut TcpStream, declared: usize) {
     let mut sink = [0u8; 4096];
     while remaining > 0 {
         let want = remaining.min(sink.len());
-        match stream.read(&mut sink[..want]) {
+        let Some(buf) = sink.get_mut(..want) else {
+            break;
+        };
+        match stream.read(buf) {
             Ok(0) => break,
             Ok(n) => remaining -= n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -592,7 +605,7 @@ fn handle_frame<M: TranslationModel + Send + Sync + 'static>(
                             .field("op", "query")
                             .field("tenant", tenant.clone())
                             .num("questions", questions.len() as f64)
-                            .text("q0", &questions[0])
+                            .text("q0", questions.first().map_or("", String::as_str))
                             .num("answered", answered as f64),
                     );
                     (Response::Results(outcomes), true)
@@ -612,7 +625,7 @@ fn submit_via_batcher<M: TranslationModel + Send + Sync>(
 ) -> Vec<QueryOutcome> {
     let (tx, rx) = mpsc::channel();
     {
-        let mut q = inner.batch.lock().expect("batch lock");
+        let mut q = inner.batch.lock().unwrap_or_else(PoisonError::into_inner);
         for (slot, question) in questions.iter().enumerate() {
             q.queue.push_back(Job {
                 tenant: tenant.to_string(),
@@ -626,11 +639,23 @@ fn submit_via_batcher<M: TranslationModel + Send + Sync>(
     drop(tx);
     let mut out: Vec<Option<QueryOutcome>> = (0..questions.len()).map(|_| None).collect();
     for _ in 0..questions.len() {
-        let (slot, result) = rx.recv().expect("batcher completed every queued job");
-        out[slot] = Some(QueryOutcome::from_result(&result));
+        // A closed channel means the batcher died mid-request; the
+        // unanswered slots fail typed below instead of killing the
+        // connection thread.
+        let Ok((slot, result)) = rx.recv() else {
+            break;
+        };
+        if let Some(o) = out.get_mut(slot) {
+            *o = Some(QueryOutcome::from_result(&result));
+        }
     }
     out.into_iter()
-        .map(|o| o.expect("every slot answered"))
+        .map(|o| {
+            o.unwrap_or_else(|| QueryOutcome::Failed {
+                kind: "internal".to_string(),
+                message: "internal error: batcher returned no outcome for this query".to_string(),
+            })
+        })
         .collect()
 }
 
@@ -641,7 +666,7 @@ fn submit_via_batcher<M: TranslationModel + Send + Sync>(
 fn run_batcher<M: TranslationModel + Send + Sync>(inner: &Inner<M>) {
     loop {
         let jobs: Vec<Job> = {
-            let mut q = inner.batch.lock().expect("batch lock");
+            let mut q = inner.batch.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if !q.queue.is_empty() {
                     break;
@@ -649,7 +674,10 @@ fn run_batcher<M: TranslationModel + Send + Sync>(inner: &Inner<M>) {
                 if q.stop {
                     return;
                 }
-                q = inner.batch_cv.wait(q).expect("batch wait");
+                q = inner
+                    .batch_cv
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             let n = q.queue.len().min(inner.config.batch_window.max(1));
             q.queue.drain(..n).collect()

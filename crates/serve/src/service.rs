@@ -48,7 +48,7 @@
 //! then invalidates only that tenant's cache shard.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use dbpal_core::TranslationModel;
 use dbpal_engine::Database;
@@ -171,6 +171,17 @@ enum Plan {
     Hit(Query),
     /// Waits on the `i`-th unique translation of this batch.
     Translate(usize),
+    /// Fails typed: the item's tenant state was unusable (its lock was
+    /// poisoned by a panicked writer).
+    Fail,
+}
+
+/// The typed failure for queries whose tenant lock was poisoned. The
+/// failure is per-item: neighbors in the same batch keep serving.
+fn poisoned_tenant_error() -> ServeError {
+    ServeError::Internal {
+        detail: "tenant state lock poisoned by a panicked writer".to_string(),
+    }
 }
 
 /// A concurrent NLIDB query service over one or more tenants.
@@ -239,7 +250,12 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
 
     /// Entries currently in the translation cache, over all shards.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("serve cache lock").len()
+        // The cache mutex guards no cross-call invariant a panicked
+        // holder could have broken mid-flight; poisoning is recoverable.
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Entries currently in `tenant`'s cache shard, or `None` for an
@@ -249,7 +265,7 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
         Some(
             self.cache
                 .lock()
-                .expect("serve cache lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .shard_len(tenant),
         )
     }
@@ -277,8 +293,9 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
     /// single-tenant spelling of [`replace_tenant`](Self::replace_tenant).
     pub fn replace_database(&mut self, db: Database) {
         let tenant = self.tenants[0].id.clone();
-        self.replace_tenant(&tenant, db)
-            .expect("default tenant is always registered");
+        // The default tenant is registered by construction, so the only
+        // error `replace_tenant` can return is unreachable here.
+        let _ = self.replace_tenant(&tenant, db);
     }
 
     /// Swap in a new database for `tenant`. Anonymization depends on
@@ -297,9 +314,14 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
         // Lock order: tenant NLIDB before cache, same as batches. The
         // write acquisition blocks until in-flight batches (read
         // holders) finish, so no batch ever sees the swap mid-stride.
-        let mut nlidb = self.tenants[idx].nlidb.write().expect("tenant nlidb lock");
+        // A poisoned write lock is healed here: this swap rebuilds the
+        // very state a previous panicked writer may have left torn.
+        let mut nlidb = self.tenants[idx]
+            .nlidb
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         nlidb.replace_database(db);
-        let mut cache = self.cache.lock().expect("serve cache lock");
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         let dropped = cache.invalidate_tenant(&self.tenants[idx].id);
         self.metrics.cache_invalidations.add(dropped as u64);
         Ok(dropped)
@@ -310,14 +332,22 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
     pub fn answer(&self, question: &str) -> Result<ServeResponse, ServeError> {
         self.submit_batch(&[question.to_string()])
             .pop()
-            .expect("batch of one yields one result")
+            .unwrap_or_else(|| {
+                Err(ServeError::Internal {
+                    detail: "batch of one yielded no result".to_string(),
+                })
+            })
     }
 
     /// Answer a single question as `tenant`.
     pub fn answer_for(&self, tenant: &str, question: &str) -> Result<ServeResponse, ServeError> {
         self.submit_batch_for(tenant, &[question.to_string()])
             .pop()
-            .expect("batch of one yields one result")
+            .unwrap_or_else(|| {
+                Err(ServeError::Internal {
+                    detail: "batch of one yielded no result".to_string(),
+                })
+            })
     }
 
     /// Serve a batch of questions as the default tenant. Results come
@@ -430,12 +460,14 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
         // Hold a read guard per involved tenant for the whole batch
         // (acquired in registration order — the same order everywhere,
         // so no lock cycle with `replace_tenant`'s write acquisition).
+        // A tenant whose lock is poisoned (a writer panicked mid-swap)
+        // yields no guard: its items fail typed, neighbors proceed.
         let mut involved: Vec<usize> = admitted.iter().map(|&(t, _)| t).collect();
         involved.sort_unstable();
         involved.dedup();
         let guards: Vec<(usize, std::sync::RwLockReadGuard<'_, Nlidb<M>>)> = involved
             .iter()
-            .map(|&t| (t, self.tenants[t].nlidb.read().expect("tenant nlidb lock")))
+            .filter_map(|&t| self.tenants[t].nlidb.read().ok().map(|g| (t, g)))
             .collect();
         let mut nlidbs: Vec<Option<&Nlidb<M>>> = vec![None; self.tenants.len()];
         for (t, guard) in &guards {
@@ -444,13 +476,14 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
 
         // Phase 1 (parallel): anonymize + lemmatize against the
         // tenant's own value index, forming each question's cache key.
-        let pre: Vec<(dbpal_runtime::Anonymized, Vec<String>, String)> =
+        // `None` marks an item whose tenant held no usable guard.
+        let pre: Vec<Option<(dbpal_runtime::Anonymized, Vec<String>, String)>> =
             par_map_indexed(&admitted, workers, |_, &(t, q)| {
-                let nlidb = nlidbs[t].expect("involved tenant holds a read guard");
+                let nlidb = nlidbs[t]?;
                 let anonymized = m.anonymize.time(|| nlidb.anonymize(q));
                 let lemmas = m.lemmatize.time(|| nlidb.lemmatize(&anonymized.text));
                 let key = lemmas.join(" ");
-                (anonymized, lemmas, key)
+                Some((anonymized, lemmas, key))
             });
 
         // Phase 2 (sequential): consult the sharded cache in batch
@@ -461,11 +494,14 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
         let mut pending: Vec<(usize, String, Vec<String>)> = Vec::new();
         let mut pending_index: BTreeMap<(usize, String), usize> = BTreeMap::new();
         let plans: Vec<Plan> = {
-            let mut cache = self.cache.lock().expect("serve cache lock");
+            let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
             admitted
                 .iter()
                 .zip(&pre)
-                .map(|(&(t, _), (_, lemmas, key))| {
+                .map(|(&(t, _), pre_item)| {
+                    let Some((_, lemmas, key)) = pre_item else {
+                        return Plan::Fail;
+                    };
                     let tenant = &self.tenants[t];
                     if let Some(q) = cache.get(&tenant.id, key) {
                         m.cache_hit.inc();
@@ -492,7 +528,7 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
         // key) once, with that tenant's model.
         let translated: Vec<Option<Query>> =
             par_map_indexed(&pending, workers, |_, (t, _, lemmas)| {
-                let nlidb = nlidbs[*t].expect("involved tenant holds a read guard");
+                let nlidb = nlidbs[*t]?;
                 m.translate.time(|| nlidb.model().translate(lemmas))
             });
 
@@ -501,7 +537,7 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
         // not cached: the model may be retrained or the index refreshed
         // between batches.
         {
-            let mut cache = self.cache.lock().expect("serve cache lock");
+            let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
             for ((t, key, _), result) in pending.iter().zip(&translated) {
                 if let Some(q) = result {
                     cache.insert(&self.tenants[*t].id, key.clone(), q.clone());
@@ -510,19 +546,30 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
         }
 
         // Phase 5 (parallel): post-process and execute every admitted
-        // query against its tenant's database.
-        let jobs: Vec<(usize, &dbpal_runtime::Anonymized, Option<Query>, bool)> = admitted
+        // query against its tenant's database. `None` jobs are the
+        // poisoned-tenant items; they fail typed without touching the
+        // runtime.
+        let jobs: Vec<Option<(usize, &dbpal_runtime::Anonymized, Option<Query>, bool)>> = admitted
             .iter()
             .zip(pre.iter().zip(&plans))
-            .map(|(&(t, _), ((anonymized, _, _), plan))| match plan {
-                Plan::Hit(q) => (t, anonymized, Some(q.clone()), true),
-                Plan::Translate(i) => (t, anonymized, translated[*i].clone(), false),
+            .map(|(&(t, _), (pre_item, plan))| {
+                let (anonymized, _, _) = pre_item.as_ref()?;
+                match plan {
+                    Plan::Hit(q) => Some((t, anonymized, Some(q.clone()), true)),
+                    Plan::Translate(i) => Some((t, anonymized, translated[*i].clone(), false)),
+                    Plan::Fail => None,
+                }
             })
             .collect();
         let finished: Vec<Result<ServeResponse, ServeError>> =
-            par_map_indexed(&jobs, workers, |_, (t, anonymized, translation, hit)| {
-                let nlidb = nlidbs[*t].expect("involved tenant holds a read guard");
-                let outcome = self.finish(nlidb, anonymized, translation.as_ref(), *hit);
+            par_map_indexed(&jobs, workers, |_, job| {
+                let outcome = match job {
+                    Some((t, anonymized, translation, hit)) => match nlidbs[*t] {
+                        Some(nlidb) => self.finish(nlidb, anonymized, translation.as_ref(), *hit),
+                        None => Err(poisoned_tenant_error()),
+                    },
+                    None => Err(poisoned_tenant_error()),
+                };
                 if outcome.is_err() {
                     m.errors.inc();
                 }
@@ -536,9 +583,11 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
             .into_iter()
             .map(|slot| match slot {
                 Some(e) => Err(e),
-                None => finished
-                    .next()
-                    .expect("one finished result per admitted slot"),
+                None => finished.next().unwrap_or_else(|| {
+                    Err(ServeError::Internal {
+                        detail: "missing result for admitted query".to_string(),
+                    })
+                }),
             })
             .collect()
     }

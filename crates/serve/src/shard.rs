@@ -67,12 +67,19 @@ impl<V> ShardedCache<V> {
     /// order is registration order, which keeps eviction tie-breaking
     /// impossible (ticks are unique) and debugging sane.
     pub fn register_tenant(&mut self, tenant: &str) {
-        if self.shard_idx(tenant).is_none() {
-            self.shards.push(Shard {
-                tenant: tenant.to_string(),
-                map: HashMap::new(),
-            });
+        self.ensure_shard(tenant);
+    }
+
+    /// Index of `tenant`'s shard, creating it if absent.
+    fn ensure_shard(&mut self, tenant: &str) -> usize {
+        if let Some(idx) = self.shard_idx(tenant) {
+            return idx;
         }
+        self.shards.push(Shard {
+            tenant: tenant.to_string(),
+            map: HashMap::new(),
+        });
+        self.shards.len() - 1
     }
 
     fn shard_idx(&self, tenant: &str) -> Option<usize> {
@@ -132,8 +139,7 @@ impl<V> ShardedCache<V> {
     ) -> Option<(String, String)> {
         self.tick += 1;
         let key = key.into();
-        self.register_tenant(tenant);
-        let idx = self.shard_idx(tenant).expect("shard just registered");
+        let idx = self.ensure_shard(tenant);
         if let Some(entry) = self.shards[idx].map.get_mut(&key) {
             entry.value = value;
             entry.last_used = self.tick;
@@ -151,10 +157,13 @@ impl<V> ShardedCache<V> {
                 .filter(|(_, s)| !s.map.is_empty())
                 .flat_map(|(i, s)| s.map.iter().map(move |(k, e)| (i, k, e.last_used)))
                 .min_by_key(|&(_, _, t)| t)
-                .map(|(i, k, _)| (i, k.clone()))
-                .expect("cache at capacity has entries");
-            self.shards[victim.0].map.remove(&victim.1);
-            evicted = Some((self.shards[victim.0].tenant.clone(), victim.1));
+                .map(|(i, k, _)| (i, k.clone()));
+            // Empty-at-capacity only happens with a zero budget; then
+            // there is nothing to evict (and nothing worth caching).
+            if let Some((shard_i, victim_key)) = victim {
+                self.shards[shard_i].map.remove(&victim_key);
+                evicted = Some((self.shards[shard_i].tenant.clone(), victim_key));
+            }
         }
         self.shards[idx].map.insert(
             key,

@@ -117,8 +117,10 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, Fram
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    header[0] = first[0];
-    read_fully(r, &mut header[1..])?;
+    let [first_byte] = first;
+    let [head, tail @ ..] = &mut header;
+    *head = first_byte;
+    read_fully(r, tail)?;
     let declared = decode_len(header);
     read_payload(r, declared, max).map(Some)
 }

@@ -14,9 +14,13 @@ cd "$(dirname "$0")/.."
 DBPAL_CHECK_CASES="${DBPAL_CHECK_CASES:-16}"
 export DBPAL_CHECK_CASES
 
-# Static hygiene first: cheap, and a determinism hazard invalidates
-# everything the test run would tell us about reproducibility.
-sh scripts/lint_determinism.sh
+# Static hygiene first: a determinism hazard invalidates everything the
+# test run would tell us about reproducibility. lint_gate (dbpal-lint)
+# lexes every workspace source, applies the L### rule catalog under the
+# justified allowlist (scripts/lint_allowlist.txt), checks for stale
+# entries, and writes BENCH_lint.json for the report lint at the end.
+DBPAL_BENCH_JSON="$PWD/BENCH_lint.json" \
+  cargo run --release --offline -p dbpal-bench --bin lint_gate
 cargo fmt --check
 
 cargo build --release --offline --workspace
@@ -70,4 +74,4 @@ DBPAL_BENCH_JSON="$PWD/BENCH_serve.json" \
   cargo run --release --offline -p dbpal-bench --bin load_gate -- --quick
 
 cargo run --release --offline -p dbpal-bench --bin bench_json_lint -- \
-  BENCH_pipeline.json BENCH_serve.json BENCH_tenant.json
+  BENCH_pipeline.json BENCH_serve.json BENCH_tenant.json BENCH_lint.json
