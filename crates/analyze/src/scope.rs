@@ -31,7 +31,7 @@ fn phrase_key(identifier: &str) -> String {
 /// Whether a schema object's NL phrases include the given identifier.
 fn matches_phrase(phrases: &[String], identifier: &str) -> bool {
     let key = phrase_key(identifier);
-    phrases.iter().any(|p| *p == key)
+    phrases.contains(&key)
 }
 
 /// The table set one query level resolves against.
@@ -58,13 +58,10 @@ impl<'a> Scope<'a> {
             FromClause::Tables(names) => {
                 let mut ids = Vec::with_capacity(names.len());
                 for name in names {
-                    match Self::resolve_table_name(schema, name, depth, out) {
-                        Some(tid) => {
-                            if !ids.contains(&tid) {
-                                ids.push(tid);
-                            }
+                    if let Some(tid) = Self::resolve_table_name(schema, name, depth, out) {
+                        if !ids.contains(&tid) {
+                            ids.push(tid);
                         }
-                        None => {}
                     }
                 }
                 Some(ids)

@@ -272,7 +272,7 @@ impl PipelineReport {
         reg.counter("pipeline.final_pairs")
             .add(self.final_pairs as u64);
         reg.counter("pipeline.generator.retries")
-            .add(self.generator.retries() as u64);
+            .add(self.generator.retries());
         reg.counter("pipeline.generator.shortfall")
             .add(self.generator.shortfall as u64);
         reg.counter("pipeline.analyzer.analyzed")

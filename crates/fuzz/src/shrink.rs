@@ -157,17 +157,15 @@ fn pred_reductions(p: &Pred) -> Vec<Pred> {
             col,
             values,
             negated,
-        } => {
-            if values.len() > 1 {
-                for i in 0..values.len() {
-                    let mut vs = values.clone();
-                    vs.remove(i);
-                    out.push(Pred::InList {
-                        col: col.clone(),
-                        values: vs,
-                        negated: *negated,
-                    });
-                }
+        } if values.len() > 1 => {
+            for i in 0..values.len() {
+                let mut vs = values.clone();
+                vs.remove(i);
+                out.push(Pred::InList {
+                    col: col.clone(),
+                    values: vs,
+                    negated: *negated,
+                });
             }
         }
         _ => {}

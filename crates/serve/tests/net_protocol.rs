@@ -258,7 +258,10 @@ fn busy_refusal_when_connection_limit_reached() {
     for _ in 0..50 {
         let mut second = Client::connect(addr).expect("second connect");
         match second.read_response() {
-            Ok(Response::Error { kind, .. }) if kind == ErrorKind::Busy => {
+            Ok(Response::Error {
+                kind: ErrorKind::Busy,
+                ..
+            }) => {
                 saw_busy = true;
                 break;
             }

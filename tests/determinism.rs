@@ -49,8 +49,8 @@ fn export(seed: u64) -> String {
 
 #[test]
 fn same_seed_yields_byte_identical_exports() {
-    let a = export(0xD_E7E_C7);
-    let b = export(0xD_E7E_C7);
+    let a = export(0x00DE_7EC7);
+    let b = export(0x00DE_7EC7);
     assert!(!a.is_empty());
     assert_eq!(a, b, "same seed must reproduce the exact corpus bytes");
 }
@@ -73,7 +73,7 @@ fn different_seeds_yield_different_corpora() {
 fn thread_count_never_changes_exported_bytes() {
     let export_with = |threads: usize| {
         let config = GenerationConfig {
-            seed: 0xD_E7E_C7,
+            seed: 0x00DE_7EC7,
             threads,
             ..GenerationConfig::small()
         };
@@ -98,7 +98,7 @@ fn thread_count_never_changes_multi_schema_bytes() {
     let s2 = geo_schema();
     let export_with = |threads: usize| {
         let config = GenerationConfig {
-            seed: 0xD_E7E_C7,
+            seed: 0x00DE_7EC7,
             threads,
             ..GenerationConfig::small()
         };
@@ -132,7 +132,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 fn golden_corpus_bytes_for_fixed_seeds() {
     // (seed, byte length, FNV-1a digest, pair count)
     const GOLDEN: [(u64, usize, u64, usize); 2] = [
-        (0xD_E7E_C7, 2_333_908, 0x856d_ab8d_79d6_fa4f, 5256),
+        (0x00DE_7EC7, 2_333_908, 0x856d_ab8d_79d6_fa4f, 5256),
         (0x5EED, 2_339_561, 0x8b3e_01e2_6029_232e, 5272),
     ];
     for (seed, len, digest, pairs) in GOLDEN {
@@ -166,7 +166,7 @@ fn golden_corpus_bytes_for_fixed_seeds() {
 fn adjacent_seed_schema_index_pairs_differ() {
     let s1 = schema();
     let s2 = geo_schema();
-    let base = 0xD_E7E_C7u64;
+    let base = 0x00DE_7EC7u64;
 
     let multi = TrainingPipeline::new(GenerationConfig {
         seed: base,
