@@ -8,7 +8,7 @@
 use dbpal_core::{catalog, Augmenter, GenerationConfig, Generator, TrainingPipeline};
 use dbpal_nlp::Lemmatizer;
 use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
-use dbpal_util::bench::{black_box, Config, Harness};
+use dbpal_util::bench::{black_box, BenchOpts, Config, Harness};
 
 fn bench_schema() -> Schema {
     SchemaBuilder::new("hospital")
@@ -58,11 +58,18 @@ fn main() {
         },
     );
 
+    // Sub-millisecond routine: floor the iteration count so the
+    // quick-mode baseline records a real median, not one timer tick.
     let lem = Lemmatizer::new();
     let sentence = "What are the names of all patients older than 80 who stayed longest?";
-    h.bench("lemmatizer/sentence", || {
-        black_box(lem.lemmatize_sentence(sentence).len())
-    });
+    h.bench_opts(
+        "lemmatizer/sentence",
+        BenchOpts {
+            min_iters: 512,
+            ..BenchOpts::default()
+        },
+        || black_box(lem.lemmatize_sentence(sentence).len()),
+    );
 
     h.bench("pipeline/generate_small", || {
         let pipeline = TrainingPipeline::new(config.clone());
@@ -73,15 +80,22 @@ fn main() {
     // The corpora are byte-identical (the determinism contract); only
     // wall-clock time may differ, and on multi-core hardware the
     // 4-thread run should win.
+    // The `--compare` parity gate judges this pair's medians, so even
+    // quick runs take a few samples each — one sample's scheduler
+    // hiccup must not read as a fan-out regression.
+    let scaling = BenchOpts {
+        min_samples: 3,
+        ..BenchOpts::default()
+    };
     let full = GenerationConfig::default();
-    h.bench("pipeline/generate_threads1", || {
+    h.bench_opts("pipeline/generate_threads1", scaling, || {
         let cfg = GenerationConfig {
             threads: 1,
             ..full.clone()
         };
         black_box(TrainingPipeline::new(cfg).generate(&schema).len())
     });
-    h.bench("pipeline/generate_threads4", || {
+    h.bench_opts("pipeline/generate_threads4", scaling, || {
         let cfg = GenerationConfig {
             threads: 4,
             ..full.clone()
@@ -95,9 +109,14 @@ fn main() {
 
     let sql = "SELECT disease, COUNT(*) FROM patients WHERE age > @AGE \
                GROUP BY disease HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 5";
-    h.bench("sql/parse", || {
-        black_box(dbpal_sql::parse_query(sql).unwrap())
-    });
+    h.bench_opts(
+        "sql/parse",
+        BenchOpts {
+            min_iters: 512,
+            ..BenchOpts::default()
+        },
+        || black_box(dbpal_sql::parse_query(sql).unwrap()),
+    );
 
     h.finish();
 }

@@ -20,7 +20,16 @@
 //! violations array that must be empty (the gate fails otherwise, so a
 //! non-empty array here means a stale or hand-edited report), and the
 //! allowlist entry count.
+//!
+//! A second mode, `--compare <BASE> <FRESH> [<BASE> <FRESH>...]`, diffs
+//! a fresh run against the committed baseline pair by pair: every
+//! baseline benchmark must reappear within the `DBPAL_BENCH_TOLERANCE`
+//! band (default ×3, both directions), and the thread-scaling pairs
+//! must satisfy `threads4 ≤ threads1 × DBPAL_BENCH_PARITY` (default
+//! ×1.05). See `dbpal_bench::compare` for the rules and `verify.sh`
+//! for the CI wiring.
 
+use dbpal_bench::compare::{compare_reports, parity_from_env, tolerance_from_env};
 use dbpal_util::Json;
 
 /// Validate the `load` member written by the load harness.
@@ -206,10 +215,75 @@ fn check_report(doc: &Json) -> Result<(usize, String), String> {
     Ok((benchmarks.len(), group))
 }
 
+/// Load and parse one report file, or exit-worthy error text.
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("does not parse: {e}"))
+}
+
+/// The `--compare` mode: `(baseline, fresh)` path pairs.
+fn run_compare(paths: &[String]) -> ! {
+    if paths.is_empty() || !paths.len().is_multiple_of(2) {
+        eprintln!("usage: bench_json_lint --compare <BASE.json> <FRESH.json> [pairs...]");
+        std::process::exit(2);
+    }
+    let (tolerance, parity) = match (tolerance_from_env(), parity_from_env()) {
+        (Ok(t), Ok(p)) => (t, p),
+        (t, p) => {
+            for e in [t.err(), p.err()].into_iter().flatten() {
+                eprintln!("[bench_json_lint] FAIL {e}");
+            }
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+    for pair in paths.chunks(2) {
+        let (base_path, fresh_path) = (&pair[0], &pair[1]);
+        let docs = load(base_path)
+            .map_err(|e| format!("{base_path}: {e}"))
+            .and_then(|b| {
+                load(fresh_path)
+                    .map_err(|e| format!("{fresh_path}: {e}"))
+                    .map(|f| (b, f))
+            });
+        let report = match docs {
+            Ok((base, fresh)) => compare_reports(&base, &fresh, tolerance, parity),
+            Err(e) => Err(e),
+        };
+        match report {
+            Ok(r) => {
+                for w in &r.warnings {
+                    eprintln!("[bench_json_lint] warn {fresh_path}: {w}");
+                }
+                for e in &r.errors {
+                    eprintln!("[bench_json_lint] FAIL {fresh_path}: {e}");
+                }
+                if r.ok() {
+                    println!(
+                        "[bench_json_lint] OK {fresh_path}: group `{}`, {} medians within x{tolerance} of {base_path}",
+                        r.group, r.compared
+                    );
+                } else {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("[bench_json_lint] FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.first().map(String::as_str) == Some("--compare") {
+        paths.remove(0);
+        run_compare(&paths);
+    }
     if paths.is_empty() {
-        eprintln!("usage: bench_json_lint <BENCH_*.json>...");
+        eprintln!("usage: bench_json_lint <BENCH_*.json>... | --compare <BASE> <FRESH>...");
         std::process::exit(2);
     }
     let mut failed = false;

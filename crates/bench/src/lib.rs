@@ -6,6 +6,7 @@
 
 use std::fmt::Write as _;
 
+pub mod compare;
 pub mod loadgen;
 
 /// Render an aligned text table: a header row plus data rows.

@@ -5,7 +5,7 @@ use crate::{GenerationConfig, Provenance, TrainingCorpus, TrainingPair};
 use dbpal_nlp::{tokenize, ComparativeDictionary, ComparativeSense, ParaphraseStore, PosTagger};
 use dbpal_schema::{Schema, SemanticDomain};
 use dbpal_sql::{CmpOp, Pred, Scalar};
-use dbpal_util::{par_map_indexed, Rng, SliceRandom};
+use dbpal_util::{Rng, SliceRandom};
 
 /// The augmentation engine. Produces additional pairs from a seed corpus;
 /// it never mutates the input pairs.
@@ -41,7 +41,8 @@ impl<'a> Augmenter<'a> {
     pub fn augment(&self, corpus: &TrainingCorpus) -> Vec<TrainingPair> {
         const CHUNK: usize = 32;
         let chunks: Vec<&[TrainingPair]> = corpus.pairs().chunks(CHUNK).collect();
-        let shards = par_map_indexed(&chunks, self.config.effective_threads(), |ci, chunk| {
+        let par = &self.config.par;
+        let shards = par.map_indexed(&chunks, self.config.effective_threads(), |ci, chunk| {
             let mut additions = Vec::new();
             for (j, pair) in chunk.iter().enumerate() {
                 let mut rng =

@@ -1,7 +1,7 @@
 //! Generation-pipeline configuration: the tuning parameters ϕ of Table 1.
 
 use dbpal_analyze::AnalyzerPolicy;
-use dbpal_util::Rng;
+use dbpal_util::{ParStrategy, Rng};
 
 /// All parameters of the data generation procedure (paper Table 1),
 /// split into *data instantiation* and *data augmentation* groups.
@@ -66,6 +66,11 @@ pub struct GenerationConfig {
     /// own [`dbpal_util::stream_seed`]-derived stream and shards merge
     /// in input order — so `threads` only changes wall-clock time.
     pub threads: usize,
+    /// How the parallel stages execute: the process-wide persistent
+    /// [`WorkerPool`](dbpal_util::WorkerPool) by default, a pinned
+    /// pool, or scoped spawn-per-call. Like `threads`, never changes
+    /// the corpus bytes.
+    pub par: ParStrategy,
 }
 
 impl Default for GenerationConfig {
@@ -87,6 +92,7 @@ impl Default for GenerationConfig {
             analyzer_policy: AnalyzerPolicy::default(),
             seed: 0x0DBA1,
             threads: 0,
+            par: ParStrategy::default(),
         }
     }
 }
@@ -116,6 +122,7 @@ impl GenerationConfig {
             // Not a generation parameter: threads never changes the
             // corpus, so the search space excludes it.
             threads: 0,
+            par: ParStrategy::default(),
         }
     }
 

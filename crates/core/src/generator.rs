@@ -15,7 +15,7 @@ use dbpal_sql::{
     AggArg, AggFunc, CmpOp, ColumnRef, FromClause, OrderDir, OrderKey, Pred, Query, Scalar,
     SelectItem,
 };
-use dbpal_util::{par_map_indexed, Rng, SliceRandom};
+use dbpal_util::{Rng, SliceRandom};
 use std::collections::{HashMap, HashSet};
 
 /// The template-instantiation engine.
@@ -107,7 +107,10 @@ impl<'a> Generator<'a> {
         templates: &[SeedTemplate],
     ) -> (TrainingCorpus, GeneratorStats) {
         let threads = self.config.effective_threads();
-        let shards = par_map_indexed(templates, threads, |i, t| self.generate_template(i, t));
+        let shards = self
+            .config
+            .par
+            .map_indexed(templates, threads, |i, t| self.generate_template(i, t));
         let mut corpus = TrainingCorpus::new();
         let mut stats = GeneratorStats::default();
         for (pairs, shard_stats) in shards {

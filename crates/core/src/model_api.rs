@@ -8,6 +8,7 @@
 use crate::TrainingCorpus;
 use dbpal_nlp::Lemmatizer;
 use dbpal_sql::{exact_set_match, Query};
+use dbpal_util::intern::{Sym, Vocab};
 
 /// Options controlling a training run.
 #[derive(Debug, Clone)]
@@ -62,6 +63,21 @@ pub trait TranslationModel {
     /// Translate a lemmatized NL token sequence into SQL. `None` when the
     /// model cannot produce a well-formed query.
     fn translate(&self, nl_lemmas: &[String]) -> Option<Query>;
+
+    /// Translate an interned lemma sequence (ids issued by `vocab`).
+    ///
+    /// The default materializes the lemmas and delegates to
+    /// [`TranslationModel::translate`], so every model works unchanged;
+    /// models on the serving hot path override this to match on `Sym`
+    /// ids directly and skip string construction entirely. Must agree
+    /// with `translate` on the resolved token sequence.
+    fn translate_syms(&self, lemmas: &[Sym], vocab: &Vocab) -> Option<Query> {
+        let strings: Vec<String> = lemmas
+            .iter()
+            .map(|&s| String::from(vocab.resolve(s)))
+            .collect();
+        self.translate(&strings)
+    }
 }
 
 /// One evaluation example: a (pre-anonymized) NL question and its gold

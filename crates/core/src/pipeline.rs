@@ -27,7 +27,7 @@ use crate::{
 use dbpal_analyze::{Analyzer, AnalyzerPolicy, Diagnostic};
 use dbpal_nlp::Lemmatizer;
 use dbpal_schema::Schema;
-use dbpal_util::{par_map_indexed, stream_seed, MetricsRegistry};
+use dbpal_util::{stream_seed, MetricsRegistry, ParStrategy};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -90,6 +90,19 @@ pub fn analyze_pairs(
     threads: usize,
     policy: AnalyzerPolicy,
 ) -> (Vec<TrainingPair>, AnalyzerReport) {
+    analyze_pairs_with(schema, pairs, threads, policy, &ParStrategy::default())
+}
+
+/// [`analyze_pairs`] with an explicit execution strategy — the pipeline
+/// passes its configured [`ParStrategy`] so the stage shares the
+/// persistent pool (or pinned/scoped choice) with the rest of the run.
+pub fn analyze_pairs_with(
+    schema: &Schema,
+    pairs: Vec<TrainingPair>,
+    threads: usize,
+    policy: AnalyzerPolicy,
+    par: &ParStrategy,
+) -> (Vec<TrainingPair>, AnalyzerReport) {
     if policy == AnalyzerPolicy::Off {
         return (
             pairs,
@@ -103,7 +116,7 @@ pub fn analyze_pairs(
     const CHUNK: usize = 64;
     let verdicts: Vec<Vec<Vec<Diagnostic>>> = {
         let chunks: Vec<&[TrainingPair]> = pairs.chunks(CHUNK).collect();
-        par_map_indexed(&chunks, threads, |_, chunk| {
+        par.map_indexed(&chunks, threads, |_, chunk| {
             chunk.iter().map(|p| analyzer.analyze(&p.sql)).collect()
         })
     };
@@ -435,7 +448,7 @@ impl TrainingPipeline {
         const CHUNK: usize = 64;
         let lemmas: Vec<Vec<Vec<String>>> = {
             let chunks: Vec<&[TrainingPair]> = pairs.chunks(CHUNK).collect();
-            par_map_indexed(&chunks, threads, |_, chunk| {
+            self.config.par.map_indexed(&chunks, threads, |_, chunk| {
                 chunk
                     .iter()
                     .map(|p| lemmatizer.lemmatize_sentence(&p.nl))
@@ -460,11 +473,12 @@ impl TrainingPipeline {
         // proven against the schema; under `Reject` invalid pairs are
         // dropped with per-code and per-provenance accounting.
         let stage = Instant::now();
-        let (kept, analyzer_report) = analyze_pairs(
+        let (kept, analyzer_report) = analyze_pairs_with(
             schema,
             corpus.into_iter().collect(),
             threads,
             self.config.analyzer_policy,
+            &self.config.par,
         );
         let corpus = TrainingCorpus::from_pairs(kept);
         let analyze_time = stage.elapsed();

@@ -12,7 +12,7 @@
 use dbpal_engine::Database;
 use dbpal_schema::{Schema, Value};
 use dbpal_sql::Query;
-use dbpal_util::{auto_threads, par_map_indexed, MetricsRegistry, Rng};
+use dbpal_util::{auto_threads, pooled_map_indexed, MetricsRegistry, Rng};
 
 use crate::case::{FuzzCase, SchemaSpec};
 use crate::gen::{gen_query, gen_rows, gen_schema};
@@ -264,7 +264,7 @@ pub fn run_iteration(seed: u64, i: u64) -> Vec<Finding> {
 /// count or scheduling.
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let idxs: Vec<u64> = (0..cfg.iters as u64).collect();
-    let per_iter = par_map_indexed(&idxs, cfg.threads, |_, &i| run_iteration(cfg.seed, i));
+    let per_iter = pooled_map_indexed(&idxs, cfg.threads, |_, &i| run_iteration(cfg.seed, i));
     FuzzReport {
         seed: cfg.seed,
         iters: cfg.iters,

@@ -31,7 +31,7 @@ pub mod rules;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use dbpal_util::par_map_indexed;
+use dbpal_util::pooled_map_indexed;
 use rules::Finding;
 
 /// Result of linting a whole tree.
@@ -104,7 +104,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 /// already sorted.
 pub fn lint_workspace(root: &Path, threads: usize) -> LintRun {
     let files = workspace_files(root);
-    let per_file: Vec<Vec<Finding>> = par_map_indexed(&files, threads, |_, (rel, abs)| {
+    let per_file: Vec<Vec<Finding>> = pooled_map_indexed(&files, threads, |_, (rel, abs)| {
         let src = fs::read_to_string(abs).unwrap_or_default();
         analyze_source(rel, &src)
     });

@@ -10,11 +10,16 @@
 //! suffix rules, which covers the regular morphology of the vocabulary
 //! DBPal's templates and paraphrase store produce.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
+use dbpal_util::intern::{Sym, Vocab};
+
+use crate::tokenizer::{scan_tokens, TokenScratch};
+
 /// A rule-based lemmatizer. Construction builds the irregular-form table;
-/// [`Lemmatizer::lemma`] is then allocation-free for irregulars and cheap
-/// for suffix rules.
+/// [`Lemmatizer::lemma_of`] is then allocation-free except when a suffix
+/// rule has to synthesize a restored stem (`cities → city`).
 #[derive(Debug, Clone)]
 pub struct Lemmatizer {
     irregular: HashMap<&'static str, &'static str>,
@@ -218,33 +223,40 @@ impl Lemmatizer {
         }
     }
 
-    /// Lemmatize a single lowercase token. Placeholders (`@X`) and
-    /// numbers pass through unchanged.
+    /// Lemmatize a single lowercase token, allocating an owned `String`.
+    /// Prefer [`Lemmatizer::lemma_of`] on hot paths.
     pub fn lemma(&self, word: &str) -> String {
+        self.lemma_of(word).into_owned()
+    }
+
+    /// Lemmatize a single lowercase token without allocating unless a
+    /// suffix rule has to synthesize a restored stem. Placeholders
+    /// (`@X`) and numbers pass through unchanged.
+    pub fn lemma_of<'a>(&self, word: &'a str) -> Cow<'a, str> {
         if word.starts_with('@') || word.chars().all(|c| c.is_ascii_digit()) {
-            return word.to_string();
+            return Cow::Borrowed(word);
         }
         // Possessives: car's -> car, James' -> James.
         if let Some(stripped) = word.strip_suffix("'s").or_else(|| word.strip_suffix('\'')) {
-            return self.lemma(stripped);
+            return self.lemma_of(stripped);
         }
         if let Some(&lemma) = self.irregular.get(word) {
-            return lemma.to_string();
+            return Cow::Borrowed(lemma);
         }
         if self.invariant.contains(&word) {
-            return word.to_string();
+            return Cow::Borrowed(word);
         }
         self.suffix_rules(word)
     }
 
     /// Ordered regular suffix rules. Applied only when no irregular or
     /// invariant entry matched.
-    fn suffix_rules(&self, word: &str) -> String {
+    fn suffix_rules<'a>(&self, word: &'a str) -> Cow<'a, str> {
         let n = word.len();
         // -ies -> -y (cities handled as irregular; this covers the rest)
         if n > 4 {
             if let Some(stem) = word.strip_suffix("ies") {
-                return format!("{stem}y");
+                return Cow::Owned(format!("{stem}y"));
             }
         }
         // -sses -> -ss, -xes/-ches/-shes/-zes -> drop "es"
@@ -256,14 +268,14 @@ impl Lemmatizer {
                     || stem.ends_with("sh")
                     || stem.ends_with('z')
                 {
-                    return stem.to_string();
+                    return Cow::Borrowed(stem);
                 }
             }
         }
         // -ied -> -y (studied -> study)
         if n > 4 {
             if let Some(stem) = word.strip_suffix("ied") {
-                return format!("{stem}y");
+                return Cow::Owned(format!("{stem}y"));
             }
         }
         // -ing: doubling (running -> run), -e restoration (having handled
@@ -272,10 +284,10 @@ impl Lemmatizer {
         if n > 5 {
             if let Some(stem) = word.strip_suffix("ing") {
                 if has_doubled_final_consonant(stem) {
-                    return stem[..stem.len() - 1].to_string();
+                    return Cow::Borrowed(&stem[..stem.len() - 1]);
                 }
                 if stem_is_wordlike(stem) {
-                    return stem.to_string();
+                    return Cow::Borrowed(stem);
                 }
             }
         }
@@ -284,7 +296,7 @@ impl Lemmatizer {
         if n > 4 {
             if let Some(stem) = word.strip_suffix("ed") {
                 if has_doubled_final_consonant(stem) {
-                    return stem[..stem.len() - 1].to_string();
+                    return Cow::Borrowed(&stem[..stem.len() - 1]);
                 }
                 // Restore a dropped 'e' when the stem ends in a pattern
                 // that required one (averag -> average, stat -> state is
@@ -298,10 +310,10 @@ impl Lemmatizer {
                     || stem.ends_with("iz")
                     || stem.ends_with("as")
                 {
-                    return format!("{stem}e");
+                    return Cow::Owned(format!("{stem}e"));
                 }
                 if stem_is_wordlike(stem) {
-                    return stem.to_string();
+                    return Cow::Borrowed(stem);
                 }
             }
         }
@@ -312,19 +324,46 @@ impl Lemmatizer {
             && !word.ends_with("us")
             && !word.ends_with("is")
         {
-            return word[..n - 1].to_string();
+            return Cow::Borrowed(&word[..n - 1]);
         }
-        word.to_string()
+        Cow::Borrowed(word)
     }
 
     /// Lemmatize every token in a sequence.
     pub fn lemmatize_tokens(&self, tokens: &[String]) -> Vec<String> {
-        tokens.iter().map(|t| self.lemma(t)).collect()
+        tokens
+            .iter()
+            .map(|t| self.lemma_of(t).into_owned())
+            .collect()
     }
 
     /// Tokenize and lemmatize a whole sentence.
     pub fn lemmatize_sentence(&self, sentence: &str) -> Vec<String> {
         self.lemmatize_tokens(&crate::tokenize(sentence))
+    }
+
+    /// Interned, allocation-light variant of
+    /// [`Lemmatizer::lemmatize_sentence`]: tokenizes with the reusable
+    /// `scratch` buffers, appends one [`Sym`] per lemma to `syms`, and
+    /// extends `key` with the space-joined lemma text — byte-identical
+    /// to `lemmatize_sentence(sentence).join(" ")`.
+    pub fn lemmatize_interned(
+        &self,
+        sentence: &str,
+        vocab: &Vocab,
+        scratch: &mut TokenScratch,
+        syms: &mut Vec<Sym>,
+        key: &mut String,
+    ) {
+        let first = key.len();
+        scan_tokens(sentence, scratch, |tok| {
+            let lemma = self.lemma_of(tok);
+            if key.len() > first {
+                key.push(' ');
+            }
+            key.push_str(&lemma);
+            syms.push(vocab.intern(&lemma));
+        });
     }
 }
 
@@ -440,6 +479,40 @@ mod tests {
             lem.lemmatize_sentence("What are the names of patients with age @AGE?"),
             vec!["what", "be", "the", "name", "of", "patient", "with", "age", "@AGE"]
         );
+    }
+
+    #[test]
+    fn interned_path_matches_string_path() {
+        let lem = Lemmatizer::new();
+        let vocab = Vocab::new();
+        for sentence in [
+            "What are the names of patients with age @AGE?",
+            "show me all cities, in Massachusetts!",
+            "the patient's x-ray showed nothing",
+            "how many diagnoses were given to @PATIENT.NAME",
+            "",
+        ] {
+            let mut scratch = TokenScratch::default();
+            let mut syms = Vec::new();
+            let mut key = String::new();
+            lem.lemmatize_interned(sentence, &vocab, &mut scratch, &mut syms, &mut key);
+            let strings = lem.lemmatize_sentence(sentence);
+            assert_eq!(key, strings.join(" "), "key mismatch for {sentence:?}");
+            let resolved: Vec<&str> = syms.iter().map(|&s| vocab.resolve(s)).collect();
+            assert_eq!(resolved, strings, "sym mismatch for {sentence:?}");
+        }
+    }
+
+    #[test]
+    fn lemma_of_borrows_when_unchanged() {
+        let lem = Lemmatizer::new();
+        assert!(matches!(lem.lemma_of("patient"), Cow::Borrowed(_)));
+        assert!(matches!(lem.lemma_of("patients"), Cow::Borrowed(_)));
+        assert!(matches!(lem.lemma_of("@AGE"), Cow::Borrowed(_)));
+        assert!(matches!(lem.lemma_of("is"), Cow::Borrowed(_)));
+        // Restored stems are the only owned case.
+        assert!(matches!(lem.lemma_of("companies"), Cow::Owned(_)));
+        assert_eq!(lem.lemma_of("companies"), "company");
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use lemmatizer::Lemmatizer;
 pub use postag::{PosTag, PosTagger};
 pub use ppdb::{ParaphraseEntry, ParaphraseStore};
 pub use similarity::{char_ngram_jaccard, jaccard_similarity, normalized_edit_distance};
-pub use tokenizer::{detokenize, tokenize};
+pub use tokenizer::{detokenize, scan_tokens, tokenize, TokenScratch};

@@ -1,6 +1,17 @@
 //! Word tokenization for NL queries.
 
-/// Tokenize a natural-language query into lowercase word tokens.
+/// Reusable tokenization buffers. One per worker on the batch path:
+/// [`scan_tokens`] clears and refills these instead of allocating a
+/// fresh `Vec<char>` and token `String` for every query.
+#[derive(Debug, Default)]
+pub struct TokenScratch {
+    chars: Vec<char>,
+    token: String,
+}
+
+/// Walk the word tokens of `text`, invoking `emit` with each token (in
+/// the same casing [`tokenize`] produces). The token `&str` is only
+/// valid for the duration of the callback — it lives in `scratch`.
 ///
 /// * `@PLACEHOLDER` and `@TABLE.COLUMN` tokens are kept intact (uppercase
 ///   after the `@`), since the parameter handler introduces them before
@@ -8,9 +19,10 @@
 /// * Alphanumeric runs form tokens; `-` and `'` inside a word are kept
 ///   (`mother-in-law`, `patient's`), other punctuation is dropped.
 /// * Numbers are kept as their own tokens.
-pub fn tokenize(text: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let chars: Vec<char> = text.chars().collect();
+pub fn scan_tokens(text: &str, scratch: &mut TokenScratch, mut emit: impl FnMut(&str)) {
+    let TokenScratch { chars, token } = scratch;
+    chars.clear();
+    chars.extend(text.chars());
     let mut i = 0;
     while i < chars.len() {
         let c = chars[i];
@@ -23,8 +35,10 @@ pub fn tokenize(text: &str) -> Vec<String> {
                 i += 1;
             }
             if i > start + 1 {
-                let name: String = chars[start + 1..i].iter().collect();
-                tokens.push(format!("@{}", name.to_uppercase()));
+                token.clear();
+                token.push('@');
+                push_uppercased(token, &chars[start + 1..i]);
+                emit(token);
             }
             continue;
         }
@@ -38,12 +52,44 @@ pub fn tokenize(text: &str) -> Vec<String> {
             {
                 i += 1;
             }
-            let word: String = chars[start..i].iter().collect();
-            tokens.push(word.to_lowercase());
+            token.clear();
+            push_lowercased(token, &chars[start..i]);
+            emit(token);
             continue;
         }
         i += 1;
     }
+}
+
+/// Append the lowercase form of `chars` to `out`. ASCII runs lowercase
+/// in place; anything else takes the full Unicode mapping via
+/// `str::to_lowercase` (identical output, one extra allocation).
+fn push_lowercased(out: &mut String, chars: &[char]) {
+    if chars.iter().all(|c| c.is_ascii()) {
+        out.extend(chars.iter().map(|c| c.to_ascii_lowercase()));
+    } else {
+        let raw: String = chars.iter().collect();
+        out.push_str(&raw.to_lowercase());
+    }
+}
+
+/// Uppercase twin of [`push_lowercased`].
+fn push_uppercased(out: &mut String, chars: &[char]) {
+    if chars.iter().all(|c| c.is_ascii()) {
+        out.extend(chars.iter().map(|c| c.to_ascii_uppercase()));
+    } else {
+        let raw: String = chars.iter().collect();
+        out.push_str(&raw.to_uppercase());
+    }
+}
+
+/// Tokenize a natural-language query into lowercase word tokens. See
+/// [`scan_tokens`] for the token grammar; this is the owned-`Vec`
+/// convenience wrapper.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut scratch = TokenScratch::default();
+    let mut tokens = Vec::new();
+    scan_tokens(text, &mut scratch, |t| tokens.push(t.to_string()));
     tokens
 }
 
@@ -106,6 +152,33 @@ mod tests {
     #[test]
     fn bare_at_ignored() {
         assert_eq!(tokenize("a @ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn scan_tokens_matches_tokenize_with_reused_scratch() {
+        let mut scratch = TokenScratch::default();
+        for text in [
+            "Show me all cities, in Massachusetts!",
+            "treated by doctor @doctor.name?",
+            "the patient's x-ray",
+            "older than 80 years",
+            "",
+            "?!,.",
+            "a @ b",
+        ] {
+            let mut streamed = Vec::new();
+            scan_tokens(text, &mut scratch, |t| streamed.push(t.to_string()));
+            assert_eq!(streamed, tokenize(text), "mismatch for {text:?}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_tokens_lowercase_identically() {
+        // Exercises the non-ASCII fallback in push_lowercased.
+        assert_eq!(
+            tokenize("Señor Müller's café"),
+            vec!["señor", "müller's", "café"]
+        );
     }
 
     #[test]

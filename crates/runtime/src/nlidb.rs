@@ -3,8 +3,9 @@
 use crate::{Anonymized, ParameterHandler, PostProcessor, RuntimeError, ValueIndex};
 use dbpal_core::{GenerationConfig, TrainOptions, TrainingPipeline, TranslationModel};
 use dbpal_engine::{Database, ResultSet};
-use dbpal_nlp::Lemmatizer;
+use dbpal_nlp::{ComparativeDictionary, Lemmatizer, TokenScratch};
 use dbpal_sql::Query;
+use dbpal_util::intern::{Sym, Vocab};
 
 /// The answer to an NL question: the SQL that was executed and its result.
 #[derive(Debug, Clone)]
@@ -26,6 +27,7 @@ pub struct Nlidb<M: TranslationModel> {
     model: M,
     index: ValueIndex,
     lemmatizer: Lemmatizer,
+    comparatives: ComparativeDictionary,
 }
 
 impl<M: TranslationModel> Nlidb<M> {
@@ -37,6 +39,7 @@ impl<M: TranslationModel> Nlidb<M> {
             model,
             index,
             lemmatizer: Lemmatizer::new(),
+            comparatives: ComparativeDictionary::new(),
         }
     }
 
@@ -79,15 +82,38 @@ impl<M: TranslationModel> Nlidb<M> {
 
     /// Stage 1 of pre-processing: anonymize constants against the value
     /// index (§4.1). Split out from [`Nlidb::preprocess`] so callers can
-    /// time the stages independently.
+    /// time the stages independently. The handler borrows this NLIDB's
+    /// lemmatizer and comparative dictionary, so per-query construction
+    /// is free.
     pub fn anonymize(&self, question: &str) -> Anonymized {
-        let handler = ParameterHandler::new(self.db.schema(), &self.index);
+        let handler = ParameterHandler::reusing(
+            self.db.schema(),
+            &self.index,
+            &self.lemmatizer,
+            &self.comparatives,
+        );
         handler.anonymize(question)
     }
 
     /// Stage 2 of pre-processing: lemmatize an (anonymized) sentence.
     pub fn lemmatize(&self, text: &str) -> Vec<String> {
         self.lemmatizer.lemmatize_sentence(text)
+    }
+
+    /// Interned variant of [`Nlidb::lemmatize`] for the serving hot
+    /// path: appends one [`Sym`] per lemma to `syms` and the space-joined
+    /// lemma text (the cache key) to `key`, reusing the caller's scratch
+    /// buffers. Byte-identical to `lemmatize(text).join(" ")`.
+    pub fn lemmatize_interned(
+        &self,
+        text: &str,
+        vocab: &Vocab,
+        scratch: &mut TokenScratch,
+        syms: &mut Vec<Sym>,
+        key: &mut String,
+    ) {
+        self.lemmatizer
+            .lemmatize_interned(text, vocab, scratch, syms, key);
     }
 
     /// Pre-process an input question: anonymize constants and lemmatize.

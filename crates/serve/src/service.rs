@@ -17,7 +17,8 @@
 //! ```
 //!
 //! Pre-processing (anonymize + lemmatize), translation, and
-//! post-process/execute fan out over `par_map_indexed` workers; the
+//! post-process/execute fan out over the configured [`ParStrategy`]
+//! (the persistent worker pool by default); the
 //! cache is only consulted and updated in the sequential phases, in
 //! batch order, with duplicate in-batch misses coalesced into one
 //! translation. Every counter — hits, misses, coalesced, sheds, errors
@@ -47,15 +48,25 @@
 //! consistent database snapshot end to end, never a stale mix) and
 //! then invalidates only that tenant's cache shard.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use dbpal_core::TranslationModel;
 use dbpal_engine::Database;
+use dbpal_nlp::TokenScratch;
 use dbpal_runtime::{Nlidb, NlidbResponse, PostProcessor, RuntimeError};
 use dbpal_sql::Query;
+use dbpal_util::intern::{Sym, Vocab};
 use dbpal_util::metrics::{Counter, Histogram, MetricsRegistry};
-use dbpal_util::{auto_threads, par_map_indexed};
+use dbpal_util::{auto_threads, ParStrategy};
+
+thread_local! {
+    /// Per-worker tokenization buffers for the pre-processing phase:
+    /// each pool worker reuses one scratch across every query it pulls,
+    /// so the hot path allocates no per-query `Vec<char>`/token buffer.
+    static SCRATCH: RefCell<TokenScratch> = RefCell::new(TokenScratch::default());
+}
 
 use crate::error::ServeError;
 use crate::shard::ShardedCache;
@@ -78,6 +89,10 @@ pub struct ServeConfig {
     /// Global capacity of the sharded translation cache, in entries,
     /// shared by all tenants.
     pub cache_capacity: usize,
+    /// How the parallel phases execute: the process-wide persistent
+    /// [`WorkerPool`](dbpal_util::WorkerPool) by default, a pinned pool,
+    /// or scoped spawn-per-call. Never affects counters or results.
+    pub par: ParStrategy,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +101,7 @@ impl Default for ServeConfig {
             workers: 0,
             queue_depth: 64,
             cache_capacity: 256,
+            par: ParStrategy::default(),
         }
     }
 }
@@ -476,14 +492,31 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
 
         // Phase 1 (parallel): anonymize + lemmatize against the
         // tenant's own value index, forming each question's cache key.
-        // `None` marks an item whose tenant held no usable guard.
-        let pre: Vec<Option<(dbpal_runtime::Anonymized, Vec<String>, String)>> =
-            par_map_indexed(&admitted, workers, |_, &(t, q)| {
+        // Lemmas travel as interned `Sym` ids (the cache key `String` is
+        // built in the same pass), and each worker reuses its
+        // thread-local scratch. `None` marks an item whose tenant held
+        // no usable guard.
+        let vocab = Vocab::global();
+        let pre: Vec<Option<(dbpal_runtime::Anonymized, Vec<Sym>, String)>> = self
+            .config
+            .par
+            .map_indexed(&admitted, workers, |_, &(t, q)| {
                 let nlidb = nlidbs[t]?;
                 let anonymized = m.anonymize.time(|| nlidb.anonymize(q));
-                let lemmas = m.lemmatize.time(|| nlidb.lemmatize(&anonymized.text));
-                let key = lemmas.join(" ");
-                Some((anonymized, lemmas, key))
+                let mut syms = Vec::new();
+                let mut key = String::new();
+                m.lemmatize.time(|| {
+                    SCRATCH.with(|s| {
+                        nlidb.lemmatize_interned(
+                            &anonymized.text,
+                            vocab,
+                            &mut s.borrow_mut(),
+                            &mut syms,
+                            &mut key,
+                        )
+                    })
+                });
+                Some((anonymized, syms, key))
             });
 
         // Phase 2 (sequential): consult the sharded cache in batch
@@ -491,7 +524,7 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
         // is impossible by construction — and repeated in-batch misses
         // coalesce per (tenant, key) onto one pending translation,
         // which is what a sequential server would compute too.
-        let mut pending: Vec<(usize, String, Vec<String>)> = Vec::new();
+        let mut pending: Vec<(usize, String, Vec<Sym>)> = Vec::new();
         let mut pending_index: BTreeMap<(usize, String), usize> = BTreeMap::new();
         let plans: Vec<Plan> = {
             let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
@@ -499,7 +532,7 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
                 .iter()
                 .zip(&pre)
                 .map(|(&(t, _), pre_item)| {
-                    let Some((_, lemmas, key)) = pre_item else {
+                    let Some((_, syms, key)) = pre_item else {
                         return Plan::Fail;
                     };
                     let tenant = &self.tenants[t];
@@ -516,7 +549,7 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
                         } else {
                             let i = pending.len();
                             pending_index.insert((t, key.clone()), i);
-                            pending.push((t, key.clone(), lemmas.clone()));
+                            pending.push((t, key.clone(), syms.clone()));
                             Plan::Translate(i)
                         }
                     }
@@ -525,12 +558,17 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
         };
 
         // Phase 3 (parallel): translate each unique missed (tenant,
-        // key) once, with that tenant's model.
+        // key) once, with that tenant's model, over the interned lemma
+        // ids — no string reconstruction for models that override
+        // `translate_syms`.
         let translated: Vec<Option<Query>> =
-            par_map_indexed(&pending, workers, |_, (t, _, lemmas)| {
-                let nlidb = nlidbs[*t]?;
-                m.translate.time(|| nlidb.model().translate(lemmas))
-            });
+            self.config
+                .par
+                .map_indexed(&pending, workers, |_, (t, _, syms)| {
+                    let nlidb = nlidbs[*t]?;
+                    m.translate
+                        .time(|| nlidb.model().translate_syms(syms, vocab))
+                });
 
         // Phase 4 (sequential): install successful translations in
         // first-miss order, each into its tenant's shard. Failures are
@@ -562,7 +600,7 @@ impl<M: TranslationModel + Send + Sync> QueryService<M> {
             })
             .collect();
         let finished: Vec<Result<ServeResponse, ServeError>> =
-            par_map_indexed(&jobs, workers, |_, job| {
+            self.config.par.map_indexed(&jobs, workers, |_, job| {
                 let outcome = match job {
                     Some((t, anonymized, translation, hit)) => match nlidbs[*t] {
                         Some(nlidb) => self.finish(nlidb, anonymized, translation.as_ref(), *hit),

@@ -21,13 +21,16 @@ use dbpal_engine::Database;
 use dbpal_runtime::Nlidb;
 use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType, Value};
 use dbpal_sql::{parse_query, Query};
+use dbpal_util::intern::{Sym, Vocab};
 use dbpal_util::{Rng, SliceRandom};
 
 use crate::TenantRegistry;
 
-/// A lookup model: lemmatized NL → SQL, nothing learned.
+/// A lookup model: lemmatized NL → SQL, nothing learned. Script keys
+/// are interned against [`Vocab::global`] at construction, so the hot
+/// lookup compares `Sym` slices, never strings.
 pub struct ScriptedModel {
-    entries: Vec<(String, Query)>,
+    entries: Vec<(Vec<Sym>, Query)>,
     delay: std::time::Duration,
 }
 
@@ -47,13 +50,15 @@ impl ScriptedModel {
     /// whose keys are computed (see [`cache_key_for`]) rather than
     /// hand-written.
     pub fn from_pairs(entries: Vec<(String, String)>) -> Self {
+        let vocab = Vocab::global();
         ScriptedModel {
             entries: entries
                 .into_iter()
                 .map(|(nl, sql)| {
                     let q = parse_query(&sql)
                         .unwrap_or_else(|e| panic!("bad scripted SQL `{sql}`: {e}"));
-                    (nl, q)
+                    let key = nl.split_whitespace().map(|w| vocab.intern(w)).collect();
+                    (key, q)
                 })
                 .collect(),
             delay: std::time::Duration::ZERO,
@@ -66,6 +71,18 @@ impl ScriptedModel {
         self.delay = delay;
         self
     }
+
+    /// Exact-match lookup over interned keys (applies the configured
+    /// delay) and materialization of the hit.
+    fn lookup(&self, syms: &[Sym]) -> Option<Query> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.entries
+            .iter()
+            .find(|(nl, _)| nl.as_slice() == syms)
+            .map(|(_, q)| q.clone())
+    }
 }
 
 impl TranslationModel for ScriptedModel {
@@ -76,14 +93,26 @@ impl TranslationModel for ScriptedModel {
     fn train(&mut self, _corpus: &TrainingCorpus, _opts: &TrainOptions) {}
 
     fn translate(&self, nl_lemmas: &[String]) -> Option<Query> {
-        if !self.delay.is_zero() {
-            std::thread::sleep(self.delay);
+        let vocab = Vocab::global();
+        let mut syms = Vec::with_capacity(nl_lemmas.len());
+        for t in nl_lemmas {
+            syms.push(vocab.intern(t));
         }
-        let key = nl_lemmas.join(" ");
-        self.entries
-            .iter()
-            .find(|(nl, _)| *nl == key)
-            .map(|(_, q)| q.clone())
+        self.lookup(&syms)
+    }
+
+    fn translate_syms(&self, lemmas: &[Sym], vocab: &Vocab) -> Option<Query> {
+        if std::ptr::eq(vocab, Vocab::global()) {
+            // The serving layer's ids are already in the entry key
+            // space: compare directly, no re-mapping.
+            return self.lookup(lemmas);
+        }
+        let global = Vocab::global();
+        let mut syms = Vec::with_capacity(lemmas.len());
+        for &s in lemmas {
+            syms.push(global.intern(vocab.resolve(s)));
+        }
+        self.lookup(&syms)
     }
 }
 

@@ -72,6 +72,22 @@ impl Config {
     }
 }
 
+/// Per-benchmark floors layered on top of the harness [`Config`].
+///
+/// Quick runs (`--quick`, `cargo test`, CI) calibrate to one iteration
+/// and one sample, which for sub-millisecond routines records timer
+/// noise instead of a meaningful median — and the committed
+/// `BENCH_*.json` baselines are produced by exactly those runs. A
+/// benchmark that knows it is fast declares floors here; full
+/// `cargo bench` runs already exceed them and are unaffected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchOpts {
+    /// Minimum iterations per sample, applied after calibration.
+    pub min_iters: u64,
+    /// Minimum number of measured samples.
+    pub min_samples: usize,
+}
+
 /// One benchmark's measured result.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -116,20 +132,40 @@ impl Harness {
         self.bench_with_setup(name, || (), move |()| f());
     }
 
+    /// [`Harness::bench`] with explicit per-benchmark floors.
+    pub fn bench_opts<R>(&mut self, name: &str, opts: BenchOpts, mut f: impl FnMut() -> R) {
+        self.bench_with_setup_opts(name, opts, || (), move |()| f());
+    }
+
     /// Benchmark `routine` with a fresh, untimed `setup` value per
     /// iteration (the equivalent of criterion's `iter_batched`).
     pub fn bench_with_setup<S, R>(
         &mut self,
         name: &str,
+        setup: impl FnMut() -> S,
+        routine: impl FnMut(S) -> R,
+    ) {
+        self.bench_with_setup_opts(name, BenchOpts::default(), setup, routine);
+    }
+
+    /// [`Harness::bench_with_setup`] with explicit per-benchmark floors.
+    pub fn bench_with_setup_opts<S, R>(
+        &mut self,
+        name: &str,
+        opts: BenchOpts,
         mut setup: impl FnMut() -> S,
         mut routine: impl FnMut(S) -> R,
     ) {
         eprint!("bench {}/{name} ... ", self.group);
-        let iters = self.calibrate(&mut setup, &mut routine);
+        let iters = self
+            .calibrate(&mut setup, &mut routine)
+            .max(opts.min_iters)
+            .max(1);
+        let samples = self.config.samples.max(opts.min_samples).max(1);
         self.warmup(iters, &mut setup, &mut routine);
 
-        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.config.samples);
-        for _ in 0..self.config.samples {
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
             let total = Self::sample(iters, &mut setup, &mut routine);
             per_iter.push(total / iters as u32);
         }
@@ -343,6 +379,22 @@ mod tests {
         assert_eq!(benches.len(), 1);
         assert_eq!(benches[0].get("name").unwrap().as_str(), Some("noop"));
         assert!(benches[0].get("median_ns").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn opts_floor_iters_and_samples() {
+        let mut h = Harness::with_config("unit", Config::quick());
+        h.bench_opts(
+            "floored",
+            BenchOpts {
+                min_iters: 32,
+                min_samples: 5,
+            },
+            || black_box(1u8),
+        );
+        let m = &h.results()[0];
+        assert!(m.iters_per_sample >= 32, "iters {}", m.iters_per_sample);
+        assert_eq!(m.samples, 5);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! | [`check`] | `proptest` | seeded [`forall!`] property runner |
 //! | [`bench`] | `criterion` | warmup + median-of-N wall-clock harness |
 //! | [`par`] | `rayon` | order-preserving scoped-pool map ([`par_map_indexed`]) |
+//! | [`pool`] | `rayon` thread pool | persistent [`WorkerPool`], [`ParStrategy`] fan-out handle |
+//! | [`intern`] | `string-interner` | [`Vocab`] string table with `u32` [`Sym`] ids |
 //! | [`metrics`] | `prometheus`/`metrics` | counters, latency histograms, span timers, [`MetricsRegistry`] |
 //! | [`frame`] | `tokio-util` codecs | length-delimited framing over byte streams |
 //! | [`log`] | `tracing`/`slog` | one-line JSON [`LogEvent`]s with value/secret redaction |
@@ -26,15 +28,19 @@
 pub mod bench;
 pub mod check;
 pub mod frame;
+pub mod intern;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod par;
+pub mod pool;
 pub mod rng;
 
 pub use frame::FrameError;
+pub use intern::{Sym, Vocab};
 pub use json::{Json, JsonError};
 pub use log::LogEvent;
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use par::{auto_threads, par_map_indexed};
+pub use pool::{pooled_map_indexed, ParStrategy, PoolError, WorkerPool};
 pub use rng::{stream_seed, Rng, SliceRandom};

@@ -1,0 +1,129 @@
+//! Property battery for the string-interning [`Vocab`]: round-trip
+//! fidelity, collision freedom (the table is exact, not hashed), and
+//! stability of ids and resolved text under growth and concurrency.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dbpal_util::check::ascii_lowercase;
+use dbpal_util::{forall, Sym, Vocab};
+
+#[test]
+fn round_trip_over_random_strings() {
+    forall!(|rng| {
+        let v = Vocab::new();
+        let n = rng.gen_range(1usize..100);
+        let words: Vec<String> = (0..n).map(|_| ascii_lowercase(rng, 0..=12)).collect();
+        let syms: Vec<Sym> = words.iter().map(|w| v.intern(w)).collect();
+        for (w, &s) in words.iter().zip(&syms) {
+            assert_eq!(v.resolve(s), w.as_str());
+            assert_eq!(v.lookup(w), Some(s));
+        }
+    });
+}
+
+#[test]
+fn collision_freedom_and_idempotence() {
+    // Distinct strings map to distinct syms; equal strings to equal
+    // syms — across any interleaving of repeats.
+    forall!(|rng| {
+        let v = Vocab::new();
+        let mut by_text: HashMap<String, Sym> = HashMap::new();
+        for _ in 0..rng.gen_range(1usize..200) {
+            let w = ascii_lowercase(rng, 0..=6);
+            let s = v.intern(&w);
+            match by_text.get(&w) {
+                Some(&prev) => assert_eq!(prev, s, "`{w}` changed sym"),
+                None => {
+                    assert!(
+                        by_text.values().all(|&other| other != s),
+                        "`{w}` collided with an earlier distinct string"
+                    );
+                    by_text.insert(w, s);
+                }
+            }
+        }
+        assert_eq!(v.len(), by_text.len());
+    });
+}
+
+#[test]
+fn ids_are_dense_first_intern_order() {
+    let v = Vocab::new();
+    for (i, w) in ["show", "the", "name", "of", "all"].iter().enumerate() {
+        assert_eq!(v.intern(w).raw(), i as u32);
+    }
+    // Re-interning moves nothing.
+    assert_eq!(v.intern("the").raw(), 1);
+    assert_eq!(v.len(), 5);
+}
+
+#[test]
+fn resolved_text_stays_valid_under_heavy_growth() {
+    let v = Vocab::new();
+    let early: Vec<(Sym, String)> = (0..50)
+        .map(|i| {
+            let w = format!("early{i}");
+            (v.intern(&w), w)
+        })
+        .collect();
+    let early_refs: Vec<&str> = early.iter().map(|&(s, _)| v.resolve(s)).collect();
+    for i in 0..20_000 {
+        v.intern(&format!("filler{i}"));
+    }
+    for ((s, w), text) in early.iter().zip(&early_refs) {
+        assert_eq!(*text, w.as_str(), "pre-growth &str invalidated");
+        assert_eq!(v.resolve(*s), w.as_str());
+    }
+}
+
+#[test]
+fn concurrent_interning_agrees_on_one_sym_per_string() {
+    // Many threads intern overlapping word sets; every thread must see
+    // the same sym for the same text, and the table must end exact.
+    let v = Arc::new(Vocab::new());
+    let words: Arc<Vec<String>> = Arc::new((0..80).map(|i| format!("w{}", i % 40)).collect());
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let v = Arc::clone(&v);
+            let words = Arc::clone(&words);
+            std::thread::spawn(move || {
+                let mut out: Vec<(String, Sym)> = Vec::new();
+                for w in words.iter().skip(t % 3) {
+                    out.push((w.clone(), v.intern(w)));
+                }
+                out
+            })
+        })
+        .collect();
+    let mut agreed: HashMap<String, Sym> = HashMap::new();
+    for h in handles {
+        for (w, s) in h.join().unwrap() {
+            assert_eq!(*agreed.entry(w.clone()).or_insert(s), s, "`{w}` diverged");
+            assert_eq!(v.resolve(s), w);
+        }
+    }
+    assert_eq!(v.len(), 40);
+}
+
+#[test]
+fn intern_all_matches_one_by_one() {
+    forall!(cases = 32, |rng| {
+        let v = Vocab::new();
+        let words: Vec<String> = (0..rng.gen_range(0usize..40))
+            .map(|_| ascii_lowercase(rng, 0..=5))
+            .collect();
+        let mut bulk = Vec::new();
+        v.intern_all(&words, &mut bulk);
+        let single: Vec<Sym> = words.iter().map(|w| v.intern(w)).collect();
+        assert_eq!(bulk, single);
+    });
+}
+
+#[test]
+fn global_vocab_is_one_table() {
+    let a = Vocab::global().intern("global-battery-token");
+    let b = Vocab::global().intern("global-battery-token");
+    assert_eq!(a, b);
+    assert_eq!(Vocab::global().resolve(a), "global-battery-token");
+}

@@ -58,6 +58,11 @@ DBPAL_BENCH_JSON="$PWD/BENCH_tenant.json" \
 # quick mode and lint them against the schema in DESIGN.md with the
 # in-repo JSON parser. (cargo bench runs binaries with the package dir
 # as cwd, so the output paths are pinned via DBPAL_BENCH_JSON.)
+# The committed baselines are snapshotted first so the compare gate
+# below can diff fresh-vs-committed after regeneration overwrites them.
+BASELINE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BASELINE_DIR"' EXIT
+cp BENCH_pipeline.json BENCH_serve.json "$BASELINE_DIR/"
 DBPAL_BENCH_JSON="$PWD/BENCH_pipeline.json" \
   cargo bench --offline -q -p dbpal-bench --bench pipeline -- --quick
 DBPAL_BENCH_JSON="$PWD/BENCH_serve.json" \
@@ -75,3 +80,12 @@ DBPAL_BENCH_JSON="$PWD/BENCH_serve.json" \
 
 cargo run --release --offline -p dbpal-bench --bin bench_json_lint -- \
   BENCH_pipeline.json BENCH_serve.json BENCH_tenant.json BENCH_lint.json
+
+# Perf regression gate: the fresh medians must sit within the
+# DBPAL_BENCH_TOLERANCE band (default x3, both directions) of the
+# committed baselines, and the thread-scaling pairs must satisfy
+# threads4 <= threads1 x DBPAL_BENCH_PARITY (default x1.05) — the
+# persistent worker pool keeps fan-out from costing wall-clock.
+cargo run --release --offline -p dbpal-bench --bin bench_json_lint -- --compare \
+  "$BASELINE_DIR/BENCH_pipeline.json" BENCH_pipeline.json \
+  "$BASELINE_DIR/BENCH_serve.json" BENCH_serve.json
