@@ -20,16 +20,23 @@
 //! violations array that must be empty (the gate fails otherwise, so a
 //! non-empty array here means a stale or hand-edited report), and the
 //! allowlist entry count.
+//! The `corpus` report requires the `corpus` member written by
+//! `corpus_gate`: streaming-run totals (pairs, rounds, chunks,
+//! throughput, dedup rate, JSONL digest, memory observations) with
+//! zero analyzer rejects — a committed corpus report that rejected
+//! pairs means the gate should have failed.
 //!
 //! A second mode, `--compare <BASE> <FRESH> [<BASE> <FRESH>...]`, diffs
 //! a fresh run against the committed baseline pair by pair: every
-//! baseline benchmark must reappear within the `DBPAL_BENCH_TOLERANCE`
-//! band (default ×3, both directions), and the thread-scaling pairs
-//! must satisfy `threads4 ≤ threads1 × DBPAL_BENCH_PARITY` (default
-//! ×1.05). See `dbpal_bench::compare` for the rules and `verify.sh`
-//! for the CI wiring.
+//! baseline benchmark must reappear within its group's tolerance band
+//! (default ×3; per-group rows in `GROUP_TOLERANCE`, e.g. ×4 for the
+//! whole-run `corpus` group; env-tunable via `DBPAL_BENCH_TOLERANCE`
+//! and `DBPAL_BENCH_TOLERANCE_<GROUP>`, both directions), and the
+//! thread-scaling pairs must satisfy `threads4 ≤ threads1 ×
+//! DBPAL_BENCH_PARITY` (default ×1.05). See `dbpal_bench::compare` for
+//! the rules and `verify.sh` for the CI wiring.
 
-use dbpal_bench::compare::{compare_reports, parity_from_env, tolerance_from_env};
+use dbpal_bench::compare::{compare_reports, parity_from_env, tolerance_for_group};
 use dbpal_util::Json;
 
 /// Validate the `load` member written by the load harness.
@@ -159,6 +166,68 @@ fn check_lints(lints: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate the `corpus` member written by `corpus_gate`.
+fn check_corpus(corpus: &Json) -> Result<(), String> {
+    for key in [
+        "pairs",
+        "target_pairs",
+        "rounds",
+        "chunks",
+        "schemas",
+        "threads",
+        "pairs_per_sec",
+        "bytes",
+        "exact_dropped",
+        "conflicts_resolved",
+        "estimated_peak_bytes",
+    ] {
+        let v = corpus
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("corpus: missing number `{key}`"))?;
+        if v < 0.0 {
+            return Err(format!("corpus: negative `{key}`"));
+        }
+    }
+    if corpus.get("pairs").and_then(Json::as_f64) == Some(0.0) {
+        return Err("corpus: zero pairs emitted".to_string());
+    }
+    let dedup_rate = corpus
+        .get("dedup_rate")
+        .and_then(Json::as_f64)
+        .ok_or("corpus: missing number `dedup_rate`")?;
+    if !(0.0..=1.0).contains(&dedup_rate) {
+        return Err(format!("corpus: dedup_rate {dedup_rate} outside [0, 1]"));
+    }
+    let rejected = corpus
+        .get("analyzer_rejected")
+        .and_then(Json::as_f64)
+        .ok_or("corpus: missing number `analyzer_rejected`")?;
+    if rejected != 0.0 {
+        return Err(format!(
+            "corpus: {rejected} analyzer rejects in a committed report — corpus_gate should have failed"
+        ));
+    }
+    let digest = corpus
+        .get("digest")
+        .and_then(Json::as_str)
+        .ok_or("corpus: missing string `digest`")?;
+    if digest.is_empty() {
+        return Err("corpus: empty `digest`".to_string());
+    }
+    // The resident-set probe is platform-dependent, so the member is
+    // optional — but when present it must be a plausible number.
+    if let Some(rss) = corpus.get("peak_resident_bytes") {
+        let v = rss
+            .as_f64()
+            .ok_or("corpus: non-numeric `peak_resident_bytes`")?;
+        if v <= 0.0 {
+            return Err("corpus: non-positive `peak_resident_bytes`".to_string());
+        }
+    }
+    Ok(())
+}
+
 /// Validate one report document; returns a description of the first
 /// schema violation.
 fn check_report(doc: &Json) -> Result<(usize, String), String> {
@@ -212,6 +281,13 @@ fn check_report(doc: &Json) -> Result<(usize, String), String> {
         }
         None => {}
     }
+    match doc.get("corpus") {
+        Some(corpus) => check_corpus(corpus)?,
+        None if group == "corpus" => {
+            return Err("group `corpus` requires a `corpus` member (run corpus_gate)".to_string())
+        }
+        None => {}
+    }
     Ok((benchmarks.len(), group))
 }
 
@@ -227,12 +303,10 @@ fn run_compare(paths: &[String]) -> ! {
         eprintln!("usage: bench_json_lint --compare <BASE.json> <FRESH.json> [pairs...]");
         std::process::exit(2);
     }
-    let (tolerance, parity) = match (tolerance_from_env(), parity_from_env()) {
-        (Ok(t), Ok(p)) => (t, p),
-        (t, p) => {
-            for e in [t.err(), p.err()].into_iter().flatten() {
-                eprintln!("[bench_json_lint] FAIL {e}");
-            }
+    let parity = match parity_from_env() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("[bench_json_lint] FAIL {e}");
             std::process::exit(2);
         }
     };
@@ -246,12 +320,28 @@ fn run_compare(paths: &[String]) -> ! {
                     .map_err(|e| format!("{fresh_path}: {e}"))
                     .map(|f| (b, f))
             });
+        // The tolerance band is resolved per fresh report, so each
+        // group can carry its own width. A band that fails to resolve
+        // is a config (env) error, not a comparison failure.
         let report = match docs {
-            Ok((base, fresh)) => compare_reports(&base, &fresh, tolerance, parity),
+            Ok((base, fresh)) => {
+                let group = fresh
+                    .get("group")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                match tolerance_for_group(&group) {
+                    Ok(t) => compare_reports(&base, &fresh, t, parity).map(|r| (r, t)),
+                    Err(e) => {
+                        eprintln!("[bench_json_lint] FAIL {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             Err(e) => Err(e),
         };
         match report {
-            Ok(r) => {
+            Ok((r, tolerance)) => {
                 for w in &r.warnings {
                     eprintln!("[bench_json_lint] warn {fresh_path}: {w}");
                 }

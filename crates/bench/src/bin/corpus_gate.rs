@@ -1,0 +1,400 @@
+//! CI gate for streaming corpus scale-out: produce a 10k+ (quick) or
+//! 100k+ (full) pair JSONL corpus under a fixed memory ceiling and
+//! assert the streaming determinism contract:
+//!
+//! 1. **scale under a ceiling** — the run reaches its pair target with
+//!    zero analyzer rejects, and the kernel-observed peak resident set
+//!    (or the sink-side estimate where procfs is absent) stays under
+//!    `DBPAL_CORPUS_MEM_MB`;
+//! 2. **thread invariance** — the JSONL digest at 8 worker threads is
+//!    byte-identical to the 1-thread file;
+//! 3. **chunk invariance** — changing `rounds_per_chunk` never changes
+//!    the digest;
+//! 4. **round-trip** — the written JSONL re-parses into exactly the
+//!    emitted pairs;
+//! 5. **split sanity** — the provenance-weighted train/test split
+//!    routes every pair exactly once, deterministically.
+//!
+//! Pass `--quick` for the CI-sized run (10k pairs over the small
+//! generation config); the default is the full 100k run. Override the
+//! target with `DBPAL_CORPUS_PAIRS`. The run's totals are merged into
+//! the bench report (`BENCH_corpus.json` or `DBPAL_BENCH_JSON`) as the
+//! `corpus` member, which `bench_json_lint` requires for this group.
+
+use std::path::{Path, PathBuf};
+
+use dbpal_benchsuite::SchemaGenerator;
+use dbpal_core::{
+    corpus_from_jsonl, DigestSink, GenerationConfig, JsonlSink, SplitSink, StreamOptions,
+    StreamReport, TrainingPipeline,
+};
+use dbpal_schema::{Schema, SchemaBuilder, SemanticDomain, SqlType};
+use dbpal_util::Json;
+
+const GATE_SEED: u64 = 0xC0_4B05;
+const QUICK_PAIRS: usize = 10_000;
+const FULL_PAIRS: usize = 100_000;
+const DEFAULT_MEM_MB: u64 = 2048;
+
+fn check(label: &str, ok: bool, detail: String, failed: &mut bool) {
+    if ok {
+        println!("[corpus_gate] PASS {label}: {detail}");
+    } else {
+        eprintln!("[corpus_gate] FAIL {label}: {detail}");
+        *failed = true;
+    }
+}
+
+fn hospital_schema() -> Schema {
+    SchemaBuilder::new("hospital")
+        .table("patients", |t| {
+            t.synonym("people")
+                .column("name", SqlType::Text)
+                .column_with("age", SqlType::Integer, |c| c.domain(SemanticDomain::Age))
+                .column_with("disease", SqlType::Text, |c| c.synonym("illness"))
+                .column_with("length_of_stay", SqlType::Integer, |c| {
+                    c.domain(SemanticDomain::Duration)
+                })
+                .column("doctor_id", SqlType::Integer)
+        })
+        .table("doctors", |t| {
+            t.column("id", SqlType::Integer)
+                .column("name", SqlType::Text)
+                .column("specialty", SqlType::Text)
+                .primary_key("id")
+        })
+        .foreign_key("patients", "doctor_id", "doctors", "id")
+        .build()
+        .unwrap()
+}
+
+/// The gate's schema cycle: the hospital fixture plus one instance of
+/// every blueprint domain — including the three-table join chains and
+/// the union-compatible twins the corpus needs for coverage.
+fn gate_schemas() -> Vec<Schema> {
+    let mut generator = SchemaGenerator::new(GATE_SEED);
+    let mut schemas = vec![hospital_schema()];
+    schemas.extend(generator.generate(generator.domain_count()));
+    schemas
+}
+
+fn env_usize(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) if v > 0 => v,
+            _ => {
+                eprintln!("[corpus_gate] FAIL: {var}=`{raw}` is not a positive integer");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// One streaming run; any stream error is fatal for the gate.
+fn run(
+    config: &GenerationConfig,
+    schemas: &[&Schema],
+    opts: &StreamOptions,
+    sink: &mut dyn dbpal_core::CorpusSink,
+) -> StreamReport {
+    match TrainingPipeline::new(config.clone()).stream(schemas, opts, sink) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("[corpus_gate] FAIL: streaming run errored: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Insert (or replace) the `corpus` member of the bench report at
+/// `path`, preserving the harness-written `group` and `benchmarks`
+/// members — the same contract as the `load`/`tenants`/`lints` merges.
+fn merge_corpus_section(path: &Path, rows: Vec<(String, Json)>) -> std::io::Result<()> {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .unwrap_or(Json::Null);
+    let mut members: Vec<(String, Json)> = match &mut doc {
+        Json::Obj(members) => std::mem::take(members),
+        _ => vec![
+            ("group".into(), Json::str("corpus")),
+            ("benchmarks".into(), Json::Arr(vec![])),
+        ],
+    };
+    members.retain(|(k, _)| k != "corpus");
+    members.push(("corpus".into(), Json::Obj(rows)));
+    std::fs::write(path, Json::Obj(members).pretty() + "\n")
+}
+
+/// The `corpus` member rows for the bench report.
+fn corpus_rows(report: &StreamReport, digest: u64, pairs_per_sec: f64) -> Vec<(String, Json)> {
+    let mut rows = vec![
+        ("pairs".into(), Json::Num(report.emitted as f64)),
+        ("target_pairs".into(), Json::Num(report.target_pairs as f64)),
+        ("rounds".into(), Json::Num(report.rounds.len() as f64)),
+        ("chunks".into(), Json::Num(report.chunks.len() as f64)),
+        ("schemas".into(), Json::Num(report.schemas as f64)),
+        ("threads".into(), Json::Num(report.threads as f64)),
+        ("pairs_per_sec".into(), Json::Num(pairs_per_sec)),
+        ("bytes".into(), Json::Num(report.bytes_accepted as f64)),
+        ("dedup_rate".into(), Json::Num(report.dedup_rate())),
+        (
+            "exact_dropped".into(),
+            Json::Num(report.exact_dropped as f64),
+        ),
+        (
+            "conflicts_resolved".into(),
+            Json::Num(report.conflicts_resolved as f64),
+        ),
+        (
+            "analyzer_rejected".into(),
+            Json::Num(report.analyzer_rejected as f64),
+        ),
+        (
+            "estimated_peak_bytes".into(),
+            Json::Num(report.estimated_peak_bytes as f64),
+        ),
+        ("digest".into(), Json::str(format!("{digest:#018x}"))),
+    ];
+    if let Some(rss) = report.peak_resident_bytes {
+        rows.push(("peak_resident_bytes".into(), Json::Num(rss as f64)));
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a != "--quick") {
+        eprintln!("usage: corpus_gate [--quick]");
+        std::process::exit(2);
+    }
+    let target = env_usize(
+        "DBPAL_CORPUS_PAIRS",
+        if quick { QUICK_PAIRS } else { FULL_PAIRS },
+    );
+    let mem_mb = env_usize("DBPAL_CORPUS_MEM_MB", DEFAULT_MEM_MB as usize) as u64;
+    let ceiling_bytes = mem_mb * 1024 * 1024;
+
+    // Quick runs use the small generation config (more rounds, less
+    // work per round); the full run uses the paper-sized default.
+    let base_config = if quick {
+        GenerationConfig::small()
+    } else {
+        GenerationConfig::default()
+    };
+    let config = GenerationConfig {
+        seed: GATE_SEED,
+        ..base_config
+    };
+    let schemas = gate_schemas();
+    let schema_refs: Vec<&Schema> = schemas.iter().collect();
+    println!(
+        "[corpus_gate] seed {GATE_SEED:#x}, target {target} pairs over {} schemas, ceiling {mem_mb} MiB{}",
+        schemas.len(),
+        if quick { " (quick)" } else { "" }
+    );
+    let mut failed = false;
+
+    // Run 1: single-threaded, chunked per round, writing the real file.
+    let jsonl_path = std::env::temp_dir().join(format!("dbpal_corpus_{GATE_SEED:x}.jsonl"));
+    let file = match std::fs::File::create(&jsonl_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "[corpus_gate] FAIL: cannot create {}: {e}",
+                jsonl_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    let opts_one = StreamOptions {
+        rounds_per_chunk: 1,
+        ..StreamOptions::corpus(target)
+    };
+    let config_one = GenerationConfig {
+        threads: 1,
+        ..config.clone()
+    };
+    let mut file_sink = JsonlSink::new(std::io::BufWriter::new(file));
+    let report = run(&config_one, &schema_refs, &opts_one, &mut file_sink);
+    let digest = file_sink.digest();
+    let file_pairs = file_sink.pairs();
+    drop(file_sink);
+    println!("{}", report.render());
+
+    check(
+        "report_consistency",
+        report.check_consistency().is_ok(),
+        report
+            .check_consistency()
+            .err()
+            .unwrap_or_else(|| "all chunk/round/run invariants hold".into()),
+        &mut failed,
+    );
+    check(
+        "target_reached",
+        report.target_reached && report.emitted >= target,
+        format!("{} pairs emitted (target {target})", report.emitted),
+        &mut failed,
+    );
+    check(
+        "analyzer_clean",
+        report.analyzer_rejected == 0,
+        format!("{} analyzer rejects", report.analyzer_rejected),
+        &mut failed,
+    );
+    let observed = report
+        .peak_resident_bytes
+        .unwrap_or(report.estimated_peak_bytes);
+    check(
+        "memory_ceiling",
+        observed <= ceiling_bytes,
+        format!(
+            "peak {:.1} MiB {} vs ceiling {mem_mb} MiB",
+            observed as f64 / (1 << 20) as f64,
+            if report.peak_resident_bytes.is_some() {
+                "(kernel VmRSS)"
+            } else {
+                "(sink estimate)"
+            }
+        ),
+        &mut failed,
+    );
+
+    // Run 2: 8 worker threads, same chunking — digest must not move.
+    let config_eight = GenerationConfig {
+        threads: 8,
+        ..config.clone()
+    };
+    let mut eight = DigestSink::new();
+    let report_eight = run(&config_eight, &schema_refs, &opts_one, &mut eight);
+    check(
+        "thread_invariance",
+        eight.digest() == digest && report_eight.emitted == report.emitted,
+        format!(
+            "8-thread digest {:#018x} vs 1-thread {digest:#018x} ({} vs {} pairs)",
+            eight.digest(),
+            report_eight.emitted,
+            report.emitted
+        ),
+        &mut failed,
+    );
+
+    // Run 3: same 8 threads, 4 rounds per chunk — digest must not move.
+    let opts_chunked = StreamOptions {
+        rounds_per_chunk: 4,
+        ..StreamOptions::corpus(target)
+    };
+    let mut chunked = DigestSink::new();
+    let report_chunked = run(&config_eight, &schema_refs, &opts_chunked, &mut chunked);
+    check(
+        "chunk_invariance",
+        chunked.digest() == digest && report_chunked.emitted == report.emitted,
+        format!(
+            "rounds_per_chunk 4 digest {:#018x} vs 1 {digest:#018x} ({} chunks vs {})",
+            chunked.digest(),
+            report_chunked.chunks.len(),
+            report.chunks.len()
+        ),
+        &mut failed,
+    );
+
+    // Round-trip the written file through the JSONL reader.
+    let reread = std::fs::read_to_string(&jsonl_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| corpus_from_jsonl(&text).map_err(|e| e.to_string()));
+    match &reread {
+        Ok(corpus) => check(
+            "jsonl_round_trip",
+            corpus.len() == report.emitted && file_pairs == report.emitted,
+            format!(
+                "{} re-parsed pairs vs {} emitted ({})",
+                corpus.len(),
+                report.emitted,
+                jsonl_path.display()
+            ),
+            &mut failed,
+        ),
+        Err(e) => check("jsonl_round_trip", false, e.clone(), &mut failed),
+    }
+
+    // Split sanity: route the re-parsed corpus through the
+    // provenance-weighted splitter twice; the routing is content-keyed,
+    // so both passes must agree and cover every pair exactly once.
+    if let Ok(corpus) = reread {
+        let mut counts = [0usize; 2];
+        for (pass, count) in counts.iter_mut().enumerate() {
+            let mut train = DigestSink::new();
+            let mut test = DigestSink::new();
+            let mut split = SplitSink::new(&mut train, &mut test, 0.1);
+            for pair in corpus.pairs() {
+                if dbpal_core::CorpusSink::accept(&mut split, pair.clone()).is_err() {
+                    eprintln!("[corpus_gate] FAIL: split sink errored");
+                    std::process::exit(1);
+                }
+            }
+            *count = split.test_pairs();
+            if pass == 0 {
+                check(
+                    "split_covers_all",
+                    split.train_pairs() + split.test_pairs() == corpus.len()
+                        && split.test_pairs() > 0
+                        && split.train_pairs() > split.test_pairs(),
+                    format!(
+                        "{} train + {} test of {} (base fraction 0.1)",
+                        split.train_pairs(),
+                        split.test_pairs(),
+                        corpus.len()
+                    ),
+                    &mut failed,
+                );
+            }
+        }
+        check(
+            "split_deterministic",
+            counts[0] == counts[1],
+            format!("test-side counts {} vs {}", counts[0], counts[1]),
+            &mut failed,
+        );
+    }
+    let _ = std::fs::remove_file(&jsonl_path);
+
+    // Throughput from the rounds' own stage clocks (the streaming layer
+    // takes no wall clocks of its own).
+    let secs = report.timings.total.as_secs_f64();
+    let pairs_per_sec = if secs > 0.0 {
+        report.emitted as f64 / secs
+    } else {
+        0.0
+    };
+    println!(
+        "[corpus_gate] {:.0} pairs/sec over {} rounds (single-thread run)",
+        pairs_per_sec,
+        report.rounds.len()
+    );
+
+    let path = PathBuf::from(
+        std::env::var("DBPAL_BENCH_JSON").unwrap_or_else(|_| "BENCH_corpus.json".into()),
+    );
+    match merge_corpus_section(&path, corpus_rows(&report, digest, pairs_per_sec)) {
+        Ok(()) => println!(
+            "[corpus_gate] merged `corpus` section into {}",
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!(
+                "[corpus_gate] FAIL: could not write {}: {e}",
+                path.display()
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("[corpus_gate] FAIL");
+        std::process::exit(1);
+    }
+    println!("[corpus_gate] all streaming-corpus checks passed");
+}

@@ -22,6 +22,12 @@ pub const DEFAULT_TOLERANCE: f64 = 3.0;
 /// Default ceiling on `threads4 / threads1` for the scaling pairs.
 pub const DEFAULT_PARITY: f64 = 1.05;
 
+/// Per-group default tolerance bands overriding [`DEFAULT_TOLERANCE`].
+/// The corpus group's benchmarks run whole multi-round streaming passes
+/// whose wall time swings more with CI load than the single-stage
+/// microbenches, so it gets a wider band.
+pub const GROUP_TOLERANCE: &[(&str, f64)] = &[("corpus", 4.0)];
+
 /// The thread-scaling pairs enforced per group: `(group, many-worker
 /// benchmark, one-worker benchmark)`. Both members are *required* in
 /// the named group's fresh report — a renamed benchmark must not
@@ -48,6 +54,23 @@ pub fn tolerance_from_env() -> Result<f64, String> {
 /// `DBPAL_BENCH_PARITY`, or [`DEFAULT_PARITY`]. Values ≤ 1 rejected.
 pub fn parity_from_env() -> Result<f64, String> {
     band_from_env("DBPAL_BENCH_PARITY", DEFAULT_PARITY)
+}
+
+/// The tolerance band for one group, resolved in precedence order:
+/// `DBPAL_BENCH_TOLERANCE_<GROUP>` (group name uppercased), then the
+/// global `DBPAL_BENCH_TOLERANCE`, then the group's [`GROUP_TOLERANCE`]
+/// row, then [`DEFAULT_TOLERANCE`].
+pub fn tolerance_for_group(group: &str) -> Result<f64, String> {
+    let default = GROUP_TOLERANCE
+        .iter()
+        .find(|(g, _)| *g == group)
+        .map(|&(_, t)| t)
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let group_var = format!("DBPAL_BENCH_TOLERANCE_{}", group.to_uppercase());
+    if std::env::var(&group_var).is_ok() {
+        return band_from_env(&group_var, default);
+    }
+    band_from_env("DBPAL_BENCH_TOLERANCE", default)
 }
 
 fn band_from_env(var: &str, default: f64) -> Result<f64, String> {
@@ -311,5 +334,13 @@ mod tests {
         // Only the default paths here — env mutation is process-global,
         // so the parse edge cases go through band_from_env directly.
         assert_eq!(band_from_env("DBPAL_NO_SUCH_VAR", 3.0), Ok(3.0));
+    }
+
+    #[test]
+    fn group_tolerance_defaults() {
+        // With no env vars set, corpus resolves to its wider table row
+        // and unknown groups to the global default.
+        assert_eq!(tolerance_for_group("corpus"), Ok(4.0));
+        assert_eq!(tolerance_for_group("pipeline"), Ok(DEFAULT_TOLERANCE));
     }
 }

@@ -34,7 +34,13 @@ pub struct TableBlueprint {
     pub columns: &'static [ColumnBlueprint],
 }
 
-/// A domain blueprint: up to two tables plus a foreign key between them.
+/// A domain blueprint: up to three tables plus the foreign keys of a
+/// join chain. Two-table domains exercise single joins; three-table
+/// chains (fact → dimension → dimension) exercise multi-hop joins and
+/// nested aggregates; FK-less twins with identical column shapes are
+/// the union-compatible structure set-operation corpora need (the SQL
+/// subset has no `UNION` node, so "set ops" here means generating over
+/// structurally compatible relations, stated honestly).
 #[derive(Debug, Clone, Copy)]
 pub struct DomainBlueprint {
     /// Domain label (also the schema-name prefix).
@@ -43,8 +49,12 @@ pub struct DomainBlueprint {
     pub primary: TableBlueprint,
     /// Optional second table joined to the primary one.
     pub secondary: Option<TableBlueprint>,
-    /// `(primary column, secondary column)` of the foreign key.
+    /// Optional third table joined to the secondary one.
+    pub tertiary: Option<TableBlueprint>,
+    /// `(primary column, secondary column)` of the first foreign key.
     pub fk: Option<(&'static str, &'static str)>,
+    /// `(secondary column, tertiary column)` of the second foreign key.
+    pub fk2: Option<(&'static str, &'static str)>,
 }
 
 macro_rules! col {
@@ -90,7 +100,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("area", Float, Area),
                 ],
             }),
+            tertiary: None,
             fk: Some(("state_id", "id")),
+            fk2: None,
         },
         DomainBlueprint {
             name: "flights",
@@ -115,7 +127,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("fleet_size", Integer, Count_),
                 ],
             }),
+            tertiary: None,
             fk: Some(("airline_id", "id")),
+            fk2: None,
         },
         DomainBlueprint {
             name: "automotive",
@@ -140,7 +154,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("country", Text),
                 ],
             }),
+            tertiary: None,
             fk: Some(("maker_id", "id")),
+            fk2: None,
         },
         DomainBlueprint {
             name: "university",
@@ -165,7 +181,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("salary", Integer, Money),
                 ],
             }),
+            tertiary: None,
             fk: Some(("advisor_id", "id")),
+            fk2: None,
         },
         DomainBlueprint {
             name: "retail",
@@ -190,7 +208,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("rating", Integer),
                 ],
             }),
+            tertiary: None,
             fk: Some(("supplier_id", "id")),
+            fk2: None,
         },
         DomainBlueprint {
             name: "music",
@@ -215,7 +235,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("age", Integer, Age),
                 ],
             }),
+            tertiary: None,
             fk: Some(("artist_id", "id")),
+            fk2: None,
         },
         DomainBlueprint {
             name: "sports",
@@ -240,7 +262,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("wins", Integer, Count_, ["victories"]),
                 ],
             }),
+            tertiary: None,
             fk: Some(("team_id", "id")),
+            fk2: None,
         },
         DomainBlueprint {
             name: "library",
@@ -265,7 +289,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("age", Integer, Age),
                 ],
             }),
+            tertiary: None,
             fk: Some(("author_id", "id")),
+            fk2: None,
         },
         DomainBlueprint {
             name: "hr",
@@ -290,7 +316,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("floor", Integer),
                 ],
             }),
+            tertiary: None,
             fk: Some(("department_id", "id")),
+            fk2: None,
         },
         DomainBlueprint {
             name: "restaurants",
@@ -306,7 +334,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                 ],
             },
             secondary: None,
+            tertiary: None,
             fk: None,
+            fk2: None,
         },
         DomainBlueprint {
             name: "realestate",
@@ -322,7 +352,9 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                 ],
             },
             secondary: None,
+            tertiary: None,
             fk: None,
+            fk2: None,
         },
         DomainBlueprint {
             name: "hospital",
@@ -358,7 +390,113 @@ pub fn blueprints() -> Vec<DomainBlueprint> {
                     col!("salary", Integer, Money, ["pay", "wage"]),
                 ],
             }),
+            tertiary: None,
             fk: Some(("doctor_id", "id")),
+            fk2: None,
+        },
+        // Three-table fact → dimension → dimension chain: multi-hop
+        // joins and nested aggregates (revenue per customer city).
+        DomainBlueprint {
+            name: "ecommerce",
+            primary: TableBlueprint {
+                name: "order_items",
+                synonyms: &["line items", "purchases"],
+                columns: &[
+                    col!("sku", Text, Generic, ["product code"]),
+                    col!("quantity", Integer, Count_, ["units", "amount"]),
+                    col!("unit_price", Float, Money, ["price", "cost"]),
+                    col!("discount", Float, Money, ["markdown"]),
+                    col!("order_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "orders",
+                synonyms: &["carts", "checkouts"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("total", Float, Money, ["order value"]),
+                    col!("item_count", Integer, Count_, ["items"]),
+                    col!("customer_id", Integer),
+                ],
+            }),
+            tertiary: Some(TableBlueprint {
+                name: "customers",
+                synonyms: &["buyers", "shoppers"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("city", Text, Generic, ["location"]),
+                    col!("age", Integer, Age),
+                ],
+            }),
+            fk: Some(("order_id", "id")),
+            fk2: Some(("customer_id", "id")),
+        },
+        // Another multi-hop chain with different type mixes.
+        DomainBlueprint {
+            name: "cinema",
+            primary: TableBlueprint {
+                name: "screenings",
+                synonyms: &["showings", "showtimes"],
+                columns: &[
+                    col!("auditorium", Text, Generic, ["screen", "hall"]),
+                    col!("attendance", Integer, Count_, ["viewers", "audience"]),
+                    col!("ticket_price", Float, Money, ["admission", "fare"]),
+                    col!("film_id", Integer),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "films",
+                synonyms: &["movies", "pictures"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("title", Text, Generic, ["name"]),
+                    col!("runtime", Integer, Duration, ["length"]),
+                    col!("year", Integer, Time, ["release year"]),
+                    col!("director_id", Integer),
+                ],
+            }),
+            tertiary: Some(TableBlueprint {
+                name: "directors",
+                synonyms: &["filmmakers"],
+                columns: &[
+                    col!("id", Integer),
+                    col!("name", Text),
+                    col!("nationality", Text, Generic, ["country"]),
+                    col!("age", Integer, Age),
+                ],
+            }),
+            fk: Some(("film_id", "id")),
+            fk2: Some(("director_id", "id")),
+        },
+        // FK-less twin tables with identical column shapes — the
+        // union-compatible structure set-operation corpora generate
+        // over (see the [`DomainBlueprint`] docs for the honest scope).
+        DomainBlueprint {
+            name: "transit",
+            primary: TableBlueprint {
+                name: "bus_routes",
+                synonyms: &["bus lines"],
+                columns: &[
+                    col!("name", Text, Generic, ["route"]),
+                    col!("length", Float, Length, ["distance"]),
+                    col!("ridership", Integer, Count_, ["passengers", "riders"]),
+                    col!("fare", Float, Money, ["ticket price"]),
+                ],
+            },
+            secondary: Some(TableBlueprint {
+                name: "tram_routes",
+                synonyms: &["tram lines", "streetcar lines"],
+                columns: &[
+                    col!("name", Text, Generic, ["route"]),
+                    col!("length", Float, Length, ["distance"]),
+                    col!("ridership", Integer, Count_, ["passengers", "riders"]),
+                    col!("fare", Float, Money, ["ticket price"]),
+                ],
+            }),
+            tertiary: None,
+            fk: None,
+            fk2: None,
         },
     ]
 }
@@ -406,12 +544,40 @@ impl SchemaGenerator {
     fn instantiate(&mut self, bp: &DomainBlueprint, index: usize) -> Schema {
         let name = format!("{}_{index}", bp.name);
         let mut builder = SchemaBuilder::new(name);
-        builder = builder.table(bp.primary.name, |mut t| {
-            for syn in bp.primary.synonyms {
+        let keep_primary: Vec<&str> = bp.fk.iter().map(|(p, _)| *p).collect();
+        builder = self.add_table(builder, &bp.primary, &keep_primary);
+        if let Some(sec) = &bp.secondary {
+            // The secondary table must keep both ends it participates
+            // in: the target of fk and the source of fk2.
+            let mut keep_secondary: Vec<&str> = bp.fk.iter().map(|(_, s)| *s).collect();
+            keep_secondary.extend(bp.fk2.iter().map(|(s, _)| *s));
+            builder = self.add_table(builder, sec, &keep_secondary);
+            if let Some((pc, sc)) = bp.fk {
+                builder = builder.foreign_key(bp.primary.name, pc, sec.name, sc);
+            }
+            if let Some(ter) = &bp.tertiary {
+                let keep_tertiary: Vec<&str> = bp.fk2.iter().map(|(_, t)| *t).collect();
+                builder = self.add_table(builder, ter, &keep_tertiary);
+                if let Some((sc2, tc)) = bp.fk2 {
+                    builder = builder.foreign_key(sec.name, sc2, ter.name, tc);
+                }
+            }
+        }
+        builder.build().expect("blueprint schemas are valid")
+    }
+
+    fn add_table(
+        &mut self,
+        builder: SchemaBuilder,
+        table: &TableBlueprint,
+        must_keep: &[&str],
+    ) -> SchemaBuilder {
+        let kept = self.sample_columns(table.columns, must_keep);
+        builder.table(table.name, |mut t| {
+            for syn in table.synonyms {
                 t = t.synonym(*syn);
             }
-            for (i, c) in self.sample_columns(bp.primary.columns, bp.fk.map(|(p, _)| p)) {
-                let _ = i;
+            for c in kept {
                 t = t.column_with(c.name, c.ty, |mut cb| {
                     cb = cb.domain(c.domain);
                     for syn in c.synonyms {
@@ -421,41 +587,20 @@ impl SchemaGenerator {
                 });
             }
             t
-        });
-        if let Some(sec) = &bp.secondary {
-            builder = builder.table(sec.name, |mut t| {
-                for syn in sec.synonyms {
-                    t = t.synonym(*syn);
-                }
-                for (_, c) in self.sample_columns(sec.columns, bp.fk.map(|(_, s)| s)) {
-                    t = t.column_with(c.name, c.ty, |mut cb| {
-                        cb = cb.domain(c.domain);
-                        for syn in c.synonyms {
-                            cb = cb.synonym(*syn);
-                        }
-                        cb
-                    });
-                }
-                t
-            });
-            if let Some((pc, sc)) = bp.fk {
-                builder = builder.foreign_key(bp.primary.name, pc, sec.name, sc);
-            }
-        }
-        builder.build().expect("blueprint schemas are valid")
+        })
     }
 
-    /// Keep the first two columns and any FK column; sample the rest.
+    /// Keep the first two columns and any FK columns; sample the rest.
     fn sample_columns<'b>(
         &mut self,
         columns: &'b [ColumnBlueprint],
-        must_keep: Option<&str>,
-    ) -> Vec<(usize, &'b ColumnBlueprint)> {
-        let mut kept: Vec<(usize, &ColumnBlueprint)> = Vec::new();
+        must_keep: &[&str],
+    ) -> Vec<&'b ColumnBlueprint> {
+        let mut kept: Vec<&ColumnBlueprint> = Vec::new();
         for (i, c) in columns.iter().enumerate() {
-            let mandatory = i < 2 || Some(c.name) == must_keep;
+            let mandatory = i < 2 || must_keep.contains(&c.name);
             if mandatory || self.rng.gen_bool(0.8) {
-                kept.push((i, c));
+                kept.push(c);
             }
         }
         kept
@@ -538,10 +683,53 @@ mod tests {
 
     #[test]
     fn fk_columns_always_kept() {
+        let bps = blueprints();
         let mut g = SchemaGenerator::new(4);
-        for s in g.generate(36) {
-            if s.table_count() == 2 {
-                assert_eq!(s.foreign_keys().len(), 1, "schema {} lost its FK", s.name());
+        // Three cycles over the domain list: column sampling must never
+        // drop a foreign key declared by the blueprint.
+        for (i, s) in g.generate(bps.len() * 3).into_iter().enumerate() {
+            let bp = &bps[i % bps.len()];
+            let expected = bp.fk.iter().count() + bp.fk2.iter().count();
+            assert_eq!(
+                s.foreign_keys().len(),
+                expected,
+                "schema {} has wrong FK count",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn three_table_chains_join_end_to_end() {
+        let bps = blueprints();
+        let chains: Vec<&DomainBlueprint> = bps.iter().filter(|bp| bp.tertiary.is_some()).collect();
+        assert!(chains.len() >= 2, "expected multi-hop domains");
+        for bp in chains {
+            let fk = bp.fk.expect("chain needs fk");
+            let fk2 = bp.fk2.expect("chain needs fk2");
+            let sec = bp.secondary.as_ref().unwrap();
+            let ter = bp.tertiary.as_ref().unwrap();
+            assert!(bp.primary.columns.iter().any(|c| c.name == fk.0));
+            assert!(sec.columns.iter().any(|c| c.name == fk.1));
+            assert!(sec.columns.iter().any(|c| c.name == fk2.0));
+            assert!(ter.columns.iter().any(|c| c.name == fk2.1));
+        }
+    }
+
+    #[test]
+    fn twin_table_domains_are_union_compatible() {
+        let bps = blueprints();
+        let twins: Vec<&DomainBlueprint> = bps
+            .iter()
+            .filter(|bp| bp.secondary.is_some() && bp.fk.is_none())
+            .collect();
+        assert!(!twins.is_empty(), "expected a set-operation domain");
+        for bp in twins {
+            let sec = bp.secondary.as_ref().unwrap();
+            assert_eq!(bp.primary.columns.len(), sec.columns.len());
+            for (a, b) in bp.primary.columns.iter().zip(sec.columns) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.ty, b.ty);
             }
         }
     }

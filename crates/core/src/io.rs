@@ -6,6 +6,10 @@
 //!   lemmas, template ids) so external model stacks can train on DBPal's
 //!   output; this is the practical meaning of "fully pluggable" beyond
 //!   this workspace's own models.
+//! * **JSONL** (one compact JSON object per line) — the streaming
+//!   export format written by [`crate::stream::JsonlSink`]: each line is
+//!   a full-fidelity pair record, so corpora larger than memory can be
+//!   written, concatenated, and re-imported incrementally.
 //! * **TSV** (`nl<TAB>sql` per line) — the minimal format for *manually
 //!   curated* pairs, which "can still be used to complement our proposed
 //!   data generation pipeline" (paper §1). Imported pairs get
@@ -27,6 +31,33 @@ struct PairRecord {
 }
 
 impl PairRecord {
+    fn from_pair(p: &TrainingPair) -> PairRecord {
+        PairRecord {
+            nl: p.nl.clone(),
+            nl_lemmas: p.nl_lemmas.clone(),
+            sql: p.sql_text(),
+            template_id: p.template_id.clone(),
+            provenance: provenance_label(p.provenance).to_string(),
+        }
+    }
+
+    /// Rebuild the in-memory pair; `record` is the 1-based position for
+    /// errors.
+    fn into_pair(self, record: usize) -> Result<TrainingPair, CorpusIoError> {
+        let sql = parse_query(&self.sql).map_err(|e| CorpusIoError::BadSql {
+            line: record,
+            detail: format!("{e} in `{}`", self.sql),
+        })?;
+        let mut pair = TrainingPair::new(
+            self.nl,
+            sql,
+            self.template_id,
+            provenance_from_label(&self.provenance),
+        );
+        pair.nl_lemmas = self.nl_lemmas;
+        Ok(pair)
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("nl".into(), Json::str(self.nl.clone())),
@@ -131,16 +162,7 @@ pub fn corpus_to_json(corpus: &TrainingCorpus) -> Result<String, CorpusIoError> 
         corpus
             .pairs()
             .iter()
-            .map(|p| {
-                PairRecord {
-                    nl: p.nl.clone(),
-                    nl_lemmas: p.nl_lemmas.clone(),
-                    sql: p.sql_text(),
-                    template_id: p.template_id.clone(),
-                    provenance: provenance_label(p.provenance).to_string(),
-                }
-                .to_json()
-            })
+            .map(|p| PairRecord::from_pair(p).to_json())
             .collect(),
     );
     Ok(doc.pretty())
@@ -159,18 +181,32 @@ pub fn corpus_from_json(json: &str) -> Result<TrainingCorpus, CorpusIoError> {
         .collect::<Result<Vec<PairRecord>, CorpusIoError>>()?;
     let mut pairs = Vec::with_capacity(records.len());
     for (i, r) in records.into_iter().enumerate() {
-        let sql = parse_query(&r.sql).map_err(|e| CorpusIoError::BadSql {
-            line: i + 1,
-            detail: format!("{e} in `{}`", r.sql),
-        })?;
-        let mut pair = TrainingPair::new(
-            r.nl,
-            sql,
-            r.template_id,
-            provenance_from_label(&r.provenance),
-        );
-        pair.nl_lemmas = r.nl_lemmas;
-        pairs.push(pair);
+        pairs.push(r.into_pair(i + 1)?);
+    }
+    Ok(TrainingCorpus::from_pairs(pairs))
+}
+
+/// Encode one pair as a single compact JSON object — one JSONL line,
+/// without the trailing newline. Byte-deterministic: the same pair
+/// always encodes to the same text, which is what lets the streaming
+/// sinks digest their output and pin it in tests.
+pub fn pair_to_jsonl(pair: &TrainingPair) -> String {
+    PairRecord::from_pair(pair).to_json().compact()
+}
+
+/// Import a corpus from JSONL text (one [`pair_to_jsonl`] record per
+/// line; blank lines skipped). The inverse of what
+/// [`crate::stream::JsonlSink`] writes.
+pub fn corpus_from_jsonl(text: &str) -> Result<TrainingCorpus, CorpusIoError> {
+    let mut pairs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc =
+            Json::parse(line).map_err(|e| CorpusIoError::Json(format!("record {}: {e}", i + 1)))?;
+        pairs.push(PairRecord::from_json(&doc, i + 1)?.into_pair(i + 1)?);
     }
     Ok(TrainingCorpus::from_pairs(pairs))
 }
@@ -306,6 +342,44 @@ mod tests {
     fn tsv_bad_sql_rejected() {
         let err = manual_corpus_from_tsv("q\tDELETE FROM t").unwrap_err();
         assert!(matches!(err, CorpusIoError::BadSql { line: 1, .. }));
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_everything() {
+        let corpus = sample();
+        let text: String = corpus
+            .pairs()
+            .iter()
+            .map(|p| pair_to_jsonl(p) + "\n")
+            .collect();
+        assert_eq!(text.lines().count(), corpus.len(), "one line per pair");
+        assert!(!text.contains("\n\n"), "compact lines only");
+        let back = corpus_from_jsonl(&text).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        for (a, b) in corpus.pairs().iter().zip(back.pairs()) {
+            assert_eq!(a.nl, b.nl);
+            assert_eq!(a.nl_lemmas, b.nl_lemmas);
+            assert_eq!(a.sql, b.sql);
+            assert_eq!(a.template_id, b.template_id);
+            assert_eq!(a.provenance, b.provenance);
+        }
+    }
+
+    #[test]
+    fn jsonl_blank_lines_skipped_bad_lines_rejected() {
+        let good = pair_to_jsonl(&sample().pairs()[0].clone());
+        let text = format!("\n{good}\n\n");
+        assert_eq!(corpus_from_jsonl(&text).unwrap().len(), 1);
+        assert!(matches!(
+            corpus_from_jsonl("{not json"),
+            Err(CorpusIoError::Json(_))
+        ));
+        let bad_sql =
+            r#"{"nl":"x","nl_lemmas":[],"sql":"NOT SQL","template_id":"t","provenance":"seed"}"#;
+        assert!(matches!(
+            corpus_from_jsonl(bad_sql),
+            Err(CorpusIoError::BadSql { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod model_api;
 mod optimizer;
 mod pair;
 mod pipeline;
+pub mod stream;
 pub mod templates;
 
 pub use augment::Augmenter;
@@ -46,7 +47,8 @@ pub use config::GenerationConfig;
 pub use dbpal_analyze::AnalyzerPolicy;
 pub use generator::{Generator, GeneratorStats};
 pub use io::{
-    corpus_from_json, corpus_to_json, corpus_to_tsv, manual_corpus_from_tsv, CorpusIoError,
+    corpus_from_json, corpus_from_jsonl, corpus_to_json, corpus_to_tsv, manual_corpus_from_tsv,
+    pair_to_jsonl, CorpusIoError,
 };
 pub use lexicons::{
     agg_phrases, pick, BETWEEN_PHRASES, DISTINCT_PHRASES, EQ_PHRASES, EXISTS_PHRASES, FROM_PHRASES,
@@ -58,5 +60,13 @@ pub use optimizer::{
     accuracy_histogram, accuracy_stats, best, GridSearch, RandomSearch, TrialResult,
 };
 pub use pair::{Provenance, TrainingCorpus, TrainingPair};
-pub use pipeline::{analyze_pairs, AnalyzerReport, PipelineReport, StageTimings, TrainingPipeline};
+pub use pipeline::{
+    analyze_pairs, AnalyzerReport, PipelineReport, StageTimings, TrainingPipeline,
+    SCORE_ERROR_WEIGHT,
+};
+pub use stream::{
+    provenance_split_weight, AdmitOutcome, ChunkReport, CorpusSink, DedupPolicy, DigestSink,
+    JsonlSink, MemorySink, SinkError, SplitSink, StreamDedup, StreamError, StreamOptions,
+    StreamReport,
+};
 pub use templates::{catalog, catalog_subset, PatternCategory, QueryClass, SeedTemplate};

@@ -48,6 +48,20 @@ pub struct StageTimings {
     pub total: Duration,
 }
 
+impl StageTimings {
+    /// Add another run's timings into this one — how the streaming
+    /// layer rolls per-round timings up into chunk and run totals
+    /// without taking any wall clocks of its own.
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.generate += other.generate;
+        self.augment += other.augment;
+        self.lemmatize += other.lemmatize;
+        self.dedup += other.dedup;
+        self.analyze += other.analyze;
+        self.total += other.total;
+    }
+}
+
 /// Accounting for the static-analysis stage: how many pairs were
 /// analyzed, flagged, and (under [`AnalyzerPolicy::Reject`]) dropped,
 /// with per-code diagnostic counts. Rejections are never silent — they
@@ -103,9 +117,29 @@ pub fn analyze_pairs_with(
     policy: AnalyzerPolicy,
     par: &ParStrategy,
 ) -> (Vec<TrainingPair>, AnalyzerReport) {
+    let (scored, report) = analyze_pairs_scored_with(schema, pairs, threads, policy, par);
+    (scored.into_iter().map(|(p, _)| p).collect(), report)
+}
+
+/// The weight of one error-severity diagnostic in a pair's
+/// [`analyze_pairs_scored_with`] cleanliness score; warnings count 1.
+pub const SCORE_ERROR_WEIGHT: u32 = 1000;
+
+/// As [`analyze_pairs_with`], additionally tagging every surviving pair
+/// with its *cleanliness score*: `SCORE_ERROR_WEIGHT` per error-severity
+/// diagnostic plus one per warning, so `0` means analyzer-clean and
+/// lower is cleaner. The streaming dedup layer uses the score to pick a
+/// winner when two pairs share an NL side but disagree on the SQL.
+pub fn analyze_pairs_scored_with(
+    schema: &Schema,
+    pairs: Vec<TrainingPair>,
+    threads: usize,
+    policy: AnalyzerPolicy,
+    par: &ParStrategy,
+) -> (Vec<(TrainingPair, u32)>, AnalyzerReport) {
     if policy == AnalyzerPolicy::Off {
         return (
-            pairs,
+            pairs.into_iter().map(|p| (p, 0)).collect(),
             AnalyzerReport {
                 policy,
                 ..AnalyzerReport::default()
@@ -130,8 +164,13 @@ pub fn analyze_pairs_with(
         if !diags.is_empty() {
             report.flagged += 1;
         }
+        let mut score = 0u32;
         for d in &diags {
             *report.codes.entry(d.code.id()).or_insert(0) += 1;
+            score += match d.severity {
+                dbpal_analyze::Severity::Error => SCORE_ERROR_WEIGHT,
+                dbpal_analyze::Severity::Warning => 1,
+            };
         }
         if policy == AnalyzerPolicy::Reject && dbpal_analyze::has_errors(&diags) {
             report.rejected += 1;
@@ -140,7 +179,7 @@ pub fn analyze_pairs_with(
                 .entry(pair.provenance)
                 .or_insert(0) += 1;
         } else {
-            kept.push(pair);
+            kept.push((pair, score));
         }
     }
     (kept, report)
@@ -414,11 +453,42 @@ impl TrainingPipeline {
 
     /// As [`TrainingPipeline::generate_with_templates`], also returning
     /// the per-stage [`PipelineReport`].
+    ///
+    /// This is now a thin wrapper over the streaming producer: one
+    /// generation round into an in-memory sink (see
+    /// [`crate::stream`]), which is how the one-shot API stays
+    /// byte-identical to the corpus a [`crate::stream::JsonlSink`]
+    /// would write for the same seed.
     pub fn generate_with_templates_and_report(
         &self,
         schema: &Schema,
         templates: &[SeedTemplate],
     ) -> (TrainingCorpus, PipelineReport) {
+        let mut sink = crate::stream::MemorySink::new();
+        let report = self
+            .stream_with_templates(
+                &[schema],
+                templates,
+                &crate::stream::StreamOptions::one_shot(),
+                &mut sink,
+            )
+            .expect("one-shot in-memory streaming cannot fail");
+        let round = report
+            .into_rounds()
+            .pop()
+            .expect("a one-shot run has exactly one round");
+        (sink.into_corpus(), round)
+    }
+
+    /// Run the five pipeline stages once over one schema, returning the
+    /// surviving pairs tagged with their analyzer cleanliness scores
+    /// (see [`analyze_pairs_scored_with`]) and the round's report. This
+    /// is the unit of work the streaming driver repeats per round.
+    pub(crate) fn run_stages(
+        &self,
+        schema: &Schema,
+        templates: &[SeedTemplate],
+    ) -> (Vec<(TrainingPair, u32)>, PipelineReport) {
         let threads = self.config.effective_threads();
         let run_start = Instant::now();
 
@@ -471,27 +541,34 @@ impl TrainingPipeline {
 
         // Step 5: static semantic analysis. Every surviving pair is
         // proven against the schema; under `Reject` invalid pairs are
-        // dropped with per-code and per-provenance accounting.
+        // dropped with per-code and per-provenance accounting. The
+        // survivors keep their cleanliness scores for the streaming
+        // dedup layer.
         let stage = Instant::now();
-        let (kept, analyzer_report) = analyze_pairs_with(
+        let (kept, analyzer_report) = analyze_pairs_scored_with(
             schema,
             corpus.into_iter().collect(),
             threads,
             self.config.analyzer_policy,
             &self.config.par,
         );
-        let corpus = TrainingCorpus::from_pairs(kept);
         let analyze_time = stage.elapsed();
 
+        let mut provenance = BTreeMap::new();
+        let mut template_counts = BTreeMap::new();
+        for (pair, _) in &kept {
+            *provenance.entry(pair.provenance).or_insert(0) += 1;
+            *template_counts.entry(pair.template_id.clone()).or_insert(0) += 1;
+        }
         let report = PipelineReport {
             threads,
             seed_pairs,
             augmented_pairs,
             pre_dedup_pairs,
             dedup_dropped,
-            final_pairs: corpus.len(),
-            provenance: corpus.provenance_counts().into_iter().collect(),
-            template_counts: corpus.template_counts().into_iter().collect(),
+            final_pairs: kept.len(),
+            provenance,
+            template_counts,
             generator: generator_stats,
             analyzer: analyzer_report,
             timings: StageTimings {
@@ -503,7 +580,7 @@ impl TrainingPipeline {
                 total: run_start.elapsed(),
             },
         };
-        (corpus, report)
+        (kept, report)
     }
 
     /// Generate corpora for several schemas and merge them (the multi-

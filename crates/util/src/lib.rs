@@ -20,6 +20,8 @@
 //! | [`metrics`] | `prometheus`/`metrics` | counters, latency histograms, span timers, [`MetricsRegistry`] |
 //! | [`frame`] | `tokio-util` codecs | length-delimited framing over byte streams |
 //! | [`log`] | `tracing`/`slog` | one-line JSON [`LogEvent`]s with value/secret redaction |
+//! | [`hash`] | `fnv` | stable FNV-1a content digests ([`fnv1a`], incremental [`Fnv1a`]) |
+//! | [`mem`] | `procfs` | [`resident_bytes`] probe for memory-ceiling gates |
 //!
 //! All randomness is reproducible: the same seed yields the same stream
 //! on every platform, forever — the workspace owns the generator, so no
@@ -28,18 +30,22 @@
 pub mod bench;
 pub mod check;
 pub mod frame;
+pub mod hash;
 pub mod intern;
 pub mod json;
 pub mod log;
+pub mod mem;
 pub mod metrics;
 pub mod par;
 pub mod pool;
 pub mod rng;
 
 pub use frame::FrameError;
+pub use hash::{fnv1a, Fnv1a};
 pub use intern::{Sym, Vocab};
 pub use json::{Json, JsonError};
 pub use log::LogEvent;
+pub use mem::resident_bytes;
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use par::{auto_threads, par_map_indexed};
 pub use pool::{pooled_map_indexed, ParStrategy, PoolError, WorkerPool};

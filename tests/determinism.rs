@@ -123,6 +123,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The golden corpus pins: (seed, byte length, FNV-1a digest, pair
+/// count) of the exported corpus for two fixed seeds. Shared by the
+/// classic one-shot test and the streaming-path test below — both
+/// production paths must land on the same artifact.
+const GOLDEN: [(u64, usize, u64, usize); 2] = [
+    (0x00DE_7EC7, 2_333_908, 0x856d_ab8d_79d6_fa4f, 5256),
+    (0x5EED, 2_339_561, 0x8b3e_01e2_6029_232e, 5272),
+];
+
 /// Golden-bytes pin: the exported corpus for a fixed seed is not just
 /// run-to-run stable, it is *this exact artifact*. Any intentional
 /// change to generation, augmentation, lemmatization, dedup, analysis,
@@ -130,11 +139,6 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// (update the constants after verifying the diff is intended).
 #[test]
 fn golden_corpus_bytes_for_fixed_seeds() {
-    // (seed, byte length, FNV-1a digest, pair count)
-    const GOLDEN: [(u64, usize, u64, usize); 2] = [
-        (0x00DE_7EC7, 2_333_908, 0x856d_ab8d_79d6_fa4f, 5256),
-        (0x5EED, 2_339_561, 0x8b3e_01e2_6029_232e, 5272),
-    ];
     for (seed, len, digest, pairs) in GOLDEN {
         let config = GenerationConfig {
             seed,
@@ -198,6 +202,60 @@ fn par_strategy_never_changes_exported_bytes() {
             );
         }
     }
+}
+
+/// The streaming producer is the same function: a one-round stream
+/// into a memory sink must land byte-for-byte on both golden pins.
+/// Since `generate` is itself a thin wrapper over this path, the test
+/// proves the wrapper adds nothing and the sink drops nothing.
+#[test]
+fn streaming_one_shot_reproduces_golden_pins() {
+    use dbpal::core::{MemorySink, StreamOptions};
+    for (seed, len, digest, pairs) in GOLDEN {
+        let config = GenerationConfig {
+            seed,
+            ..GenerationConfig::small()
+        };
+        let mut sink = MemorySink::new();
+        let report = TrainingPipeline::new(config)
+            .stream(&[&schema()], &StreamOptions::one_shot(), &mut sink)
+            .expect("in-memory streaming cannot fail");
+        assert_eq!(report.emitted, pairs, "seed {seed:#x}: emitted count");
+        assert_eq!(report.exact_dropped + report.conflicts_resolved, 0);
+        let json = corpus_to_json(&sink.into_corpus()).expect("export");
+        assert_eq!(
+            (json.len(), fnv1a(json.as_bytes())),
+            (len, digest),
+            "streamed corpus for seed {seed:#x} drifted from its golden pin"
+        );
+    }
+}
+
+/// Thread invariance for the streaming JSONL path: a multi-round run
+/// writes the identical byte stream (same running digest) at 1 and 8
+/// worker threads.
+#[test]
+fn streaming_jsonl_digest_is_thread_invariant() {
+    use dbpal::core::{JsonlSink, StreamOptions};
+    let digest_at = |threads: usize| {
+        let config = GenerationConfig {
+            seed: 0x00DE_7EC7,
+            threads,
+            ..GenerationConfig::small()
+        };
+        let opts = StreamOptions {
+            max_rounds: 2,
+            ..StreamOptions::corpus(0)
+        };
+        let mut sink = JsonlSink::new(Vec::new());
+        TrainingPipeline::new(config)
+            .stream(&[&schema(), &geo_schema()], &opts, &mut sink)
+            .expect("in-memory streaming cannot fail");
+        assert!(sink.pairs() > 0);
+        sink.digest()
+    };
+    let one = digest_at(1);
+    assert_eq!(one, digest_at(8), "8 threads diverged from 1 thread");
 }
 
 /// Regression test for per-schema seed derivation. The seed for schema
